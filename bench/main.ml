@@ -1,0 +1,283 @@
+(* Benchmark harness: one Bechamel test per experiment (E1-E12 of DESIGN.md)
+   plus the substrate operations they rely on.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Cqa_arith
+open Cqa_logic
+open Cqa_linear
+open Cqa_vc
+open Cqa_core
+open Cqa_workload
+
+let q = Q.of_int
+let qq = Q.of_ints
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures (built once, outside the timed region)                     *)
+(* ------------------------------------------------------------------ *)
+
+let dv2 = Semilinear.default_vars 2
+
+let fixed_semilinear dim seed =
+  let prng = Prng.create seed in
+  Generators.semilinear prng ~dim ~disjuncts:2
+
+let s2 = fixed_semilinear 2 101
+let s3 = fixed_semilinear 3 102
+
+let pentagon_db = Paper_examples.pentagon_db ()
+let polygon_term = Compile.polygon_area_term ~rel:"P"
+
+let ef_pair =
+  match Ef_game.separating_counterexample ~rounds:2 ~c1:(q 3) ~c2:(q 3) with
+  | Some p -> p
+  | None -> assert false
+
+let circuit_12 =
+  let x = Var.of_string "x" and y = Var.of_string "y" in
+  Circuit.of_sentence ~preds:1 ~n:12
+    (Formula.Exists
+       ( x,
+         Formula.Exists
+           ( y,
+             Formula.conj
+               [ Formula.Atom (Circuit.Lt (x, y));
+                 Formula.Atom (Circuit.Pred (0, x));
+                 Formula.Atom (Circuit.Pred (0, y)) ] ) ))
+
+let tri_db = Paper_examples.triangle_db ()
+
+let sample_1k =
+  let prng = Prng.create 55 in
+  Approx_volume.random_sample ~prng ~dim:2 ~n:1000
+
+let prop5_inst, prop5_rel = Paper_examples.prop5_instance ~bits:4
+
+let e10_poly dim =
+  let cube = Cqa_geom.Hpolytope.cube dim in
+  let slice =
+    Cqa_geom.Hpolytope.make dim
+      [ { Cqa_geom.Hpolytope.normal = Array.init dim (fun i -> q (1 + (i mod 3)));
+          offset = q dim } ]
+  in
+  Cqa_geom.Hpolytope.intersect cube slice
+
+let p4 = e10_poly 4
+
+let quadrant =
+  Semilinear.of_conjunction dv2
+    [ Linconstr.ge (Linexpr.var dv2.(0)) Linexpr.zero;
+      Linconstr.ge (Linexpr.var dv2.(1)) Linexpr.zero ]
+
+let boxes_union =
+  let prng = Prng.create 33 in
+  Semilinear.make dv2
+    (List.init 3 (fun _ -> Generators.box_conjunction prng ~vars:dv2 ~lo:(-4) ~hi:4))
+
+let density_formula =
+  (* forall x y. x < y -> exists z. x < z < y *)
+  let x = Var.of_string "x" and y = Var.of_string "y" and z = Var.of_string "z" in
+  Formula.forall_many [ x; y ]
+    (Formula.implies
+       (Formula.Atom (Linconstr.lt (Linexpr.var x) (Linexpr.var y)))
+       (Formula.Exists
+          ( z,
+            Formula.And
+              ( Formula.Atom (Linconstr.lt (Linexpr.var x) (Linexpr.var z)),
+                Formula.Atom (Linconstr.lt (Linexpr.var z) (Linexpr.var y)) ) )))
+
+let lp_system =
+  let x = Linexpr.var (Var.of_string "x") and y = Linexpr.var (Var.of_string "y") in
+  let z = Linexpr.var (Var.of_string "z") in
+  [ Linconstr.le (Linexpr.add (Linexpr.add x y) z) (Linexpr.const (q 10));
+    Linconstr.le x (Linexpr.const (q 4));
+    Linconstr.le y (Linexpr.const (q 5));
+    Linconstr.ge x Linexpr.zero; Linconstr.ge y Linexpr.zero;
+    Linconstr.ge z Linexpr.zero;
+    Linconstr.le (Linexpr.sub y x) (Linexpr.const (q 2)) ]
+
+let lp_objective =
+  Linexpr.of_list Q.zero
+    [ (q 3, Var.of_string "x"); (q 2, Var.of_string "y"); (Q.one, Var.of_string "z") ]
+
+let big_a = Bigint.of_string (String.concat "" (List.init 8 (fun _ -> "123456789")))
+let big_b = Bigint.of_string (String.concat "" (List.init 8 (fun _ -> "987654321")))
+
+let sturm_poly =
+  (* (x^2-2)(x^2-3)(x-1) *)
+  Cqa_poly.Upoly.mul
+    (Cqa_poly.Upoly.mul
+       (Cqa_poly.Upoly.of_int_coeffs [ -2; 0; 1 ])
+       (Cqa_poly.Upoly.of_int_coeffs [ -3; 0; 1 ]))
+    (Cqa_poly.Upoly.of_int_coeffs [ -1; 1 ])
+
+let sqrt2 =
+  List.nth (Cqa_poly.Algnum.roots_of (Cqa_poly.Upoly.of_int_coeffs [ -2; 0; 1 ])) 1
+
+let sqrt3 =
+  List.nth (Cqa_poly.Algnum.roots_of (Cqa_poly.Upoly.of_int_coeffs [ -3; 0; 1 ])) 1
+
+let cells_a =
+  Cell1.union (Cell1.closed_interval Q.zero Q.one) (Cell1.open_interval (q 2) (q 4))
+
+let cells_b =
+  Cell1.union (Cell1.point Q.half) (Cell1.closed_interval (q 3) (q 5))
+
+(* ------------------------------------------------------------------ *)
+(* Tests                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stage = Staged.stage
+
+let experiment_tests =
+  [ Test.make ~name:"e1_blowup_bounds"
+      (stage (fun () ->
+           Bounds.km_formula_size ~eps:0.1 ~delta:0.25 ~vc_dim:4 ~m:2
+             ~atoms_in_phi:20));
+    Test.make ~name:"e2_ef_game_rank2"
+      (stage (fun () ->
+           let a, b = ef_pair in
+           Ef_game.duplicator_wins 2 a b));
+    Test.make ~name:"e3_trivial_approx"
+      (stage (fun () -> Trivial_approx.trivial_approx s2));
+    Test.make ~name:"e4_circuit_separation_n12"
+      (stage (fun () ->
+           Circuit.separates_cardinalities ~c1:(qq 1 3) ~c2:(qq 2 3) ~n:12
+             circuit_12));
+    Test.make ~name:"e5_volume_sweep_2d"
+      (stage (fun () -> Volume_exact.volume_sweep s2));
+    Test.make ~name:"e5_volume_incl_excl_2d"
+      (stage (fun () -> Volume_exact.volume_incl_excl s2));
+    Test.make ~name:"e5_volume_sweep_3d"
+      (stage (fun () -> Volume_exact.volume_sweep s3));
+    Test.make ~name:"e6_polygon_program_pentagon"
+      (stage (fun () -> Eval.eval_term pentagon_db Var.Map.empty polygon_term));
+    Test.make ~name:"e7_sample_estimate_1k"
+      (stage (fun () ->
+           Approx_volume.fraction_in sample_1k (fun pt ->
+               Db.mem_tuple tri_db "P" pt)));
+    Test.make ~name:"e8_vc_lower_bits4"
+      (stage (fun () ->
+           let ground = List.map (fun i -> [| q i |]) [ 0; 1; 2; 3 ] in
+           let params = List.init 16 (fun a -> q a) in
+           Definable_family.empirical_vc_dim ~params ~ground ~mem:(fun a pt ->
+               Instance.mem prop5_inst prop5_rel [| a; pt.(0) |])));
+    Test.make ~name:"e9_vc_upper_halflines_64"
+      (stage (fun () ->
+           let prng = Prng.create 11 in
+           let ground = Generators.finite_set prng ~size:64 ~lo:0 ~hi:100 in
+           let pts = List.map (fun v -> [| v |]) ground in
+           Definable_family.empirical_vc_dim
+             ~params:(List.map (fun v -> Q.add v Q.half) ground)
+             ~ground:pts
+             ~mem:(fun a pt -> Q.leq pt.(0) a)));
+    Test.make ~name:"e10_exact_lasserre_dim4"
+      (stage (fun () -> Cqa_geom.Lasserre.volume p4));
+    Test.make ~name:"e10_monte_carlo_dim4_m500"
+      (stage (fun () ->
+           let prng = Prng.create 3 in
+           let hits = ref 0 in
+           for _ = 1 to 500 do
+             let pt = Array.init 4 (fun _ -> Prng.q_unit prng) in
+             if Cqa_geom.Hpolytope.contains p4 pt then incr hits
+           done;
+           !hits));
+    Test.make ~name:"e11_mu_quadrant" (stage (fun () -> Mu.mu quadrant));
+    Test.make ~name:"e12_varindep_grid_volume"
+      (stage (fun () ->
+           if Var_indep.is_variable_independent boxes_union then
+             Var_indep.grid_volume boxes_union
+           else Q.zero)) ]
+
+let substrate_tests =
+  [ Test.make ~name:"bigint_mul_72digits" (stage (fun () -> Bigint.mul big_a big_b));
+    Test.make ~name:"fm_qe_density" (stage (fun () -> Fourier_motzkin.qe density_formula));
+    Test.make ~name:"fm_sat_7atoms"
+      (stage (fun () -> Fourier_motzkin.satisfiable_conj lp_system));
+    Test.make ~name:"simplex_maximize_7x3"
+      (stage (fun () -> Simplex.maximize ~objective:lp_objective ~constraints:lp_system));
+    Test.make ~name:"cell1_union" (stage (fun () -> Cell1.union cells_a cells_b));
+    Test.make ~name:"sturm_isolate_deg5"
+      (stage (fun () -> Cqa_poly.Upoly.isolate_roots sturm_poly));
+    Test.make ~name:"algnum_compare_sqrt2_sqrt3"
+      (stage (fun () -> Cqa_poly.Algnum.compare sqrt2 sqrt3));
+    Test.make ~name:"lasserre_cube_dim4"
+      (stage (fun () -> Cqa_geom.Lasserre.volume (Cqa_geom.Hpolytope.cube 4)));
+    Test.make ~name:"semilinear_membership"
+      (stage (fun () -> Semilinear.mem s2 [| Q.half; Q.half |])) ]
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_group name tests =
+  Printf.printf "\n== %s ==\n%!" name;
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+              if est > 1e9 then Printf.printf "%-36s %10.3f s/run\n%!" name (est /. 1e9)
+              else if est > 1e6 then
+                Printf.printf "%-36s %10.3f ms/run\n%!" name (est /. 1e6)
+              else if est > 1e3 then
+                Printf.printf "%-36s %10.3f us/run\n%!" name (est /. 1e3)
+              else Printf.printf "%-36s %10.1f ns/run\n%!" name est
+          | _ -> Printf.printf "%-36s (no estimate)\n%!" name)
+        analyzed)
+    tests
+
+(* Ablations of the quantifier-elimination pipeline (cold cache each run):
+   the DESIGN.md design-choice knobs, measured on the Section 5 vertex
+   formula over the pentagon database. *)
+let ablation_formula =
+  let v1 = Var.of_string "v1" and v2 = Var.of_string "v2" in
+  let f = Compile.vertex_formula ~rel:"P" v1 v2 in
+  Eval.reduce_linear pentagon_db Var.Map.empty f
+
+let with_knobs ~tightening ~elim_pruning ~absorption f =
+  let o = Fourier_motzkin.optimizations in
+  let saved = (o.Fourier_motzkin.tightening, o.Fourier_motzkin.elim_pruning, o.Fourier_motzkin.absorption) in
+  o.Fourier_motzkin.tightening <- tightening;
+  o.Fourier_motzkin.elim_pruning <- elim_pruning;
+  o.Fourier_motzkin.absorption <- absorption;
+  Fun.protect
+    ~finally:(fun () ->
+      let t, p, a = saved in
+      o.Fourier_motzkin.tightening <- t;
+      o.Fourier_motzkin.elim_pruning <- p;
+      o.Fourier_motzkin.absorption <- a)
+    f
+
+let ablation_tests =
+  let run ~tightening ~elim_pruning ~absorption () =
+    with_knobs ~tightening ~elim_pruning ~absorption (fun () ->
+        Fourier_motzkin.clear_qe_cache ();
+        Fourier_motzkin.qe ablation_formula)
+  in
+  [ Test.make ~name:"qe_vertex_all_optimizations"
+      (stage (run ~tightening:true ~elim_pruning:true ~absorption:true));
+    Test.make ~name:"qe_vertex_no_tightening"
+      (stage (run ~tightening:false ~elim_pruning:true ~absorption:true));
+    Test.make ~name:"qe_vertex_no_elim_pruning"
+      (stage (run ~tightening:true ~elim_pruning:false ~absorption:true));
+    Test.make ~name:"qe_vertex_no_absorption"
+      (stage (run ~tightening:true ~elim_pruning:true ~absorption:false)) ]
+
+let () =
+  Printf.printf "cqa benchmark harness (bechamel)\n";
+  run_group "experiments (one per table/figure)" experiment_tests;
+  run_group "substrates" substrate_tests;
+  run_group "ablations (QE design choices, cold cache)" ablation_tests

@@ -1,0 +1,179 @@
+(* Command-line interface: experiment suite and small demos. *)
+
+open Cqa_arith
+open Cqa_logic
+open Cqa_linear
+open Cqa_vc
+open Cqa_core
+open Cqa_workload
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* experiments                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let experiments_cmd =
+  let id =
+    Arg.(value & opt (some int) None & info [ "only" ] ~docv:"N"
+           ~doc:"Run only experiment number $(docv) (1-12).")
+  in
+  let run = function
+    | None -> Experiments.run_all ()
+    | Some i -> Experiments.run_one i
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Reproduce every paper claim as a measured table (E1-E12).")
+    Term.(const run $ id)
+
+(* ------------------------------------------------------------------ *)
+(* volume                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let volume_cmd =
+  let dim = Arg.(value & opt int 2 & info [ "dim" ] ~doc:"Dimension.") in
+  let disjuncts =
+    Arg.(value & opt int 2 & info [ "disjuncts" ] ~doc:"DNF disjunct count.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let run dim disjuncts seed =
+    let prng = Prng.create seed in
+    let s = Generators.semilinear prng ~dim ~disjuncts in
+    Format.printf "set:@.%a@." Semilinear.pp s;
+    let sweep = Volume_exact.volume_sweep s in
+    let ie = Volume_exact.volume_incl_excl s in
+    Format.printf "volume (Theorem 3 sweep):      %a@." Q.pp sweep;
+    Format.printf "volume (inclusion-exclusion):  %a@." Q.pp ie;
+    Format.printf "volume (float):                %g@." (Q.to_float sweep)
+  in
+  Cmd.v
+    (Cmd.info "volume"
+       ~doc:"Exact volume of a random semi-linear database, two ways.")
+    Term.(const run $ dim $ disjuncts $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* approx                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let approx_cmd =
+  let eps = Arg.(value & opt float 0.05 & info [ "eps" ] ~doc:"Accuracy.") in
+  let delta =
+    Arg.(value & opt float 0.1 & info [ "delta" ] ~doc:"Failure probability.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let run eps delta seed =
+    let prng = Prng.create seed in
+    let disk = Generators.random_disk prng in
+    let { Volume_approx.estimate; sample_size } =
+      Volume_approx.approx_semialg_eps ~prng ~eps ~delta ~vc_dim:3 disk
+    in
+    Format.printf
+      "random disk in I^2; eps = %g, delta = %g -> sample size M = %d@." eps
+      delta sample_size;
+    Format.printf "estimated VOL_I = %g (exact rational %a)@."
+      (Q.to_float estimate) Q.pp estimate
+  in
+  Cmd.v
+    (Cmd.info "approx"
+       ~doc:"Theorem 4: sample-based volume approximation of a semi-algebraic set.")
+    Term.(const run $ eps $ delta $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* vcdim                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let vcdim_cmd =
+  let bits =
+    Arg.(value & opt int 4 & info [ "bits" ] ~doc:"Bit width of the Prop. 5 instance.")
+  in
+  let run bits =
+    let inst, rel = Paper_examples.prop5_instance ~bits in
+    let ground = List.map (fun i -> [| Q.of_int i |]) (List.init bits Fun.id) in
+    let params = List.init (1 lsl bits) (fun a -> Q.of_int a) in
+    let d =
+      Definable_family.empirical_vc_dim ~params ~ground ~mem:(fun a pt ->
+          Instance.mem inst rel [| a; pt.(0) |])
+    in
+    Format.printf "|D| = %d, log2 |D| = %.2f, VCdim(F_phi(D)) = %d@."
+      (Instance.size inst)
+      (log (float_of_int (Instance.size inst)) /. log 2.)
+      d
+  in
+  Cmd.v
+    (Cmd.info "vcdim"
+       ~doc:"Proposition 5: a definable family with VC dimension log |D|.")
+    Term.(const run $ bits)
+
+(* ------------------------------------------------------------------ *)
+(* area                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let area_cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let run seed =
+    let prng = Prng.create seed in
+    let rec poly () =
+      match Generators.convex_polygon prng ~points:5 with
+      | Some p -> p
+      | None -> poly ()
+    in
+    let p = poly () in
+    Format.printf "polygon vertices:";
+    List.iter
+      (fun v -> Format.printf " (%a, %a)" Q.pp v.(0) Q.pp v.(1))
+      (Cqa_geom.Polygon.vertices p);
+    Format.printf "@.";
+    let s = Generators.polygon_to_semilinear p in
+    let db = Db.of_list Paper_examples.polygon_schema [ ("P", Db.Semilin s) ] in
+    let term = Compile.polygon_area_term ~rel:"P" in
+    let area = Eval.eval_term db Var.Map.empty term in
+    Format.printf "FO + POLY + SUM program: %a@." Q.pp area;
+    Format.printf "shoelace ground truth:   %a@." Q.pp (Cqa_geom.Polygon.area p)
+  in
+  Cmd.v
+    (Cmd.info "area"
+       ~doc:"Section 5: polygon area computed by the FO + POLY + SUM program.")
+    Term.(const run $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* qe                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let qe_cmd =
+  let formula =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FORMULA"
+          ~doc:
+            "FO + LIN formula, e.g. 'exists y . x < y /\\\\ y < 5'. Lowercase \
+             identifiers are variables.")
+  in
+  let run src =
+    match Parser.formula_of_string src with
+    | exception Parser.Parse_error msg ->
+        Format.eprintf "parse error: %s@." msg;
+        exit 1
+    | f -> (
+        let db = Db.empty Schema.empty in
+        match Eval.reduce_linear db Var.Map.empty f with
+        | exception Eval.Unsupported msg ->
+            Format.eprintf "not linear-reducible: %s@." msg;
+            exit 1
+        | lin ->
+            let d = Cqa_linear.Fourier_motzkin.qe lin in
+            Format.printf "quantifier-free DNF:@.%a@."
+              Cqa_linear.Linformula.pp_dnf d)
+  in
+  Cmd.v
+    (Cmd.info "qe"
+       ~doc:"Quantifier elimination of an FO + LIN formula (Fourier-Motzkin).")
+    Term.(const run $ formula)
+
+let main =
+  Cmd.group
+    (Cmd.info "cqa" ~version:"1.0"
+       ~doc:"Exact and approximate aggregation in constraint query languages.")
+    [ experiments_cmd; volume_cmd; approx_cmd; vcdim_cmd; area_cmd; qe_cmd ]
+
+let () = exit (Cmd.eval main)

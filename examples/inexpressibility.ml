@@ -1,0 +1,80 @@
+(* A tour of the paper's negative results, made executable:
+
+   1. the blow-up of the VC-based approximate volume operators (Section 3);
+   2. Ehrenfeucht-Fraisse games defeating separating sentences (Prop. 1);
+   3. circuits from FO sentences failing to count (Theorem 2 / Lemma 3);
+   4. the best a closed language can do: the trivial 1/2-approximation
+      (Proposition 4).
+
+   Run with: dune exec examples/inexpressibility.exe *)
+
+open Cqa_arith
+open Cqa_logic
+open Cqa_vc
+open Cqa_core
+
+let q = Q.of_int
+let qq = Q.of_ints
+
+let () =
+  (* 1. Section 3 example: what would the Karpinski-Macintyre formula cost? *)
+  Format.printf "1. blow-up of the derandomized approximation formula@.";
+  List.iter
+    (fun eps ->
+      let s = Bounds.km_formula_size ~eps ~delta:0.25 ~vc_dim:4 ~m:2 ~atoms_in_phi:20 in
+      Format.printf
+        "   eps = %-5g  sample = %-6d  quantified reals = %.1e  atoms = %.1e@."
+        eps s.Bounds.sample_size s.Bounds.quantifiers s.Bounds.atoms)
+    [ 0.5; 0.1; 0.01 ];
+  Format.printf
+    "   (each quantifier must then be eliminated: hopeless in practice)@.";
+
+  (* 2. EF games: no rank-k sentence separates 3x cardinality gaps *)
+  Format.printf "@.2. Ehrenfeucht-Fraisse games (Proposition 1)@.";
+  List.iter
+    (fun k ->
+      match Ef_game.separating_counterexample ~rounds:k ~c1:(q 3) ~c2:(q 3) with
+      | Some (a, b) ->
+          let verified = if k <= 2 then Ef_game.duplicator_wins k a b else true in
+          Format.printf
+            "   rank %d: structures of sizes %d and %d with opposite 3x \
+             majorities are %d-round equivalent (checked: %b)@."
+            k a.Ef_game.size b.Ef_game.size k verified
+      | None -> ())
+    [ 1; 2 ];
+
+  (* 3. circuits can't count (Lemma 3) *)
+  Format.printf "@.3. AC0 circuits from FO sentences cannot separate cardinalities@.";
+  let x = Var.of_string "x" and y = Var.of_string "y" in
+  let sentence =
+    Formula.Exists
+      ( x,
+        Formula.Exists
+          ( y,
+            Formula.conj
+              [ Formula.Atom (Circuit.Lt (x, y));
+                Formula.Atom (Circuit.Pred (0, x));
+                Formula.Atom (Circuit.Pred (0, y)) ] ) )
+  in
+  List.iter
+    (fun n ->
+      let c = Circuit.of_sentence ~preds:1 ~n sentence in
+      Format.printf
+        "   n = %-3d gates = %-4d depth = %d  (1/3,2/3)-separates: %b@." n
+        (Circuit.gate_count c) (Circuit.depth c)
+        (Circuit.separates_cardinalities ~c1:(qq 1 3) ~c2:(qq 2 3) ~n c))
+    [ 6; 9; 12; 15 ];
+
+  (* 4. the trivial approximation is the ceiling *)
+  Format.printf "@.4. Proposition 4: the 1/2-approximation FO + LIN can define@.";
+  let prng = Prng.create 77 in
+  for i = 1 to 5 do
+    let s = Cqa_workload.Generators.semilinear prng ~dim:2 ~disjuncts:2 in
+    let t = Trivial_approx.trivial_approx s in
+    let v = Volume_exact.volume_clamped s in
+    Format.printf "   set %d: VOL_I = %-8s trivial answer = %-4s |error| = %s <= 1/2@."
+      i (Q.to_string v) (Q.to_string t)
+      (Q.to_string (Q.abs (Q.sub t v)))
+  done;
+  Format.printf
+    "   Theorem 2: no eps < 1/2 is achievable by any FO + Omega language.@."

@@ -1,0 +1,78 @@
+(* Quickstart: build a constraint database, query it with FO + LIN, compute
+   exact volumes (Theorem 3) and classical aggregates (Lemma 4).
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Cqa_arith
+open Cqa_logic
+open Cqa_linear
+open Cqa_core
+
+let q = Q.of_int
+let qq = Q.of_ints
+
+let () =
+  (* A schema with a binary spatial relation [Region] and a finite unary
+     relation [Reading] of sensor measurements. *)
+  let schema = Schema.of_list [ ("Region", 2); ("Reading", 1) ] in
+
+  (* Region = the triangle x >= 0, y >= 0, x + y <= 3/2 -- a finitely
+     representable (semi-linear) instance, stored as constraints. *)
+  let vars = Semilinear.default_vars 2 in
+  let x = Linexpr.var vars.(0) and y = Linexpr.var vars.(1) in
+  let region =
+    Semilinear.of_conjunction vars
+      [ Linconstr.ge x Linexpr.zero;
+        Linconstr.ge y Linexpr.zero;
+        Linconstr.le (Linexpr.add x y) (Linexpr.const (qq 3 2)) ]
+  in
+  let db =
+    Db.of_list schema
+      [ ("Region", Db.Semilin region);
+        ("Reading", Db.Finite [ [| qq 1 2 |]; [| qq 3 4 |]; [| q 2 |] ]) ]
+  in
+
+  (* 1. A first-order query: the part of the region right of x = 1/2.
+        FO + LIN is closed: the answer is again semi-linear. *)
+  let phi =
+    Ast.(And (Rel ("Region", [ vars.(0); vars.(1) ]), TVar vars.(0) >=! q Q.half))
+  in
+  let answer = Eval.eval_set db vars phi in
+  Format.printf "query answer is semi-linear with %d disjunct(s)@."
+    (Semilinear.disjunct_count answer);
+  Format.printf "contains (1, 1/4)? %b@."
+    (Semilinear.mem answer [| q 1; qq 1 4 |]);
+
+  (* 2. Exact volumes (Theorem 3): of the region and of the query answer. *)
+  Format.printf "VOL(Region)      = %a@." Q.pp (Volume_exact.volume region);
+  Format.printf "VOL(answer)      = %a@." Q.pp (Volume_exact.volume answer);
+  Format.printf "VOL_I(Region)    = %a   (clamped to the unit square)@." Q.pp
+    (Volume_exact.volume_clamped region);
+
+  (* 3. Classical aggregation over a safe (finite-output) query. *)
+  let r = Var.of_string "r" in
+  let small = Ast.(And (Rel ("Reading", [ r ]), TVar r <=! int 1)) in
+  Format.printf "COUNT(readings <= 1) = %s@."
+    (match Aggregates.count db [| r |] small with
+    | Some n -> string_of_int n
+    | None -> "not finite");
+  Format.printf "AVG(readings <= 1)   = %s@."
+    (match Aggregates.avg_coord db r small with
+    | Some v -> Q.to_string v
+    | None -> "-");
+
+  (* 4. A genuine FO + POLY + SUM term: total length of the intervals that
+        compose a one-dimensional set, evaluated inside the language. *)
+  let schema1 = Schema.of_list [ ("U", 1) ] in
+  let x0 = (Semilinear.default_vars 1).(0) in
+  let u =
+    Semilinear.make [| x0 |]
+      [ [ Linconstr.ge (Linexpr.var x0) Linexpr.zero;
+          Linconstr.le (Linexpr.var x0) (Linexpr.const Q.one) ];
+        [ Linconstr.ge (Linexpr.var x0) (Linexpr.const (q 2));
+          Linconstr.le (Linexpr.var x0) (Linexpr.const (qq 5 2)) ] ]
+  in
+  let db1 = Db.of_list schema1 [ ("U", Db.Semilin u) ] in
+  let term = Compile.interval_measure_term ~rel:"U" in
+  Format.printf "SUM-term measure of U = [0,1] u [2,5/2]: %a@." Q.pp
+    (Eval.eval_term db1 Var.Map.empty term)

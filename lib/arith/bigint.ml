@@ -1,0 +1,495 @@
+(* Sign-magnitude arbitrary-precision integers over base-2^30 limbs.
+
+   Invariants: [mag] is little-endian with no leading zero limb; [sign] is 0
+   iff [mag] is empty.  All limb values lie in [0, base).  Limb products fit
+   a 63-bit native int: (2^30-1)^2 + 2*2^30 < 2^62. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+let normalize sign mag =
+  let n = Array.length mag in
+  let rec top i = if i >= 0 && mag.(i) = 0 then top (i - 1) else i in
+  let t = top (n - 1) in
+  if t < 0 then zero
+  else if t = n - 1 then { sign; mag }
+  else { sign; mag = Array.sub mag 0 (t + 1) }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n < 0 then -1 else 1 in
+    (* min_int negation is safe: abs through successive shifting of the
+       negative value would be needed only for min_int; handle via landing in
+       three limbs using logical shifts on the negative number. *)
+    if n = min_int then
+      (* |min_int| = 2^62 = bit 2 of limb 2 with 30-bit limbs *)
+      { sign; mag = [| 0; 0; 1 lsl (62 - (2 * base_bits)) |] }
+    else begin
+      let m = abs n in
+      if m < base then { sign; mag = [| m |] }
+      else if m < base * base then
+        { sign; mag = [| m land base_mask; m lsr base_bits |] }
+      else
+        { sign;
+          mag =
+            [| m land base_mask;
+               (m lsr base_bits) land base_mask;
+               m lsr (2 * base_bits) |] }
+    end
+  end
+
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+
+let sign x = x.sign
+let is_zero x = x.sign = 0
+let is_one x = x.sign = 1 && Array.length x.mag = 1 && x.mag.(0) = 1
+
+let numbits x =
+  let n = Array.length x.mag in
+  if n = 0 then 0
+  else begin
+    let top = x.mag.(n - 1) in
+    let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
+    ((n - 1) * base_bits) + bits top 0
+  end
+
+let to_int_opt x =
+  if numbits x <= 62 then begin
+    let acc = ref 0 in
+    for i = Array.length x.mag - 1 downto 0 do
+      acc := (!acc lsl base_bits) lor x.mag.(i)
+    done;
+    Some (if x.sign < 0 then - !acc else !acc)
+  end
+  else if
+    (* min_int's magnitude 2^62 needs 63 bits but still fits *)
+    x.sign < 0 && numbits x = 63
+    && Array.for_all (fun l -> l = 0) (Array.sub x.mag 0 (Array.length x.mag - 1))
+    && x.mag.(Array.length x.mag - 1) = 1 lsl (62 - ((Array.length x.mag - 1) * base_bits))
+  then Some min_int
+  else None
+
+let to_int_exn x =
+  match to_int_opt x with
+  | Some n -> n
+  | None -> invalid_arg "Bigint.to_int_exn: does not fit"
+
+(* magnitude comparison *)
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let a, b, la, lb = if la >= lb then (a, b, la, lb) else (b, a, lb, la) in
+  let r = Array.make (la + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to la - 1 do
+    let s = a.(i) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  r.(la) <- !carry;
+  r
+
+(* requires |a| >= |b| *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let s = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if s < 0 then begin
+      r.(i) <- s + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  r
+
+let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
+let abs x = if x.sign < 0 then neg x else x
+
+let rec add x y =
+  if x.sign = 0 then y
+  else if y.sign = 0 then x
+  else if x.sign = y.sign then normalize x.sign (add_mag x.mag y.mag)
+  else begin
+    match cmp_mag x.mag y.mag with
+    | 0 -> zero
+    | c when c > 0 -> normalize x.sign (sub_mag x.mag y.mag)
+    | _ -> normalize y.sign (sub_mag y.mag x.mag)
+  end
+
+and sub x y = add x (neg y)
+
+let succ x = add x one
+let pred x = sub x one
+
+let mul_mag_schoolbook a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make (la + lb) 0 in
+  for i = 0 to la - 1 do
+    let carry = ref 0 in
+    let ai = a.(i) in
+    if ai <> 0 then begin
+      for j = 0 to lb - 1 do
+        let cur = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- cur land base_mask;
+        carry := cur lsr base_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let cur = r.(!k) + !carry in
+        r.(!k) <- cur land base_mask;
+        carry := cur lsr base_bits;
+        incr k
+      done
+    end
+  done;
+  r
+
+let karatsuba_threshold = 32
+
+(* slices for karatsuba *)
+let mag_slice a lo len =
+  let la = Array.length a in
+  if lo >= la then [||]
+  else Array.sub a lo (Stdlib.min len (la - lo))
+
+let rec mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else if Stdlib.min la lb < karatsuba_threshold then mul_mag_schoolbook a b
+  else begin
+    let m = (Stdlib.max la lb + 1) / 2 in
+    let a0 = mag_slice a 0 m and a1 = mag_slice a m max_int in
+    let b0 = mag_slice b 0 m and b1 = mag_slice b m max_int in
+    let z0 = mul_mag a0 b0 in
+    let z2 = mul_mag a1 b1 in
+    let sa = add_mag a0 a1 and sb = add_mag b0 b1 in
+    let z1 = mul_mag sa sb in
+    (* z1 - z0 - z2, all as magnitudes; z1 >= z0 + z2 always *)
+    let z1 = sub_mag z1 z0 in
+    let z1 = sub_mag z1 z2 in
+    let len = la + lb in
+    let r = Array.make (len + 1) 0 in
+    let add_into src off =
+      let carry = ref 0 in
+      for i = 0 to Array.length src - 1 do
+        let cur = r.(off + i) + src.(i) + !carry in
+        r.(off + i) <- cur land base_mask;
+        carry := cur lsr base_bits
+      done;
+      let k = ref (off + Array.length src) in
+      while !carry <> 0 do
+        let cur = r.(!k) + !carry in
+        r.(!k) <- cur land base_mask;
+        carry := cur lsr base_bits;
+        incr k
+      done
+    in
+    add_into z0 0;
+    add_into z1 m;
+    add_into z2 (2 * m);
+    r
+  end
+
+let mul x y =
+  if x.sign = 0 || y.sign = 0 then zero
+  else normalize (x.sign * y.sign) (mul_mag x.mag y.mag)
+
+(* magnitude shifts *)
+let shift_left_mag a k =
+  if Array.length a = 0 || k = 0 then Array.copy a
+  else begin
+    let limb_shift = k / base_bits and bit_shift = k mod base_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limb_shift + 1) 0 in
+    if bit_shift = 0 then Array.blit a 0 r limb_shift la
+    else begin
+      let carry = ref 0 in
+      for i = 0 to la - 1 do
+        let v = (a.(i) lsl bit_shift) lor !carry in
+        r.(i + limb_shift) <- v land base_mask;
+        carry := v lsr base_bits
+      done;
+      r.(la + limb_shift) <- !carry
+    end;
+    r
+  end
+
+let shift_right_mag a k =
+  let limb_shift = k / base_bits and bit_shift = k mod base_bits in
+  let la = Array.length a in
+  if limb_shift >= la then [||]
+  else begin
+    let lr = la - limb_shift in
+    let r = Array.make lr 0 in
+    if bit_shift = 0 then Array.blit a limb_shift r 0 lr
+    else
+      for i = 0 to lr - 1 do
+        let lo = a.(i + limb_shift) lsr bit_shift in
+        let hi =
+          if i + limb_shift + 1 < la then
+            (a.(i + limb_shift + 1) lsl (base_bits - bit_shift)) land base_mask
+          else 0
+        in
+        r.(i) <- lo lor hi
+      done;
+    r
+  end
+
+let shift_left x k =
+  if k < 0 then invalid_arg "Bigint.shift_left"
+  else if x.sign = 0 then zero
+  else normalize x.sign (shift_left_mag x.mag k)
+
+let shift_right x k =
+  if k < 0 then invalid_arg "Bigint.shift_right"
+  else if x.sign = 0 then zero
+  else normalize x.sign (shift_right_mag x.mag k)
+
+(* Knuth algorithm D on magnitudes; returns (quotient, remainder). *)
+let divmod_mag u v =
+  let lv = Array.length v in
+  if lv = 0 then raise Division_by_zero;
+  if cmp_mag u v < 0 then ([||], Array.copy u)
+  else if lv = 1 then begin
+    (* single-limb divisor: simple long division *)
+    let d = v.(0) in
+    let lu = Array.length u in
+    let q = Array.make lu 0 in
+    let rem = ref 0 in
+    for i = lu - 1 downto 0 do
+      let cur = (!rem lsl base_bits) lor u.(i) in
+      q.(i) <- cur / d;
+      rem := cur mod d
+    done;
+    (q, if !rem = 0 then [||] else [| !rem |])
+  end
+  else begin
+    (* normalize: shift so that top limb of v >= base/2 *)
+    let rec lead_bits x acc = if x = 0 then acc else lead_bits (x lsr 1) (acc + 1) in
+    let shift = base_bits - lead_bits v.(lv - 1) 0 in
+    let vn = shift_left_mag v shift in
+    let vn = Array.sub vn 0 lv in
+    let un = shift_left_mag u shift in
+    (* ensure un has length lu+1 after shift *)
+    let lu = Array.length u in
+    let un =
+      if Array.length un = lu + 1 then un
+      else begin
+        let r = Array.make (lu + 1) 0 in
+        Array.blit un 0 r 0 (Array.length un);
+        r
+      end
+    in
+    let n = lv and m = lu - lv in
+    let q = Array.make (m + 1) 0 in
+    let v1 = vn.(n - 1) and v2 = vn.(n - 2) in
+    for j = m downto 0 do
+      let top = (un.(j + n) lsl base_bits) lor un.(j + n - 1) in
+      let qhat = ref (top / v1) and rhat = ref (top mod v1) in
+      let continue = ref true in
+      while
+        !continue
+        && (!qhat >= base
+            || !qhat * v2 > (!rhat lsl base_bits) lor un.(j + n - 2))
+      do
+        decr qhat;
+        rhat := !rhat + v1;
+        if !rhat >= base then continue := false
+      done;
+      (* multiply and subtract *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * vn.(i)) + !carry in
+        carry := p lsr base_bits;
+        let t = un.(i + j) - (p land base_mask) - !borrow in
+        if t < 0 then begin
+          un.(i + j) <- t + base;
+          borrow := 1
+        end
+        else begin
+          un.(i + j) <- t;
+          borrow := 0
+        end
+      done;
+      let t = un.(j + n) - !carry - !borrow in
+      if t < 0 then begin
+        (* qhat was one too large: add back *)
+        un.(j + n) <- t + base;
+        decr qhat;
+        let carry2 = ref 0 in
+        for i = 0 to n - 1 do
+          let s = un.(i + j) + vn.(i) + !carry2 in
+          un.(i + j) <- s land base_mask;
+          carry2 := s lsr base_bits
+        done;
+        un.(j + n) <- (un.(j + n) + !carry2) land base_mask
+      end
+      else un.(j + n) <- t;
+      q.(j) <- !qhat
+    done;
+    let r = shift_right_mag (Array.sub un 0 n) shift in
+    (q, r)
+  end
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  if a.sign = 0 then (zero, zero)
+  else begin
+    let qm, rm = divmod_mag a.mag b.mag in
+    let q = normalize (a.sign * b.sign) qm in
+    let r = normalize a.sign rm in
+    (q, r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let ediv a b =
+  let q, r = divmod a b in
+  if r.sign >= 0 then (q, r)
+  else if b.sign > 0 then (pred q, add r b)
+  else (succ q, sub r b)
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a else gcd b (rem a b)
+
+let lcm a b =
+  if is_zero a || is_zero b then zero
+  else abs (mul (div a (gcd a b)) b)
+
+let pow x k =
+  if k < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b k =
+    if k = 0 then acc
+    else begin
+      let acc = if k land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (k lsr 1)
+    end
+  in
+  go one x k
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then cmp_mag a.mag b.mag
+  else cmp_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let hash x =
+  Array.fold_left (fun acc l -> (acc * 1000003) lxor l) (x.sign + 7) x.mag
+
+let to_float x =
+  let n = Array.length x.mag in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    let lo = Stdlib.max 0 (n - 4) in
+    for i = n - 1 downto lo do
+      acc := (!acc *. float_of_int base) +. float_of_int x.mag.(i)
+    done;
+    let f = ldexp !acc (lo * base_bits) in
+    if x.sign < 0 then -.f else f
+  end
+
+let chunk_base = 1_000_000_000 (* 10^9 < 2^30 *)
+
+(* multiply by small int (< base) and add small int, in place of chains *)
+let mul_add_small x m a =
+  if x.sign = 0 then of_int a
+  else begin
+    let la = Array.length x.mag in
+    let r = Array.make (la + 2) 0 in
+    let carry = ref a in
+    for i = 0 to la - 1 do
+      let cur = (x.mag.(i) * m) + !carry in
+      r.(i) <- cur land base_mask;
+      carry := cur lsr base_bits
+    done;
+    let k = ref la in
+    while !carry <> 0 do
+      r.(!k) <- !carry land base_mask;
+      carry := !carry lsr base_bits;
+      incr k
+    done;
+    normalize 1 r
+  end
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Bigint.of_string: empty";
+  let neg_sign, start =
+    match s.[0] with
+    | '-' -> (true, 1)
+    | '+' -> (false, 1)
+    | _ -> (false, 0)
+  in
+  if start >= n then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  let i = ref start in
+  while !i < n do
+    let stop = Stdlib.min n (!i + 9) in
+    let chunk_len = stop - !i in
+    let chunk = ref 0 in
+    for j = !i to stop - 1 do
+      match s.[j] with
+      | '0' .. '9' -> chunk := (!chunk * 10) + (Char.code s.[j] - Char.code '0')
+      | c -> invalid_arg (Printf.sprintf "Bigint.of_string: bad char %c" c)
+    done;
+    let scale =
+      let rec p10 k = if k = 0 then 1 else 10 * p10 (k - 1) in
+      p10 chunk_len
+    in
+    acc := mul_add_small !acc scale !chunk;
+    i := stop
+  done;
+  if neg_sign then neg !acc else !acc
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    let chunks = ref [] in
+    let cur = ref (abs x) in
+    let small_div = of_int chunk_base in
+    while not (is_zero !cur) do
+      let q, r = divmod !cur small_div in
+      chunks := (match to_int_opt r with Some v -> v | None -> assert false) :: !chunks;
+      cur := q
+    done;
+    (match !chunks with
+    | [] -> assert false
+    | first :: rest ->
+        if x.sign < 0 then Buffer.add_char buf '-';
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)

@@ -1,0 +1,79 @@
+(** Arbitrary-precision signed integers.
+
+    Sign-magnitude representation over base-[2^30] limbs.  Implemented from
+    scratch because the sealed build environment has no [zarith]; exact
+    integer arithmetic is required by Fourier-Motzkin elimination and exact
+    volume computation, whose intermediate coefficients overflow native
+    integers. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+val of_int : int -> t
+
+val to_int_opt : t -> int option
+(** [to_int_opt x] is [Some n] when [x] fits in a native [int]. *)
+
+val to_int_exn : t -> int
+
+val of_string : string -> t
+(** Parses an optionally signed decimal numeral.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+
+val divmod : t -> t -> t * t
+(** Euclidean-style division truncated toward zero, like OCaml's [/] and
+    [mod]: [divmod a b = (q, r)] with [a = q*b + r], [|r| < |b|] and [r]
+    carrying the sign of [a].
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val ediv : t -> t -> t * t
+(** Euclidean division: remainder is always non-negative. *)
+
+val gcd : t -> t -> t
+(** Non-negative greatest common divisor; [gcd 0 0 = 0]. *)
+
+val lcm : t -> t -> t
+
+val pow : t -> int -> t
+(** [pow x k] for [k >= 0].
+    @raise Invalid_argument on negative exponent. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val numbits : t -> int
+(** Number of bits of the magnitude; [numbits zero = 0]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val hash : t -> int
+
+val to_float : t -> float
+(** Nearest-ish double; magnitude may overflow to [infinity]. *)
+
+val pp : Format.formatter -> t -> unit

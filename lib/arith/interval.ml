@@ -1,0 +1,34 @@
+type t = { lo : Q.t; hi : Q.t }
+
+let make lo hi =
+  if Q.gt lo hi then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+let point x = { lo = x; hi = x }
+let lo i = i.lo
+let hi i = i.hi
+let width i = Q.sub i.hi i.lo
+let mid i = Q.mid i.lo i.hi
+let contains i x = Q.leq i.lo x && Q.leq x i.hi
+let is_point i = Q.equal i.lo i.hi
+
+let intersect a b =
+  let lo = Q.max a.lo b.lo and hi = Q.min a.hi b.hi in
+  if Q.leq lo hi then Some { lo; hi } else None
+
+let overlaps a b = intersect a b <> None
+let hull a b = { lo = Q.min a.lo b.lo; hi = Q.max a.hi b.hi }
+
+let bisect i =
+  let m = mid i in
+  ({ lo = i.lo; hi = m }, { lo = m; hi = i.hi })
+
+let translate i c = { lo = Q.add i.lo c; hi = Q.add i.hi c }
+
+let scale i c =
+  if Q.sign c < 0 then invalid_arg "Interval.scale: negative factor";
+  { lo = Q.mul i.lo c; hi = Q.mul i.hi c }
+
+let equal a b = Q.equal a.lo b.lo && Q.equal a.hi b.hi
+
+let pp fmt i = Format.fprintf fmt "[%a, %a]" Q.pp i.lo Q.pp i.hi

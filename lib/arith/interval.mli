@@ -1,0 +1,30 @@
+(** Closed rational intervals [lo, hi], used for real-root isolation and for
+    rational approximation of algebraic numbers. *)
+
+type t = private { lo : Q.t; hi : Q.t }
+
+val make : Q.t -> Q.t -> t
+(** @raise Invalid_argument if [lo > hi]. *)
+
+val point : Q.t -> t
+val lo : t -> Q.t
+val hi : t -> Q.t
+val width : t -> Q.t
+val mid : t -> Q.t
+val contains : t -> Q.t -> bool
+val is_point : t -> bool
+
+val intersect : t -> t -> t option
+val overlaps : t -> t -> bool
+val hull : t -> t -> t
+
+val bisect : t -> t * t
+(** Split at the midpoint; both halves are closed and share the midpoint. *)
+
+val translate : t -> Q.t -> t
+val scale : t -> Q.t -> t
+(** [scale i c] multiplies both endpoints by [c >= 0].
+    @raise Invalid_argument on negative [c]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,145 @@
+type t = { n : Bigint.t; d : Bigint.t }
+
+let make_raw n d = { n; d }
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.is_zero num then make_raw Bigint.zero Bigint.one
+  else begin
+    let num, den =
+      if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den)
+      else (num, den)
+    in
+    let g = Bigint.gcd num den in
+    if Bigint.is_one g then make_raw num den
+    else make_raw (Bigint.div num g) (Bigint.div den g)
+  end
+
+let zero = make_raw Bigint.zero Bigint.one
+let one = make_raw Bigint.one Bigint.one
+let two = make_raw Bigint.two Bigint.one
+let minus_one = make_raw Bigint.minus_one Bigint.one
+let half = make_raw Bigint.one Bigint.two
+
+let of_int n = make_raw (Bigint.of_int n) Bigint.one
+let of_ints a b = make (Bigint.of_int a) (Bigint.of_int b)
+let of_bigint n = make_raw n Bigint.one
+let num x = x.n
+let den x = x.d
+
+let sign x = Bigint.sign x.n
+let is_zero x = Bigint.is_zero x.n
+let neg x = { x with n = Bigint.neg x.n }
+
+let abs x = if sign x < 0 then neg x else x
+
+let inv x =
+  if is_zero x then raise Division_by_zero
+  else if Bigint.sign x.n > 0 then make_raw x.d x.n
+  else make_raw (Bigint.neg x.d) (Bigint.neg x.n)
+
+let add x y =
+  if is_zero x then y
+  else if is_zero y then x
+  else
+    make
+      (Bigint.add (Bigint.mul x.n y.d) (Bigint.mul y.n x.d))
+      (Bigint.mul x.d y.d)
+
+let sub x y = add x (neg y)
+
+let mul x y =
+  if is_zero x || is_zero y then zero
+  else make (Bigint.mul x.n y.n) (Bigint.mul x.d y.d)
+
+let div x y = mul x (inv y)
+
+let mul_int x k =
+  if k = 0 then zero else make (Bigint.mul x.n (Bigint.of_int k)) x.d
+
+let pow x k =
+  if k >= 0 then make_raw (Bigint.pow x.n k) (Bigint.pow x.d k)
+  else begin
+    let y = inv x in
+    make_raw (Bigint.pow y.n (-k)) (Bigint.pow y.d (-k))
+  end
+
+let compare x y =
+  let sx = sign x and sy = sign y in
+  if sx <> sy then Stdlib.compare sx sy
+  else Bigint.compare (Bigint.mul x.n y.d) (Bigint.mul y.n x.d)
+
+let equal x y = Bigint.equal x.n y.n && Bigint.equal x.d y.d
+let lt x y = compare x y < 0
+let leq x y = compare x y <= 0
+let gt x y = compare x y > 0
+let geq x y = compare x y >= 0
+let min x y = if leq x y then x else y
+let max x y = if geq x y then x else y
+let hash x = (Bigint.hash x.n * 65599) lxor Bigint.hash x.d
+
+let floor x = fst (Bigint.ediv x.n x.d)
+
+let ceil x =
+  let q, r = Bigint.ediv x.n x.d in
+  if Bigint.is_zero r then q else Bigint.succ q
+
+let is_integer x = Bigint.is_one x.d
+
+let mid x y = mul (add x y) half
+
+let to_float x = Bigint.to_float x.n /. Bigint.to_float x.d
+
+let of_float_dyadic f =
+  if not (Float.is_finite f) then invalid_arg "Q.of_float_dyadic: not finite";
+  if f = 0.0 then zero
+  else begin
+    let m, e = Float.frexp f in
+    (* m * 2^53 is an integer for finite doubles *)
+    let mi = Int64.of_float (Float.ldexp m 53) in
+    let n = Bigint.of_string (Int64.to_string mi) in
+    let e = e - 53 in
+    if e >= 0 then of_bigint (Bigint.shift_left n e)
+    else make n (Bigint.shift_left Bigint.one (-e))
+  end
+
+let to_string x =
+  if Bigint.is_one x.d then Bigint.to_string x.n
+  else Bigint.to_string x.n ^ "/" ^ Bigint.to_string x.d
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+      let n = Bigint.of_string (String.sub s 0 i) in
+      let d = Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+      make n d
+  | None -> (
+      match String.index_opt s '.' with
+      | None -> of_bigint (Bigint.of_string s)
+      | Some i ->
+          let ip = String.sub s 0 i in
+          let fp = String.sub s (i + 1) (String.length s - i - 1) in
+          if fp = "" then invalid_arg "Q.of_string: trailing dot";
+          let negative = String.length ip > 0 && ip.[0] = '-' in
+          let whole = if ip = "" || ip = "-" || ip = "+" then zero
+                      else of_bigint (Bigint.of_string ip) in
+          let frac =
+            make (Bigint.of_string fp)
+              (Bigint.pow (Bigint.of_int 10) (String.length fp))
+          in
+          if negative then sub whole frac else add (abs whole) frac)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( < ) = lt
+  let ( <= ) = leq
+  let ( > ) = gt
+  let ( >= ) = geq
+end
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)

@@ -1,0 +1,85 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Values are kept normalized: the denominator is positive and coprime with
+    the numerator; zero is [0/1].  This is the scalar field for every exact
+    computation in the library (quantifier elimination, simplex, volumes). *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+val half : t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] normalizes.
+    @raise Division_by_zero if [den] is zero. *)
+
+val of_int : int -> t
+val of_ints : int -> int -> t
+(** [of_ints a b] is the rational [a/b]. *)
+
+val of_bigint : Bigint.t -> t
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+val of_string : string -> t
+(** Accepts ["a/b"], signed decimals like ["-3"], and decimal-point notation
+    like ["0.25"].  @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+val to_float : t -> float
+
+val of_float_dyadic : float -> t
+(** Exact rational value of a finite float.
+    @raise Invalid_argument on nan/infinite input. *)
+
+val sign : t -> int
+val is_zero : t -> bool
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val pow : t -> int -> t
+(** Integer powers; negative exponents invert. @raise Division_by_zero on
+    [pow zero k] for [k < 0]. *)
+
+val mul_int : t -> int -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val lt : t -> t -> bool
+val leq : t -> t -> bool
+val gt : t -> t -> bool
+val geq : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val hash : t -> int
+
+val floor : t -> Bigint.t
+val ceil : t -> Bigint.t
+
+val mid : t -> t -> t
+(** Midpoint. *)
+
+val is_integer : t -> bool
+
+(* Infix aliases, intended for local [open Q.Infix]. *)
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end
+
+val pp : Format.formatter -> t -> unit

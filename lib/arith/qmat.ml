@@ -1,0 +1,155 @@
+type vec = Q.t array
+type mat = Q.t array array
+
+let vec_of_ints l = Array.of_list (List.map Q.of_int l)
+
+let vec_equal a b =
+  Array.length a = Array.length b
+  && begin
+       let rec go i = i >= Array.length a || (Q.equal a.(i) b.(i) && go (i + 1)) in
+       go 0
+     end
+
+let dot a b =
+  if Array.length a <> Array.length b then invalid_arg "Qmat.dot: dim mismatch";
+  let acc = ref Q.zero in
+  for i = 0 to Array.length a - 1 do
+    acc := Q.add !acc (Q.mul a.(i) b.(i))
+  done;
+  !acc
+
+let vec_add a b = Array.init (Array.length a) (fun i -> Q.add a.(i) b.(i))
+let vec_sub a b = Array.init (Array.length a) (fun i -> Q.sub a.(i) b.(i))
+let vec_smul c a = Array.map (Q.mul c) a
+let vec_is_zero a = Array.for_all Q.is_zero a
+
+let pp_vec fmt v =
+  Format.fprintf fmt "(%a)"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") Q.pp)
+    (Array.to_list v)
+
+let identity n =
+  Array.init n (fun i -> Array.init n (fun j -> if i = j then Q.one else Q.zero))
+
+let mat_of_ints rows =
+  Array.of_list (List.map (fun r -> Array.of_list (List.map Q.of_int r)) rows)
+
+let dims m = (Array.length m, if Array.length m = 0 then 0 else Array.length m.(0))
+
+let transpose m =
+  let r, c = dims m in
+  Array.init c (fun j -> Array.init r (fun i -> m.(i).(j)))
+
+let mat_mul a b =
+  let ra, ca = dims a and rb, cb = dims b in
+  if ca <> rb then invalid_arg "Qmat.mat_mul: dim mismatch";
+  Array.init ra (fun i ->
+      Array.init cb (fun j ->
+          let acc = ref Q.zero in
+          for k = 0 to ca - 1 do
+            acc := Q.add !acc (Q.mul a.(i).(k) b.(k).(j))
+          done;
+          !acc))
+
+let mat_vec m v = Array.map (fun row -> dot row v) m
+
+let copy_mat m = Array.map Array.copy m
+
+(* Row-reduce [m] in place; returns (rank, pivot column list in order,
+   determinant sign/value tracking for square case). *)
+let row_reduce m =
+  let rows, cols = dims m in
+  let pivots = ref [] in
+  let r = ref 0 in
+  let det = ref Q.one in
+  for c = 0 to cols - 1 do
+    if !r < rows then begin
+      (* find pivot *)
+      let p = ref (-1) in
+      for i = !r to rows - 1 do
+        if !p < 0 && not (Q.is_zero m.(i).(c)) then p := i
+      done;
+      if !p >= 0 then begin
+        if !p <> !r then begin
+          let t = m.(!p) in
+          m.(!p) <- m.(!r);
+          m.(!r) <- t;
+          det := Q.neg !det
+        end;
+        let pv = m.(!r).(c) in
+        det := Q.mul !det pv;
+        (* scale pivot row *)
+        let inv = Q.inv pv in
+        for j = c to cols - 1 do
+          m.(!r).(j) <- Q.mul m.(!r).(j) inv
+        done;
+        for i = 0 to rows - 1 do
+          if i <> !r && not (Q.is_zero m.(i).(c)) then begin
+            let f = m.(i).(c) in
+            for j = c to cols - 1 do
+              m.(i).(j) <- Q.sub m.(i).(j) (Q.mul f m.(!r).(j))
+            done
+          end
+        done;
+        pivots := c :: !pivots;
+        incr r
+      end
+    end
+  done;
+  (!r, List.rev !pivots, !det)
+
+let det m =
+  let r, c = dims m in
+  if r <> c then invalid_arg "Qmat.det: non-square";
+  if r = 0 then Q.one
+  else begin
+    let m = copy_mat m in
+    let rank, _, d = row_reduce m in
+    if rank < r then Q.zero else d
+  end
+
+let rank m =
+  if Array.length m = 0 then 0
+  else begin
+    let m = copy_mat m in
+    let r, _, _ = row_reduce m in
+    r
+  end
+
+let solve_general a b =
+  let rows, cols = dims a in
+  if Array.length b <> rows then invalid_arg "Qmat.solve_general: dim mismatch";
+  let aug = Array.init rows (fun i -> Array.append (Array.copy a.(i)) [| b.(i) |]) in
+  let rank, pivots, _ = row_reduce aug in
+  (* inconsistent iff some pivot is in the augmented column *)
+  if List.exists (fun c -> c = cols) pivots then None
+  else begin
+    let x = Array.make cols Q.zero in
+    List.iteri (fun i c -> x.(c) <- aug.(i).(cols)) pivots;
+    ignore rank;
+    Some x
+  end
+
+let solve a b =
+  let rows, cols = dims a in
+  if rows <> cols then invalid_arg "Qmat.solve: non-square";
+  if rank a < rows then None else solve_general a b
+
+let inverse m =
+  let r, c = dims m in
+  if r <> c then invalid_arg "Qmat.inverse: non-square";
+  let aug =
+    Array.init r (fun i ->
+        Array.init (2 * r) (fun j ->
+            if j < c then m.(i).(j)
+            else if j - c = i then Q.one
+            else Q.zero))
+  in
+  let rank, _, _ = row_reduce aug in
+  if rank < r then None
+  else Some (Array.init r (fun i -> Array.init r (fun j -> aug.(i).(c + j))))
+
+let pp_mat fmt m =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list pp_vec)
+    (Array.to_list m)

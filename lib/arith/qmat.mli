@@ -1,0 +1,40 @@
+(** Exact dense linear algebra over {!Q}: just enough for vertex enumeration,
+    simplex pivoting cross-checks, and simplex-volume determinants. *)
+
+type vec = Q.t array
+type mat = Q.t array array
+(** Row-major; all rows must have equal length. *)
+
+val vec_of_ints : int list -> vec
+val vec_equal : vec -> vec -> bool
+val dot : vec -> vec -> Q.t
+val vec_add : vec -> vec -> vec
+val vec_sub : vec -> vec -> vec
+val vec_smul : Q.t -> vec -> vec
+val vec_is_zero : vec -> bool
+val pp_vec : Format.formatter -> vec -> unit
+
+val identity : int -> mat
+val mat_of_ints : int list list -> mat
+val dims : mat -> int * int
+val transpose : mat -> mat
+val mat_mul : mat -> mat -> mat
+val mat_vec : mat -> vec -> vec
+
+val det : mat -> Q.t
+(** Determinant by fraction-free-ish Gaussian elimination over [Q].
+    @raise Invalid_argument on non-square input. *)
+
+val rank : mat -> int
+
+val solve : mat -> vec -> vec option
+(** [solve a b] returns some [x] with [a x = b] for square non-singular [a];
+    [None] when [a] is singular (even if consistent). *)
+
+val solve_general : mat -> vec -> vec option
+(** Least restrictive exact solve: any solution of a (possibly non-square or
+    singular) consistent system, [None] if inconsistent. Free variables are
+    set to zero. *)
+
+val inverse : mat -> mat option
+val pp_mat : Format.formatter -> mat -> unit

@@ -1,0 +1,105 @@
+open Cqa_arith
+open Cqa_logic
+open Cqa_linear
+
+let enumerate_finite = Semilinear.enumerate_finite
+
+let saf_output db coords f =
+  let s = Eval.eval_set db coords f in
+  enumerate_finite s
+
+let count db coords f = Option.map List.length (saf_output db coords f)
+
+let env_of coords pt =
+  let env = ref Var.Map.empty in
+  Array.iteri (fun i v -> env := Var.Map.add v pt.(i) !env) coords;
+  !env
+
+let sum_gamma db coords f ~gamma_var ~gamma =
+  match saf_output db coords f with
+  | None -> None
+  | Some pts ->
+      Some
+        (List.fold_left
+           (fun acc pt ->
+             let env = env_of coords pt in
+             let cell = Eval.section db env gamma_var gamma in
+             match Cell1.components cell with
+             | [] -> acc
+             | [ c ] -> (
+                 match (c.Cell1.lo, c.Cell1.hi) with
+                 | Cell1.Incl a, Cell1.Incl b when Q.equal a b -> Q.add acc a
+                 | _ -> invalid_arg "Aggregates: gamma not deterministic")
+             | _ -> invalid_arg "Aggregates: gamma not deterministic")
+           Q.zero pts)
+
+let avg_gamma db coords f ~gamma_var ~gamma =
+  match (sum_gamma db coords f ~gamma_var ~gamma, count db coords f) with
+  | Some s, Some n when n > 0 -> Some (Q.div s (Q.of_int n))
+  | _ -> None
+
+let sum_coord db var f =
+  match saf_output db [| var |] f with
+  | None -> None
+  | Some pts -> Some (List.fold_left (fun acc pt -> Q.add acc pt.(0)) Q.zero pts)
+
+let avg_coord db var f =
+  match saf_output db [| var |] f with
+  | None | Some [] -> None
+  | Some pts ->
+      let s = List.fold_left (fun acc pt -> Q.add acc pt.(0)) Q.zero pts in
+      Some (Q.div s (Q.of_int (List.length pts)))
+
+let min_coord db var f =
+  match saf_output db [| var |] f with
+  | None | Some [] -> None
+  | Some (pt :: pts) ->
+      Some (List.fold_left (fun acc p -> Q.min acc p.(0)) pt.(0) pts)
+
+let max_coord db var f =
+  match saf_output db [| var |] f with
+  | None | Some [] -> None
+  | Some (pt :: pts) ->
+      Some (List.fold_left (fun acc p -> Q.max acc p.(0)) pt.(0) pts)
+
+let group_by db coords f ~key =
+  let n = Array.length coords in
+  List.iter
+    (fun i -> if i < 0 || i >= n then invalid_arg "Aggregates.group_by: bad index")
+    key;
+  match saf_output db coords f with
+  | None -> None
+  | Some pts ->
+      let proj pt = Array.of_list (List.map (fun i -> pt.(i)) key) in
+      let table = Hashtbl.create 16 in
+      List.iter
+        (fun pt ->
+          let k = proj pt in
+          let cur = Option.value ~default:[] (Hashtbl.find_opt table k) in
+          Hashtbl.replace table k (pt :: cur))
+        pts;
+      Some
+        (Hashtbl.fold (fun k group acc -> (k, List.rev group) :: acc) table []
+        |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b))
+
+let group_count db coords f ~key =
+  Option.map
+    (List.map (fun (k, group) -> (k, List.length group)))
+    (group_by db coords f ~key)
+
+let group_sum db coords f ~key ~value =
+  if value < 0 || value >= Array.length coords then
+    invalid_arg "Aggregates.group_sum: bad value index";
+  Option.map
+    (List.map (fun (k, group) ->
+         (k, List.fold_left (fun acc pt -> Q.add acc pt.(value)) Q.zero group)))
+    (group_by db coords f ~key)
+
+let group_avg db coords f ~key ~value =
+  if value < 0 || value >= Array.length coords then
+    invalid_arg "Aggregates.group_avg: bad value index";
+  Option.map
+    (List.map (fun (k, group) ->
+         let s = List.fold_left (fun acc pt -> Q.add acc pt.(value)) Q.zero group in
+         (k, Q.div s (Q.of_int (List.length group)))))
+    (group_by db coords f ~key)

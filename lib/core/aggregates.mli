@@ -1,0 +1,59 @@
+(** Classical SQL-style aggregation over safe (semi-algebraic-to-finite)
+    query outputs: the derived operators of Lemma 4.  A query is SAF here
+    when its symbolic evaluation yields a finite set of points; COUNT, SUM,
+    AVG, MIN and MAX are then definable in FO + POLY + SUM, and this module
+    evaluates them. *)
+
+open Cqa_arith
+open Cqa_logic
+
+val enumerate_finite : Cqa_linear.Semilinear.t -> Q.t array list option
+(** The elements of a finite semi-linear set ([None] when infinite):
+    each satisfiable disjunct must pin every coordinate. *)
+
+val saf_output : Db.t -> Var.t array -> Ast.formula -> Q.t array list option
+(** Evaluate the query and enumerate, when finite. *)
+
+val count : Db.t -> Var.t array -> Ast.formula -> int option
+
+val sum_gamma :
+  Db.t -> Var.t array -> Ast.formula -> gamma_var:Var.t -> gamma:Ast.formula -> Q.t option
+(** Sum of the deterministic formula's outputs over the query's output bag
+    (the paper's [sum of the x values of chi over the output of phi]).
+    Tuples where gamma is undefined contribute nothing. *)
+
+val avg_gamma :
+  Db.t -> Var.t array -> Ast.formula -> gamma_var:Var.t -> gamma:Ast.formula -> Q.t option
+(** [None] on infinite or empty outputs. *)
+
+val sum_coord : Db.t -> Var.t -> Ast.formula -> Q.t option
+(** SUM over a unary query's output values. *)
+
+val avg_coord : Db.t -> Var.t -> Ast.formula -> Q.t option
+(** The AVG of Section 4.1: [sum / card]; [None] on infinite or empty
+    output. *)
+
+val min_coord : Db.t -> Var.t -> Ast.formula -> Q.t option
+val max_coord : Db.t -> Var.t -> Ast.formula -> Q.t option
+
+(** {2 Grouping}
+
+    The paper's conclusion asks "how to add grouping constructs to the
+    language"; over safe queries the natural semantics is to partition the
+    finite output by a subset of its coordinates and aggregate each class. *)
+
+val group_by :
+  Db.t -> Var.t array -> Ast.formula -> key:int list -> (Q.t array * Q.t array list) list option
+(** Partition the SAF output by the projections onto the [key] coordinate
+    indices; groups are sorted by key.  [None] when the output is infinite.
+    @raise Invalid_argument on out-of-range indices. *)
+
+val group_count :
+  Db.t -> Var.t array -> Ast.formula -> key:int list -> (Q.t array * int) list option
+
+val group_sum :
+  Db.t -> Var.t array -> Ast.formula -> key:int list -> value:int -> (Q.t array * Q.t) list option
+(** Sum of coordinate [value] within each group. *)
+
+val group_avg :
+  Db.t -> Var.t array -> Ast.formula -> key:int list -> value:int -> (Q.t array * Q.t) list option

@@ -1,0 +1,258 @@
+open Cqa_arith
+open Cqa_logic
+open Cqa_linear
+open Cqa_poly
+
+type cmp = Ceq | Clt | Cle
+
+type term =
+  | Const of Q.t
+  | TVar of Var.t
+  | Add of term * term
+  | Mul of term * term
+  | Sum of sum_spec
+
+and sum_spec = {
+  gamma_var : Var.t;
+  gamma : formula;
+  w : Var.t list;
+  guard : formula;
+  end_y : Var.t;
+  end_body : formula;
+}
+
+and formula =
+  | True
+  | False
+  | Cmp of cmp * term * term
+  | Rel of string * Var.t list
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Exists of Var.t * formula
+  | Forall of Var.t * formula
+
+let q c = Const c
+let int n = Const (Q.of_int n)
+let v name = TVar (Var.of_string name)
+let ( +! ) a b = Add (a, b)
+let ( *! ) a b = Mul (a, b)
+let ( -! ) a b = Add (a, Mul (Const Q.minus_one, b))
+let ( =! ) a b = Cmp (Ceq, a, b)
+let ( <! ) a b = Cmp (Clt, a, b)
+let ( <=! ) a b = Cmp (Cle, a, b)
+let ( >! ) a b = Cmp (Clt, b, a)
+let ( >=! ) a b = Cmp (Cle, b, a)
+
+let conj = function
+  | [] -> True
+  | f :: fs -> List.fold_left (fun acc g -> And (acc, g)) f fs
+
+let disj = function
+  | [] -> False
+  | f :: fs -> List.fold_left (fun acc g -> Or (acc, g)) f fs
+
+let implies a b = Or (Not a, b)
+let exists_many vs f = List.fold_right (fun x g -> Exists (x, g)) vs f
+let forall_many vs f = List.fold_right (fun x g -> Forall (x, g)) vs f
+
+let sum ~gamma_var ~gamma ~w ~guard ~end_y ~end_body =
+  Sum { gamma_var; gamma; w; guard; end_y; end_body }
+
+let of_mpoly p =
+  let of_mono (m, c) =
+    List.fold_left
+      (fun acc (var, e) ->
+        let rec power k = if k = 0 then Const Q.one else Mul (TVar var, power (k - 1)) in
+        Mul (acc, power e))
+      (Const c) m
+  in
+  match Mpoly.terms p with
+  | [] -> Const Q.zero
+  | t :: ts -> List.fold_left (fun acc t' -> Add (acc, of_mono t')) (of_mono t) ts
+
+let of_linexpr e = of_mpoly (Mpoly.of_linexpr e)
+
+let rec to_mpoly = function
+  | Const c -> Some (Mpoly.constant c)
+  | TVar x -> Some (Mpoly.var x)
+  | Add (a, b) -> (
+      match (to_mpoly a, to_mpoly b) with
+      | Some pa, Some pb -> Some (Mpoly.add pa pb)
+      | _ -> None)
+  | Mul (a, b) -> (
+      match (to_mpoly a, to_mpoly b) with
+      | Some pa, Some pb -> Some (Mpoly.mul pa pb)
+      | _ -> None)
+  | Sum _ -> None
+
+let rec of_linformula (f : Linformula.t) : formula =
+  match f with
+  | Formula.True -> True
+  | Formula.False -> False
+  | Formula.Atom a ->
+      let t = of_linexpr (Linconstr.expr a) in
+      let op =
+        match Linconstr.op a with
+        | Linconstr.Le -> Cle
+        | Linconstr.Lt -> Clt
+        | Linconstr.Eq -> Ceq
+      in
+      Cmp (op, t, Const Q.zero)
+  | Formula.Rel (r, vs) -> Rel (r, vs)
+  | Formula.Not g -> Not (of_linformula g)
+  | Formula.And (g, h) -> And (of_linformula g, of_linformula h)
+  | Formula.Or (g, h) -> Or (of_linformula g, of_linformula h)
+  | Formula.Exists (x, g) -> Exists (x, of_linformula g)
+  | Formula.Forall (x, g) -> Forall (x, of_linformula g)
+  | Formula.Exists_adom _ | Formula.Forall_adom _ ->
+      invalid_arg "Ast.of_linformula: active-domain quantifier"
+
+let rec of_semialg_formula (f : Semialg.formula) : formula =
+  match f with
+  | Formula.True -> True
+  | Formula.False -> False
+  | Formula.Atom a ->
+      let t = of_mpoly a.Semialg.poly in
+      let op =
+        match a.Semialg.op with
+        | Semialg.Le -> Cle
+        | Semialg.Lt -> Clt
+        | Semialg.Eq -> Ceq
+      in
+      Cmp (op, t, Const Q.zero)
+  | Formula.Rel (r, vs) -> Rel (r, vs)
+  | Formula.Not g -> Not (of_semialg_formula g)
+  | Formula.And (g, h) -> And (of_semialg_formula g, of_semialg_formula h)
+  | Formula.Or (g, h) -> Or (of_semialg_formula g, of_semialg_formula h)
+  | Formula.Exists (x, g) -> Exists (x, of_semialg_formula g)
+  | Formula.Forall (x, g) -> Forall (x, of_semialg_formula g)
+  | Formula.Exists_adom _ | Formula.Forall_adom _ ->
+      invalid_arg "Ast.of_semialg_formula: active-domain quantifier"
+
+let rec term_free_vars = function
+  | Const _ -> Var.Set.empty
+  | TVar x -> Var.Set.singleton x
+  | Add (a, b) | Mul (a, b) -> Var.Set.union (term_free_vars a) (term_free_vars b)
+  | Sum s ->
+      let bound_guard = Var.Set.of_list s.w in
+      let guard_free = Var.Set.diff (free_vars s.guard) bound_guard in
+      let gamma_free =
+        Var.Set.diff (free_vars s.gamma)
+          (Var.Set.add s.gamma_var bound_guard)
+      in
+      let end_free = Var.Set.remove s.end_y (free_vars s.end_body) in
+      Var.Set.union guard_free (Var.Set.union gamma_free end_free)
+
+and free_vars = function
+  | True | False -> Var.Set.empty
+  | Cmp (_, a, b) -> Var.Set.union (term_free_vars a) (term_free_vars b)
+  | Rel (_, vs) -> Var.Set.of_list vs
+  | Not f -> free_vars f
+  | And (f, g) | Or (f, g) -> Var.Set.union (free_vars f) (free_vars g)
+  | Exists (x, f) | Forall (x, f) -> Var.Set.remove x (free_vars f)
+
+let rec subst_term env = function
+  | Const _ as t -> t
+  | TVar x as t -> (
+      match Var.Map.find_opt x env with Some c -> Const c | None -> t)
+  | Add (a, b) -> Add (subst_term env a, subst_term env b)
+  | Mul (a, b) -> Mul (subst_term env a, subst_term env b)
+  | Sum s ->
+      let env_guard = List.fold_left (fun e x -> Var.Map.remove x e) env s.w in
+      let env_gamma = Var.Map.remove s.gamma_var env_guard in
+      let env_end = Var.Map.remove s.end_y env in
+      Sum
+        { s with
+          guard = subst env_guard s.guard;
+          gamma = subst env_gamma s.gamma;
+          end_body = subst env_end s.end_body }
+
+and subst env = function
+  | (True | False) as f -> f
+  | Cmp (op, a, b) -> Cmp (op, subst_term env a, subst_term env b)
+  | Rel (r, vs) as f ->
+      (* schema atoms hold variables only; a substituted variable must be
+         re-expressed through an equality, handled by the evaluator *)
+      if List.exists (fun x -> Var.Map.mem x env) vs then
+        invalid_arg ("Ast.subst: constant into schema atom " ^ r)
+      else f
+  | Not f -> Not (subst env f)
+  | And (f, g) -> And (subst env f, subst env g)
+  | Or (f, g) -> Or (subst env f, subst env g)
+  | Exists (x, f) -> Exists (x, subst (Var.Map.remove x env) f)
+  | Forall (x, f) -> Forall (x, subst (Var.Map.remove x env) f)
+
+let rec term_size = function
+  | Const _ | TVar _ -> 1
+  | Add (a, b) | Mul (a, b) -> 1 + term_size a + term_size b
+  | Sum s -> 1 + size s.gamma + size s.guard + size s.end_body
+
+and size = function
+  | True | False | Rel _ -> 1
+  | Cmp (_, a, b) -> 1 + term_size a + term_size b
+  | Not f -> 1 + size f
+  | And (f, g) | Or (f, g) -> 1 + size f + size g
+  | Exists (_, f) | Forall (_, f) -> 1 + size f
+
+let rec term_sum_depth = function
+  | Const _ | TVar _ -> 0
+  | Add (a, b) | Mul (a, b) -> max (term_sum_depth a) (term_sum_depth b)
+  | Sum s ->
+      1
+      + List.fold_left max 0
+          [ formula_sum_depth s.gamma;
+            formula_sum_depth s.guard;
+            formula_sum_depth s.end_body ]
+
+and formula_sum_depth = function
+  | True | False | Rel _ -> 0
+  | Cmp (_, a, b) -> max (term_sum_depth a) (term_sum_depth b)
+  | Not f -> formula_sum_depth f
+  | And (f, g) | Or (f, g) -> max (formula_sum_depth f) (formula_sum_depth g)
+  | Exists (_, f) | Forall (_, f) -> formula_sum_depth f
+
+let sum_depth = term_sum_depth
+let has_sum f = formula_sum_depth f > 0
+
+let relations f =
+  let rec go_t acc = function
+    | Const _ | TVar _ -> acc
+    | Add (a, b) | Mul (a, b) -> go_t (go_t acc a) b
+    | Sum s -> go (go (go acc s.gamma) s.guard) s.end_body
+  and go acc = function
+    | True | False -> acc
+    | Cmp (_, a, b) -> go_t (go_t acc a) b
+    | Rel (r, _) -> if List.mem r acc then acc else r :: acc
+    | Not f -> go acc f
+    | And (f, g) | Or (f, g) -> go (go acc f) g
+    | Exists (_, f) | Forall (_, f) -> go acc f
+  in
+  List.rev (go [] f)
+
+let rec pp_term fmt = function
+  | Const c -> Q.pp fmt c
+  | TVar x -> Var.pp fmt x
+  | Add (a, b) -> Format.fprintf fmt "(%a + %a)" pp_term a pp_term b
+  | Mul (a, b) -> Format.fprintf fmt "(%a * %a)" pp_term a pp_term b
+  | Sum s ->
+      Format.fprintf fmt "SUM_{(%a).%a | END[%a. %a]} %a.%a"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",") Var.pp)
+        s.w pp s.guard Var.pp s.end_y pp s.end_body Var.pp s.gamma_var pp
+        s.gamma
+
+and pp fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Cmp (op, a, b) ->
+      let s = match op with Ceq -> "=" | Clt -> "<" | Cle -> "<=" in
+      Format.fprintf fmt "%a %s %a" pp_term a s pp_term b
+  | Rel (r, vs) ->
+      Format.fprintf fmt "%s(%a)" r
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") Var.pp)
+        vs
+  | Not f -> Format.fprintf fmt "~(%a)" pp f
+  | And (f, g) -> Format.fprintf fmt "(%a /\\ %a)" pp f pp g
+  | Or (f, g) -> Format.fprintf fmt "(%a \\/ %a)" pp f pp g
+  | Exists (x, f) -> Format.fprintf fmt "(E %a. %a)" Var.pp x pp f
+  | Forall (x, f) -> Format.fprintf fmt "(A %a. %a)" Var.pp x pp f

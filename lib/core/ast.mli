@@ -1,0 +1,105 @@
+(** Abstract syntax of FO + POLY + SUM (Section 5 of the paper).
+
+    Terms are built from rational constants, variables, [+], [*], and the
+    summation term former
+
+    [Sum { gamma; rho }] for [ [sum_{rho(w, z)} gamma](z) ],
+
+    where the range-restricted expression [rho(w, z) = (phi1(w, z) |
+    END[y, phi2(y, z)])] confines every summation variable to the finite set
+    of interval endpoints of a one-dimensional definable set, and [gamma(x,
+    w)] is a deterministic formula assigning at most one value [x] to each
+    tuple [w].  Formulas are first-order over comparison atoms between terms
+    and schema atoms. *)
+
+open Cqa_arith
+open Cqa_logic
+open Cqa_linear
+open Cqa_poly
+
+type cmp = Ceq | Clt | Cle
+
+type term =
+  | Const of Q.t
+  | TVar of Var.t
+  | Add of term * term
+  | Mul of term * term
+  | Sum of sum_spec
+
+and sum_spec = {
+  gamma_var : Var.t;  (** the output variable [x] of [gamma (x, w)] *)
+  gamma : formula;  (** must be deterministic; see {!Deterministic} *)
+  w : Var.t list;  (** the summation tuple, bound in [guard] and [gamma] *)
+  guard : formula;  (** [phi1 (w, z)] *)
+  end_y : Var.t;  (** the END variable, bound in [end_body] *)
+  end_body : formula;  (** [phi2 (y, z)] *)
+}
+
+and formula =
+  | True
+  | False
+  | Cmp of cmp * term * term
+  | Rel of string * Var.t list
+  | Not of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Exists of Var.t * formula
+  | Forall of Var.t * formula
+
+(* Constructors and sugar *)
+
+val q : Q.t -> term
+val int : int -> term
+val v : string -> term
+val ( +! ) : term -> term -> term
+val ( -! ) : term -> term -> term
+val ( *! ) : term -> term -> term
+val ( =! ) : term -> term -> formula
+val ( <! ) : term -> term -> formula
+val ( <=! ) : term -> term -> formula
+val ( >! ) : term -> term -> formula
+val ( >=! ) : term -> term -> formula
+val conj : formula list -> formula
+val disj : formula list -> formula
+val implies : formula -> formula -> formula
+val exists_many : Var.t list -> formula -> formula
+val forall_many : Var.t list -> formula -> formula
+
+val sum :
+  gamma_var:Var.t ->
+  gamma:formula ->
+  w:Var.t list ->
+  guard:formula ->
+  end_y:Var.t ->
+  end_body:formula ->
+  term
+
+val of_mpoly : Mpoly.t -> term
+val of_linexpr : Linexpr.t -> term
+
+val to_mpoly : term -> Mpoly.t option
+(** [Some] when the term is summation-free. *)
+
+val of_linformula : Linformula.t -> formula
+(** Embed an FO + LIN formula (active-domain quantifiers are rejected). *)
+
+val of_semialg_formula : Semialg.formula -> formula
+
+val term_free_vars : term -> Var.Set.t
+val free_vars : formula -> Var.Set.t
+
+val subst_term : Q.t Var.Map.t -> term -> term
+(** Substitute constants for free variables (binders shadow). *)
+
+val subst : Q.t Var.Map.t -> formula -> formula
+
+val term_size : term -> int
+val size : formula -> int
+val sum_depth : term -> int
+(** Nesting depth of summation operators. *)
+
+val has_sum : formula -> bool
+val relations : formula -> string list
+
+val pp_term : Format.formatter -> term -> unit
+val pp : Format.formatter -> formula -> unit

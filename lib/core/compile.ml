@@ -1,0 +1,155 @@
+open Cqa_logic
+
+let vv = Var.of_string
+let tv x = Ast.TVar x
+
+let neq2 (a1, a2) (b1, b2) =
+  Ast.(disj [ tv a1 <! tv b1; tv b1 <! tv a1; tv a2 <! tv b2; tv b2 <! tv a2 ])
+
+let midpoint_eqs (m1, m2) (a1, a2) (b1, b2) =
+  Ast.(And (tv m1 +! tv m1 =! (tv a1 +! tv b1), tv m2 +! tv m2 =! (tv a2 +! tv b2)))
+
+let vertex_formula ~rel v1 v2 =
+  let a1 = vv "cmp#a1" and a2 = vv "cmp#a2" in
+  let b1 = vv "cmp#b1" and b2 = vv "cmp#b2" in
+  Ast.(
+    And
+      ( Rel (rel, [ v1; v2 ]),
+        Not
+          (exists_many [ a1; a2; b1; b2 ]
+             (conj
+                [ Rel (rel, [ a1; a2 ]);
+                  Rel (rel, [ b1; b2 ]);
+                  neq2 (a1, a2) (b1, b2);
+                  midpoint_eqs (v1, v2) (a1, a2) (b1, b2) ])) ))
+
+let interior_formula ~rel m1 m2 =
+  let e = vv "cmp#e" and u1 = vv "cmp#u1" and u2 = vv "cmp#u2" in
+  Ast.(
+    Exists
+      ( e,
+        And
+          ( int 0 <! tv e,
+            forall_many [ u1; u2 ]
+              (implies
+                 (conj
+                    [ tv m1 -! tv e <! tv u1;
+                      tv u1 <! tv m1 +! tv e;
+                      tv m2 -! tv e <! tv u2;
+                      tv u2 <! tv m2 +! tv e ])
+                 (Rel (rel, [ u1; u2 ]))) ) ))
+
+let adjacent_formula ~rel (x1, x2) (y1, y2) =
+  let m1 = vv "cmp#m1" and m2 = vv "cmp#m2" in
+  Ast.(
+    conj
+      [ vertex_formula ~rel x1 x2;
+        vertex_formula ~rel y1 y2;
+        neq2 (x1, x2) (y1, y2);
+        exists_many [ m1; m2 ]
+          (conj
+             [ midpoint_eqs (m1, m2) (x1, x2) (y1, y2);
+               Rel (rel, [ m1; m2 ]);
+               Not (interior_formula ~rel m1 m2) ]) ])
+
+let lex_lt (a1, a2) (b1, b2) =
+  Ast.(Or (tv a1 <! tv b1, And (tv a1 =! tv b1, tv a2 <! tv b2)))
+
+let polygon_area_term ~rel =
+  let x1 = vv "t#x1" and x2 = vv "t#x2" in
+  let y1 = vv "t#y1" and y2 = vv "t#y2" in
+  let z1 = vv "t#z1" and z2 = vv "t#z2" in
+  let u = vv "t#u" and vvar = vv "t#v" in
+  let nu a b = adjacent_formula ~rel a b in
+  let xp = (x1, x2) and yp = (y1, y2) and zp = (z1, z2) in
+  let lexmin =
+    let w1 = vv "cmp#w1" and w2 = vv "cmp#w2" in
+    Ast.(
+      Not
+        (exists_many [ w1; w2 ]
+           (And (vertex_formula ~rel w1 w2, lex_lt (w1, w2) (x1, x2)))))
+  in
+  let case_split =
+    Ast.disj
+      [ (* interior fan triangle: an edge not touching the anchor *)
+        Ast.conj
+          [ nu yp zp; lex_lt yp zp; Ast.Not (nu xp yp); Ast.Not (nu xp zp) ];
+        (* boundary fan triangle: path x - y - z along the polygon *)
+        Ast.conj
+          [ nu xp yp; nu yp zp; Ast.Not (nu xp zp); neq2 xp zp ];
+        (* the 3-vertex polygon: all pairs adjacent *)
+        Ast.conj [ nu xp yp; nu yp zp; nu xp zp; lex_lt yp zp ] ]
+  in
+  let psi1 =
+    Ast.conj
+      [ vertex_formula ~rel x1 x2;
+        lexmin;
+        vertex_formula ~rel y1 y2;
+        vertex_formula ~rel z1 z2;
+        case_split ]
+  in
+  let psi2 =
+    let w1 = vv "cmp#p1" and w2 = vv "cmp#p2" in
+    Ast.(
+      exists_many [ w1; w2 ]
+        (And
+           ( vertex_formula ~rel w1 w2,
+             Or (tv u =! tv w1, tv u =! tv w2) )))
+  in
+  (* signed doubled area of the triangle (x, y, z) *)
+  let det =
+    Ast.(
+      (tv x1 *! tv y2) -! (tv x2 *! tv y1)
+      +! ((tv y1 *! tv z2) -! (tv y2 *! tv z1))
+      +! ((tv z1 *! tv x2) -! (tv z2 *! tv x1)))
+  in
+  let gamma =
+    Ast.(
+      And
+        ( Or (tv vvar +! tv vvar =! det, tv vvar +! tv vvar =! (int 0 -! det)),
+          int 0 <=! tv vvar ))
+  in
+  Ast.sum ~gamma_var:vvar ~gamma
+    ~w:[ x1; x2; y1; y2; z1; z2 ]
+    ~guard:psi1 ~end_y:u ~end_body:psi2
+
+let boundary_point_formula ~rel m =
+  let e = vv "cmp#e" and p = vv "cmp#p" in
+  (* every neighborhood of m meets both rel and its complement *)
+  Ast.(
+    Forall
+      ( e,
+        implies (int 0 <! tv e)
+          (And
+             ( Exists
+                 ( p,
+                   conj
+                     [ tv m -! tv e <! tv p; tv p <! tv m +! tv e; Rel (rel, [ p ]) ] ),
+               Exists
+                 ( p,
+                   conj
+                     [ tv m -! tv e <! tv p;
+                       tv p <! tv m +! tv e;
+                       Not (Rel (rel, [ p ])) ] ) )) ))
+
+let interval_measure_term ~rel =
+  let l = vv "t#l" and u = vv "t#u" and y = vv "t#y" in
+  let m = vv "cmp#m" and vvar = vv "t#len" in
+  let guard =
+    Ast.(
+      conj
+        [ tv l <! tv u;
+          (* the midpoint belongs to the set *)
+          Exists
+            (m, And (tv m +! tv m =! (tv l +! tv u), Rel (rel, [ m ])));
+          (* no boundary point strictly between l and u *)
+          Not
+            (Exists
+               ( m,
+                 conj
+                   [ tv l <! tv m; tv m <! tv u; boundary_point_formula ~rel m ]
+               )) ])
+  in
+  let gamma = Ast.(tv vvar =! (tv u -! tv l)) in
+  Ast.sum ~gamma_var:vvar ~gamma ~w:[ l; u ] ~guard ~end_y:y
+    ~end_body:(Ast.Rel (rel, [ y ]))

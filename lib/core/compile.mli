@@ -1,0 +1,35 @@
+(** FO + POLY + SUM programs compiled from the paper's worked constructions:
+    these build genuine ASTs of the language (Section 5) which {!Eval}
+    executes against constraint databases, demonstrating expressibility
+    rather than computing the answers directly in OCaml.
+
+    The polygon-area program is the paper's Section 5 example: vertices are
+    the points of [P] that are not midpoints of two distinct points of [P];
+    adjacency asks for the midpoint to lie on the boundary (non-interior
+    point, with an infinity-norm box so all atoms stay linear); [psi1] picks
+    the fan triangles anchored at the lexicographically minimal vertex;
+    [psi2] collects vertex coordinates, whose END set ranges the summation;
+    [gamma] computes the triangle's area from its corner coordinates.  A
+    clause for the 3-vertex case (where every pair of vertices is adjacent)
+    completes the paper's adjacency case split. *)
+
+open Cqa_logic
+
+val vertex_formula : rel:string -> Var.t -> Var.t -> Ast.formula
+(** [vertex_formula ~rel v1 v2]: [(v1, v2)] is an extreme point of the
+    convex set interpreting [rel]. *)
+
+val interior_formula : rel:string -> Var.t -> Var.t -> Ast.formula
+val adjacent_formula : rel:string -> Var.t * Var.t -> Var.t * Var.t -> Ast.formula
+
+val boundary_point_formula : rel:string -> Var.t -> Ast.formula
+(** The point is in the topological boundary of the unary relation. *)
+
+val polygon_area_term : rel:string -> Ast.term
+(** The closed FO + POLY + SUM term computing the area of the convex
+    polygon interpreting the binary relation [rel]. *)
+
+val interval_measure_term : rel:string -> Ast.term
+(** Dimension-1 case of Theorem 3: the total length of the intervals
+    composing the unary relation [rel], as
+    [sum_{(l,u). "l,u consecutive endpoints with midpoint inside"} (u - l)]. *)

@@ -1,0 +1,144 @@
+open Cqa_arith
+open Cqa_logic
+open Cqa_linear
+open Cqa_poly
+
+type relation =
+  | Finite of Q.t array list
+  | Semilin of Semilinear.t
+  | Semialgebraic of Semialg.t
+
+module M = Map.Make (String)
+
+type t = { schema : Schema.t; rels : relation M.t }
+
+let empty schema = { schema; rels = M.empty }
+let schema t = t.schema
+
+let relation_arity = function
+  | Finite [] -> None
+  | Finite (tup :: _) -> Some (Array.length tup)
+  | Semilin s -> Some (Semilinear.dim s)
+  | Semialgebraic s -> Some (Semialg.dim s)
+
+let add name rel t =
+  match Schema.arity t.schema name with
+  | None -> invalid_arg ("Db.add: unknown relation " ^ name)
+  | Some a -> (
+      (match rel with
+      | Finite tuples ->
+          List.iter
+            (fun tup ->
+              if Array.length tup <> a then
+                invalid_arg ("Db.add: arity mismatch in " ^ name))
+            tuples
+      | Semilin _ | Semialgebraic _ -> (
+          match relation_arity rel with
+          | Some a' when a' <> a -> invalid_arg ("Db.add: arity mismatch in " ^ name)
+          | _ -> ()));
+      { t with rels = M.add name rel t.rels })
+
+let of_list schema l = List.fold_left (fun t (n, r) -> add n r t) (empty schema) l
+
+let find t name =
+  match M.find_opt name t.rels with
+  | Some r -> r
+  | None -> raise Not_found
+
+let of_instance inst =
+  let schema = Instance.schema inst in
+  List.fold_left
+    (fun t name -> add name (Finite (Instance.tuples inst name)) t)
+    (empty schema) (Schema.names schema)
+
+let points_to_semilinear arity tuples =
+  let vars = Semilinear.default_vars arity in
+  let dnf =
+    List.map
+      (fun tup ->
+        List.mapi
+          (fun i c -> Linconstr.eq (Linexpr.var vars.(i)) (Linexpr.const c))
+          (Array.to_list tup))
+      tuples
+  in
+  Semilinear.make vars dnf
+
+let as_semilinear t name =
+  match M.find_opt name t.rels with
+  | None -> raise Not_found
+  | Some (Semilin s) -> Some s
+  | Some (Finite tuples) ->
+      let arity = Schema.arity_exn t.schema name in
+      Some (points_to_semilinear arity tuples)
+  | Some (Semialgebraic _) -> None
+
+let as_semialg t name =
+  match M.find_opt name t.rels with
+  | None -> raise Not_found
+  | Some (Semialgebraic s) -> s
+  | Some (Semilin s) -> Semialg.of_semilinear s
+  | Some (Finite tuples) ->
+      let arity = Schema.arity_exn t.schema name in
+      Semialg.of_semilinear (points_to_semilinear arity tuples)
+
+let mem_tuple t name tup =
+  match find t name with
+  | Finite tuples -> List.exists (fun x -> x = tup) tuples
+  | Semilin s -> Semilinear.mem s tup
+  | Semialgebraic s -> Semialg.mem s tup
+
+let is_linear t =
+  M.for_all (fun _ r -> match r with Semialgebraic _ -> false | _ -> true) t.rels
+
+module Qset = Set.Make (struct
+  type t = Q.t
+
+  let compare = Q.compare
+end)
+
+let active_domain t =
+  let add_lin acc s =
+    List.fold_left
+      (fun acc conj ->
+        List.fold_left
+          (fun acc c ->
+            let e = Linconstr.expr c in
+            let acc = Qset.add (Linexpr.constant e) acc in
+            List.fold_left (fun acc (_, q) -> Qset.add q acc) acc (Linexpr.coeffs e))
+          acc conj)
+      acc (Semilinear.dnf s)
+  in
+  let add_alg acc s =
+    List.fold_left
+      (fun acc conj ->
+        List.fold_left
+          (fun acc (a : Semialg.atom) ->
+            List.fold_left
+              (fun acc (_, q) -> Qset.add q acc)
+              acc (Mpoly.terms a.Semialg.poly))
+          acc conj)
+      acc (Semialg.dnf s)
+  in
+  let set =
+    M.fold
+      (fun _ rel acc ->
+        match rel with
+        | Finite tuples ->
+            List.fold_left
+              (fun acc tup -> Array.fold_left (fun a q -> Qset.add q a) acc tup)
+              acc tuples
+        | Semilin s -> add_lin acc s
+        | Semialgebraic s -> add_alg acc s)
+      t.rels Qset.empty
+  in
+  Qset.elements set
+
+let pp fmt t =
+  M.iter
+    (fun name rel ->
+      match rel with
+      | Finite tuples ->
+          Format.fprintf fmt "@[<h>%s = {%d tuples}@]@ " name (List.length tuples)
+      | Semilin s -> Format.fprintf fmt "@[%s = %a@]@ " name Semilinear.pp s
+      | Semialgebraic s -> Format.fprintf fmt "@[%s = %a@]@ " name Semialg.pp s)
+    t.rels

@@ -1,0 +1,46 @@
+(** Database instances for constraint queries: each schema relation is
+    interpreted as either a finite set of tuples, a semi-linear set, or a
+    semi-algebraic set (the paper's finite and finitely representable
+    instances). *)
+
+open Cqa_arith
+open Cqa_logic
+open Cqa_linear
+open Cqa_poly
+
+type relation =
+  | Finite of Q.t array list
+  | Semilin of Semilinear.t
+  | Semialgebraic of Semialg.t
+
+type t
+
+val empty : Schema.t -> t
+val schema : t -> Schema.t
+
+val add : string -> relation -> t -> t
+(** @raise Invalid_argument on unknown relation or arity mismatch. *)
+
+val of_list : Schema.t -> (string * relation) list -> t
+val find : t -> string -> relation
+(** @raise Not_found on uninterpreted names. *)
+
+val of_instance : Instance.t -> t
+
+val mem_tuple : t -> string -> Q.t array -> bool
+
+val as_semilinear : t -> string -> Semilinear.t option
+(** Finite relations are converted to point sets; semi-algebraic relations
+    yield [None]. *)
+
+val as_semialg : t -> string -> Semialg.t
+(** Every relation kind embeds into the semi-algebraic model. *)
+
+val is_linear : t -> bool
+(** No semi-algebraic relation present. *)
+
+val active_domain : t -> Q.t list
+(** Constants of finite relations plus constraint constants of f.r.
+    relations (the usual finite-representation active domain). *)
+
+val pp : Format.formatter -> t -> unit

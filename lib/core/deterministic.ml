@@ -1,0 +1,45 @@
+open Cqa_arith
+open Cqa_logic
+open Cqa_linear
+
+type verdict =
+  | Deterministic
+  | Not_deterministic of Q.t Var.Map.t
+  | Unknown
+
+let is_explicit_graph ~gamma_var f =
+  let is_x = function Ast.TVar x -> Var.equal x gamma_var | _ -> false in
+  let avoids_x t = not (Var.Set.mem gamma_var (Ast.term_free_vars t)) in
+  match f with
+  | Ast.Cmp (Ast.Ceq, a, b) ->
+      (is_x a && avoids_x b) || (is_x b && avoids_x a)
+  | _ -> false
+
+let check db ~gamma_var ~w f =
+  if is_explicit_graph ~gamma_var f then Deterministic
+  else begin
+    match Eval.reduce_linear db Var.Map.empty f with
+    | exception Eval.Unsupported _ -> Unknown
+    | lin ->
+        (* two-output satisfiability: gamma(x, w) /\ gamma(x', w) /\ x < x' *)
+        let x' = Var.fresh ~hint:(Var.name gamma_var) () in
+        let rn v = if Var.equal v gamma_var then x' else v in
+        let lin' = Linformula.rename rn lin in
+        let twice =
+          Formula.And
+            ( Formula.And (lin, lin'),
+              Formula.Atom
+                (Linconstr.lt (Linexpr.var gamma_var) (Linexpr.var x')) )
+        in
+        let d = Fourier_motzkin.qe twice in
+        let d =
+          Fourier_motzkin.eliminate_all
+            (Var.Set.elements (Linformula.dnf_vars d)
+            |> List.filter (fun v ->
+                   not (List.exists (Var.equal v) (gamma_var :: x' :: w))))
+            d
+        in
+        (match Fourier_motzkin.sample_point_dnf d with
+        | None -> Deterministic
+        | Some witness -> Not_deterministic witness)
+  end

@@ -1,0 +1,25 @@
+(** Deciding whether a formula [gamma (x, w)] is deterministic, i.e. admits
+    at most one output [x] for each parameter tuple [w] (Section 5: "it is
+    decidable if a formula is deterministic").
+
+    For the linear-reducible fragment the decision is complete: uniqueness
+    reduces to unsatisfiability of [gamma(x, w) /\ gamma(x', w) /\ x <> x'],
+    settled by Fourier-Motzkin.  For nonlinear formulas the syntactic
+    explicit-graph shape [x = t(w)] is recognized (the paper's deterministic
+    formulas all have it); anything else is [Unknown] and is enforced at
+    evaluation time instead (full real QE is outside scope, see
+    DESIGN.md). *)
+
+open Cqa_arith
+open Cqa_logic
+
+type verdict =
+  | Deterministic
+  | Not_deterministic of Q.t Var.Map.t
+      (** A parameter/output witness exhibiting two outputs. *)
+  | Unknown
+
+val check : Db.t -> gamma_var:Var.t -> w:Var.t list -> Ast.formula -> verdict
+
+val is_explicit_graph : gamma_var:Var.t -> Ast.formula -> bool
+(** Is the formula syntactically [x = t] (or [t = x]) with [x] not in [t]? *)

@@ -1,0 +1,39 @@
+open Cqa_arith
+open Cqa_linear
+open Cqa_poly
+
+let clipped_volume s r =
+  let n = Semilinear.dim s in
+  let box = Semilinear.box (Array.make n (Q.neg r, r)) in
+  Volume_exact.volume_sweep (Semilinear.inter s box)
+
+let mu s =
+  let n = Semilinear.dim s in
+  if n = 0 then if Semilinear.is_empty s then Q.zero else Q.one
+  else begin
+    (* a radius beyond every vertex of the constraint arrangement; past it
+       the clipped volume is a single polynomial in r *)
+    let base =
+      List.fold_left
+        (fun acc v -> Array.fold_left (fun m c -> Q.max m (Q.abs c)) acc v)
+        Q.one
+        (Volume_exact.arrangement_vertices s)
+    in
+    let rec attempt r0 tries =
+      if tries > 6 then invalid_arg "Mu.mu: interpolation did not stabilize"
+      else begin
+        let radii = List.init (n + 1) (fun i -> Q.add r0 (Q.of_int (i + 1))) in
+        let pts = List.map (fun r -> (r, clipped_volume s r)) radii in
+        let p = Upoly.interpolate pts in
+        (* verify on one extra radius *)
+        let extra = Q.add r0 (Q.of_int (n + 2)) in
+        if Q.equal (Upoly.eval p extra) (clipped_volume s extra) then begin
+          let top = Upoly.coeff p n in
+          (* vol ~ top * r^n; density = top / 2^n *)
+          Q.div top (Q.pow Q.two n)
+        end
+        else attempt (Q.mul r0 Q.two) (tries + 1)
+      end
+    in
+    attempt base 0
+  end

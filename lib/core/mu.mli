@@ -1,0 +1,22 @@
+(** The Chomicki-Kuper measure operator [mu] of "Measuring infinite
+    relations" (reference [12] of the paper): the density of a semi-linear
+    set at infinity,
+
+    [mu (X) = lim_{r -> inf} vol (X inter [-r, r]^n) / (2r)^n].
+
+    FO + LIN is closed under [mu], but [mu (X) = 0] for every bounded [X] --
+    the paper's point that this operator cannot express volume.  For a
+    semi-linear [X] the limit exists and is rational: beyond the vertices of
+    the constraint arrangement, [vol (X inter [-r, r]^n)] is a polynomial in
+    [r] of degree at most [n], and [mu] reads off its top coefficient. *)
+
+open Cqa_arith
+open Cqa_linear
+
+val clipped_volume : Semilinear.t -> Q.t -> Q.t
+(** [vol (X inter [-r, r]^n)]. *)
+
+val mu : Semilinear.t -> Q.t
+(** The density at infinity.  Computed by interpolating the clipped volume
+    at [n+1] radii beyond the arrangement's vertices and verifying the fit
+    on an extra radius. *)

@@ -1,0 +1,369 @@
+open Cqa_arith
+open Cqa_logic
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | TNum of Q.t
+  | TIdent of string (* lowercase: variable *)
+  | TRel of string (* capitalized: relation symbol *)
+  | TKw of string (* keyword *)
+  | TSym of string
+  | TEof
+
+let keywords = [ "true"; "false"; "not"; "and"; "or"; "exists"; "forall"; "SUM"; "END"; "E"; "A" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !i)) in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      (* fraction a/b -- only when '/' is not the start of '/\' *)
+      if !i + 1 < n && src.[!i] = '/' && is_digit src.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do incr i done
+      end
+      else if !i + 1 < n && src.[!i] = '.' && is_digit src.[!i + 1] then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do incr i done
+      end;
+      toks := TNum (Q.of_string (String.sub src start (!i - start))) :: !toks
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && is_alnum src.[!i] do incr i done;
+      let word = String.sub src start (!i - start) in
+      if List.mem word keywords then toks := TKw word :: !toks
+      else if word.[0] >= 'A' && word.[0] <= 'Z' then toks := TRel word :: !toks
+      else toks := TIdent word :: !toks
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "/\\" | "\\/" | "->" | "<=" | ">=" | "<>" ->
+          toks := TSym two :: !toks;
+          i := !i + 2
+      | _ -> (
+          match c with
+          | '(' | ')' | '{' | '}' | '[' | ']' | ',' | '.' | '|' | '+' | '-'
+          | '*' | '=' | '<' | '>' | '~' ->
+              toks := TSym (String.make 1 c) :: !toks;
+              incr i
+          | _ -> fail (Printf.sprintf "unexpected character %c" c))
+    end
+  done;
+  Array.of_list (List.rev (TEof :: !toks))
+
+(* ------------------------------------------------------------------ *)
+(* Parser state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type state = { toks : token array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let describe = function
+  | TNum q -> Q.to_string q
+  | TIdent s | TRel s | TKw s | TSym s -> s
+  | TEof -> "<eof>"
+
+let fail st msg =
+  raise
+    (Parse_error
+       (Printf.sprintf "%s, found '%s' (token %d)" msg (describe (peek st)) st.pos))
+
+let eat_sym st s =
+  match peek st with
+  | TSym s' when s' = s -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%s'" s)
+
+let eat_kw st s =
+  match peek st with
+  | TKw s' when s' = s -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%s'" s)
+
+let ident st =
+  match peek st with
+  | TIdent s ->
+      advance st;
+      Var.of_string s
+  | _ -> fail st "expected a variable"
+
+(* ------------------------------------------------------------------ *)
+(* Terms                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_term st = parse_addsub st
+
+and parse_addsub st =
+  let lhs = parse_mul st in
+  let rec go acc =
+    match peek st with
+    | TSym "+" ->
+        advance st;
+        go (Ast.Add (acc, parse_mul st))
+    | TSym "-" ->
+        advance st;
+        go Ast.(acc -! parse_mul st)
+    | _ -> acc
+  in
+  go lhs
+
+and parse_mul st =
+  let lhs = parse_unary_term st in
+  let rec go acc =
+    match peek st with
+    | TSym "*" ->
+        advance st;
+        go (Ast.Mul (acc, parse_unary_term st))
+    | _ -> acc
+  in
+  go lhs
+
+and parse_unary_term st =
+  match peek st with
+  | TSym "-" -> (
+      advance st;
+      (* a negated literal is a negative constant, keeping printing and
+         parsing mutually inverse *)
+      match peek st with
+      | TNum q ->
+          advance st;
+          Ast.Const (Q.neg q)
+      | _ -> Ast.(int 0 -! parse_unary_term st))
+  | _ -> parse_primary_term st
+
+and parse_primary_term st =
+  match peek st with
+  | TNum q ->
+      advance st;
+      Ast.Const q
+  | TIdent s ->
+      advance st;
+      Ast.TVar (Var.of_string s)
+  | TSym "(" ->
+      advance st;
+      let t = parse_term st in
+      eat_sym st ")";
+      t
+  | TKw "SUM" ->
+      advance st;
+      eat_sym st "{";
+      let w = parse_vars_comma st in
+      eat_sym st "|";
+      let guard = parse_formula st in
+      eat_sym st "|";
+      eat_kw st "END";
+      eat_sym st "(";
+      let end_y = ident st in
+      eat_sym st ".";
+      let end_body = parse_formula st in
+      eat_sym st ")";
+      eat_sym st "}";
+      eat_sym st "(";
+      let gamma_var = ident st in
+      eat_sym st ".";
+      let gamma = parse_formula st in
+      eat_sym st ")";
+      Ast.sum ~gamma_var ~gamma ~w ~guard ~end_y ~end_body
+  | _ -> fail st "expected a term"
+
+and parse_vars_comma st =
+  let first = ident st in
+  let rec go acc =
+    match peek st with
+    | TSym "," ->
+        advance st;
+        go (ident st :: acc)
+    | _ -> List.rev acc
+  in
+  go [ first ]
+
+(* ------------------------------------------------------------------ *)
+(* Formulas                                                            *)
+(* ------------------------------------------------------------------ *)
+
+and parse_formula st = parse_implies st
+
+and parse_implies st =
+  let lhs = parse_or st in
+  match peek st with
+  | TSym "->" ->
+      advance st;
+      Ast.implies lhs (parse_implies st)
+  | _ -> lhs
+
+and parse_or st =
+  let lhs = parse_and st in
+  let rec go acc =
+    match peek st with
+    | TSym "\\/" | TKw "or" ->
+        advance st;
+        go (Ast.Or (acc, parse_and st))
+    | _ -> acc
+  in
+  go lhs
+
+and parse_and st =
+  let lhs = parse_unary_formula st in
+  let rec go acc =
+    match peek st with
+    | TSym "/\\" | TKw "and" ->
+        advance st;
+        go (Ast.And (acc, parse_unary_formula st))
+    | _ -> acc
+  in
+  go lhs
+
+and parse_unary_formula st =
+  match peek st with
+  | TSym "~" | TKw "not" ->
+      advance st;
+      Ast.Not (parse_unary_formula st)
+  | TKw ("exists" | "E") ->
+      advance st;
+      let vars = parse_vars_space st in
+      eat_sym st ".";
+      Ast.exists_many vars (parse_formula st)
+  | TKw ("forall" | "A") ->
+      advance st;
+      let vars = parse_vars_space st in
+      eat_sym st ".";
+      Ast.forall_many vars (parse_formula st)
+  | _ -> parse_atom st
+
+and parse_vars_space st =
+  let rec go acc =
+    match peek st with
+    | TIdent s ->
+        advance st;
+        go (Var.of_string s :: acc)
+    | _ ->
+        if acc = [] then fail st "expected at least one bound variable"
+        else List.rev acc
+  in
+  go []
+
+and parse_atom st =
+  match peek st with
+  | TKw "true" ->
+      advance st;
+      Ast.True
+  | TKw "false" ->
+      advance st;
+      Ast.False
+  | TRel r ->
+      advance st;
+      eat_sym st "(";
+      let vars = parse_vars_comma st in
+      eat_sym st ")";
+      Ast.Rel (r, vars)
+  | TSym "(" -> (
+      (* either a parenthesized formula or a parenthesized term followed by
+         a comparison: try formula first, backtrack on failure *)
+      let save = st.pos in
+      match
+        (try
+           advance st;
+           let f = parse_formula st in
+           eat_sym st ")";
+           (* a comparison operator after ')' means this was a term *)
+           (match peek st with
+           | TSym ("=" | "<" | "<=" | ">" | ">=" | "<>") -> None
+           | _ -> Some f)
+         with Parse_error _ -> None)
+      with
+      | Some f -> f
+      | None ->
+          st.pos <- save;
+          parse_comparison st)
+  | _ -> parse_comparison st
+
+and parse_comparison st =
+  let lhs = parse_term st in
+  let cmp =
+    match peek st with
+    | TSym ("=" | "<" | "<=" | ">" | ">=" | "<>" as s) ->
+        advance st;
+        s
+    | _ -> fail st "expected a comparison operator"
+  in
+  let rhs = parse_term st in
+  match cmp with
+  | "=" -> Ast.(lhs =! rhs)
+  | "<" -> Ast.(lhs <! rhs)
+  | "<=" -> Ast.(lhs <=! rhs)
+  | ">" -> Ast.(lhs >! rhs)
+  | ">=" -> Ast.(lhs >=! rhs)
+  | "<>" -> Ast.(Or (lhs <! rhs, rhs <! lhs))
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let formula_of_string s =
+  let st = { toks = tokenize s; pos = 0 } in
+  let f = parse_formula st in
+  (match peek st with TEof -> () | _ -> fail st "trailing input");
+  f
+
+let term_of_string s =
+  let st = { toks = tokenize s; pos = 0 } in
+  let t = parse_term st in
+  (match peek st with TEof -> () | _ -> fail st "trailing input");
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Printer (inverse of the parser)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec term_to_string = function
+  | Ast.Const c ->
+      if Q.sign c < 0 then "-" ^ Q.to_string (Q.neg c) else Q.to_string c
+  | Ast.TVar v -> Var.name v
+  | Ast.Add (a, b) ->
+      "(" ^ term_to_string a ^ " + " ^ term_to_string b ^ ")"
+  | Ast.Mul (a, b) ->
+      "(" ^ term_to_string a ^ " * " ^ term_to_string b ^ ")"
+  | Ast.Sum s ->
+      Printf.sprintf "SUM { %s | %s | END(%s . %s) } (%s . %s)"
+        (String.concat ", " (List.map Var.name s.Ast.w))
+        (formula_to_string s.Ast.guard)
+        (Var.name s.Ast.end_y)
+        (formula_to_string s.Ast.end_body)
+        (Var.name s.Ast.gamma_var)
+        (formula_to_string s.Ast.gamma)
+
+and formula_to_string = function
+  | Ast.True -> "true"
+  | Ast.False -> "false"
+  | Ast.Cmp (op, a, b) ->
+      let s = match op with Ast.Ceq -> "=" | Ast.Clt -> "<" | Ast.Cle -> "<=" in
+      term_to_string a ^ " " ^ s ^ " " ^ term_to_string b
+  | Ast.Rel (r, vars) ->
+      r ^ "(" ^ String.concat ", " (List.map Var.name vars) ^ ")"
+  | Ast.Not f -> "~(" ^ formula_to_string f ^ ")"
+  | Ast.And (f, g) ->
+      "(" ^ formula_to_string f ^ " /\\ " ^ formula_to_string g ^ ")"
+  | Ast.Or (f, g) ->
+      "(" ^ formula_to_string f ^ " \\/ " ^ formula_to_string g ^ ")"
+  | Ast.Exists (v, f) ->
+      "(exists " ^ Var.name v ^ " . " ^ formula_to_string f ^ ")"
+  | Ast.Forall (v, f) ->
+      "(forall " ^ Var.name v ^ " . " ^ formula_to_string f ^ ")"

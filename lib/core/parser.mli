@@ -1,0 +1,39 @@
+(** Concrete syntax for FO + POLY + SUM.
+
+    Formulas:
+    {v
+      true | false
+      t = t | t < t | t <= t | t > t | t >= t | t <> t
+      R(x, y, ...)                      (schema atoms: capitalized names)
+      not f | ~f
+      f /\ f | f and f
+      f \/ f | f or f
+      f -> f
+      exists x y . f | E x . f
+      forall x y . f | A x . f
+      ( f )
+    v}
+
+    Terms:
+    {v
+      numbers: 42, -7, 3/4, 0.25
+      variables: lowercase identifiers
+      t + t | t - t | t * t | -t | ( t )
+      SUM { w1, w2 | guard | END(y . body) } (x . gamma)
+    v}
+
+    Quantifier bodies extend as far right as possible; [->] is
+    right-associative and binds loosest; [\/] binds looser than [/\]. *)
+
+exception Parse_error of string
+(** Carries a message with the offending position. *)
+
+val formula_of_string : string -> Ast.formula
+(** @raise Parse_error on malformed input. *)
+
+val term_of_string : string -> Ast.term
+
+val formula_to_string : Ast.formula -> string
+(** Emits the concrete syntax above; [formula_of_string] inverts it. *)
+
+val term_to_string : Ast.term -> string

@@ -1,0 +1,62 @@
+open Cqa_logic
+
+type issue =
+  | Unknown_relation of string
+  | Arity_mismatch of { relation : string; expected : int; actual : int }
+  | Empty_sum_tuple
+  | Nondeterministic_gamma of Ast.formula
+  | Undecided_gamma of Ast.formula
+
+let pp_issue fmt = function
+  | Unknown_relation r -> Format.fprintf fmt "unknown relation %s" r
+  | Arity_mismatch { relation; expected; actual } ->
+      Format.fprintf fmt "relation %s has arity %d, applied to %d arguments"
+        relation expected actual
+  | Empty_sum_tuple -> Format.fprintf fmt "summation with an empty tuple"
+  | Nondeterministic_gamma g ->
+      Format.fprintf fmt "gamma is not deterministic: %a" Ast.pp g
+  | Undecided_gamma g ->
+      Format.fprintf fmt
+        "gamma not provably deterministic (enforced at runtime): %a" Ast.pp g
+
+let rec check_formula db (f : Ast.formula) =
+  match f with
+  | Ast.True | Ast.False -> []
+  | Ast.Cmp (_, a, b) -> check_term db a @ check_term db b
+  | Ast.Rel (r, args) -> (
+      match Schema.arity (Db.schema db) r with
+      | None -> [ Unknown_relation r ]
+      | Some expected ->
+          let actual = List.length args in
+          if expected <> actual then
+            [ Arity_mismatch { relation = r; expected; actual } ]
+          else [])
+  | Ast.Not g -> check_formula db g
+  | Ast.And (g, h) | Ast.Or (g, h) -> check_formula db g @ check_formula db h
+  | Ast.Exists (_, g) | Ast.Forall (_, g) -> check_formula db g
+
+and check_term db (t : Ast.term) =
+  match t with
+  | Ast.Const _ | Ast.TVar _ -> []
+  | Ast.Add (a, b) | Ast.Mul (a, b) -> check_term db a @ check_term db b
+  | Ast.Sum s ->
+      let tuple = if s.Ast.w = [] then [ Empty_sum_tuple ] else [] in
+      let det =
+        match
+          Deterministic.check db ~gamma_var:s.Ast.gamma_var ~w:s.Ast.w
+            s.Ast.gamma
+        with
+        | Deterministic.Deterministic -> []
+        | Deterministic.Not_deterministic _ ->
+            [ Nondeterministic_gamma s.Ast.gamma ]
+        | Deterministic.Unknown -> [ Undecided_gamma s.Ast.gamma ]
+      in
+      tuple @ det
+      @ check_formula db s.Ast.guard
+      @ check_formula db s.Ast.gamma
+      @ check_formula db s.Ast.end_body
+
+let is_safe db t =
+  List.for_all
+    (function Undecided_gamma _ -> true | _ -> false)
+    (check_term db t)

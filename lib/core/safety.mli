@@ -1,0 +1,27 @@
+(** Static well-formedness checks for FO + POLY + SUM queries: the side
+    conditions that make the language safe (Section 5).
+
+    A summation term is well formed when its tuple is nonempty, its
+    deterministic formula really is deterministic (checked with
+    {!Deterministic}, or flagged for runtime enforcement when undecided),
+    and every schema atom matches the database schema.  [Lemma 4]'s closure
+    then guarantees the range-restricted set is finite, so evaluation
+    cannot diverge. *)
+
+
+
+type issue =
+  | Unknown_relation of string
+  | Arity_mismatch of { relation : string; expected : int; actual : int }
+  | Empty_sum_tuple
+  | Nondeterministic_gamma of Ast.formula
+  | Undecided_gamma of Ast.formula
+      (** Not provably deterministic; {!Eval} enforces at runtime. *)
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val check_formula : Db.t -> Ast.formula -> issue list
+val check_term : Db.t -> Ast.term -> issue list
+
+val is_safe : Db.t -> Ast.term -> bool
+(** No issues other than [Undecided_gamma]. *)

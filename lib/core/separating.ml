@@ -1,0 +1,90 @@
+open Cqa_arith
+open Cqa_linear
+
+let translate_points ~n1 ~n2 ~delta =
+  if Q.leq delta Q.zero || Q.geq delta Q.half then
+    invalid_arg "Separating.translate_points: need 0 < delta < 1/2";
+  let spread n base width =
+    List.init n (fun i ->
+        Q.add base (Q.mul width (Q.of_ints (i + 1) (n + 1))))
+  in
+  let u1' = spread n1 Q.zero delta in
+  let u2' = spread n2 (Q.sub Q.one delta) delta in
+  (u1', u2')
+
+let avg_translated ~n1 ~n2 ~delta =
+  if n1 + n2 = 0 then invalid_arg "Separating.avg_translated: empty union";
+  let half_d = Q.mul delta Q.half in
+  Q.div
+    (Q.add
+       (Q.mul_int half_d n1)
+       (Q.mul_int (Q.sub Q.one half_d) n2))
+    (Q.of_int (n1 + n2))
+
+let ratio_from_avg ~avg ~delta =
+  let half_d = Q.mul delta Q.half in
+  let den = Q.sub avg half_d in
+  if Q.sign den <= 0 then None
+  else begin
+    let num = Q.sub (Q.sub Q.one half_d) avg in
+    if Q.sign num < 0 then None else Some (Q.div num den)
+  end
+
+let separating_thresholds ~eps ~delta =
+  if Q.geq eps Q.half then
+    invalid_arg "Separating.separating_thresholds: eps >= 1/2";
+  let half_d = Q.mul delta Q.half in
+  let den = Q.sub (Q.sub Q.half eps) half_d in
+  if Q.sign den <= 0 then
+    invalid_arg "Separating.separating_thresholds: need delta < 1 - 2 eps";
+  let num = Q.sub (Q.add Q.half eps) half_d in
+  let c = Q.div num den in
+  (c, c)
+
+type good_instance = { a_card : int; b : int list }
+
+let good_instance ~a_card ~b =
+  if a_card < 2 then invalid_arg "Separating.good_instance: need |A| >= 2";
+  let b = List.sort_uniq compare b in
+  if b = [] then invalid_arg "Separating.good_instance: B empty";
+  if List.length b >= a_card then
+    invalid_arg "Separating.good_instance: B must be a proper subset";
+  List.iter
+    (fun i ->
+      if i < 0 || i >= a_card then
+        invalid_arg "Separating.good_instance: B not a subset of A")
+    b;
+  { a_card; b }
+
+let lemma2_sets gi =
+  let n = gi.a_card in
+  let t i = Q.of_ints i (n - 1) in
+  let in_b i = List.mem i gi.b in
+  let next_from pred_holds start =
+    let rec go i = if i >= n then None else if pred_holds i then Some i else go (i + 1) in
+    go start
+  in
+  let spans member =
+    List.filter_map
+      (fun i ->
+        if member i then begin
+          let stop =
+            match next_from (fun j -> not (member j)) (i + 1) with
+            | Some j -> t j
+            | None -> Q.one
+          in
+          Some (Cell1.closed_interval (t i) stop)
+        end
+        else None)
+      (List.init n (fun i -> i))
+  in
+  let x = List.fold_left Cell1.union Cell1.empty (spans in_b) in
+  let y =
+    List.fold_left Cell1.union Cell1.empty (spans (fun i -> not (in_b i)))
+  in
+  (x, y)
+
+let lemma2_volumes gi =
+  let x, y = lemma2_sets gi in
+  let m c = match Cell1.measure c with Some v -> v | None -> assert false in
+  (m x, m y)

@@ -1,0 +1,44 @@
+(** Executable gadgets from the paper's inexpressibility proofs.
+
+    Theorem 1 translates two finite unary relations [U1], [U2] into point
+    sets inside [(0, Delta)] and [(1 - Delta, 1)] so that AVG of the union
+    is a function of the cardinality ratio: an epsilon-approximation of AVG
+    would yield a (c1, c2)-separating sentence, contradicting Proposition 1.
+
+    Lemma 2 maps a good instance (A an initial fragment of the naturals,
+    B a nonempty proper subset) onto an equally spaced subset of [0, 1] and
+    forms the interval unions X (from B-elements to the next A-B element)
+    and Y (roles swapped): epsilon-approximations of their volumes decide
+    cardinality gaps, which AC0 circuits cannot (Lemma 3). *)
+
+open Cqa_arith
+open Cqa_linear
+
+val translate_points : n1:int -> n2:int -> delta:Q.t -> Q.t list * Q.t list
+(** Equally spaced images of [U1] in [(0, Delta)] and of [U2] in
+    [(1 - Delta, 1)].  @raise Invalid_argument unless [0 < delta < 1/2]. *)
+
+val avg_translated : n1:int -> n2:int -> delta:Q.t -> Q.t
+(** Exact AVG of the union: [(n1 * Delta/2 + n2 * (1 - Delta/2)) /
+    (n1 + n2)] -- a function of [n1/n2] only. *)
+
+val ratio_from_avg : avg:Q.t -> delta:Q.t -> Q.t option
+(** Invert [avg_translated]: recover [n1 / n2] ([None] at the boundary). *)
+
+val separating_thresholds : eps:Q.t -> delta:Q.t -> Q.t * Q.t
+(** Constants [(c1, c2)] such that an [eps]-approximation of AVG decides
+    [card U1 > c1 card U2] versus [card U2 > c2 card U1], for [eps < 1/2].
+    @raise Invalid_argument for [eps >= 1/2]. *)
+
+type good_instance = { a_card : int; b : int list }
+(** [A = {0 .. a_card-1}]; [b] a nonempty proper subset. *)
+
+val good_instance : a_card:int -> b:int list -> good_instance
+(** @raise Invalid_argument on malformed instances. *)
+
+val lemma2_sets : good_instance -> Cell1.t * Cell1.t
+(** The interval unions [X] and [Y] on the equally spaced embedding of
+    [A] into [0, 1]. *)
+
+val lemma2_volumes : good_instance -> Q.t * Q.t
+(** Exact [VOL X] and [VOL Y]: [VOL X] grows with [card B / card A]. *)

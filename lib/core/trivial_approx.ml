@@ -1,0 +1,41 @@
+open Cqa_arith
+open Cqa_linear
+
+(* A convex conjunction has positive measure iff its strict version is
+   satisfiable over the reals: equalities force measure zero; making the
+   inequalities strict removes only the boundary. *)
+let positive_measure_conj conj =
+  let strictified =
+    List.map
+      (fun a ->
+        match Linconstr.op a with
+        | Linconstr.Le | Linconstr.Lt ->
+            Some (Linconstr.make (Linconstr.expr a) Linconstr.Lt)
+        | Linconstr.Eq -> None)
+      conj
+  in
+  if List.exists (fun o -> o = None) strictified then false
+  else begin
+    let atoms = List.filter_map (fun o -> o) strictified in
+    Simplex.strictly_feasible atoms <> None
+  end
+
+let open_cube_atoms vars =
+  Array.to_list vars
+  |> List.concat_map (fun v ->
+         [ Linconstr.gt (Linexpr.var v) Linexpr.zero;
+           Linconstr.lt (Linexpr.var v) (Linexpr.const Q.one) ])
+
+let measure_zero_in_cube s =
+  let cube = open_cube_atoms (Semilinear.vars s) in
+  not
+    (List.exists
+       (fun conj -> positive_measure_conj (conj @ cube))
+       (Semilinear.dnf s))
+
+let measure_full_in_cube s = measure_zero_in_cube (Semilinear.compl s)
+
+let trivial_approx s =
+  if measure_zero_in_cube s then Q.zero
+  else if measure_full_in_cube s then Q.one
+  else Q.half

@@ -1,0 +1,18 @@
+(** The trivial 1/2-approximation of Proposition 4: FO + LIN defines
+    [VOL_I^eps] for [eps >= 1/2] by answering 1/2 unless the volume is 0 or
+    1, and those two cases are first-order (a semi-linear set has null
+    measure in the cube iff it contains no open box, which Fourier-Motzkin
+    decides).  Theorem 2 shows this is the best any such language can do. *)
+
+open Cqa_arith
+open Cqa_linear
+
+val measure_zero_in_cube : Semilinear.t -> bool
+(** Is [vol (S inter I^n) = 0]?  Decided exactly: some disjunct intersected
+    with the open cube must be strictly feasible for positive measure. *)
+
+val measure_full_in_cube : Semilinear.t -> bool
+(** Is [vol (S inter I^n) = 1]? *)
+
+val trivial_approx : Semilinear.t -> Q.t
+(** 0, 1 or 1/2: always within 1/2 of [vol (S inter I^n)]. *)

@@ -1,0 +1,57 @@
+open Cqa_arith
+open Cqa_linear
+
+let is_variable_independent s =
+  List.for_all
+    (List.for_all (fun a -> List.length (Linconstr.vars a) <= 1))
+    (Semilinear.dnf s)
+
+(* Per-axis breakpoints of a variable-independent set: the constants
+   [-c/a] of its univariate atoms. *)
+let axis_breakpoints s axis =
+  let v = (Semilinear.vars s).(axis) in
+  List.concat_map
+    (List.filter_map (fun atom ->
+         let e = Linconstr.expr atom in
+         let c = Linexpr.coeff e v in
+         if Q.is_zero c then None
+         else Some (Q.neg (Q.div (Linexpr.constant e) c))))
+    (Semilinear.dnf s)
+  |> List.sort_uniq Q.compare
+
+let grid_volume s =
+  if not (is_variable_independent s) then
+    invalid_arg "Var_indep.grid_volume: not variable-independent";
+  let n = Semilinear.dim s in
+  match Semilinear.bounding_box s with
+  | None ->
+      if Semilinear.is_empty s then Q.zero else raise Volume_exact.Unbounded
+  | Some _ ->
+      (* For each axis: breakpoints partition the line; the set is a union
+         of products of partition pieces.  Sum volumes of member cells. *)
+      let axes =
+        List.init n (fun i ->
+            let bps = axis_breakpoints s i in
+            (* pieces: open intervals between consecutive breakpoints (the
+               isolated points have measure zero) *)
+            let rec pieces = function
+              | a :: (b :: _ as rest) ->
+                  if Q.lt a b then (Q.mid a b, Q.sub b a) :: pieces rest
+                  else pieces rest
+              | _ -> []
+            in
+            pieces bps)
+      in
+      let rec walk prefix_sample prefix_width = function
+        | [] ->
+            if Semilinear.mem s (Array.of_list (List.rev prefix_sample)) then
+              prefix_width
+            else Q.zero
+        | axis :: rest ->
+            List.fold_left
+              (fun acc (sample, width) ->
+                Q.add acc
+                  (walk (sample :: prefix_sample) (Q.mul prefix_width width) rest))
+              Q.zero axis
+      in
+      walk [] Q.one axes

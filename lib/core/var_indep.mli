@@ -1,0 +1,20 @@
+(** The variable-independence baseline of Chomicki-Goldin-Kuper (reference
+    [11] of the paper): when the constraint representation of a planar set
+    never couples [x] and [y], exact volume is definable in FO + LIN.  The
+    paper's criticism -- that the condition excludes most sets arising in
+    practice -- is quantified by experiment E12. *)
+
+open Cqa_arith
+open Cqa_linear
+
+val is_variable_independent : Semilinear.t -> bool
+(** Syntactic check: every atom of the DNF mentions at most one coordinate.
+    (Sound: every such set is a finite union of boxes; incomplete in
+    general, which only strengthens the "too restrictive" conclusion.) *)
+
+val grid_volume : Semilinear.t -> Q.t
+(** Exact volume of a variable-independent bounded set via its breakpoint
+    grid: the set is a union of grid cells, so the volume is the sum of the
+    cell areas whose sample point belongs to the set.
+    @raise Invalid_argument on non-variable-independent input.
+    @raise Volume_exact.Unbounded on unbounded input. *)

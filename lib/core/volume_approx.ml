@@ -1,0 +1,56 @@
+open Cqa_arith
+open Cqa_logic
+open Cqa_poly
+open Cqa_vc
+
+type result = {
+  estimate : Q.t;
+  sample_size : int;
+}
+
+let sample_size_for ~eps ~delta ~vc_dim =
+  Bounds.blumer_sample_size ~eps ~delta ~vc_dim
+
+let approx_semialg ~prng ~m s =
+  let dim = Semialg.dim s in
+  let sample = Approx_volume.random_sample ~prng ~dim ~n:m in
+  Approx_volume.fraction_in sample (Semialg.mem s)
+
+let approx_semialg_eps ~prng ~eps ~delta ~vc_dim s =
+  let m = sample_size_for ~eps ~delta ~vc_dim in
+  { estimate = approx_semialg ~prng ~m s; sample_size = m }
+
+let env_of vars pt =
+  let env = ref Var.Map.empty in
+  Array.iteri (fun i v -> env := Var.Map.add v pt.(i) !env) vars;
+  !env
+
+let member db yvars f pt =
+  Eval.holds db (env_of yvars pt) f
+
+let approx_query ~prng ~m db ~yvars f =
+  let dim = Array.length yvars in
+  let sample = Approx_volume.random_sample ~prng ~dim ~n:m in
+  Approx_volume.fraction_in sample (member db yvars f)
+
+let approx_query_family ~prng ~m db ~xvars ~yvars f ~params =
+  let dim = Array.length yvars in
+  let sample = Approx_volume.random_sample ~prng ~dim ~n:m in
+  List.map
+    (fun a ->
+      let base = env_of xvars a in
+      let mem pt =
+        let env =
+          Array.to_list yvars
+          |> List.mapi (fun i v -> (v, pt.(i)))
+          |> List.fold_left (fun e (v, c) -> Var.Map.add v c e) base
+        in
+        Eval.holds db env f
+      in
+      (a, Approx_volume.fraction_in sample mem))
+    params
+
+let halton_approx_query ~m db ~yvars f =
+  let dim = Array.length yvars in
+  let sample = Approx_volume.halton_sample ~dim ~n:m in
+  Approx_volume.fraction_in sample (member db yvars f)

@@ -1,0 +1,51 @@
+(** Probabilistic approximation of volumes (Theorem 4): an FO + POLY + SUM +
+    W query draws a single sample of [M = max (4/eps log 2/delta, C log|D| /
+    eps log 13/eps)] points with the witness operator and reports, for every
+    parameter tuple simultaneously, the fraction of the sample falling in
+    the section -- within [eps] of the true volume with probability [1 -
+    delta], uniformly in the parameters. *)
+
+open Cqa_arith
+open Cqa_logic
+open Cqa_poly
+open Cqa_vc
+
+type result = {
+  estimate : Q.t;
+  sample_size : int;
+}
+
+val sample_size_for : eps:float -> delta:float -> vc_dim:int -> int
+(** The BEHW bound used throughout. *)
+
+val approx_semialg : prng:Prng.t -> m:int -> Semialg.t -> Q.t
+(** Fraction of [m] uniform unit-cube points inside the set: estimates
+    [VOL_I]. *)
+
+val approx_semialg_eps :
+  prng:Prng.t -> eps:float -> delta:float -> vc_dim:int -> Semialg.t -> result
+
+val approx_query :
+  prng:Prng.t ->
+  m:int ->
+  Db.t ->
+  yvars:Var.t array ->
+  Ast.formula ->
+  Q.t
+(** Estimate [VOL_I { y | phi (y) }] with [m] pointwise membership tests. *)
+
+val approx_query_family :
+  prng:Prng.t ->
+  m:int ->
+  Db.t ->
+  xvars:Var.t array ->
+  yvars:Var.t array ->
+  Ast.formula ->
+  params:Q.t array list ->
+  (Q.t array * Q.t) list
+(** The uniform-over-parameters shape of Theorem 4: one shared sample scored
+    against [phi (a, .)] for every [a] in [params]. *)
+
+val halton_approx_query :
+  m:int -> Db.t -> yvars:Var.t array -> Ast.formula -> Q.t
+(** Deterministic low-discrepancy variant (the derandomized stand-in). *)

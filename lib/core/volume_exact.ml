@@ -1,0 +1,150 @@
+open Cqa_arith
+open Cqa_linear
+open Cqa_poly
+open Cqa_geom
+
+exception Unbounded
+
+(* Keep only genuinely satisfiable disjuncts: for a satisfiable conjunction,
+   relaxing strict atoms cannot introduce recession directions, so
+   boundedness checks on the relaxation are then faithful. *)
+let prune s =
+  Semilinear.make (Semilinear.vars s)
+    (List.filter Fourier_motzkin.satisfiable_conj (Semilinear.dnf s))
+
+let hyperplane_exprs s =
+  let all =
+    List.concat_map
+      (fun conj -> List.map (fun a -> Linconstr.make (Linconstr.expr a) Linconstr.Eq) conj)
+      (Semilinear.dnf s)
+  in
+  let rec uniq acc = function
+    | [] -> List.rev acc
+    | c :: rest ->
+        if List.exists (Linconstr.equal c) acc then uniq acc rest
+        else uniq (c :: acc) rest
+  in
+  List.map Linconstr.expr (uniq [] all)
+
+let arrangement_vertices s =
+  let n = Semilinear.dim s in
+  let vars = Semilinear.vars s in
+  let exprs = Array.of_list (hyperplane_exprs s) in
+  let m = Array.length exprs in
+  let verts = ref [] in
+  if n >= 1 && m >= n then begin
+    let idx = Array.make n 0 in
+    let rec choose k start =
+      if k = n then begin
+        let a =
+          Array.init n (fun r ->
+              Array.map (fun v -> Linexpr.coeff exprs.(idx.(r)) v) vars)
+        in
+        let b = Array.init n (fun r -> Q.neg (Linexpr.constant exprs.(idx.(r)))) in
+        match Qmat.solve a b with
+        | Some x -> verts := x :: !verts
+        | None -> ()
+      end
+      else
+        for i = start to m - 1 do
+          idx.(k) <- i;
+          choose (k + 1) (i + 1)
+        done
+    in
+    choose 0 0
+  end;
+  !verts
+
+let breakpoints_pruned s =
+  let n = Semilinear.dim s in
+  match Semilinear.bounding_box s with
+  | None -> raise Unbounded
+  | Some bb ->
+      let lo, hi = bb.(n - 1) in
+      let vertex_ts =
+        List.map (fun v -> v.(n - 1)) (arrangement_vertices s)
+        |> List.filter (fun t -> Q.leq lo t && Q.leq t hi)
+      in
+      List.sort_uniq Q.compare (lo :: hi :: vertex_ts)
+
+let breakpoints s =
+  let s = prune s in
+  if Semilinear.dnf s = [] then []
+  else breakpoints_pruned s
+
+let rec volume_sweep_pruned s =
+  let n = Semilinear.dim s in
+  if Semilinear.dnf s = [] then Q.zero
+  else if n = 0 then Q.one
+  else if n = 1 then begin
+    let cell = Semilinear.last_axis_cell s [||] in
+    match Cell1.measure cell with
+    | Some m -> m
+    | None -> raise Unbounded
+  end
+  else begin
+    let bps = breakpoints_pruned s in
+    let h t = volume_sweep_pruned (prune (Semilinear.section_last s t)) in
+    let rec pieces acc = function
+      | a :: (b :: _ as rest) ->
+          let width = Q.sub b a in
+          if Q.sign width <= 0 then pieces acc rest
+          else begin
+            (* the section measure is a polynomial of degree < n on (a, b):
+               recover it by interpolation at n interior points *)
+            let samples =
+              List.init n (fun j ->
+                  let frac = Q.of_ints (j + 1) (n + 1) in
+                  Q.add a (Q.mul width frac))
+            in
+            let pts = List.map (fun t -> (t, h t)) samples in
+            let p = Upoly.interpolate pts in
+            pieces (Q.add acc (Upoly.integrate p a b)) rest
+          end
+      | _ -> acc
+    in
+    pieces Q.zero bps
+  end
+
+let volume_sweep s = volume_sweep_pruned (prune s)
+
+let volume_incl_excl s =
+  let s = prune s in
+  let disjuncts = Semilinear.dnf s in
+  if disjuncts = [] then Q.zero
+  else begin
+    if Semilinear.bounding_box s = None then raise Unbounded;
+    let vars = Semilinear.vars s in
+    let polys =
+      Array.of_list
+        (List.map (fun conj -> Hpolytope.of_constraints vars conj) disjuncts)
+    in
+    let d = Array.length polys in
+    if d > 20 then invalid_arg "Volume_exact.volume_incl_excl: too many disjuncts";
+    let total = ref Q.zero in
+    for mask = 1 to (1 lsl d) - 1 do
+      let inter = ref None in
+      let count = ref 0 in
+      for i = 0 to d - 1 do
+        if (mask lsr i) land 1 = 1 then begin
+          incr count;
+          inter :=
+            Some
+              (match !inter with
+              | None -> polys.(i)
+              | Some p -> Hpolytope.intersect p polys.(i))
+        end
+      done;
+      match !inter with
+      | None -> assert false
+      | Some p ->
+          let v = Lasserre.volume p in
+          if !count mod 2 = 1 then total := Q.add !total v
+          else total := Q.sub !total v
+    done;
+    !total
+  end
+
+let volume = volume_sweep
+
+let volume_clamped s = volume_sweep (Semilinear.clamp_unit s)

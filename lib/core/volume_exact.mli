@@ -1,0 +1,44 @@
+(** Exact volume of semi-linear sets: the effective content of the paper's
+    Theorem 3 (FO + POLY + SUM computes VOL of semi-linear databases).
+
+    Two independent algorithms are provided and cross-checked in the tests:
+
+    - [volume_sweep] follows the paper's inductive proof: the measure of the
+      section at [x_n = t] is a piecewise-polynomial function of [t] of
+      degree below the dimension; its breakpoints are among the last
+      coordinates of the vertices of the hyperplane arrangement, the
+      polynomial pieces are recovered by exact interpolation at rational
+      sample points, and the pieces are integrated in closed form (the
+      paper's "sum over quadruples (l, u, m, b)" in dimension 2 is the
+      degree-1 case);
+    - [volume_incl_excl] decomposes the DNF by inclusion-exclusion into
+      intersections of convex polytopes and evaluates each with Lasserre's
+      recursion. *)
+
+open Cqa_arith
+open Cqa_linear
+
+exception Unbounded
+
+val volume_sweep : Semilinear.t -> Q.t
+(** @raise Unbounded when the set has infinite measure (strict/equality
+    atoms are relaxed: measure is closure-invariant). *)
+
+val volume_incl_excl : Semilinear.t -> Q.t
+(** @raise Unbounded likewise.  Exponential in the number of disjuncts. *)
+
+val volume : Semilinear.t -> Q.t
+(** The default algorithm ([volume_sweep]). *)
+
+val volume_clamped : Semilinear.t -> Q.t
+(** [VOL_I]: volume of the intersection with the unit cube; always finite. *)
+
+val arrangement_vertices : Semilinear.t -> Q.t array list
+(** All 0-dimensional intersections of [dim]-subsets of the constraint
+    hyperplanes (no feasibility filtering): a superset of the vertices of
+    every disjunct. *)
+
+val breakpoints : Semilinear.t -> Q.t list
+(** The candidate breakpoints used by the sweep on the last coordinate:
+    last coordinates of all vertices of the constraint-hyperplane
+    arrangement, plus the bounding interval's endpoints. *)

@@ -1,0 +1,65 @@
+open Cqa_arith
+open Cqa_linear
+open Cqa_poly
+
+type piece = { lo : Q.t; hi : Q.t; poly : Upoly.t }
+
+type t = piece list
+
+let section_volume_function s =
+  let n = Semilinear.dim s in
+  if n < 2 then invalid_arg "Volume_param.section_volume_function: dim < 2";
+  let bps = Volume_exact.breakpoints s in
+  let h t = Volume_exact.volume_sweep (Semilinear.section_last s t) in
+  let rec walk acc = function
+    | a :: (b :: _ as rest) ->
+        if Q.geq a b then walk acc rest
+        else begin
+          let width = Q.sub b a in
+          let samples =
+            List.init n (fun j ->
+                Q.add a (Q.mul width (Q.of_ints (j + 1) (n + 1))))
+          in
+          let poly = Upoly.interpolate (List.map (fun t -> (t, h t)) samples) in
+          walk ({ lo = a; hi = b; poly } :: acc) rest
+        end
+    | _ -> List.rev acc
+  in
+  walk [] bps
+
+let eval t x =
+  let rec go = function
+    | [] -> Q.zero
+    | p :: rest ->
+        if Q.leq p.lo x && Q.leq x p.hi then Upoly.eval p.poly x else go rest
+  in
+  go t
+
+let integrate t =
+  List.fold_left (fun acc p -> Q.add acc (Upoly.integrate p.poly p.lo p.hi)) Q.zero t
+
+let degree t = List.fold_left (fun acc p -> max acc (Upoly.degree p.poly)) 0 t
+
+let is_piecewise_linear t = degree t <= 1
+
+let to_semialgebraic_graph t =
+  let coords = Semialg.vars (Semialg.empty 2) in
+  let tv = Mpoly.var coords.(0) and vv = Mpoly.var coords.(1) in
+  let poly_in_t p =
+    List.fold_left
+      (fun acc (i, c) -> Mpoly.add acc (Mpoly.scale c (Mpoly.pow tv i)))
+      Mpoly.zero
+      (List.mapi (fun i c -> (i, c)) (Upoly.coeffs p))
+  in
+  let piece_dnf p =
+    [ { Semialg.poly = Mpoly.sub (Mpoly.constant p.lo) tv; op = Semialg.Le };
+      { Semialg.poly = Mpoly.sub tv (Mpoly.constant p.hi); op = Semialg.Le };
+      { Semialg.poly = Mpoly.sub vv (poly_in_t p.poly); op = Semialg.Eq } ]
+  in
+  Semialg.make coords (List.map piece_dnf t)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list (fun f p ->
+         Format.fprintf f "on (%a, %a): %a" Q.pp p.lo Q.pp p.hi Upoly.pp p.poly))
+    t

@@ -1,0 +1,51 @@
+(** Parametric volumes: Lemma 5 of the paper made effective.
+
+    For a semi-linear set [S] in R^n viewed as a family over its last
+    coordinate [t], the function [t -> vol (section of S at t)] is piecewise
+    polynomial of degree below [n] with finitely many rational breakpoints
+    -- this is why [{(a, v) | v = VOL (phi (a, D))}] is semi-algebraic
+    (Lemma 5), and why it generally leaves the semi-linear world (the
+    pieces are genuinely nonlinear), the paper's non-closure phenomenon.
+
+    The representation here is exact: breakpoints come from the vertices of
+    the constraint arrangement and each polynomial piece is recovered by
+    interpolation at rational sample points, as in {!Volume_exact}. *)
+
+open Cqa_arith
+open Cqa_linear
+open Cqa_poly
+
+type piece = {
+  lo : Q.t;
+  hi : Q.t;
+  poly : Upoly.t;  (** the section volume on the open interval (lo, hi) *)
+}
+
+type t = piece list
+(** Consecutive, non-overlapping pieces covering the parameter range of the
+    bounded set. *)
+
+val section_volume_function : Semilinear.t -> t
+(** [vol (section_last S t)] as an explicit piecewise polynomial in [t].
+    @raise Volume_exact.Unbounded on unbounded sets.
+    @raise Invalid_argument in dimension < 2. *)
+
+val eval : t -> Q.t -> Q.t
+(** Evaluate the function (0 outside all pieces; breakpoints take the value
+    of an adjacent piece -- a measure-zero convention). *)
+
+val integrate : t -> Q.t
+(** Total integral: equals {!Volume_exact.volume} of the set. *)
+
+val degree : t -> int
+(** Maximal piece degree; at most [dim - 1], and at least 2 forces the
+    conclusion of Lemma 5: volume leaves the linear world. *)
+
+val is_piecewise_linear : t -> bool
+
+val to_semialgebraic_graph : t -> Semialg.t
+(** The Lemma 5 statement itself: the graph [{ (t, v) | v = vol (section at
+    t) }] (restricted to the pieces' closure) as an explicit semi-algebraic
+    set in coordinates [(t, v)]. *)
+
+val pp : Format.formatter -> t -> unit

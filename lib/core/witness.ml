@@ -1,0 +1,10 @@
+open Cqa_vc
+
+let witness ~prng db coords f =
+  let s = Eval.eval_set db coords f in
+  match Aggregates.enumerate_finite s with
+  | Some [] -> None
+  | Some pts -> Some (List.nth pts (Prng.int prng (List.length pts)))
+  | None -> Cqa_linear.Semilinear.sample_point s
+
+let random_unit_point ~prng ~dim = Array.init dim (fun _ -> Prng.q_unit prng)

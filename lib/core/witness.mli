@@ -1,0 +1,16 @@
+(** The witness (choice) operator W of Abiteboul-Vianu, used by the paper's
+    FO + POLY + SUM + W extension (Theorem 4): select one tuple from a query
+    output.  Finite outputs are sampled uniformly at random; infinite
+    semi-linear outputs yield a deterministic representative point. *)
+
+open Cqa_arith
+open Cqa_logic
+open Cqa_vc
+
+val witness :
+  prng:Prng.t -> Db.t -> Var.t array -> Ast.formula -> Q.t array option
+(** [None] when the output is empty. *)
+
+val random_unit_point : prng:Prng.t -> dim:int -> Q.t array
+(** The W-call pattern of Theorem 4: a uniform random rational point of the
+    unit cube. *)

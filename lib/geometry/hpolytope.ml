@@ -1,0 +1,135 @@
+open Cqa_arith
+open Cqa_logic
+open Cqa_linear
+
+type halfspace = { normal : Q.t array; offset : Q.t }
+
+type t = { dim : int; hs : halfspace list }
+
+let dim t = t.dim
+let halfspaces t = t.hs
+
+let make dim hs =
+  List.iter
+    (fun h ->
+      if Array.length h.normal <> dim then
+        invalid_arg "Hpolytope.make: normal dimension mismatch";
+      if Array.for_all Q.is_zero h.normal then
+        invalid_arg "Hpolytope.make: zero normal")
+    hs;
+  { dim; hs }
+
+let vars_of n = Array.init n (fun i -> Var.of_string (Printf.sprintf "x%d" i))
+
+let halfspace_of_constraint vars c =
+  let e = Linconstr.expr c in
+  let normal = Array.map (fun v -> Linexpr.coeff e v) vars in
+  { normal; offset = Q.neg (Linexpr.constant e) }
+
+let of_constraints vars cs =
+  let n = Array.length vars in
+  let expand c =
+    match Linconstr.op c with
+    | Linconstr.Le | Linconstr.Lt -> [ halfspace_of_constraint vars c ]
+    | Linconstr.Eq ->
+        [ halfspace_of_constraint vars c;
+          halfspace_of_constraint vars
+            (Linconstr.make (Linexpr.neg (Linconstr.expr c)) Linconstr.Le) ]
+  in
+  let hs =
+    List.concat_map expand cs
+    |> List.filter (fun h -> not (Array.for_all Q.is_zero h.normal))
+  in
+  { dim = n; hs }
+
+let constraint_of_halfspace vars h =
+  let e =
+    Array.to_list (Array.mapi (fun i c -> (c, vars.(i))) h.normal)
+    |> List.filter (fun (c, _) -> not (Q.is_zero c))
+    |> Linexpr.of_list (Q.neg h.offset)
+  in
+  Linconstr.make e Linconstr.Le
+
+let to_constraints vars t = List.map (constraint_of_halfspace vars) t.hs
+
+let unit_vec n i s =
+  Array.init n (fun j -> if j = i then s else Q.zero)
+
+let box ranges =
+  let n = Array.length ranges in
+  let hs =
+    List.concat
+      (List.init n (fun i ->
+           let lo, hi = ranges.(i) in
+           [ { normal = unit_vec n i Q.one; offset = hi };
+             { normal = unit_vec n i Q.minus_one; offset = Q.neg lo } ]))
+  in
+  { dim = n; hs }
+
+let cube n = box (Array.make n (Q.zero, Q.one))
+
+let simplex_standard n =
+  let nonneg =
+    List.init n (fun i -> { normal = unit_vec n i Q.minus_one; offset = Q.zero })
+  in
+  let sum = { normal = Array.make n Q.one; offset = Q.one } in
+  { dim = n; hs = sum :: nonneg }
+
+let contains t pt =
+  Array.length pt = t.dim
+  && List.for_all
+       (fun h ->
+         let dot = ref Q.zero in
+         Array.iteri (fun i c -> dot := Q.add !dot (Q.mul c pt.(i))) h.normal;
+         Q.leq !dot h.offset)
+       t.hs
+
+let constraints t = to_constraints (vars_of t.dim) t
+
+let feasible_point t =
+  let vars = vars_of t.dim in
+  match Simplex.feasible (to_constraints vars t) with
+  | None -> None
+  | Some env ->
+      Some
+        (Array.map
+           (fun v -> Option.value ~default:Q.zero (Var.Map.find_opt v env))
+           vars)
+
+let is_empty t = feasible_point t = None
+
+let bounding_box t =
+  let vars = vars_of t.dim in
+  let cs = to_constraints vars t in
+  let rec go i acc =
+    if i >= t.dim then Some (Array.of_list (List.rev acc))
+    else begin
+      match Simplex.range (Linexpr.var vars.(i)) cs with
+      | None -> None
+      | Some (Some lo, Some hi) -> go (i + 1) ((lo, hi) :: acc)
+      | Some _ -> None
+    end
+  in
+  if t.dim = 0 then Some [||] else go 0 []
+
+let is_bounded t = is_empty t || bounding_box t <> None
+
+let intersect a b =
+  if a.dim <> b.dim then invalid_arg "Hpolytope.intersect: dimension mismatch";
+  { dim = a.dim; hs = a.hs @ b.hs }
+
+let translate v t =
+  if Array.length v <> t.dim then invalid_arg "Hpolytope.translate";
+  { t with
+    hs =
+      List.map
+        (fun h ->
+          let dot = ref Q.zero in
+          Array.iteri (fun i c -> dot := Q.add !dot (Q.mul c v.(i))) h.normal;
+          { h with offset = Q.add h.offset !dot })
+        t.hs }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list Linconstr.pp)
+    (constraints t)

@@ -1,0 +1,42 @@
+(** Convex polyhedra in H-representation: finite conjunctions of non-strict
+    halfspaces [a . x <= b] over exact rationals. *)
+
+open Cqa_arith
+open Cqa_logic
+open Cqa_linear
+
+type halfspace = { normal : Q.t array; offset : Q.t }
+(** [normal . x <= offset]. *)
+
+type t
+
+val dim : t -> int
+val halfspaces : t -> halfspace list
+
+val make : int -> halfspace list -> t
+(** @raise Invalid_argument on a normal of the wrong length or the zero
+    normal. *)
+
+val of_constraints : Var.t array -> Linconstr.t list -> t
+(** Strict constraints are relaxed to non-strict (closure); equalities
+    become two halfspaces. *)
+
+val to_constraints : Var.t array -> t -> Linconstr.t list
+
+val box : (Q.t * Q.t) array -> t
+val simplex_standard : int -> t
+(** [x_i >= 0, sum x_i <= 1]. *)
+
+val cube : int -> t
+
+val contains : t -> Q.t array -> bool
+val is_empty : t -> bool
+val is_bounded : t -> bool
+val feasible_point : t -> Q.t array option
+
+val bounding_box : t -> (Q.t * Q.t) array option
+(** [None] if empty or unbounded. *)
+
+val intersect : t -> t -> t
+val translate : Q.t array -> t -> t
+val pp : Format.formatter -> t -> unit

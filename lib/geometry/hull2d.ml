@@ -1,0 +1,36 @@
+open Cqa_arith
+
+let cross a b c =
+  Q.sub
+    (Q.mul (Q.sub b.(0) a.(0)) (Q.sub c.(1) a.(1)))
+    (Q.mul (Q.sub b.(1) a.(1)) (Q.sub c.(0) a.(0)))
+
+let compare_pt a b =
+  let c = Q.compare a.(0) b.(0) in
+  if c <> 0 then c else Q.compare a.(1) b.(1)
+
+(* One monotone chain: points must be sorted along the sweep direction; the
+   result lists the chain in sweep order, turning strictly left. *)
+let chain input =
+  let stack =
+    List.fold_left
+      (fun acc p ->
+        let rec pop = function
+          | b :: a :: rest when Q.leq (cross a b p) Q.zero -> pop (a :: rest)
+          | s -> s
+        in
+        p :: pop acc)
+      [] input
+  in
+  List.rev stack
+
+let drop_last l = match List.rev l with [] -> [] | _ :: t -> List.rev t
+
+let hull pts =
+  let pts = List.sort_uniq compare_pt pts in
+  match pts with
+  | [] | [ _ ] | [ _; _ ] -> pts
+  | _ ->
+      let lower = chain pts in
+      let upper = chain (List.rev pts) in
+      drop_last lower @ drop_last upper

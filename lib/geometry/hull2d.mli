@@ -1,0 +1,15 @@
+(** Exact 2-D convex hulls (Andrew's monotone chain). *)
+
+open Cqa_arith
+
+val cross : Q.t array -> Q.t array -> Q.t array -> Q.t
+(** Cross product [(b - a) x (c - a)]; positive iff the turn a->b->c is
+    counterclockwise. *)
+
+val compare_pt : Q.t array -> Q.t array -> int
+(** Lexicographic comparison of points. *)
+
+val hull : Q.t array list -> Q.t array list
+(** Convex hull vertices in counterclockwise order, starting from the
+    lexicographically minimal point; collinear interior points removed.
+    Degenerate inputs yield fewer than 3 vertices. *)

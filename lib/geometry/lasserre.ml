@@ -1,0 +1,78 @@
+open Cqa_arith
+open Cqa_logic
+open Cqa_linear
+
+(* Canonical dedup of halfspaces through Linconstr's primitive-integer
+   normal form: duplicated hyperplane terms would otherwise be counted
+   twice in the recursion. *)
+let dedup_halfspaces p =
+  let vars = Array.init (Hpolytope.dim p) (fun i -> Var.of_string (Printf.sprintf "x%d" i)) in
+  let cs = Hpolytope.to_constraints vars p in
+  let rec uniq acc = function
+    | [] -> List.rev acc
+    | c :: rest ->
+        if List.exists (Linconstr.equal c) acc then uniq acc rest
+        else uniq (c :: acc) rest
+  in
+  Hpolytope.of_constraints vars (uniq [] cs)
+
+let rec volume_dedup p0 =
+  (* re-deduplicate at every level: projection can merge distinct facet
+     constraints into identical halfspaces, which would be double counted *)
+  let p = dedup_halfspaces p0 in
+  let n = Hpolytope.dim p in
+  if Hpolytope.is_empty p then Q.zero
+  else if n = 0 then Q.one
+  else if n = 1 then begin
+    match Hpolytope.bounding_box p with
+    | Some [| (lo, hi) |] -> Q.sub hi lo
+    | _ -> assert false
+  end
+  else begin
+    let hs = Hpolytope.halfspaces p in
+    let term (h : Hpolytope.halfspace) =
+      let a = h.Hpolytope.normal and b = h.Hpolytope.offset in
+      (* pivot coordinate *)
+      let j = ref (-1) in
+      Array.iteri (fun i c -> if !j < 0 && not (Q.is_zero c) then j := i) a;
+      let j = !j in
+      let aj = a.(j) in
+      (* substitute x_j = (b - sum_{k<>j} a_k x_k) / a_j into the others *)
+      let project (h' : Hpolytope.halfspace) =
+        let a' = h'.Hpolytope.normal and b' = h'.Hpolytope.offset in
+        let f = Q.div a'.(j) aj in
+        let normal =
+          Array.init (n - 1) (fun k ->
+              let k' = if k < j then k else k + 1 in
+              Q.sub a'.(k') (Q.mul f a.(k')))
+        in
+        let offset = Q.sub b' (Q.mul f b) in
+        (normal, offset)
+      in
+      let rows = List.filter (fun h' -> h' != h) hs |> List.map project in
+      (* all-zero rows are trivially true or make the facet empty *)
+      let infeasible =
+        List.exists
+          (fun (nr, off) -> Array.for_all Q.is_zero nr && Q.lt off Q.zero)
+          rows
+      in
+      if infeasible then Q.zero
+      else begin
+        let rows =
+          List.filter (fun (nr, _) -> not (Array.for_all Q.is_zero nr)) rows
+        in
+        let facet =
+          Hpolytope.make (n - 1)
+            (List.map (fun (normal, offset) -> { Hpolytope.normal; offset }) rows)
+        in
+        Q.div (Q.mul b (volume_dedup facet)) (Q.abs aj)
+      end
+    in
+    let total = List.fold_left (fun acc h -> Q.add acc (term h)) Q.zero hs in
+    Q.div total (Q.of_int n)
+  end
+
+let volume p =
+  if not (Hpolytope.is_bounded p) then
+    invalid_arg "Lasserre.volume: unbounded polytope";
+  volume_dedup p

@@ -1,0 +1,18 @@
+(** Exact volume of bounded convex H-polytopes by Lasserre's recursive
+    identity
+
+    [n * vol(P) = sum_i (b_i / ||a_i||) * vol_{n-1}(facet_i)],
+
+    implemented rationally: the facet on [a_i . x = b_i] is projected along
+    a coordinate [j] with [a_ij <> 0], which scales its measure by
+    [|a_ij| / ||a_i||], so every term is [(b_i / |a_ij|) * vol(projection)]
+    and no square roots appear.  Exact-volume computation is #P-hard in
+    general (Dyer-Frieze, cited by the paper's introduction as the
+    motivation for approximate volume operators); this is the exponential
+    exact baseline the experiments time against the sampling approach. *)
+
+open Cqa_arith
+
+val volume : Hpolytope.t -> Q.t
+(** Volume of a bounded polytope (0 if empty or degenerate).
+    @raise Invalid_argument on an unbounded polytope. *)

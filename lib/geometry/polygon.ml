@@ -1,0 +1,91 @@
+open Cqa_arith
+
+type t = Q.t array list
+
+let of_vertices vs =
+  if List.length vs < 3 then invalid_arg "Polygon.of_vertices: need 3 vertices";
+  List.iter
+    (fun v -> if Array.length v <> 2 then invalid_arg "Polygon.of_vertices: not 2-D")
+    vs;
+  vs
+
+let vertices t = t
+let vertex_count = List.length
+
+let edges t =
+  match t with
+  | [] -> []
+  | first :: _ ->
+      let rec go = function
+        | [ last ] -> [ (last, first) ]
+        | a :: (b :: _ as rest) -> (a, b) :: go rest
+        | [] -> []
+      in
+      go t
+
+let signed_area t =
+  let twice =
+    List.fold_left
+      (fun acc (a, b) ->
+        Q.add acc (Q.sub (Q.mul a.(0) b.(1)) (Q.mul b.(0) a.(1))))
+      Q.zero (edges t)
+  in
+  Q.mul twice Q.half
+
+let area t = Q.abs (signed_area t)
+
+let perimeter_sq_sum t =
+  List.fold_left
+    (fun acc (a, b) ->
+      let dx = Q.sub b.(0) a.(0) and dy = Q.sub b.(1) a.(1) in
+      Q.add acc (Q.add (Q.mul dx dx) (Q.mul dy dy)))
+    Q.zero (edges t)
+
+let is_convex t =
+  let vs = Array.of_list t in
+  let n = Array.length vs in
+  let sign_seen = ref 0 in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let a = vs.(i) and b = vs.((i + 1) mod n) and c = vs.((i + 2) mod n) in
+    let s = Q.sign (Hull2d.cross a b c) in
+    if s <> 0 then begin
+      if !sign_seen = 0 then sign_seen := s
+      else if s <> !sign_seen then ok := false
+    end
+  done;
+  !ok
+
+let contains_convex t p =
+  if not (is_convex t) then invalid_arg "Polygon.contains_convex: non-convex";
+  let orientation = Q.sign (signed_area t) in
+  List.for_all
+    (fun (a, b) ->
+      let s = Q.sign (Hull2d.cross a b p) in
+      s = 0 || s = orientation)
+    (edges t)
+
+let centroid t =
+  let n = Q.of_int (List.length t) in
+  let sx = List.fold_left (fun acc v -> Q.add acc v.(0)) Q.zero t in
+  let sy = List.fold_left (fun acc v -> Q.add acc v.(1)) Q.zero t in
+  [| Q.div sx n; Q.div sy n |]
+
+let triangle_area a b c =
+  (* (a1*b2 - a2*b1 + a2*c1 - a1*c2 + b1*c2 - b2*c1) / 2 *)
+  let open Q in
+  let v =
+    add
+      (add
+         (sub (mul a.(0) b.(1)) (mul a.(1) b.(0)))
+         (sub (mul a.(1) c.(0)) (mul a.(0) c.(1))))
+      (sub (mul b.(0) c.(1)) (mul b.(1) c.(0)))
+  in
+  Q.abs (Q.mul v Q.half)
+
+let pp fmt t =
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.fprintf f "; ")
+       (fun f v -> Format.fprintf f "(%a, %a)" Q.pp v.(0) Q.pp v.(1)))
+    t

@@ -1,0 +1,35 @@
+(** Simple polygons in the plane with exact rational vertices, given as a
+    counterclockwise vertex list.  The shoelace area here is the
+    computational-geometry ground truth against which the paper's Section 5
+    FO + POLY + SUM triangulation program is checked. *)
+
+open Cqa_arith
+
+type t
+
+val of_vertices : Q.t array list -> t
+(** @raise Invalid_argument with fewer than 3 vertices or non-planar
+    points. *)
+
+val vertices : t -> Q.t array list
+val vertex_count : t -> int
+
+val signed_area : t -> Q.t
+(** Shoelace formula; positive for counterclockwise orientation. *)
+
+val area : t -> Q.t
+val perimeter_sq_sum : t -> Q.t
+(** Sum of squared edge lengths (exact; euclidean perimeter itself is
+    irrational in general). *)
+
+val is_convex : t -> bool
+val contains_convex : t -> Q.t array -> bool
+(** Point location for convex polygons (boundary counts as inside).
+    @raise Invalid_argument on non-convex input. *)
+
+val centroid : t -> Q.t array
+val triangle_area : Q.t array -> Q.t array -> Q.t array -> Q.t
+(** Area of a triangle from its vertices: the paper's deterministic formula
+    [(a1 b2 - a2 b1 + a2 c1 - a1 c2 + b1 c2 - b2 c1) / 2], absolute value. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+open Cqa_arith
+
+let fan vs =
+  if List.length vs < 3 then invalid_arg "Triangulate.fan: need 3 vertices";
+  (* rotate the ccw vertex list so the lexicographic minimum is first,
+     matching the paper's choice of anchor *)
+  let arr = Array.of_list vs in
+  let n = Array.length arr in
+  let min_i = ref 0 in
+  for i = 1 to n - 1 do
+    if Hull2d.compare_pt arr.(i) arr.(!min_i) < 0 then min_i := i
+  done;
+  let v k = arr.((!min_i + k) mod n) in
+  List.init (n - 2) (fun i -> (v 0, v (i + 1), v (i + 2)))
+
+let area_by_fan vs =
+  List.fold_left
+    (fun acc (a, b, c) -> Q.add acc (Polygon.triangle_area a b c))
+    Q.zero (fan vs)
+
+let rec factorial n = if n <= 1 then Bigint.one else Bigint.mul (Bigint.of_int n) (factorial (n - 1))
+
+let simplex_volume pts =
+  match pts with
+  | [] -> invalid_arg "Triangulate.simplex_volume: no points"
+  | v0 :: rest ->
+      let n = Array.length v0 in
+      if List.length rest <> n then
+        invalid_arg "Triangulate.simplex_volume: need n+1 points in R^n";
+      let m =
+        Array.of_list
+          (List.map (fun v -> Array.init n (fun i -> Q.sub v.(i) v0.(i))) rest)
+      in
+      Q.div (Q.abs (Qmat.det m)) (Q.of_bigint (factorial n))

@@ -1,0 +1,19 @@
+(** Fan triangulation of convex polygons from the lexicographically minimal
+    vertex -- the construction of the paper's Section 5 example -- and exact
+    simplex volumes in any dimension. *)
+
+open Cqa_arith
+
+val fan : Q.t array list -> (Q.t array * Q.t array * Q.t array) list
+(** [fan hull_vertices] for a convex polygon's vertices in ccw order:
+    triangles [(v0, vi, vi+1)] anchored at the lexicographic minimum.
+    @raise Invalid_argument with fewer than 3 vertices. *)
+
+val area_by_fan : Q.t array list -> Q.t
+(** Sum of fan-triangle areas: the value of the paper's
+    [sum_rho gamma] term. *)
+
+val simplex_volume : Q.t array list -> Q.t
+(** Exact volume of the simplex spanned by [n+1] points in dimension [n]:
+    [|det (v1 - v0, ..., vn - v0)| / n!].
+    @raise Invalid_argument on a wrong point count. *)

@@ -1,0 +1,49 @@
+open Cqa_arith
+
+let compare_pt a b =
+  let rec go i =
+    if i >= Array.length a then 0
+    else begin
+      let c = Q.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+    end
+  in
+  go 0
+
+let vertices p =
+  if not (Hpolytope.is_bounded p) then
+    invalid_arg "Vertex_enum.vertices: unbounded polytope";
+  let n = Hpolytope.dim p in
+  let hs = Array.of_list (Hpolytope.halfspaces p) in
+  let m = Array.length hs in
+  if n = 0 then (if Hpolytope.is_empty p then [] else [ [||] ])
+  else begin
+    let found = ref [] in
+    (* iterate over all n-subsets of constraints *)
+    let idx = Array.make n 0 in
+    let rec choose k start =
+      if k = n then begin
+        let a =
+          Array.init n (fun r -> Array.copy hs.(idx.(r)).Hpolytope.normal)
+        in
+        let b = Array.init n (fun r -> hs.(idx.(r)).Hpolytope.offset) in
+        match Qmat.solve a b with
+        | Some x when Hpolytope.contains p x ->
+            if not (List.exists (fun y -> compare_pt x y = 0) !found) then
+              found := x :: !found
+        | Some _ | None -> ()
+      end
+      else
+        for i = start to m - 1 do
+          idx.(k) <- i;
+          choose (k + 1) (i + 1)
+        done
+    in
+    choose 0 0;
+    List.sort compare_pt !found
+  end
+
+let lex_min = function
+  | [] -> None
+  | v :: rest ->
+      Some (List.fold_left (fun acc w -> if compare_pt w acc < 0 then w else acc) v rest)

@@ -1,0 +1,14 @@
+(** Exact vertex enumeration of bounded H-polytopes by basis enumeration:
+    every vertex is the unique solution of [dim] linearly independent active
+    constraints.  Exponential in the constraint count, intended for the
+    modest dimensions of the paper's experiments. *)
+
+open Cqa_arith
+
+val vertices : Hpolytope.t -> Q.t array list
+(** Duplicate-free, lexicographically sorted.
+    @raise Invalid_argument on an unbounded polytope. *)
+
+val lex_min : Q.t array list -> Q.t array option
+(** Lexicographically minimal point, as used by the paper's Section 5
+    triangulation example. *)

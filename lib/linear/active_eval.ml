@@ -1,0 +1,59 @@
+open Cqa_arith
+open Cqa_logic
+
+(* Inline a finite relation applied to argument variables under an
+   environment, as a ground boolean. *)
+let rel_holds inst env r args =
+  let tup =
+    Array.of_list
+      (List.map
+         (fun x ->
+           match Var.Map.find_opt x env with
+           | Some c -> c
+           | None -> invalid_arg ("Active_eval: unbound variable " ^ Var.name x))
+         args)
+  in
+  Instance.mem inst r tup
+
+(* Replace schema atoms by their truth value and environment constants into
+   constraint atoms; the result is a pure linear formula over the natural
+   quantifiers' variables. *)
+let rec reduce inst env (f : Linconstr.t Formula.t) : Linformula.t =
+  match f with
+  | Formula.True -> Formula.True
+  | Formula.False -> Formula.False
+  | Formula.Atom a -> Formula.Atom (Linconstr.eval_partial a env)
+  | Formula.Rel (r, args) ->
+      if rel_holds inst env r args then Formula.True else Formula.False
+  | Formula.Not g -> Formula.Not (reduce inst env g)
+  | Formula.And (g, h) -> Formula.And (reduce inst env g, reduce inst env h)
+  | Formula.Or (g, h) -> Formula.Or (reduce inst env g, reduce inst env h)
+  | Formula.Exists (x, g) -> Formula.Exists (x, reduce inst (Var.Map.remove x env) g)
+  | Formula.Forall (x, g) -> Formula.Forall (x, reduce inst (Var.Map.remove x env) g)
+  | Formula.Exists_adom (x, g) ->
+      Formula.disj
+        (List.map
+           (fun c -> reduce inst (Var.Map.add x c env) g)
+           (Instance.active_domain inst))
+  | Formula.Forall_adom (x, g) ->
+      Formula.conj
+        (List.map
+           (fun c -> reduce inst (Var.Map.add x c env) g)
+           (Instance.active_domain inst))
+
+let holds inst env f = Fourier_motzkin.sat (reduce inst env f)
+
+let output inst vars f =
+  let adom = Instance.active_domain inst in
+  let rec go env = function
+    | [] -> if holds inst env f then [ Array.of_list (List.map (fun v -> Var.Map.find v env) vars) ] else []
+    | v :: rest -> List.concat_map (fun c -> go (Var.Map.add v c env) rest) adom
+  in
+  List.sort_uniq Stdlib.compare (go Var.Map.empty vars)
+
+let avg inst var f =
+  match output inst [ var ] f with
+  | [] -> None
+  | pts ->
+      let s = List.fold_left (fun acc p -> Q.add acc p.(0)) Q.zero pts in
+      Some (Q.div s (Q.of_int (List.length pts)))

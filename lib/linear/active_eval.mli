@@ -1,0 +1,24 @@
+(** Active-domain evaluation of FO + LIN over finite instances: the
+    classical setting of the paper's Section 4 results (Theorem 1 is proved
+    "even over finite instances", and the natural-active collapse of [6]
+    connects the two semantics).
+
+    Active quantifiers range over the instance's active domain; natural
+    quantifiers over all of R are decided by reduction to Fourier-Motzkin
+    elimination. *)
+
+open Cqa_arith
+open Cqa_logic
+
+val holds : Instance.t -> Q.t Var.Map.t -> Linconstr.t Formula.t -> bool
+(** Truth under the environment.  Schema atoms look up the instance;
+    [Exists_adom]/[Forall_adom] enumerate the active domain;
+    natural quantifiers are eliminated symbolically. *)
+
+val output : Instance.t -> Var.t list -> Linconstr.t Formula.t -> Q.t array list
+(** Active-semantics query output: tuples over the active domain satisfying
+    the formula, sorted. *)
+
+val avg : Instance.t -> Var.t -> Linconstr.t Formula.t -> Q.t option
+(** The Section 4.1 aggregate: AVG over a unary active-semantics query
+    output; [None] when empty. *)

@@ -1,0 +1,230 @@
+open Cqa_arith
+open Cqa_logic
+
+type bound =
+  | Ninf
+  | Pinf
+  | Incl of Q.t
+  | Excl of Q.t
+
+type component = { lo : bound; hi : bound }
+
+type t = component list
+
+let empty = []
+let full = [ { lo = Ninf; hi = Pinf } ]
+
+(* Is the generalized interval (lo, hi) nonempty? *)
+let nonempty lo hi =
+  match (lo, hi) with
+  | Pinf, _ | _, Ninf -> false
+  | Ninf, _ | _, Pinf -> true
+  | Incl a, Incl b -> Q.leq a b
+  | (Incl a | Excl a), (Incl b | Excl b) -> Q.lt a b
+
+let of_component lo hi = if nonempty lo hi then [ { lo; hi } ] else []
+
+let point a = of_component (Incl a) (Incl a)
+let open_interval a b = of_component (Excl a) (Excl b)
+let closed_interval a b = of_component (Incl a) (Incl b)
+let half_open_right a b = of_component (Incl a) (Excl b)
+let half_open_left a b = of_component (Excl a) (Incl b)
+let ray_lt a = of_component Ninf (Excl a)
+let ray_le a = of_component Ninf (Incl a)
+let ray_gt a = of_component (Excl a) Pinf
+let ray_ge a = of_component (Incl a) Pinf
+
+let components t = t
+
+let mem_component c x =
+  (match c.lo with
+  | Ninf -> true
+  | Pinf -> false
+  | Incl a -> Q.leq a x
+  | Excl a -> Q.lt a x)
+  && (match c.hi with
+     | Pinf -> true
+     | Ninf -> false
+     | Incl b -> Q.leq x b
+     | Excl b -> Q.lt x b)
+
+let mem t x = List.exists (fun c -> mem_component c x) t
+let is_empty t = t = []
+
+(* All finite values appearing as bounds, sorted, deduplicated. *)
+let critical t =
+  let vals =
+    List.concat_map
+      (fun c ->
+        let f = function Incl a | Excl a -> [ a ] | Ninf | Pinf -> [] in
+        f c.lo @ f c.hi)
+      t
+  in
+  List.sort_uniq Q.compare vals
+
+(* Rebuild a canonical set from a membership predicate sampled on the
+   refinement induced by the given critical points. *)
+let rebuild pts holds =
+  (* pieces: (-inf, p0), {p0}, (p0, p1), {p1}, ..., {pk}, (pk, +inf) *)
+  let pieces =
+    match pts with
+    | [] -> [ (Ninf, Pinf, Q.zero) ]
+    | p0 :: _ ->
+        let rec walk = function
+          | [ a ] -> [ (Incl a, Incl a, a); (Excl a, Pinf, Q.add a Q.one) ]
+          | a :: (b :: _ as rest) ->
+              (Incl a, Incl a, a) :: (Excl a, Excl b, Q.mid a b) :: walk rest
+          | [] -> []
+        in
+        (Ninf, Excl p0, Q.sub p0 Q.one) :: walk pts
+  in
+  let kept = List.filter (fun (_, _, sample) -> holds sample) pieces in
+  (* merge adjacent pieces *)
+  let adjacent hi lo =
+    match (hi, lo) with
+    | Excl a, Incl b | Incl a, Excl b -> Q.equal a b
+    | _ -> false
+  in
+  let rec merge = function
+    | (l1, h1, _) :: (l2, h2, s2) :: rest when adjacent h1 l2 ->
+        merge ((l1, h2, s2) :: rest)
+    | p :: rest -> p :: merge rest
+    | [] -> []
+  in
+  List.map (fun (lo, hi, _) -> { lo; hi }) (merge kept)
+
+let combine f a b =
+  let pts = List.sort_uniq Q.compare (critical a @ critical b) in
+  rebuild pts (fun x -> f (mem a x) (mem b x))
+
+let union = combine ( || )
+let inter = combine ( && )
+let diff = combine (fun x y -> x && not y)
+let compl t = combine (fun x _ -> not x) t empty
+let equal a b = is_empty (diff a b) && is_empty (diff b a)
+
+let endpoints t =
+  List.sort_uniq Q.compare
+    (List.concat_map
+       (fun c ->
+         let f = function Incl a | Excl a -> [ a ] | Ninf | Pinf -> [] in
+         f c.lo @ f c.hi)
+       t)
+
+let measure t =
+  let rec go acc = function
+    | [] -> Some acc
+    | { lo = Ninf; _ } :: _ | { hi = Pinf; _ } :: _ -> None
+    | { lo = Incl a | Excl a; hi = Incl b | Excl b } :: rest ->
+        go (Q.add acc (Q.sub b a)) rest
+    | { lo = Pinf; _ } :: _ | { hi = Ninf; _ } :: _ ->
+        (* excluded by the nonemptiness invariant *)
+        assert false
+  in
+  go Q.zero t
+
+let clamp lo hi t = inter t (closed_interval lo hi)
+
+let measure_clamped lo hi t =
+  match measure (clamp lo hi t) with
+  | Some m -> m
+  | None -> assert false
+
+let is_bounded t =
+  List.for_all
+    (fun c ->
+      (match c.lo with Ninf -> false | _ -> true)
+      && match c.hi with Pinf -> false | _ -> true)
+    t
+
+let min_elt = function [] -> None | c :: _ -> Some c.lo
+
+let max_elt t =
+  match List.rev t with [] -> None | c :: _ -> Some c.hi
+
+let atom_cell x a =
+  let e = Linconstr.expr a in
+  (match Linexpr.vars e with
+  | [] -> ()
+  | [ v ] when Var.equal v x -> ()
+  | _ -> invalid_arg "Cell1.of_constraints: foreign variable");
+  let c = Linexpr.coeff e x and r = Linexpr.constant e in
+  if Q.is_zero c then begin
+    (* ground atom *)
+    match Linconstr.is_trivial a with
+    | Some true -> full
+    | Some false | None -> empty
+  end
+  else begin
+    let b = Q.neg (Q.div r c) in
+    (* c*x + r op 0 *)
+    match (Linconstr.op a, Q.sign c > 0) with
+    | Linconstr.Eq, _ -> point b
+    | Linconstr.Le, true -> ray_le b
+    | Linconstr.Lt, true -> ray_lt b
+    | Linconstr.Le, false -> ray_ge b
+    | Linconstr.Lt, false -> ray_gt b
+  end
+
+let of_constraints x atoms =
+  List.fold_left (fun acc a -> inter acc (atom_cell x a)) full atoms
+
+let of_dnf x d =
+  List.fold_left (fun acc conj -> union acc (of_constraints x conj)) empty d
+
+let to_dnf x t =
+  let ex = Linexpr.var x in
+  let bound_atoms c =
+    let lo =
+      match c.lo with
+      | Ninf -> []
+      | Pinf -> assert false
+      | Incl a -> [ Linconstr.ge ex (Linexpr.const a) ]
+      | Excl a -> [ Linconstr.gt ex (Linexpr.const a) ]
+    in
+    let hi =
+      match c.hi with
+      | Pinf -> []
+      | Ninf -> assert false
+      | Incl b -> [ Linconstr.le ex (Linexpr.const b) ]
+      | Excl b -> [ Linconstr.lt ex (Linexpr.const b) ]
+    in
+    match (c.lo, c.hi) with
+    | Incl a, Incl b when Q.equal a b -> [ Linconstr.eq ex (Linexpr.const a) ]
+    | _ -> lo @ hi
+  in
+  List.map bound_atoms t
+
+let sample_points t =
+  List.map
+    (fun c ->
+      match (c.lo, c.hi) with
+      | (Incl a | Excl a), (Incl b | Excl b) ->
+          if Q.equal a b then a else Q.mid a b
+      | Ninf, (Incl b | Excl b) -> Q.sub b Q.one
+      | (Incl a | Excl a), Pinf -> Q.add a Q.one
+      | Ninf, Pinf -> Q.zero
+      | Pinf, _ | _, Ninf -> assert false)
+    t
+
+let component_count = List.length
+
+let pp_bound_lo fmt = function
+  | Ninf -> Format.pp_print_string fmt "(-inf"
+  | Incl a -> Format.fprintf fmt "[%a" Q.pp a
+  | Excl a -> Format.fprintf fmt "(%a" Q.pp a
+  | Pinf -> Format.pp_print_string fmt "(+inf"
+
+let pp_bound_hi fmt = function
+  | Pinf -> Format.pp_print_string fmt "+inf)"
+  | Incl a -> Format.fprintf fmt "%a]" Q.pp a
+  | Excl a -> Format.fprintf fmt "%a)" Q.pp a
+  | Ninf -> Format.pp_print_string fmt "-inf)"
+
+let pp fmt t =
+  if t = [] then Format.pp_print_string fmt "{}"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun f () -> Format.pp_print_string f " u ")
+      (fun f c -> Format.fprintf f "%a, %a" pp_bound_lo c.lo pp_bound_hi c.hi)
+      fmt t

@@ -1,0 +1,85 @@
+(** Canonical subsets of the real line definable with linear (indeed,
+    dense-order) constraints: finite unions of points and open intervals, in
+    a normalized maximal-interval representation.
+
+    By o-minimality of the ordered real field, every one-dimensional section
+    of a definable set has this shape with a uniformly bounded number of
+    components -- the fact underlying the closure of the paper's END operator
+    (Section 5), which extracts the finitely many interval endpoints. *)
+
+open Cqa_arith
+open Cqa_logic
+
+type bound =
+  | Ninf
+  | Pinf
+  | Incl of Q.t
+  | Excl of Q.t
+
+type component = private { lo : bound; hi : bound }
+(** A nonempty generalized interval; a point is [{lo = Incl a; hi = Incl a}]. *)
+
+type t = private component list
+(** Sorted, pairwise disjoint, non-adjacent (hence canonical: two equal sets
+    have equal representations). *)
+
+val empty : t
+val full : t
+val point : Q.t -> t
+val open_interval : Q.t -> Q.t -> t
+val closed_interval : Q.t -> Q.t -> t
+val half_open_right : Q.t -> Q.t -> t
+(** [[a, b)]. *)
+
+val half_open_left : Q.t -> Q.t -> t
+(** [(a, b]]. *)
+
+val ray_lt : Q.t -> t
+(** [(-inf, a)]. *)
+
+val ray_le : Q.t -> t
+val ray_gt : Q.t -> t
+val ray_ge : Q.t -> t
+
+val of_component : bound -> bound -> t
+(** Empty when the bounds describe an empty interval. *)
+
+val components : t -> component list
+val mem : t -> Q.t -> bool
+val is_empty : t -> bool
+val equal : t -> t -> bool
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val compl : t -> t
+
+val endpoints : t -> Q.t list
+(** Finite endpoints of the canonical maximal components, sorted and
+    duplicate-free: exactly the paper's [END] set. *)
+
+val measure : t -> Q.t option
+(** Lebesgue measure; [None] when infinite. *)
+
+val measure_clamped : Q.t -> Q.t -> t -> Q.t
+(** Measure of the intersection with [[lo, hi]]. *)
+
+val clamp : Q.t -> Q.t -> t -> t
+val is_bounded : t -> bool
+val min_elt : t -> bound option
+(** Infimum-side bound of the leftmost component ([None] on empty). *)
+
+val max_elt : t -> bound option
+
+val of_constraints : Var.t -> Linconstr.t list -> t
+(** Solution set of a conjunction of univariate constraints in the given
+    variable.  @raise Invalid_argument if another variable occurs. *)
+
+val of_dnf : Var.t -> Linformula.dnf -> t
+val to_dnf : Var.t -> t -> Linformula.dnf
+
+val sample_points : t -> Q.t list
+(** One rational point from each component. Empty components impossible. *)
+
+val component_count : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,82 @@
+open Cqa_arith
+
+type op = Le | Lt | Eq
+
+type t = { expr : Linexpr.t; op : op }
+
+(* Scale an expression to primitive integer coefficients, preserving sign.
+   Returns the scaled expression (multiplied by a positive rational). *)
+let primitive e =
+  let entries = (Q.zero, Linexpr.constant e) :: List.map (fun (_, c) -> (Q.zero, c)) (Linexpr.coeffs e) in
+  let dens = List.map (fun (_, c) -> Q.den c) entries in
+  let l = List.fold_left Bigint.lcm Bigint.one dens in
+  let scaled = Linexpr.smul (Q.of_bigint l) e in
+  let nums =
+    Q.num (Linexpr.constant scaled)
+    :: List.map (fun (_, c) -> Q.num c) (Linexpr.coeffs scaled)
+  in
+  let g = List.fold_left Bigint.gcd Bigint.zero nums in
+  if Bigint.is_zero g || Bigint.is_one g then scaled
+  else Linexpr.smul (Q.inv (Q.of_bigint g)) scaled
+
+let make e op =
+  let e = primitive e in
+  let e =
+    if op = Eq then begin
+      (* positive leading coefficient for canonicity *)
+      match Linexpr.coeffs e with
+      | (_, c) :: _ when Q.sign c < 0 -> Linexpr.neg e
+      | [] when Q.sign (Linexpr.constant e) < 0 -> Linexpr.neg e
+      | _ -> e
+    end
+    else e
+  in
+  { expr = e; op }
+
+let le a b = make (Linexpr.sub a b) Le
+let lt a b = make (Linexpr.sub a b) Lt
+let eq a b = make (Linexpr.sub a b) Eq
+let ge a b = le b a
+let gt a b = lt b a
+
+let expr t = t.expr
+let op t = t.op
+let vars t = Linexpr.vars t.expr
+
+let holds t env =
+  let v = Linexpr.eval t.expr env in
+  match t.op with
+  | Le -> Q.leq v Q.zero
+  | Lt -> Q.lt v Q.zero
+  | Eq -> Q.is_zero v
+
+let eval_partial t env = make (Linexpr.eval_partial t.expr env) t.op
+let subst t x e = make (Linexpr.subst t.expr x e) t.op
+let rename rn t = make (Linexpr.rename rn t.expr) t.op
+
+let negate t =
+  match t.op with
+  | Le -> [ make (Linexpr.neg t.expr) Lt ] (* not (e <= 0)  <=>  -e < 0 *)
+  | Lt -> [ make (Linexpr.neg t.expr) Le ]
+  | Eq -> [ make t.expr Lt; make (Linexpr.neg t.expr) Lt ]
+
+let is_trivial t =
+  if Linexpr.is_const t.expr then begin
+    let c = Linexpr.constant t.expr in
+    Some
+      (match t.op with
+      | Le -> Q.leq c Q.zero
+      | Lt -> Q.lt c Q.zero
+      | Eq -> Q.is_zero c)
+  end
+  else None
+
+let compare a b =
+  let c = Stdlib.compare a.op b.op in
+  if c <> 0 then c else Linexpr.compare a.expr b.expr
+
+let equal a b = compare a b = 0
+
+let pp fmt t =
+  let opstr = match t.op with Le -> "<=" | Lt -> "<" | Eq -> "=" in
+  Format.fprintf fmt "%a %s 0" Linexpr.pp t.expr opstr

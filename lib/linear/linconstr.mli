@@ -1,0 +1,42 @@
+(** Atomic linear constraints in the normal form [e <= 0], [e < 0] or
+    [e = 0], kept with primitive integer coefficients so that syntactically
+    equal constraints are structurally equal. *)
+
+open Cqa_arith
+open Cqa_logic
+
+type op = Le | Lt | Eq
+
+type t = private { expr : Linexpr.t; op : op }
+
+val make : Linexpr.t -> op -> t
+(** Normalizes: scales to primitive integer coefficients; [Eq] additionally
+    gets a positive leading coefficient. *)
+
+val le : Linexpr.t -> Linexpr.t -> t
+(** [le a b] is [a <= b]. *)
+
+val lt : Linexpr.t -> Linexpr.t -> t
+val eq : Linexpr.t -> Linexpr.t -> t
+val ge : Linexpr.t -> Linexpr.t -> t
+val gt : Linexpr.t -> Linexpr.t -> t
+
+val expr : t -> Linexpr.t
+val op : t -> op
+val vars : t -> Var.t list
+
+val holds : t -> Q.t Var.Map.t -> bool
+val eval_partial : t -> Q.t Var.Map.t -> t
+val subst : t -> Var.t -> Linexpr.t -> t
+val rename : (Var.t -> Var.t) -> t -> t
+
+val negate : t -> t list
+(** Complement as a disjunction of atoms: one atom for [Le]/[Lt], two for
+    [Eq]. *)
+
+val is_trivial : t -> bool option
+(** [Some b] when the constraint has no variables and truth value [b]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

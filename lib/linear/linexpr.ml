@@ -1,0 +1,109 @@
+open Cqa_arith
+open Cqa_logic
+
+type t = { const : Q.t; coeffs : Q.t Var.Map.t }
+(* Invariant: no zero entries in [coeffs]. *)
+
+let zero = { const = Q.zero; coeffs = Var.Map.empty }
+let const c = { const = c; coeffs = Var.Map.empty }
+let of_int n = const (Q.of_int n)
+
+let monomial c v =
+  if Q.is_zero c then zero
+  else { const = Q.zero; coeffs = Var.Map.singleton v c }
+
+let var v = monomial Q.one v
+
+let add a b =
+  { const = Q.add a.const b.const;
+    coeffs =
+      Var.Map.union
+        (fun _ x y ->
+          let s = Q.add x y in
+          if Q.is_zero s then None else Some s)
+        a.coeffs b.coeffs }
+
+let smul c a =
+  if Q.is_zero c then zero
+  else { const = Q.mul c a.const; coeffs = Var.Map.map (Q.mul c) a.coeffs }
+
+let neg a = smul Q.minus_one a
+let sub a b = add a (neg b)
+
+let coeff a v = Option.value ~default:Q.zero (Var.Map.find_opt v a.coeffs)
+let constant a = a.const
+let coeffs a = Var.Map.bindings a.coeffs
+let vars a = List.map fst (Var.Map.bindings a.coeffs)
+let is_const a = Var.Map.is_empty a.coeffs
+
+let eval a env =
+  Var.Map.fold
+    (fun v c acc ->
+      match Var.Map.find_opt v env with
+      | Some x -> Q.add acc (Q.mul c x)
+      | None -> invalid_arg ("Linexpr.eval: unbound variable " ^ Var.name v))
+    a.coeffs a.const
+
+let eval_partial a env =
+  Var.Map.fold
+    (fun v c acc ->
+      match Var.Map.find_opt v env with
+      | Some x -> { acc with const = Q.add acc.const (Q.mul c x) }
+      | None ->
+          { acc with coeffs = Var.Map.add v c acc.coeffs })
+    a.coeffs (const a.const)
+
+let subst a x e =
+  let c = coeff a x in
+  if Q.is_zero c then a
+  else begin
+    let without = { a with coeffs = Var.Map.remove x a.coeffs } in
+    add without (smul c e)
+  end
+
+let rename rn a =
+  Var.Map.fold
+    (fun v c acc -> add acc (monomial c (rn v)))
+    a.coeffs (const a.const)
+
+let solve_for a x =
+  let c = coeff a x in
+  if Q.is_zero c then None
+  else begin
+    let rest = { a with coeffs = Var.Map.remove x a.coeffs } in
+    Some (smul (Q.neg (Q.inv c)) rest)
+  end
+
+let compare a b =
+  let c = Q.compare a.const b.const in
+  if c <> 0 then c else Var.Map.compare Q.compare a.coeffs b.coeffs
+
+let equal a b = compare a b = 0
+
+let pp fmt a =
+  let items = Var.Map.bindings a.coeffs in
+  if items = [] then Q.pp fmt a.const
+  else begin
+    let first = ref true in
+    let put_sign neg_sign =
+      if !first then begin
+        if neg_sign then Format.pp_print_string fmt "-";
+        first := false
+      end
+      else Format.pp_print_string fmt (if neg_sign then " - " else " + ")
+    in
+    List.iter
+      (fun (v, c) ->
+        put_sign (Q.sign c < 0);
+        let c = Q.abs c in
+        if Q.equal c Q.one then Var.pp fmt v
+        else Format.fprintf fmt "%a*%a" Q.pp c Var.pp v)
+      items;
+    if not (Q.is_zero a.const) then begin
+      put_sign (Q.sign a.const < 0);
+      Q.pp fmt (Q.abs a.const)
+    end
+  end
+
+let of_list c0 terms =
+  List.fold_left (fun acc (c, v) -> add acc (monomial c v)) (const c0) terms

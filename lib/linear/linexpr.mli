@@ -1,0 +1,47 @@
+(** Linear expressions [c0 + sum ci * xi] with exact rational coefficients:
+    the terms of the R_lin signature [(+, -, 0, 1, <)]. *)
+
+open Cqa_arith
+open Cqa_logic
+
+type t
+
+val zero : t
+val const : Q.t -> t
+val of_int : int -> t
+val var : Var.t -> t
+val monomial : Q.t -> Var.t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val smul : Q.t -> t -> t
+
+val coeff : t -> Var.t -> Q.t
+val constant : t -> Q.t
+val coeffs : t -> (Var.t * Q.t) list
+(** Nonzero coefficients sorted by variable. *)
+
+val vars : t -> Var.t list
+val is_const : t -> bool
+
+val eval : t -> Q.t Var.Map.t -> Q.t
+(** @raise Invalid_argument on unbound variables. *)
+
+val eval_partial : t -> Q.t Var.Map.t -> t
+(** Substitute the given variables by constants, keep the rest. *)
+
+val subst : t -> Var.t -> t -> t
+(** [subst e x e'] replaces [x] by the expression [e']. *)
+
+val rename : (Var.t -> Var.t) -> t -> t
+
+val solve_for : t -> Var.t -> t option
+(** If [x] occurs in [e], return [e'] with [e = 0 <=> x = e'] ([x] not in
+    [e']). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val of_list : Q.t -> (Q.t * Var.t) list -> t

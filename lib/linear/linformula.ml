@@ -1,0 +1,87 @@
+open Cqa_logic
+
+type t = Linconstr.t Formula.t
+type conjunction = Linconstr.t list
+type dnf = conjunction list
+
+let free_vars f = Formula.free_vars ~atom_vars:Linconstr.vars f
+
+let negate_atom a = Formula.disj (List.map (fun c -> Formula.Atom c) (Linconstr.negate a))
+
+let nnf f = Formula.nnf ~negate_atom f
+
+let rename rn f = Formula.rename rn ~rename_atom:Linconstr.rename f
+
+(* Cross product of DNFs for conjunction. *)
+let dnf_and (a : dnf) (b : dnf) : dnf =
+  List.concat_map (fun ca -> List.map (fun cb -> ca @ cb) b) a
+
+let dnf_or (a : dnf) (b : dnf) : dnf = a @ b
+
+let rec dnf_of_nnf : t -> dnf = function
+  | Formula.True -> [ [] ]
+  | Formula.False -> []
+  | Formula.Atom a -> [ [ a ] ]
+  | Formula.Not (Formula.Atom a) -> List.map (fun c -> [ c ]) (Linconstr.negate a)
+  | Formula.Not _ -> invalid_arg "Linformula.dnf_of_qf: not in NNF"
+  | Formula.And (f, g) -> dnf_and (dnf_of_nnf f) (dnf_of_nnf g)
+  | Formula.Or (f, g) -> dnf_or (dnf_of_nnf f) (dnf_of_nnf g)
+  | Formula.Rel _ -> invalid_arg "Linformula.dnf_of_qf: schema atom"
+  | Formula.Exists _ | Formula.Forall _ | Formula.Exists_adom _
+  | Formula.Forall_adom _ ->
+      invalid_arg "Linformula.dnf_of_qf: quantifier"
+
+let simplify_conjunction conj =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | a :: rest -> (
+        match Linconstr.is_trivial a with
+        | Some true -> go acc rest
+        | Some false -> None
+        | None -> if List.exists (Linconstr.equal a) acc then go acc rest
+                  else go (a :: acc) rest)
+  in
+  go [] conj
+
+let dnf_of_qf f =
+  let d = dnf_of_nnf (nnf f) in
+  List.filter_map simplify_conjunction d
+
+let of_dnf (d : dnf) : t =
+  Formula.disj (List.map (fun conj -> Formula.conj (List.map (fun a -> Formula.Atom a) conj)) d)
+
+let rec holds_qf f env =
+  match f with
+  | Formula.True -> true
+  | Formula.False -> false
+  | Formula.Atom a -> Linconstr.holds a env
+  | Formula.Not g -> not (holds_qf g env)
+  | Formula.And (g, h) -> holds_qf g env && holds_qf h env
+  | Formula.Or (g, h) -> holds_qf g env || holds_qf h env
+  | Formula.Rel _ -> invalid_arg "Linformula.holds_qf: schema atom"
+  | Formula.Exists _ | Formula.Forall _ | Formula.Exists_adom _
+  | Formula.Forall_adom _ ->
+      invalid_arg "Linformula.holds_qf: quantifier"
+
+let conj_holds conj env = List.for_all (fun a -> Linconstr.holds a env) conj
+let dnf_holds d env = List.exists (fun conj -> conj_holds conj env) d
+
+let conj_vars conj =
+  List.fold_left
+    (fun acc a -> List.fold_left (fun s v -> Var.Set.add v s) acc (Linconstr.vars a))
+    Var.Set.empty conj
+
+let dnf_vars d =
+  List.fold_left (fun acc conj -> Var.Set.union acc (conj_vars conj)) Var.Set.empty d
+
+let pp fmt f = Formula.pp Linconstr.pp fmt f
+
+let pp_conjunction fmt conj =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " /\\ ") Linconstr.pp)
+    conj
+
+let pp_dnf fmt d =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " \\/@ ") pp_conjunction)
+    d

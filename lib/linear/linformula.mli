@@ -1,0 +1,39 @@
+(** FO + LIN formulas: {!Cqa_logic.Formula} instantiated with linear
+    constraint atoms, plus DNF conversion of the quantifier-free fragment. *)
+
+open Cqa_arith
+open Cqa_logic
+
+type t = Linconstr.t Formula.t
+
+type conjunction = Linconstr.t list
+(** Implicit conjunction of atoms. *)
+
+type dnf = conjunction list
+(** Implicit disjunction; [[]] is false, [[[]]] is true. *)
+
+val free_vars : t -> Var.Set.t
+val nnf : t -> t
+val rename : (Var.t -> Var.t) -> t -> t
+
+val dnf_of_qf : t -> dnf
+(** @raise Invalid_argument on quantifiers or schema atoms. *)
+
+val of_dnf : dnf -> t
+
+val simplify_conjunction : conjunction -> conjunction option
+(** Drop trivially-true atoms and duplicates; [None] when some atom is
+    trivially false. *)
+
+val holds_qf : t -> Q.t Var.Map.t -> bool
+(** Evaluate a quantifier-free, schema-free formula at a point.
+    @raise Invalid_argument on quantifiers or schema atoms. *)
+
+val conj_holds : conjunction -> Q.t Var.Map.t -> bool
+val dnf_holds : dnf -> Q.t Var.Map.t -> bool
+val conj_vars : conjunction -> Var.Set.t
+val dnf_vars : dnf -> Var.Set.t
+
+val pp : Format.formatter -> t -> unit
+val pp_conjunction : Format.formatter -> conjunction -> unit
+val pp_dnf : Format.formatter -> dnf -> unit

@@ -1,0 +1,219 @@
+open Cqa_arith
+open Cqa_logic
+
+type t = { vars : Var.t array; dnf : Linformula.dnf }
+
+let dim t = Array.length t.vars
+let vars t = t.vars
+let dnf t = t.dnf
+
+let check_vars vars =
+  let s = Var.Set.of_list (Array.to_list vars) in
+  if Var.Set.cardinal s <> Array.length vars then
+    invalid_arg "Semilinear.make: duplicate coordinate variables";
+  s
+
+let make vars d =
+  let allowed = check_vars vars in
+  let used = Linformula.dnf_vars d in
+  if not (Var.Set.subset used allowed) then
+    invalid_arg "Semilinear.make: constraint mentions a foreign variable";
+  { vars; dnf = List.filter Fourier_motzkin.satisfiable_conj d }
+
+let default_vars n = Array.init n (fun i -> Var.of_string (Printf.sprintf "x%d" i))
+
+let of_formula vars f =
+  let allowed = check_vars vars in
+  let free = Linformula.free_vars f in
+  if not (Var.Set.subset free allowed) then
+    invalid_arg "Semilinear.of_formula: free variable not a coordinate";
+  { vars; dnf = Fourier_motzkin.qe f }
+
+let empty n = { vars = default_vars n; dnf = [] }
+let full n = { vars = default_vars n; dnf = [ [] ] }
+
+let box ranges =
+  let vars = default_vars (Array.length ranges) in
+  let conj =
+    List.concat
+      (List.mapi
+         (fun i (lo, hi) ->
+           [ Linconstr.ge (Linexpr.var vars.(i)) (Linexpr.const lo);
+             Linconstr.le (Linexpr.var vars.(i)) (Linexpr.const hi) ])
+         (Array.to_list ranges))
+  in
+  { vars; dnf = [ conj ] }
+
+let unit_cube n = box (Array.make n (Q.zero, Q.one))
+
+let halfspace vars a =
+  let _ = check_vars vars in
+  make vars [ [ a ] ]
+
+let of_conjunction vars conj = make vars [ conj ]
+
+let env_of t pt =
+  if Array.length pt <> dim t then invalid_arg "Semilinear: point dimension";
+  let env = ref Var.Map.empty in
+  Array.iteri (fun i v -> env := Var.Map.add v pt.(i) !env) t.vars;
+  !env
+
+let mem t pt = Linformula.dnf_holds t.dnf (env_of t pt)
+
+(* Align [b] to the coordinates of [a]. *)
+let align a b =
+  if dim a <> dim b then invalid_arg "Semilinear: dimension mismatch";
+  if a.vars = b.vars then b.dnf
+  else begin
+    let table = Hashtbl.create 8 in
+    Array.iteri (fun i v -> Hashtbl.replace table v a.vars.(i)) b.vars;
+    let rn v = match Hashtbl.find_opt table v with Some v' -> v' | None -> v in
+    List.map (List.map (Linconstr.rename rn)) b.dnf
+  end
+
+let union a b = { a with dnf = a.dnf @ align a b }
+
+let inter a b =
+  let db = align a b in
+  let prod =
+    List.concat_map
+      (fun ca -> List.filter_map (fun cb -> Linformula.simplify_conjunction (ca @ cb)) db)
+      a.dnf
+  in
+  { a with dnf = List.filter Fourier_motzkin.satisfiable_conj prod }
+
+let compl a = { a with dnf = Fourier_motzkin.complement_dnf a.dnf }
+let diff a b = inter a (compl { a with dnf = align a b })
+let is_empty a = not (Fourier_motzkin.satisfiable_dnf a.dnf)
+let subset a b = is_empty (diff a b)
+let equal a b = subset a b && subset b a
+
+let sample_point a =
+  match Fourier_motzkin.sample_point_dnf a.dnf with
+  | None -> None
+  | Some env ->
+      Some
+        (Array.map
+           (fun v -> Option.value ~default:Q.zero (Var.Map.find_opt v env))
+           a.vars)
+
+let relax conj =
+  List.map
+    (fun atom ->
+      match Linconstr.op atom with
+      | Linconstr.Lt -> Linconstr.make (Linconstr.expr atom) Linconstr.Le
+      | Linconstr.Le | Linconstr.Eq -> atom)
+    conj
+
+let enumerate_finite a =
+  let n = dim a in
+  let point_of conj =
+    if not (Fourier_motzkin.satisfiable_conj conj) then Some None
+    else begin
+      let relaxed = relax conj in
+      let rec coords i acc =
+        if i >= n then Some (Some (Array.of_list (List.rev acc)))
+        else begin
+          match Simplex.range (Linexpr.var a.vars.(i)) relaxed with
+          | None -> Some None
+          | Some (Some lo, Some hi) when Q.equal lo hi -> coords (i + 1) (lo :: acc)
+          | Some _ -> None
+        end
+      in
+      coords 0 []
+    end
+  in
+  let rec go acc = function
+    | [] -> Some (List.sort_uniq Stdlib.compare (List.rev acc))
+    | conj :: rest -> (
+        match point_of conj with
+        | None -> None
+        | Some None -> go acc rest
+        | Some (Some pt) -> go (pt :: acc) rest)
+  in
+  go [] a.dnf
+
+let project_last a =
+  let n = dim a in
+  if n = 0 then invalid_arg "Semilinear.project_last: dimension 0";
+  let last = a.vars.(n - 1) in
+  { vars = Array.sub a.vars 0 (n - 1);
+    dnf = Fourier_motzkin.eliminate_var_dnf last a.dnf }
+
+let section_last a c =
+  let n = dim a in
+  if n = 0 then invalid_arg "Semilinear.section_last: dimension 0";
+  let last = a.vars.(n - 1) in
+  let sub conj =
+    Linformula.simplify_conjunction
+      (List.map (fun atom -> Linconstr.subst atom last (Linexpr.const c)) conj)
+  in
+  { vars = Array.sub a.vars 0 (n - 1); dnf = List.filter_map sub a.dnf }
+
+let last_axis_cell a pt =
+  let n = dim a in
+  if n = 0 then invalid_arg "Semilinear.last_axis_cell: dimension 0";
+  if Array.length pt <> n - 1 then
+    invalid_arg "Semilinear.last_axis_cell: point dimension";
+  let env = ref Var.Map.empty in
+  for i = 0 to n - 2 do
+    env := Var.Map.add a.vars.(i) pt.(i) !env
+  done;
+  let last = a.vars.(n - 1) in
+  let restrict conj =
+    Linformula.simplify_conjunction
+      (List.map (fun atom -> Linconstr.eval_partial atom !env) conj)
+  in
+  List.fold_left
+    (fun acc conj ->
+      match restrict conj with
+      | None -> acc
+      | Some c -> Cell1.union acc (Cell1.of_constraints last c))
+    Cell1.empty a.dnf
+
+let bounding_box a =
+  if a.dnf = [] then None
+  else begin
+    let n = dim a in
+    let ranges = Array.make n None in
+    let ok = ref true in
+    List.iter
+      (fun conj ->
+        if !ok then
+          for i = 0 to n - 1 do
+            if !ok then begin
+              match Simplex.range (Linexpr.var a.vars.(i)) (relax conj) with
+              | None -> () (* infeasible disjunct: contributes nothing *)
+              | Some (Some lo, Some hi) ->
+                  ranges.(i) <-
+                    (match ranges.(i) with
+                    | None -> Some (lo, hi)
+                    | Some (l, h) -> Some (Q.min l lo, Q.max h hi))
+              | Some _ -> ok := false
+            end
+          done)
+      a.dnf;
+    if not !ok then None
+    else if Array.exists (fun r -> r = None) ranges then
+      (* every satisfiable disjunct contributed; None remains only if all
+         disjuncts were infeasible *)
+      None
+    else Some (Array.map (function Some r -> r | None -> assert false) ranges)
+  end
+
+let is_bounded a = is_empty a || bounding_box a <> None
+
+let clamp_unit a = inter a (unit_cube (dim a))
+
+let rename_vars vars a =
+  let _ = check_vars vars in
+  if Array.length vars <> dim a then invalid_arg "Semilinear.rename_vars";
+  { vars; dnf = align { vars; dnf = [] } a }
+
+let disjunct_count a = List.length a.dnf
+let atom_count a = List.fold_left (fun acc c -> acc + List.length c) 0 a.dnf
+
+let pp fmt a =
+  Format.fprintf fmt "@[<v>dim %d over (%a):@ %a@]" (dim a)
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") Var.pp)
+    (Array.to_list a.vars) Linformula.pp_dnf a.dnf

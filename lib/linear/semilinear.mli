@@ -1,0 +1,75 @@
+(** Semi-linear sets: finitely representable subsets of R^n defined by
+    quantifier-free formulas over R_lin, kept in DNF over a fixed tuple of
+    coordinate variables.  These are the paper's f.r. instances over
+    [(R, +, -, 0, 1, <)]. *)
+
+open Cqa_arith
+open Cqa_logic
+
+type t
+
+val dim : t -> int
+val vars : t -> Var.t array
+val dnf : t -> Linformula.dnf
+
+val make : Var.t array -> Linformula.dnf -> t
+(** @raise Invalid_argument on duplicate coordinate variables or constraints
+    mentioning foreign variables. *)
+
+val default_vars : int -> Var.t array
+(** The canonical coordinates [x0 .. x(n-1)]. *)
+
+val of_formula : Var.t array -> Linformula.t -> t
+(** From a schema-free FO + LIN formula; quantifiers are eliminated.  Free
+    variables of the formula must be among the coordinates. *)
+
+val empty : int -> t
+val full : int -> t
+val box : (Q.t * Q.t) array -> t
+(** Closed axis-aligned box. *)
+
+val unit_cube : int -> t
+
+val halfspace : Var.t array -> Linconstr.t -> t
+val of_conjunction : Var.t array -> Linformula.conjunction -> t
+
+val mem : t -> Q.t array -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val compl : t -> t
+val diff : t -> t -> t
+
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+
+val sample_point : t -> Q.t array option
+
+val enumerate_finite : t -> Q.t array list option
+(** The elements of a finite set, sorted ([None] when infinite): each
+    satisfiable disjunct must pin every coordinate to a single value. *)
+
+val project_last : t -> t
+(** Orthogonal projection forgetting the last coordinate ([exists x_{n-1}]).
+    @raise Invalid_argument in dimension 0. *)
+
+val section_last : t -> Q.t -> t
+(** Fix the last coordinate to a constant; dimension drops by one. *)
+
+val last_axis_cell : t -> Q.t array -> Cell1.t
+(** [last_axis_cell s a] is the set [{ y | (a, y) in s }] for a point [a] of
+    dimension [dim s - 1]: a one-dimensional section along the last axis. *)
+
+val bounding_box : t -> (Q.t * Q.t) array option
+(** Exact ranges per axis of the non-strict relaxation; [None] when the set
+    is empty or unbounded in some direction. *)
+
+val is_bounded : t -> bool
+
+val clamp_unit : t -> t
+(** Intersection with the unit cube [I^n] (the paper's bounded setting). *)
+
+val rename_vars : Var.t array -> t -> t
+val disjunct_count : t -> int
+val atom_count : t -> int
+val pp : Format.formatter -> t -> unit

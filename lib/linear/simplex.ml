@@ -1,0 +1,331 @@
+open Cqa_arith
+open Cqa_logic
+
+type result =
+  | Optimal of Q.t * Q.t Var.Map.t
+  | Unbounded
+  | Infeasible
+
+(* Internal standard-form problem: maximize c.x subject to A x <= b, x >= 0,
+   in slack ("dictionary") form following CLRS chapter 29.
+
+   For each basic row i:  x_{basic.(i)} = b.(i) - sum_j a.(i).(j) * x_j
+   (the sum ranging over nonbasic j), and z = v + sum_j c.(j) * x_j. *)
+
+type dict = {
+  mutable nvars : int; (* total variable count, including slacks *)
+  rows : int;
+  basic : int array; (* basic variable of each row *)
+  in_basis : bool array;
+  row_of : int array; (* row index of each basic variable, -1 otherwise *)
+  a : Q.t array array; (* rows x nvars *)
+  b : Q.t array;
+  mutable c : Q.t array;
+  mutable v : Q.t;
+}
+
+let make_dict ~n ~rows_coeffs ~rows_rhs ~obj =
+  let m = List.length rows_coeffs in
+  let nvars = n + m in
+  let a = Array.make_matrix m nvars Q.zero in
+  let b = Array.of_list rows_rhs in
+  List.iteri
+    (fun i row -> List.iter (fun (j, q) -> a.(i).(j) <- Q.add a.(i).(j) q) row)
+    rows_coeffs;
+  let c = Array.make nvars Q.zero in
+  List.iter (fun (j, q) -> c.(j) <- Q.add c.(j) q) obj;
+  let basic = Array.init m (fun i -> n + i) in
+  let in_basis = Array.make nvars false in
+  let row_of = Array.make nvars (-1) in
+  Array.iteri
+    (fun i bv ->
+      in_basis.(bv) <- true;
+      row_of.(bv) <- i)
+    basic;
+  { nvars; rows = m; basic; in_basis; row_of; a; b; c; v = Q.zero }
+
+(* Pivot: entering nonbasic variable e, leaving row l. *)
+let pivot d l e =
+  let le = d.basic.(l) in
+  let ale = d.a.(l).(e) in
+  assert (not (Q.is_zero ale));
+  let inv = Q.inv ale in
+  (* new row for e *)
+  d.b.(l) <- Q.mul d.b.(l) inv;
+  for j = 0 to d.nvars - 1 do
+    if j <> e then d.a.(l).(j) <- Q.mul d.a.(l).(j) inv
+  done;
+  d.a.(l).(le) <- inv;
+  d.a.(l).(e) <- Q.zero;
+  (* substitute into other rows *)
+  for i = 0 to d.rows - 1 do
+    if i <> l then begin
+      let aie = d.a.(i).(e) in
+      if not (Q.is_zero aie) then begin
+        d.b.(i) <- Q.sub d.b.(i) (Q.mul aie d.b.(l));
+        for j = 0 to d.nvars - 1 do
+          if j <> e then d.a.(i).(j) <- Q.sub d.a.(i).(j) (Q.mul aie d.a.(l).(j))
+        done;
+        d.a.(i).(e) <- Q.zero
+      end
+    end
+  done;
+  (* substitute into the objective *)
+  let ce = d.c.(e) in
+  if not (Q.is_zero ce) then begin
+    d.v <- Q.add d.v (Q.mul ce d.b.(l));
+    for j = 0 to d.nvars - 1 do
+      if j <> e then d.c.(j) <- Q.sub d.c.(j) (Q.mul ce d.a.(l).(j))
+    done;
+    d.c.(e) <- Q.zero
+  end;
+  (* swap basis membership *)
+  d.basic.(l) <- e;
+  d.in_basis.(le) <- false;
+  d.row_of.(le) <- -1;
+  d.in_basis.(e) <- true;
+  d.row_of.(e) <- l
+
+exception Unbounded_lp
+
+(* Bland's rule main loop; raises Unbounded_lp. *)
+let optimize d =
+  let continue_loop = ref true in
+  while !continue_loop do
+    (* entering: smallest-index nonbasic with positive reduced cost *)
+    let e = ref (-1) in
+    (try
+       for j = 0 to d.nvars - 1 do
+         if (not d.in_basis.(j)) && Q.sign d.c.(j) > 0 then begin
+           e := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !e < 0 then continue_loop := false
+    else begin
+      let e = !e in
+      (* leaving: min ratio b_i / a_ie over a_ie > 0; Bland tie-break on the
+         basic variable index *)
+      let best = ref None in
+      for i = 0 to d.rows - 1 do
+        if Q.sign d.a.(i).(e) > 0 then begin
+          let ratio = Q.div d.b.(i) d.a.(i).(e) in
+          match !best with
+          | None -> best := Some (ratio, i)
+          | Some (r, i') ->
+              let cmp = Q.compare ratio r in
+              if cmp < 0 || (cmp = 0 && d.basic.(i) < d.basic.(i')) then
+                best := Some (ratio, i)
+        end
+      done;
+      match !best with
+      | None -> raise Unbounded_lp
+      | Some (_, l) -> pivot d l e
+    end
+  done
+
+(* Phase 1: make the basis feasible.  Returns false if infeasible. *)
+let initialize d =
+  let min_i = ref 0 in
+  for i = 1 to d.rows - 1 do
+    if Q.lt d.b.(i) d.b.(!min_i) then min_i := i
+  done;
+  if d.rows = 0 || Q.geq d.b.(!min_i) Q.zero then true
+  else begin
+    (* auxiliary variable x0, with coefficient -1 in every row *)
+    let x0 = d.nvars in
+    let grow arr = Array.init (d.nvars + 1) (fun j -> if j < d.nvars then arr.(j) else Q.zero) in
+    for i = 0 to d.rows - 1 do
+      d.a.(i) <- grow d.a.(i);
+      d.a.(i).(x0) <- Q.minus_one
+    done;
+    let saved_c = d.c in
+    let saved_v = d.v in
+    d.c <- Array.make (d.nvars + 1) Q.zero;
+    d.c.(x0) <- Q.minus_one;
+    d.v <- Q.zero;
+    let in_basis = Array.make (d.nvars + 1) false in
+    Array.blit d.in_basis 0 in_basis 0 d.nvars;
+    let row_of = Array.make (d.nvars + 1) (-1) in
+    Array.blit d.row_of 0 row_of 0 d.nvars;
+    (* mutate record fields that are arrays by replacement *)
+    let d' =
+      { d with nvars = d.nvars + 1; in_basis; row_of; c = d.c }
+    in
+    pivot d' !min_i x0;
+    (try optimize d' with Unbounded_lp -> assert false);
+    let feasible = Q.is_zero d'.v in
+    if feasible then begin
+      (* kick x0 out of the basis if it lingers there at value zero *)
+      if d'.in_basis.(x0) then begin
+        let l = d'.row_of.(x0) in
+        let e = ref (-1) in
+        (try
+           for j = 0 to d'.nvars - 2 do
+             if (not d'.in_basis.(j)) && not (Q.is_zero d'.a.(l).(j)) then begin
+               e := j;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !e >= 0 then pivot d' l !e
+        (* if no pivot exists the row is all zeros: x0 = 0 trivially; leave
+           it, its column is dropped below and the row becomes 0 = 0 *)
+      end;
+      (* drop x0's column and restore the original objective, substituting
+         dictionary rows for basic variables *)
+      d.nvars <- d'.nvars - 1;
+      Array.blit d'.in_basis 0 d.in_basis 0 d.nvars;
+      Array.blit d'.row_of 0 d.row_of 0 d.nvars;
+      Array.blit d'.basic 0 d.basic 0 d.rows;
+      for i = 0 to d.rows - 1 do
+        d.a.(i) <- Array.sub d'.a.(i) 0 d.nvars;
+        d.b.(i) <- d'.b.(i)
+      done;
+      d.c <- Array.make d.nvars Q.zero;
+      d.v <- saved_v;
+      for j = 0 to d.nvars - 1 do
+        if not (Q.is_zero saved_c.(j)) then begin
+          if d.in_basis.(j) then begin
+            let r = d.row_of.(j) in
+            d.v <- Q.add d.v (Q.mul saved_c.(j) d.b.(r));
+            for k = 0 to d.nvars - 1 do
+              if not d.in_basis.(k) then
+                d.c.(k) <- Q.sub d.c.(k) (Q.mul saved_c.(j) d.a.(r).(k))
+            done
+          end
+          else d.c.(j) <- Q.add d.c.(j) saved_c.(j)
+        end
+      done;
+      true
+    end
+    else false
+  end
+
+let solution d n =
+  Array.init n (fun j -> if d.in_basis.(j) then d.b.(d.row_of.(j)) else Q.zero)
+
+(* Translate a system over free variables into standard form. *)
+let translate constraints =
+  let vars =
+    List.fold_left
+      (fun acc c -> Var.Set.union acc (Var.Set.of_list (Linconstr.vars c)))
+      Var.Set.empty constraints
+    |> Var.Set.elements
+  in
+  let index = List.mapi (fun i v -> (v, i)) vars in
+  let pos v = 2 * List.assoc v index in
+  let n = 2 * List.length vars in
+  let row_of_expr e =
+    let terms =
+      List.concat_map
+        (fun (v, q) -> [ (pos v, q); (pos v + 1, Q.neg q) ])
+        (Linexpr.coeffs e)
+    in
+    (terms, Q.neg (Linexpr.constant e))
+  in
+  let rows =
+    List.concat_map
+      (fun c ->
+        let e = Linconstr.expr c in
+        match Linconstr.op c with
+        | Linconstr.Le -> [ row_of_expr e ]
+        | Linconstr.Eq -> [ row_of_expr e; row_of_expr (Linexpr.neg e) ]
+        | Linconstr.Lt -> invalid_arg "Simplex: strict constraint")
+      constraints
+  in
+  (vars, index, n, rows)
+
+let extract vars index sol =
+  List.fold_left
+    (fun env v ->
+      let i = 2 * List.assoc v index in
+      Var.Map.add v (Q.sub sol.(i) sol.(i + 1)) env)
+    Var.Map.empty vars
+
+let maximize ~objective ~constraints =
+  let vars, index, n, rows = translate constraints in
+  (* objective may mention variables absent from the constraints; bind them *)
+  let extra =
+    List.filter (fun v -> not (List.mem_assoc v index)) (Linexpr.vars objective)
+  in
+  if extra <> [] then begin
+    (* unconstrained objective variables make the LP unbounded unless their
+       coefficient is zero, which Linexpr invariants exclude *)
+    Unbounded
+  end
+  else begin
+    let obj =
+      List.concat_map
+        (fun (v, q) ->
+          let i = 2 * List.assoc v index in
+          [ (i, q); (i + 1, Q.neg q) ])
+        (Linexpr.coeffs objective)
+    in
+    let d =
+      make_dict ~n
+        ~rows_coeffs:(List.map fst rows)
+        ~rows_rhs:(List.map snd rows)
+        ~obj
+    in
+    if not (initialize d) then Infeasible
+    else begin
+      match optimize d with
+      | () ->
+          let sol = solution d n in
+          Optimal (Q.add d.v (Linexpr.constant objective), extract vars index sol)
+      | exception Unbounded_lp -> Unbounded
+    end
+  end
+
+let minimize ~objective ~constraints =
+  match maximize ~objective:(Linexpr.neg objective) ~constraints with
+  | Optimal (v, pt) -> Optimal (Q.neg v, pt)
+  | (Unbounded | Infeasible) as r -> r
+
+let feasible constraints =
+  match maximize ~objective:Linexpr.zero ~constraints with
+  | Optimal (_, pt) -> Some pt
+  | Infeasible -> None
+  | Unbounded -> assert false
+
+let margin_var = Var.of_string "simplex#margin"
+
+let strictly_feasible constraints =
+  let relaxed =
+    List.map
+      (fun c ->
+        match Linconstr.op c with
+        | Linconstr.Lt ->
+            Linconstr.make
+              (Linexpr.add (Linconstr.expr c) (Linexpr.var margin_var))
+              Linconstr.Le
+        | Linconstr.Le | Linconstr.Eq -> c)
+      constraints
+  in
+  let cap =
+    Linconstr.make (Linexpr.sub (Linexpr.var margin_var) (Linexpr.const Q.one)) Linconstr.Le
+  in
+  let floor0 =
+    Linconstr.make (Linexpr.neg (Linexpr.var margin_var)) Linconstr.Le
+  in
+  match maximize ~objective:(Linexpr.var margin_var) ~constraints:(cap :: floor0 :: relaxed) with
+  | Infeasible -> None
+  | Unbounded -> assert false
+  | Optimal (t, pt) ->
+      if Q.sign t > 0 then Some (Var.Map.remove margin_var pt) else None
+
+let range e constraints =
+  match minimize ~objective:e ~constraints with
+  | Infeasible -> None
+  | Unbounded -> (
+      match maximize ~objective:e ~constraints with
+      | Optimal (hi, _) -> Some (None, Some hi)
+      | Unbounded -> Some (None, None)
+      | Infeasible -> assert false)
+  | Optimal (lo, _) -> (
+      match maximize ~objective:e ~constraints with
+      | Optimal (hi, _) -> Some (Some lo, Some hi)
+      | Unbounded -> Some (Some lo, None)
+      | Infeasible -> assert false)

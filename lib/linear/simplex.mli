@@ -1,0 +1,35 @@
+(** Exact rational linear programming by the two-phase simplex method with
+    Bland's anti-cycling rule.
+
+    Variables range over all of R (they are internally split into
+    differences of non-negative variables).  Strict inequalities are not
+    LP-representable; [strictly_feasible] handles mixed systems by maximizing
+    a uniform margin. *)
+
+open Cqa_arith
+open Cqa_logic
+
+type result =
+  | Optimal of Q.t * Q.t Var.Map.t
+  | Unbounded
+  | Infeasible
+
+val maximize : objective:Linexpr.t -> constraints:Linconstr.t list -> result
+(** @raise Invalid_argument on a strict ([Lt]) constraint. *)
+
+val minimize : objective:Linexpr.t -> constraints:Linconstr.t list -> result
+
+val feasible : Linconstr.t list -> Q.t Var.Map.t option
+(** A solution of the non-strict system, if any.
+    @raise Invalid_argument on a strict constraint. *)
+
+val strictly_feasible : Linconstr.t list -> Q.t Var.Map.t option
+(** A solution of a mixed strict/non-strict system over the reals, found by
+    maximizing a margin variable.  Complete: returns [Some] iff the system
+    has a real solution. *)
+
+val range : Linexpr.t -> Linconstr.t list -> (Q.t option * Q.t option) option
+(** [range e constrs] is [None] if the non-strict system is infeasible,
+    otherwise [Some (lo, hi)] where [lo]/[hi] are the exact minimum/maximum
+    of [e] over the solution set ([None] = unbounded on that side).
+    @raise Invalid_argument on a strict constraint. *)

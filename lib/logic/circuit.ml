@@ -1,0 +1,141 @@
+open Cqa_arith
+
+type gate =
+  | Input of int
+  | Const of bool
+  | And of int list
+  | Or of int list
+  | Not of int
+
+type t = { gates : gate array; output : int; inputs : int }
+
+let input_count c = c.inputs
+
+let gate_count c =
+  Array.fold_left
+    (fun acc g -> match g with Input _ | Const _ -> acc | _ -> acc + 1)
+    0 c.gates
+
+let depth c =
+  let memo = Array.make (Array.length c.gates) (-1) in
+  let rec d i =
+    if memo.(i) >= 0 then memo.(i)
+    else begin
+      let v =
+        match c.gates.(i) with
+        | Input _ | Const _ -> 0
+        | Not j -> 1 + d j
+        | And js | Or js -> 1 + List.fold_left (fun m j -> max m (d j)) 0 js
+      in
+      memo.(i) <- v;
+      v
+    end
+  in
+  d c.output
+
+let eval c input =
+  if Array.length input <> c.inputs then invalid_arg "Circuit.eval: bad input size";
+  let memo = Array.make (Array.length c.gates) None in
+  let rec v i =
+    match memo.(i) with
+    | Some b -> b
+    | None ->
+        let b =
+          match c.gates.(i) with
+          | Input k -> input.(k)
+          | Const b -> b
+          | Not j -> not (v j)
+          | And js -> List.for_all v js
+          | Or js -> List.exists v js
+        in
+        memo.(i) <- Some b;
+        b
+  in
+  v c.output
+
+type atom =
+  | Lt of Var.t * Var.t
+  | Eq of Var.t * Var.t
+  | Pred of int * Var.t
+
+let atom_vars = function
+  | Lt (x, y) | Eq (x, y) -> [ x; y ]
+  | Pred (_, x) -> [ x ]
+
+(* Builder accumulating gates in a growable buffer. *)
+type builder = { mutable buf : gate list; mutable len : int }
+
+let emit b g =
+  b.buf <- g :: b.buf;
+  b.len <- b.len + 1;
+  b.len - 1
+
+let of_sentence ~preds ~n f =
+  (match Var.Set.elements (Formula.free_vars ~atom_vars f) with
+  | [] -> ()
+  | v :: _ ->
+      invalid_arg ("Circuit.of_sentence: free variable " ^ Var.name v));
+  let b = { buf = []; len = 0 } in
+  (* pre-emit inputs so Input k is gate k *)
+  for k = 0 to (preds * n) - 1 do
+    ignore (emit b (Input k))
+  done;
+  let lookup env v =
+    match Var.Map.find_opt v env with
+    | Some i -> i
+    | None -> invalid_arg "Circuit.of_sentence: unbound variable"
+  in
+  let rec go env = function
+    | Formula.True -> emit b (Const true)
+    | Formula.False -> emit b (Const false)
+    | Formula.Atom (Lt (x, y)) -> emit b (Const (lookup env x < lookup env y))
+    | Formula.Atom (Eq (x, y)) -> emit b (Const (lookup env x = lookup env y))
+    | Formula.Atom (Pred (p, x)) ->
+        let pos = lookup env x in
+        if p < 0 || p >= preds then invalid_arg "Circuit.of_sentence: bad predicate";
+        (p * n) + pos
+    | Formula.Rel _ -> invalid_arg "Circuit.of_sentence: schema atom"
+    | Formula.Not g -> emit b (Not (go env g))
+    | Formula.And (g, h) ->
+        let ig = go env g in
+        let ih = go env h in
+        emit b (And [ ig; ih ])
+    | Formula.Or (g, h) ->
+        let ig = go env g in
+        let ih = go env h in
+        emit b (Or [ ig; ih ])
+    | Formula.Exists (v, g) | Formula.Exists_adom (v, g) ->
+        let children =
+          List.init n (fun i -> go (Var.Map.add v i env) g)
+        in
+        emit b (Or children)
+    | Formula.Forall (v, g) | Formula.Forall_adom (v, g) ->
+        let children =
+          List.init n (fun i -> go (Var.Map.add v i env) g)
+        in
+        emit b (And children)
+  in
+  let output = go Var.Map.empty f in
+  let gates = Array.of_list (List.rev b.buf) in
+  { gates; output; inputs = preds * n }
+
+let separates_cardinalities ~c1 ~c2 ~n circuit =
+  if circuit.inputs <> n then invalid_arg "Circuit.separates_cardinalities";
+  let lo = Q.mul c1 (Q.of_int n) and hi = Q.mul c2 (Q.of_int n) in
+  let input = Array.make n false in
+  let ok = ref true in
+  let total = 1 lsl n in
+  let mask = ref 0 in
+  while !ok && !mask < total do
+    let card = ref 0 in
+    for i = 0 to n - 1 do
+      let bit = (!mask lsr i) land 1 = 1 in
+      input.(i) <- bit;
+      if bit then incr card
+    done;
+    let c = Q.of_int !card in
+    if Q.lt c lo && eval circuit input then ok := false
+    else if Q.gt c hi && not (eval circuit input) then ok := false;
+    incr mask
+  done;
+  !ok

@@ -1,0 +1,51 @@
+(** Unbounded fan-in boolean circuits (the AC0 model) and the translation
+    from active-domain FO sentences over finite ordered structures into
+    circuit families.
+
+    Lemma 3 of the paper converts a hypothetical [(c1,c2)]-good sentence into
+    a family of non-uniform AC0 circuits separating cardinalities, which is
+    impossible.  Here the conversion is executable: a sentence over the
+    signature [(<, =, U_1 .. U_p)] becomes, for each universe size [n], a
+    circuit whose inputs are the characteristic vectors of the [U_i]. *)
+
+open Cqa_arith
+
+type gate =
+  | Input of int
+  | Const of bool
+  | And of int list
+  | Or of int list
+  | Not of int
+
+type t
+
+val input_count : t -> int
+val gate_count : t -> int
+(** Non-input, non-constant gate count (the usual size measure). *)
+
+val depth : t -> int
+(** Alternation-free depth: longest path counting And/Or/Not gates. *)
+
+val eval : t -> bool array -> bool
+(** @raise Invalid_argument on input vector of the wrong length. *)
+
+(** Atoms of FO over finite ordered structures with unary predicates. *)
+type atom =
+  | Lt of Var.t * Var.t
+  | Eq of Var.t * Var.t
+  | Pred of int * Var.t  (** [Pred (p, x)]: position [x] is in predicate [p]. *)
+
+val atom_vars : atom -> Var.t list
+
+val of_sentence : preds:int -> n:int -> atom Formula.t -> t
+(** Translate a sentence (no free variables) into a circuit on [preds * n]
+    inputs laid out predicate-major.  Quantifiers of either kind range over
+    the [n]-element universe.  @raise Invalid_argument on free variables or
+    schema atoms. *)
+
+val separates_cardinalities :
+  c1:Q.t -> c2:Q.t -> n:int -> t -> bool
+(** Exhaustive check over all [2^n] subsets [B] (single-predicate circuits):
+    does the circuit accept whenever [|B| > c2*n] and reject whenever
+    [|B| < c1*n]?  This is the [(c1,c2)]-good sentence condition of
+    Theorem 2 at universe size [n]. *)

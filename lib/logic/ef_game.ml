@@ -1,0 +1,97 @@
+open Cqa_arith
+
+type structure = { size : int; colors : bool array array }
+
+let make size colors =
+  Array.iter
+    (fun row ->
+      if Array.length row <> size then
+        invalid_arg "Ef_game.make: color row length mismatch")
+    colors;
+  { size; colors }
+
+let uncolored size = { size; colors = [||] }
+
+let of_color_sets size sets =
+  let colors =
+    List.map
+      (fun positions ->
+        let row = Array.make size false in
+        List.iter
+          (fun i ->
+            if i < 0 || i >= size then invalid_arg "Ef_game.of_color_sets";
+            row.(i) <- true)
+          positions;
+        row)
+      sets
+  in
+  make size (Array.of_list colors)
+
+let colors_agree a b i j =
+  let ca = Array.length a.colors in
+  ca = Array.length b.colors
+  && begin
+       let rec go c = c >= ca || (a.colors.(c).(i) = b.colors.(c).(j) && go (c + 1)) in
+       go 0
+     end
+
+let consistent a b pairs i j =
+  colors_agree a b i j
+  && List.for_all (fun (i', j') -> compare i i' = compare j j') pairs
+
+let duplicator_wins k a b =
+  let rec wins k pairs =
+    k = 0
+    || begin
+         let respond_b i =
+           let rec try_j j =
+             j < b.size
+             && ((consistent a b pairs i j && wins (k - 1) ((i, j) :: pairs))
+                || try_j (j + 1))
+           in
+           try_j 0
+         in
+         let respond_a j =
+           let rec try_i i =
+             i < a.size
+             && ((consistent a b pairs i j && wins (k - 1) ((i, j) :: pairs))
+                || try_i (i + 1))
+           in
+           try_i 0
+         in
+         let rec all_a i = i >= a.size || (respond_b i && all_a (i + 1)) in
+         let rec all_b j = j >= b.size || (respond_a j && all_b (j + 1)) in
+         all_a 0 && all_b 0
+       end
+  in
+  Array.length a.colors = Array.length b.colors && wins k []
+
+let linear_orders_equivalent k m n =
+  let t = (1 lsl k) - 1 in
+  m = n || (m >= t && n >= t)
+
+(* Two one-color structures, each a U-block followed by a non-U block, with
+   every block of length >= 2^k - 1, are k-round equivalent (game
+   composition).  Pick block sizes realizing the cardinality gaps. *)
+let separating_counterexample ~rounds ~c1 ~c2 =
+  if Q.leq c1 Q.one || Q.leq c2 Q.one then None
+  else begin
+    let t = (1 lsl rounds) - 1 in
+    let t = max t 1 in
+    let bump c =
+      (* smallest integer > c * t *)
+      let v = Q.mul c (Q.of_int t) in
+      let f = Q.floor v in
+      match Bigint.to_int_opt (Bigint.succ f) with
+      | Some n -> max n (t + 1)
+      | None -> invalid_arg "Ef_game.separating_counterexample: huge constant"
+    in
+    let block u_len rest_len =
+      let size = u_len + rest_len in
+      let row = Array.init size (fun i -> i < u_len) in
+      { size; colors = [| row |] }
+    in
+    let a = block (bump c1) t in
+    let b = block t (bump c2) in
+    Some (a, b)
+  end

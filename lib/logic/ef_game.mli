@@ -1,0 +1,37 @@
+(** Ehrenfeucht-Fraisse games on finite colored linear orders.
+
+    Proposition 1 of the paper (no [(c1,c2)]-separating sentence over an
+    o-minimal structure) reduces separation to FO over [(U1, U2, <)] on an
+    infinite subset and kills it with EF games.  This module makes the game
+    argument executable on finite structures: a brute-force game solver, the
+    classical threshold theorem for pure linear orders, and the block
+    construction used to defeat would-be separating sentences. *)
+
+open Cqa_arith
+
+type structure = { size : int; colors : bool array array }
+(** A linear order [0 .. size-1]; [colors.(c).(i)] says position [i] has
+    color [c].  All structures in one game must agree on the color count. *)
+
+val make : int -> bool array array -> structure
+(** @raise Invalid_argument on color rows of the wrong length. *)
+
+val uncolored : int -> structure
+val of_color_sets : int -> int list list -> structure
+(** [of_color_sets n sets] builds colors from position lists. *)
+
+val duplicator_wins : int -> structure -> structure -> bool
+(** [duplicator_wins k a b]: does the duplicator win the [k]-round EF game?
+    Exhaustive search; exponential, intended for small structures. *)
+
+val linear_orders_equivalent : int -> int -> int -> bool
+(** Classical theorem: duplicator wins the [k]-round game on pure linear
+    orders of sizes [m], [n] iff [m = n] or both are >= [2^k - 1]. *)
+
+val separating_counterexample :
+  rounds:int -> c1:Q.t -> c2:Q.t -> (structure * structure) option
+(** Search (over block constructions) for two 1-color structures [a], [b]
+    such that in [a] the colored set is more than [c1] times larger than its
+    complement, in [b] the complement is more than [c2] times larger, yet the
+    duplicator wins the [rounds]-round game -- witnessing that no rank-[rounds]
+    FO(<) sentence is [(c1,c2)]-separating. *)

@@ -1,0 +1,175 @@
+type 'a t =
+  | True
+  | False
+  | Atom of 'a
+  | Rel of string * Var.t list
+  | Not of 'a t
+  | And of 'a t * 'a t
+  | Or of 'a t * 'a t
+  | Exists of Var.t * 'a t
+  | Forall of Var.t * 'a t
+  | Exists_adom of Var.t * 'a t
+  | Forall_adom of Var.t * 'a t
+
+let conj = function
+  | [] -> True
+  | f :: fs -> List.fold_left (fun acc g -> And (acc, g)) f fs
+
+let disj = function
+  | [] -> False
+  | f :: fs -> List.fold_left (fun acc g -> Or (acc, g)) f fs
+
+let implies a b = Or (Not a, b)
+let iff a b = And (implies a b, implies b a)
+let exists_many vs f = List.fold_right (fun v g -> Exists (v, g)) vs f
+let forall_many vs f = List.fold_right (fun v g -> Forall (v, g)) vs f
+
+let rec map_atoms fn = function
+  | True -> True
+  | False -> False
+  | Atom a -> fn a
+  | Rel (r, vs) -> Rel (r, vs)
+  | Not f -> Not (map_atoms fn f)
+  | And (f, g) -> And (map_atoms fn f, map_atoms fn g)
+  | Or (f, g) -> Or (map_atoms fn f, map_atoms fn g)
+  | Exists (v, f) -> Exists (v, map_atoms fn f)
+  | Forall (v, f) -> Forall (v, map_atoms fn f)
+  | Exists_adom (v, f) -> Exists_adom (v, map_atoms fn f)
+  | Forall_adom (v, f) -> Forall_adom (v, map_atoms fn f)
+
+let rec fold_atoms fn acc = function
+  | True | False | Rel _ -> acc
+  | Atom a -> fn acc a
+  | Not f -> fold_atoms fn acc f
+  | And (f, g) | Or (f, g) -> fold_atoms fn (fold_atoms fn acc f) g
+  | Exists (_, f) | Forall (_, f) | Exists_adom (_, f) | Forall_adom (_, f) ->
+      fold_atoms fn acc f
+
+let atoms f = List.rev (fold_atoms (fun acc a -> a :: acc) [] f)
+
+let relations f =
+  let rec go acc = function
+    | True | False | Atom _ -> acc
+    | Rel (r, _) -> if List.mem r acc then acc else r :: acc
+    | Not g -> go acc g
+    | And (g, h) | Or (g, h) -> go (go acc g) h
+    | Exists (_, g) | Forall (_, g) | Exists_adom (_, g) | Forall_adom (_, g) ->
+        go acc g
+  in
+  List.rev (go [] f)
+
+let free_vars ~atom_vars f =
+  let rec go bound acc = function
+    | True | False -> acc
+    | Atom a ->
+        List.fold_left
+          (fun acc v -> if Var.Set.mem v bound then acc else Var.Set.add v acc)
+          acc (atom_vars a)
+    | Rel (_, vs) ->
+        List.fold_left
+          (fun acc v -> if Var.Set.mem v bound then acc else Var.Set.add v acc)
+          acc vs
+    | Not g -> go bound acc g
+    | And (g, h) | Or (g, h) -> go bound (go bound acc g) h
+    | Exists (v, g) | Forall (v, g) | Exists_adom (v, g) | Forall_adom (v, g) ->
+        go (Var.Set.add v bound) acc g
+  in
+  go Var.Set.empty Var.Set.empty f
+
+let rec rename rn ~rename_atom = function
+  | True -> True
+  | False -> False
+  | Atom a -> Atom (rename_atom rn a)
+  | Rel (r, vs) -> Rel (r, List.map rn vs)
+  | Not f -> Not (rename rn ~rename_atom f)
+  | And (f, g) -> And (rename rn ~rename_atom f, rename rn ~rename_atom g)
+  | Or (f, g) -> Or (rename rn ~rename_atom f, rename rn ~rename_atom g)
+  | Exists (v, f) -> Exists (rn v, rename rn ~rename_atom f)
+  | Forall (v, f) -> Forall (rn v, rename rn ~rename_atom f)
+  | Exists_adom (v, f) -> Exists_adom (rn v, rename rn ~rename_atom f)
+  | Forall_adom (v, f) -> Forall_adom (rn v, rename rn ~rename_atom f)
+
+let nnf ~negate_atom f =
+  let rec pos = function
+    | True -> True
+    | False -> False
+    | Atom a -> Atom a
+    | Rel _ as r -> r
+    | Not g -> neg g
+    | And (g, h) -> And (pos g, pos h)
+    | Or (g, h) -> Or (pos g, pos h)
+    | Exists (v, g) -> Exists (v, pos g)
+    | Forall (v, g) -> Forall (v, pos g)
+    | Exists_adom (v, g) -> Exists_adom (v, pos g)
+    | Forall_adom (v, g) -> Forall_adom (v, pos g)
+  and neg = function
+    | True -> False
+    | False -> True
+    | Atom a -> negate_atom a
+    | Rel _ as r -> Not r
+    | Not g -> pos g
+    | And (g, h) -> Or (neg g, neg h)
+    | Or (g, h) -> And (neg g, neg h)
+    | Exists (v, g) -> Forall (v, neg g)
+    | Forall (v, g) -> Exists (v, neg g)
+    | Exists_adom (v, g) -> Forall_adom (v, neg g)
+    | Forall_adom (v, g) -> Exists_adom (v, neg g)
+  in
+  pos f
+
+let rec size = function
+  | True | False | Atom _ | Rel _ -> 1
+  | Not f -> 1 + size f
+  | And (f, g) | Or (f, g) -> 1 + size f + size g
+  | Exists (_, f) | Forall (_, f) | Exists_adom (_, f) | Forall_adom (_, f) ->
+      1 + size f
+
+let rec atom_count = function
+  | True | False -> 0
+  | Atom _ | Rel _ -> 1
+  | Not f -> atom_count f
+  | And (f, g) | Or (f, g) -> atom_count f + atom_count g
+  | Exists (_, f) | Forall (_, f) | Exists_adom (_, f) | Forall_adom (_, f) ->
+      atom_count f
+
+let rec quantifier_count = function
+  | True | False | Atom _ | Rel _ -> 0
+  | Not f -> quantifier_count f
+  | And (f, g) | Or (f, g) -> quantifier_count f + quantifier_count g
+  | Exists (_, f) | Forall (_, f) | Exists_adom (_, f) | Forall_adom (_, f) ->
+      1 + quantifier_count f
+
+let rec quantifier_rank = function
+  | True | False | Atom _ | Rel _ -> 0
+  | Not f -> quantifier_rank f
+  | And (f, g) | Or (f, g) -> Stdlib.max (quantifier_rank f) (quantifier_rank g)
+  | Exists (_, f) | Forall (_, f) | Exists_adom (_, f) | Forall_adom (_, f) ->
+      1 + quantifier_rank f
+
+let is_quantifier_free f = quantifier_count f = 0
+
+let rec active_only = function
+  | True | False | Atom _ | Rel _ -> true
+  | Not f -> active_only f
+  | And (f, g) | Or (f, g) -> active_only f && active_only g
+  | Exists (_, _) | Forall (_, _) -> false
+  | Exists_adom (_, f) | Forall_adom (_, f) -> active_only f
+
+let pp pp_atom fmt f =
+  let rec go fmt = function
+    | True -> Format.pp_print_string fmt "true"
+    | False -> Format.pp_print_string fmt "false"
+    | Atom a -> pp_atom fmt a
+    | Rel (r, vs) ->
+        Format.fprintf fmt "%s(%a)" r
+          (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") Var.pp)
+          vs
+    | Not g -> Format.fprintf fmt "~(%a)" go g
+    | And (g, h) -> Format.fprintf fmt "(%a /\\ %a)" go g go h
+    | Or (g, h) -> Format.fprintf fmt "(%a \\/ %a)" go g go h
+    | Exists (v, g) -> Format.fprintf fmt "(E %a. %a)" Var.pp v go g
+    | Forall (v, g) -> Format.fprintf fmt "(A %a. %a)" Var.pp v go g
+    | Exists_adom (v, g) -> Format.fprintf fmt "(E %a in adom. %a)" Var.pp v go g
+    | Forall_adom (v, g) -> Format.fprintf fmt "(A %a in adom. %a)" Var.pp v go g
+  in
+  go fmt f

@@ -1,0 +1,59 @@
+(** First-order formulas over an abstract constraint-atom type ['a] and a
+    relational schema.
+
+    The constraint atoms (linear inequalities, polynomial sign conditions,
+    ...) are supplied by the instantiating library; schema atoms apply a
+    relation symbol to variables.  Both natural ([Exists]/[Forall], ranging
+    over all of R) and active-domain ([Exists_adom]/[Forall_adom])
+    quantification are provided, matching FO and FO_act of the paper. *)
+
+type 'a t =
+  | True
+  | False
+  | Atom of 'a
+  | Rel of string * Var.t list
+  | Not of 'a t
+  | And of 'a t * 'a t
+  | Or of 'a t * 'a t
+  | Exists of Var.t * 'a t
+  | Forall of Var.t * 'a t
+  | Exists_adom of Var.t * 'a t
+  | Forall_adom of Var.t * 'a t
+
+val conj : 'a t list -> 'a t
+val disj : 'a t list -> 'a t
+val implies : 'a t -> 'a t -> 'a t
+val iff : 'a t -> 'a t -> 'a t
+val exists_many : Var.t list -> 'a t -> 'a t
+val forall_many : Var.t list -> 'a t -> 'a t
+
+val map_atoms : ('a -> 'b t) -> 'a t -> 'b t
+(** Replace every constraint atom by a formula (e.g. for normalization). *)
+
+val atoms : 'a t -> 'a list
+val fold_atoms : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val relations : 'a t -> string list
+(** Relation symbols used, duplicate-free. *)
+
+val free_vars : atom_vars:('a -> Var.t list) -> 'a t -> Var.Set.t
+
+val rename : (Var.t -> Var.t) -> rename_atom:((Var.t -> Var.t) -> 'a -> 'a) -> 'a t -> 'a t
+(** Simultaneous variable renaming.  Not capture-avoiding: callers must
+    supply a renaming injective on the free and bound variables involved (the
+    evaluators always use globally fresh names). *)
+
+val nnf : negate_atom:('a -> 'a t) -> 'a t -> 'a t
+(** Negation normal form; [negate_atom] expresses the complement of an atom
+    (atomically or as a small formula). *)
+
+val size : 'a t -> int
+(** Connective + atom count. *)
+
+val atom_count : 'a t -> int
+val quantifier_count : 'a t -> int
+val quantifier_rank : 'a t -> int
+val is_quantifier_free : 'a t -> bool
+val active_only : 'a t -> bool
+(** True when all quantifiers are active-domain (the FO_act fragment). *)
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,89 @@
+open Cqa_arith
+
+type tuple = Q.t array
+
+module Qset = Set.Make (struct
+  type t = Q.t
+
+  let compare = Q.compare
+end)
+
+let compare_tuple a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i =
+      if i >= la then 0
+      else begin
+        let c = Q.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+      end
+    in
+    go 0
+  end
+
+module Tset = Set.Make (struct
+  type t = tuple
+
+  let compare = compare_tuple
+end)
+
+module M = Map.Make (String)
+
+type t = { schema : Schema.t; rels : Tset.t M.t }
+
+let empty schema = { schema; rels = M.empty }
+let schema t = t.schema
+
+let add name tup t =
+  match Schema.arity t.schema name with
+  | None -> invalid_arg ("Instance.add: unknown relation " ^ name)
+  | Some a when a <> Array.length tup ->
+      invalid_arg ("Instance.add: arity mismatch for " ^ name)
+  | Some _ ->
+      let cur = Option.value ~default:Tset.empty (M.find_opt name t.rels) in
+      { t with rels = M.add name (Tset.add tup cur) t.rels }
+
+let of_list schema l =
+  List.fold_left
+    (fun t (name, tuples) -> List.fold_left (fun t tup -> add name tup t) t tuples)
+    (empty schema) l
+
+let tuples t name =
+  match M.find_opt name t.rels with
+  | None -> []
+  | Some s -> Tset.elements s
+
+let mem t name tup =
+  match M.find_opt name t.rels with
+  | None -> false
+  | Some s -> Tset.mem tup s
+
+let cardinality t name =
+  match M.find_opt name t.rels with None -> 0 | Some s -> Tset.cardinal s
+
+let active_domain_set t =
+  M.fold
+    (fun _ s acc ->
+      Tset.fold (fun tup acc -> Array.fold_left (fun a q -> Qset.add q a) acc tup) s acc)
+    t.rels Qset.empty
+
+let active_domain t = Qset.elements (active_domain_set t)
+let size t = Qset.cardinal (active_domain_set t)
+
+let map_constants f t =
+  { t with
+    rels = M.map (fun s -> Tset.map (fun tup -> Array.map f tup) s) t.rels }
+
+let pp fmt t =
+  let pp_tuple f tup =
+    Format.fprintf f "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") Q.pp)
+      (Array.to_list tup)
+  in
+  M.iter
+    (fun name s ->
+      Format.fprintf fmt "@[<hov 2>%s = {%a}@]@ " name
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") pp_tuple)
+        (Tset.elements s))
+    t.rels

@@ -1,0 +1,35 @@
+(** Finite database instances: each schema relation is a finite set of
+    rational tuples.  This is the "classical" side of the paper's setting;
+    finitely representable (constraint) instances live in [cqa_linear] and
+    [cqa_poly]. *)
+
+open Cqa_arith
+
+type tuple = Q.t array
+
+and t
+
+val empty : Schema.t -> t
+val schema : t -> Schema.t
+
+val add : string -> tuple -> t -> t
+(** @raise Invalid_argument on unknown relation or arity mismatch. *)
+
+val of_list : Schema.t -> (string * tuple list) list -> t
+val tuples : t -> string -> tuple list
+(** Sorted, duplicate-free. Empty list for relations with no tuples. *)
+
+val mem : t -> string -> tuple -> bool
+val cardinality : t -> string -> int
+
+val active_domain : t -> Q.t list
+(** All constants occurring in any relation, sorted ascending,
+    duplicate-free. *)
+
+val size : t -> int
+(** [card (adom D)], the paper's measure |D|. *)
+
+val map_constants : (Q.t -> Q.t) -> t -> t
+val pp : Format.formatter -> t -> unit
+
+module Qset : Set.S with type elt = Q.t

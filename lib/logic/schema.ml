@@ -1,0 +1,28 @@
+module M = Map.Make (String)
+
+type t = int M.t
+
+let empty = M.empty
+
+let add name arity t =
+  if arity <= 0 then invalid_arg "Schema.add: non-positive arity";
+  if M.mem name t then invalid_arg ("Schema.add: duplicate relation " ^ name);
+  M.add name arity t
+
+let of_list l = List.fold_left (fun t (n, a) -> add n a t) empty l
+let arity t name = M.find_opt name t
+
+let arity_exn t name =
+  match M.find_opt name t with
+  | Some a -> a
+  | None -> invalid_arg ("Schema.arity_exn: unknown relation " ^ name)
+
+let mem t name = M.mem name t
+let names t = List.map fst (M.bindings t)
+
+let pp fmt t =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.fprintf f "; ")
+       (fun f (n, a) -> Format.fprintf f "%s/%d" n a))
+    (M.bindings t)

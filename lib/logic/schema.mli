@@ -1,0 +1,14 @@
+(** Relational database schemas: named relation symbols with arities. *)
+
+type t
+
+val empty : t
+val add : string -> int -> t -> t
+(** @raise Invalid_argument on duplicate name or non-positive arity. *)
+
+val of_list : (string * int) list -> t
+val arity : t -> string -> int option
+val arity_exn : t -> string -> int
+val mem : t -> string -> bool
+val names : t -> string list
+val pp : Format.formatter -> t -> unit

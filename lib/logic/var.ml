@@ -1,0 +1,17 @@
+type t = string
+
+let of_string s = s
+let name v = v
+let compare = String.compare
+let equal = String.equal
+
+let counter = ref 0
+
+let fresh ?(hint = "v") () =
+  incr counter;
+  Printf.sprintf "%s#%d" hint !counter
+
+let pp = Format.pp_print_string
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)

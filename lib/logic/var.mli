@@ -1,0 +1,17 @@
+(** First-order variables: interned names with a fresh-name supply. *)
+
+type t = string
+
+val of_string : string -> t
+val name : t -> string
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val fresh : ?hint:string -> unit -> t
+(** A globally fresh variable; fresh names contain ['#'] so they can never
+    collide with parsed user variables. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

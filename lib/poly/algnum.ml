@@ -1,0 +1,310 @@
+open Cqa_arith
+
+type t =
+  | Rat of Q.t
+  | Root of { poly : Upoly.t; iv : Interval.t }
+    (* poly is square-free; iv has non-root endpoints and contains exactly
+       one root of poly *)
+
+let of_q q = Rat q
+let of_int n = Rat (Q.of_int n)
+
+let of_root p iv =
+  let sf = Upoly.square_free p in
+  if Upoly.is_zero sf || Upoly.degree sf = 0 then
+    invalid_arg "Algnum.of_root: constant polynomial";
+  let lo = Interval.lo iv and hi = Interval.hi iv in
+  if Interval.is_point iv then begin
+    if Upoly.sign_at sf lo = 0 then Rat lo
+    else invalid_arg "Algnum.of_root: point interval is not a root"
+  end
+  else if Upoly.sign_at sf lo = 0 || Upoly.sign_at sf hi = 0 then
+    invalid_arg "Algnum.of_root: root at interval endpoint"
+  else if Upoly.count_roots_in sf lo hi <> 1 then
+    invalid_arg "Algnum.of_root: interval does not isolate one root"
+  else Root { poly = sf; iv }
+
+let roots_of p =
+  if Upoly.is_zero p then invalid_arg "Algnum.roots_of: zero polynomial"
+  else if Upoly.degree p = 0 then []
+  else List.map (of_root p) (Upoly.isolate_roots p)
+
+let to_q_opt = function Rat q -> Some q | Root _ -> None
+
+let enclosure = function
+  | Rat q -> Interval.point q
+  | Root r -> r.iv
+
+let refine = function
+  | Rat _ as a -> a
+  | Root r ->
+      let mid = Interval.mid r.iv in
+      let s = Upoly.sign_at r.poly mid in
+      if s = 0 then Rat mid
+      else begin
+        let slo = Upoly.sign_at r.poly (Interval.lo r.iv) in
+        (* the root is simple, so the sign changes across it *)
+        if slo <> s then
+          Root { r with iv = Interval.make (Interval.lo r.iv) mid }
+        else Root { r with iv = Interval.make mid (Interval.hi r.iv) }
+      end
+
+let rec approx a eps =
+  if Q.sign eps <= 0 then invalid_arg "Algnum.approx: eps <= 0";
+  match a with
+  | Rat q -> q
+  | Root r ->
+      if Q.lt (Interval.width r.iv) eps then Interval.mid r.iv
+      else approx (refine a) eps
+
+let to_float a = Q.to_float (approx a (Q.of_ints 1 1_000_000_000))
+
+(* Interval Horner evaluation: a rigorous enclosure of p([lo, hi]). *)
+let eval_on_interval p iv =
+  let lo = Interval.lo iv and hi = Interval.hi iv in
+  let mul_iv (a, b) (c, d) =
+    let p1 = Q.mul a c and p2 = Q.mul a d and p3 = Q.mul b c and p4 = Q.mul b d in
+    (Q.min (Q.min p1 p2) (Q.min p3 p4), Q.max (Q.max p1 p2) (Q.max p3 p4))
+  in
+  let acc =
+    List.fold_right
+      (fun c (l, h) ->
+        let l', h' = mul_iv (l, h) (lo, hi) in
+        (Q.add l' c, Q.add h' c))
+      (Upoly.coeffs p) (Q.zero, Q.zero)
+  in
+  Interval.make (fst acc) (snd acc)
+
+(* Exact sign of q at the algebraic number a. *)
+let sign_of_upoly_at q a =
+  match a with
+  | Rat x -> Upoly.sign_at q x
+  | Root r ->
+      if Upoly.is_zero q then 0
+      else begin
+        let g = Upoly.gcd r.poly q in
+        let lo = Interval.lo r.iv and hi = Interval.hi r.iv in
+        if Upoly.degree g >= 1 && Upoly.count_roots_in g lo hi >= 1 then 0
+        else begin
+          (* q(a) <> 0: refine until the interval enclosure excludes zero *)
+          let rec go a =
+            match a with
+            | Rat x -> Upoly.sign_at q x
+            | Root r ->
+                let enc = eval_on_interval q r.iv in
+                if Q.sign (Interval.lo enc) > 0 then 1
+                else if Q.sign (Interval.hi enc) < 0 then -1
+                else go (refine a)
+          in
+          go a
+        end
+      end
+
+let compare_q a x =
+  match a with
+  | Rat q -> Q.compare q x
+  | Root r ->
+      let lo = Interval.lo r.iv and hi = Interval.hi r.iv in
+      if Q.leq x lo then 1 (* a > lo >= x; lo is a non-root so a > lo *)
+      else if Q.geq x hi then -1
+      else if Upoly.sign_at r.poly x = 0 then 0
+      else if Upoly.count_roots_in r.poly lo x >= 1 then -1
+      else 1
+
+let compare a b =
+  match (a, b) with
+  | Rat x, Rat y -> Q.compare x y
+  | Rat x, b' -> -compare_q b' x
+  | a', Rat y -> compare_q a' y
+  | Root ra, Root rb ->
+      let g = Upoly.gcd ra.poly rb.poly in
+      let common_root_between l h =
+        Upoly.degree g >= 1
+        && Q.lt l h
+        && Upoly.sign_at g l <> 0
+        && Upoly.sign_at g h <> 0
+        && Upoly.count_roots_in g l h >= 1
+      in
+      let rec go a b =
+        match (a, b) with
+        | Rat _, _ | _, Rat _ ->
+            (match (a, b) with
+            | Rat x, _ -> -compare_q b x
+            | _, Rat y -> compare_q a y
+            | _ -> assert false)
+        | Root ra, Root rb ->
+            let la = Interval.lo ra.iv and ha = Interval.hi ra.iv in
+            let lb = Interval.lo rb.iv and hb = Interval.hi rb.iv in
+            if Q.leq ha lb then -1
+            else if Q.leq hb la then 1
+            else begin
+              let l = Q.max la lb and h = Q.min ha hb in
+              if common_root_between l h then 0
+              else go (refine a) (refine b)
+            end
+      in
+      go (Root ra) (Root rb)
+
+let equal a b = compare a b = 0
+let sign a = compare_q a Q.zero
+
+let defining_poly = function
+  | Rat q -> Upoly.of_coeffs [ Q.neg q; Q.one ]
+  | Root r -> r.poly
+
+(* ------------------------------------------------------------------ *)
+(* Field arithmetic                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A Root whose unique root happens to be rational zero collapses to Rat,
+   protecting the product construction (which assumes nonzero operands). *)
+let normalize_zero a =
+  match a with
+  | Rat _ -> a
+  | Root _ -> if compare_q a Q.zero = 0 then Rat Q.zero else a
+
+let neg = function
+  | Rat x -> Rat (Q.neg x)
+  | Root r ->
+      let p' =
+        Upoly.of_coeffs
+          (List.mapi
+             (fun i c -> if i mod 2 = 1 then Q.neg c else c)
+             (Upoly.coeffs r.poly))
+      in
+      let iv =
+        Interval.make (Q.neg (Interval.hi r.iv)) (Q.neg (Interval.lo r.iv))
+      in
+      of_root p' iv
+
+(* translate by a rational: alpha + c is a root of p (x - c) *)
+let shift_rat poly iv c =
+  let p' = Upoly.compose poly (Upoly.of_coeffs [ Q.neg c; Q.one ]) in
+  of_root p' (Interval.translate iv c)
+
+(* scale by a nonzero rational: c * alpha is a root of p (x / c) *)
+let scale_rat poly iv c =
+  let p' =
+    Upoly.of_coeffs (List.mapi (fun i k -> Q.div k (Q.pow c i)) (Upoly.coeffs poly))
+  in
+  let lo = Q.mul c (Interval.lo iv) and hi = Q.mul c (Interval.hi iv) in
+  of_root p' (Interval.make (Q.min lo hi) (Q.max lo hi))
+
+let enclosure_of = function Rat q -> Interval.point q | Root r -> r.iv
+
+(* Isolate the value of a binary operation: [res] is a polynomial vanishing
+   at the result, [enclosure] maps the current operand enclosures to an
+   interval containing it.  Refine until exactly one isolating interval of
+   [res] overlaps the enclosure. *)
+let isolate_binary res enclosure a b =
+  let sf = Upoly.square_free res in
+  let isolating = Upoly.isolate_roots sf in
+  let overlaps enc iv =
+    not
+      (Q.lt (Interval.hi iv) (Interval.lo enc)
+      || Q.gt (Interval.lo iv) (Interval.hi enc))
+  in
+  let rec go a b fuel =
+    if fuel = 0 then invalid_arg "Algnum: binary isolation did not converge";
+    let enc = enclosure (enclosure_of a) (enclosure_of b) in
+    match List.filter (overlaps enc) isolating with
+    | [ iv ] -> if Interval.is_point iv then Rat (Interval.lo iv) else of_root sf iv
+    | _ -> go (refine a) (refine b) (fuel - 1)
+  in
+  go a b 256
+
+let binomial j i =
+  (* C(j, i) as a rational; small arguments only *)
+  let rec c j i =
+    if i = 0 || i = j then Bigint.one
+    else Bigint.add (c (j - 1) (i - 1)) (c (j - 1) i)
+  in
+  Q.of_bigint (c j i)
+
+let add a b =
+  match (normalize_zero a, normalize_zero b) with
+  | Rat x, Rat y -> Rat (Q.add x y)
+  | Rat x, Root r | Root r, Rat x ->
+      if Q.is_zero x then Root r else shift_rat r.poly r.iv x
+  | (Root ra as a'), (Root rb as b') ->
+      (* Res_y (p(y), q(x - y)) vanishes at alpha + beta *)
+      let p_coeffs = List.map Upoly.constant (Upoly.coeffs ra.poly) in
+      let qc = Array.of_list (Upoly.coeffs rb.poly) in
+      let m = Array.length qc - 1 in
+      (* coefficient of y^i in q (x - y): (-1)^i sum_{j >= i} q_j C(j,i) x^(j-i) *)
+      let q_coeffs =
+        List.init (m + 1) (fun i ->
+            let poly =
+              let arr = Array.make (m - i + 1) Q.zero in
+              for j = i to m do
+                arr.(j - i) <- Q.mul qc.(j) (binomial j i)
+              done;
+              Upoly.of_coeffs (Array.to_list arr)
+            in
+            if i mod 2 = 1 then Upoly.neg poly else poly)
+      in
+      let res = Resultant.resultant_y p_coeffs q_coeffs in
+      let enclosure ia ib =
+        Interval.make
+          (Q.add (Interval.lo ia) (Interval.lo ib))
+          (Q.add (Interval.hi ia) (Interval.hi ib))
+      in
+      isolate_binary res enclosure a' b'
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  match (normalize_zero a, normalize_zero b) with
+  | Rat x, Rat y -> Rat (Q.mul x y)
+  | Rat x, Root r | Root r, Rat x ->
+      if Q.is_zero x then Rat Q.zero else scale_rat r.poly r.iv x
+  | (Root ra as a'), (Root rb as b') ->
+      (* Res_y (p(y), y^m q(x/y)) vanishes at alpha * beta (both nonzero) *)
+      let p_coeffs = List.map Upoly.constant (Upoly.coeffs ra.poly) in
+      let qc = Array.of_list (Upoly.coeffs rb.poly) in
+      let m = Array.length qc - 1 in
+      (* y^m q(x/y) = sum_j q_j x^j y^(m-j): coefficient of y^i is
+         q_(m-i) x^(m-i) *)
+      let q_coeffs =
+        List.init (m + 1) (fun i ->
+            let j = m - i in
+            Upoly.scale qc.(j) (Upoly.pow Upoly.x j))
+      in
+      let res = Resultant.resultant_y p_coeffs q_coeffs in
+      let enclosure ia ib =
+        let products =
+          [ Q.mul (Interval.lo ia) (Interval.lo ib);
+            Q.mul (Interval.lo ia) (Interval.hi ib);
+            Q.mul (Interval.hi ia) (Interval.lo ib);
+            Q.mul (Interval.hi ia) (Interval.hi ib) ]
+        in
+        Interval.make
+          (List.fold_left Q.min (List.hd products) products)
+          (List.fold_left Q.max (List.hd products) products)
+      in
+      isolate_binary res enclosure a' b'
+
+let inv a =
+  match normalize_zero a with
+  | Rat x -> Rat (Q.inv x)
+  | Root _ as a' ->
+      (* refine until the enclosure excludes zero, then reverse the
+         coefficients: 1/alpha is a root of x^n p(1/x) *)
+      let rec away a =
+        match a with
+        | Rat x -> Rat (Q.inv x)
+        | Root r' ->
+            let lo = Interval.lo r'.iv and hi = Interval.hi r'.iv in
+            if Q.sign lo > 0 || Q.sign hi < 0 then begin
+              let p' = Upoly.of_coeffs (List.rev (Upoly.coeffs r'.poly)) in
+              let a1 = Q.inv lo and b1 = Q.inv hi in
+              of_root p' (Interval.make (Q.min a1 b1) (Q.max a1 b1))
+            end
+            else away (refine a)
+      in
+      away a'
+
+let pp fmt = function
+  | Rat q -> Q.pp fmt q
+  | Root r ->
+      Format.fprintf fmt "root(%a) in %a" Upoly.pp r.poly Interval.pp r.iv

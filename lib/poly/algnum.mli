@@ -1,0 +1,65 @@
+(** Real algebraic numbers, represented exactly as a square-free defining
+    polynomial together with an isolating rational interval.
+
+    One-dimensional sections of semi-algebraic sets have finitely many
+    interval components whose endpoints are algebraic (o-minimality of the
+    real field); this module gives those endpoints an exact representation
+    with comparison, sign determination, and arbitrarily precise rational
+    approximation. *)
+
+open Cqa_arith
+
+type t
+
+val of_q : Q.t -> t
+val of_int : int -> t
+
+val of_root : Upoly.t -> Interval.t -> t
+(** [of_root p iv]: the unique root of [p] inside [iv].  [p] is replaced by
+    its square-free part.  @raise Invalid_argument if the interval does not
+    isolate exactly one root. *)
+
+val roots_of : Upoly.t -> t list
+(** All distinct real roots, ascending. *)
+
+val to_q_opt : t -> Q.t option
+(** Exact rational value when the number is rational and this has been
+    discovered; guaranteed [Some] for values built by [of_q] or isolated to
+    a point. *)
+
+val approx : t -> Q.t -> Q.t
+(** [approx a eps] is a rational within [eps > 0] of [a]. *)
+
+val enclosure : t -> Interval.t
+val refine : t -> t
+(** Halve the isolating interval. *)
+
+val to_float : t -> float
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+
+val compare_q : t -> Q.t -> int
+
+(** {2 Field arithmetic}
+
+    Sums and products of real algebraic numbers are algebraic; defining
+    polynomials are computed by bivariate resultants
+    ([Res_y (p(y), q(x - y))] for sums, [Res_y (p(y), y^m q(x/y))] for
+    products) and the result is isolated by refining the operands'
+    enclosures.  Rational operands take direct polynomial-transformation
+    shortcuts. *)
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val sign_of_upoly_at : Upoly.t -> t -> int
+(** Exact sign of [q(a)]. *)
+
+val defining_poly : t -> Upoly.t
+val pp : Format.formatter -> t -> unit

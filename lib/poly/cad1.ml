@@ -1,0 +1,71 @@
+open Cqa_arith
+
+type cell =
+  | Point of Algnum.t
+  | Gap of { left : Algnum.t option; right : Algnum.t option; sample : Q.t }
+
+(* Refine the root enclosures until consecutive enclosures are strictly
+   separated, so rational samples can be placed between them. *)
+let separate roots =
+  let arr = Array.of_list roots in
+  let n = Array.length arr in
+  let rec fix i =
+    if i >= n - 1 then ()
+    else begin
+      let hi_i = Interval.hi (Algnum.enclosure arr.(i)) in
+      let lo_j = Interval.lo (Algnum.enclosure arr.(i + 1)) in
+      if Q.lt hi_i lo_j then fix (i + 1)
+      else begin
+        arr.(i) <- Algnum.refine arr.(i);
+        arr.(i + 1) <- Algnum.refine arr.(i + 1);
+        fix i
+      end
+    end
+  in
+  fix 0;
+  Array.to_list arr
+
+let decompose polys =
+  let polys = List.filter (fun p -> Upoly.degree p >= 1) polys in
+  let roots =
+    List.concat_map Algnum.roots_of polys
+    |> List.sort_uniq Algnum.compare
+    |> separate
+  in
+  match roots with
+  | [] -> [ Gap { left = None; right = None; sample = Q.zero } ]
+  | first :: _ ->
+      let sample_left =
+        Q.sub (Interval.lo (Algnum.enclosure first)) Q.one
+      in
+      let rec walk = function
+        | [ last ] ->
+            [ Point last;
+              Gap
+                { left = Some last;
+                  right = None;
+                  sample = Q.add (Interval.hi (Algnum.enclosure last)) Q.one } ]
+        | a :: (b :: _ as rest) ->
+            let sample =
+              Q.mid (Interval.hi (Algnum.enclosure a)) (Interval.lo (Algnum.enclosure b))
+            in
+            Point a :: Gap { left = Some a; right = Some b; sample } :: walk rest
+        | [] -> []
+      in
+      Gap { left = None; right = Some first; sample = sample_left } :: walk roots
+
+let sign_on cell p =
+  match cell with
+  | Point a -> Algnum.sign_of_upoly_at p a
+  | Gap g -> Upoly.sign_at p g.sample
+
+let cell_count = List.length
+
+let pp_cell fmt = function
+  | Point a -> Format.fprintf fmt "{%a}" Algnum.pp a
+  | Gap { left; right; sample } ->
+      let pb fmt = function
+        | None -> Format.pp_print_string fmt "inf"
+        | Some a -> Algnum.pp fmt a
+      in
+      Format.fprintf fmt "(%a, %a)@@%a" pb left pb right Q.pp sample

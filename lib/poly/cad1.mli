@@ -1,0 +1,25 @@
+(** One-dimensional cylindrical algebraic decomposition: partition the real
+    line into finitely many sign-invariant cells for a family of univariate
+    polynomials.  This is the [n = 1] base of CAD, and all the paper's exact
+    algorithms need no more: semi-algebraic sets only ever get sectioned to
+    one dimension (END) or sampled at rational points (Theorem 4). *)
+
+open Cqa_arith
+
+type cell =
+  | Point of Algnum.t  (** A root of one of the polynomials. *)
+  | Gap of { left : Algnum.t option; right : Algnum.t option; sample : Q.t }
+      (** An open interval between consecutive roots ([None] = infinite),
+          with a rational sample point inside. *)
+
+val decompose : Upoly.t list -> cell list
+(** Alternating [Gap], [Point], [Gap], ..., [Point], [Gap] covering R in
+    order.  Constant and zero polynomials are ignored; with no nonconstant
+    polynomial the result is the single full-line [Gap]. *)
+
+val sign_on : cell -> Upoly.t -> int
+(** Sign of the polynomial on the cell (constant there if the polynomial
+    belongs to the family used for the decomposition). *)
+
+val cell_count : cell list -> int
+val pp_cell : Format.formatter -> cell -> unit

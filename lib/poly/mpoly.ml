@@ -1,0 +1,227 @@
+open Cqa_arith
+open Cqa_logic
+open Cqa_linear
+
+type monomial = (Var.t * int) list
+
+module Mono = struct
+  type t = monomial
+
+  let compare (a : t) (b : t) = Stdlib.compare a b
+end
+
+module M = Map.Make (Mono)
+
+type t = Q.t M.t
+(* Invariant: no zero coefficients; monomials sorted with positive
+   exponents. *)
+
+let zero = M.empty
+let constant c = if Q.is_zero c then zero else M.singleton [] c
+let one = constant Q.one
+let of_int n = constant (Q.of_int n)
+let var v = M.singleton [ (v, 1) ] Q.one
+
+let monomial c m =
+  if Q.is_zero c then zero
+  else begin
+    let m = List.filter (fun (_, e) -> e <> 0) m in
+    List.iter (fun (_, e) -> if e < 0 then invalid_arg "Mpoly.monomial") m;
+    let m = List.sort (fun (a, _) (b, _) -> Var.compare a b) m in
+    (* merge duplicate variables *)
+    let rec merge = function
+      | (v1, e1) :: (v2, e2) :: rest when Var.equal v1 v2 ->
+          merge ((v1, e1 + e2) :: rest)
+      | x :: rest -> x :: merge rest
+      | [] -> []
+    in
+    M.singleton (merge m) c
+  end
+
+let add a b =
+  M.union
+    (fun _ x y ->
+      let s = Q.add x y in
+      if Q.is_zero s then None else Some s)
+    a b
+
+let neg a = M.map Q.neg a
+let sub a b = add a (neg b)
+let scale c a = if Q.is_zero c then zero else M.map (Q.mul c) a
+
+let mul_mono (m1 : monomial) (m2 : monomial) : monomial =
+  let rec go a b =
+    match (a, b) with
+    | [], r | r, [] -> r
+    | (v1, e1) :: r1, (v2, e2) :: r2 ->
+        let c = Var.compare v1 v2 in
+        if c = 0 then (v1, e1 + e2) :: go r1 r2
+        else if c < 0 then (v1, e1) :: go r1 b
+        else (v2, e2) :: go a r2
+  in
+  go m1 m2
+
+let mul a b =
+  M.fold
+    (fun ma ca acc ->
+      M.fold
+        (fun mb cb acc ->
+          add acc (M.singleton (mul_mono ma mb) (Q.mul ca cb)))
+        b acc)
+    a zero
+
+let pow p k =
+  if k < 0 then invalid_arg "Mpoly.pow";
+  let rec go acc b k =
+    if k = 0 then acc
+    else go (if k land 1 = 1 then mul acc b else acc) (mul b b) (k lsr 1)
+  in
+  go one p k
+
+let terms p = M.bindings p
+let is_zero p = M.is_empty p
+let is_constant p = M.is_empty p || (M.cardinal p = 1 && M.mem [] p)
+
+let constant_value p =
+  if M.is_empty p then Some Q.zero
+  else if M.cardinal p = 1 then M.find_opt [] p
+  else None
+
+let vars p =
+  M.fold
+    (fun m _ acc -> List.fold_left (fun s (v, _) -> Var.Set.add v s) acc m)
+    p Var.Set.empty
+  |> Var.Set.elements
+
+let total_degree p =
+  M.fold
+    (fun m _ acc -> max acc (List.fold_left (fun d (_, e) -> d + e) 0 m))
+    p 0
+
+let degree_in p v =
+  M.fold
+    (fun m _ acc ->
+      max acc (Option.value ~default:0 (List.assoc_opt v m)))
+    p 0
+
+let eval p env =
+  M.fold
+    (fun m c acc ->
+      let t =
+        List.fold_left
+          (fun t (v, e) ->
+            match Var.Map.find_opt v env with
+            | Some x -> Q.mul t (Q.pow x e)
+            | None -> invalid_arg ("Mpoly.eval: unbound variable " ^ Var.name v))
+          c m
+      in
+      Q.add acc t)
+    p Q.zero
+
+let eval_partial p env =
+  M.fold
+    (fun m c acc ->
+      let coeff, rest =
+        List.fold_left
+          (fun (coeff, rest) (v, e) ->
+            match Var.Map.find_opt v env with
+            | Some x -> (Q.mul coeff (Q.pow x e), rest)
+            | None -> (coeff, (v, e) :: rest))
+          (c, []) m
+      in
+      add acc (monomial coeff (List.rev rest)))
+    p zero
+
+let subst p v q =
+  M.fold
+    (fun m c acc ->
+      let e = Option.value ~default:0 (List.assoc_opt v m) in
+      let rest = List.filter (fun (v', _) -> not (Var.equal v v')) m in
+      add acc (mul (monomial c rest) (pow q e)))
+    p zero
+
+let rename rn p =
+  M.fold
+    (fun m c acc -> add acc (monomial c (List.map (fun (v, e) -> (rn v, e)) m)))
+    p zero
+
+let derivative p v =
+  M.fold
+    (fun m c acc ->
+      match List.assoc_opt v m with
+      | None | Some 0 -> acc
+      | Some e ->
+          let rest =
+            List.filter_map
+              (fun (v', e') ->
+                if Var.equal v v' then if e = 1 then None else Some (v', e - 1)
+                else Some (v', e'))
+              m
+          in
+          add acc (monomial (Q.mul_int c e) rest))
+    p zero
+
+let of_linexpr e =
+  List.fold_left
+    (fun acc (v, c) -> add acc (monomial c [ (v, 1) ]))
+    (constant (Linexpr.constant e))
+    (Linexpr.coeffs e)
+
+let to_linexpr p =
+  if total_degree p > 1 then None
+  else
+    Some
+      (M.fold
+         (fun m c acc ->
+           match m with
+           | [] -> Linexpr.add acc (Linexpr.const c)
+           | [ (v, 1) ] -> Linexpr.add acc (Linexpr.monomial c v)
+           | _ -> assert false)
+         p Linexpr.zero)
+
+let to_upoly p v =
+  match vars p with
+  | [] -> (
+      match constant_value p with
+      | Some c -> Some (Upoly.constant c)
+      | None -> None)
+  | [ v' ] when Var.equal v v' ->
+      let d = degree_in p v in
+      let arr = Array.make (d + 1) Q.zero in
+      M.iter
+        (fun m c ->
+          let e = match m with [] -> 0 | [ (_, e) ] -> e | _ -> assert false in
+          arr.(e) <- Q.add arr.(e) c)
+        p;
+      Some (Upoly.of_coeffs (Array.to_list arr))
+  | _ -> None
+
+let equal = M.equal Q.equal
+let compare = M.compare Q.compare
+
+let pp fmt p =
+  if is_zero p then Format.pp_print_string fmt "0"
+  else begin
+    let pp_mono fmt m =
+      Format.pp_print_list
+        ~pp_sep:(fun f () -> Format.pp_print_string f "*")
+        (fun f (v, e) ->
+          if e = 1 then Var.pp f v else Format.fprintf f "%a^%d" Var.pp v e)
+        fmt m
+    in
+    let first = ref true in
+    List.iter
+      (fun (m, c) ->
+        if !first then begin
+          if Q.sign c < 0 then Format.pp_print_string fmt "-";
+          first := false
+        end
+        else Format.pp_print_string fmt (if Q.sign c < 0 then " - " else " + ");
+        let a = Q.abs c in
+        if m = [] then Q.pp fmt a
+        else begin
+          if not (Q.equal a Q.one) then Format.fprintf fmt "%a*" Q.pp a;
+          pp_mono fmt m
+        end)
+      (terms p)
+  end

@@ -1,0 +1,53 @@
+(** Multivariate polynomials over the rationals: the terms of the real-field
+    signature R = (R, +, *, 0, 1, <) used by FO + POLY. *)
+
+open Cqa_arith
+open Cqa_logic
+open Cqa_linear
+
+type monomial = (Var.t * int) list
+(** Sorted by variable, positive exponents. *)
+
+type t
+
+val zero : t
+val one : t
+val constant : Q.t -> t
+val of_int : int -> t
+val var : Var.t -> t
+val monomial : Q.t -> (Var.t * int) list -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val scale : Q.t -> t -> t
+val pow : t -> int -> t
+
+val terms : t -> (monomial * Q.t) list
+val is_zero : t -> bool
+val is_constant : t -> bool
+val constant_value : t -> Q.t option
+val vars : t -> Var.t list
+val total_degree : t -> int
+val degree_in : t -> Var.t -> int
+
+val eval : t -> Q.t Var.Map.t -> Q.t
+(** @raise Invalid_argument on unbound variables. *)
+
+val eval_partial : t -> Q.t Var.Map.t -> t
+val subst : t -> Var.t -> t -> t
+val rename : (Var.t -> Var.t) -> t -> t
+val derivative : t -> Var.t -> t
+
+val of_linexpr : Linexpr.t -> t
+val to_linexpr : t -> Linexpr.t option
+(** [Some] when total degree is at most 1. *)
+
+val to_upoly : t -> Var.t -> Upoly.t option
+(** [Some] when the polynomial is univariate in the given variable (or
+    constant). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

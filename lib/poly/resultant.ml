@@ -1,0 +1,130 @@
+open Cqa_arith
+
+let sylvester p q =
+  let n = Upoly.degree p and m = Upoly.degree q in
+  if n < 0 || m < 0 then invalid_arg "Resultant.sylvester: zero polynomial";
+  if n = 0 && m = 0 then invalid_arg "Resultant.sylvester: two constants";
+  let size = n + m in
+  let mat = Array.make_matrix size size Q.zero in
+  (* m rows of p's coefficients, shifted *)
+  for i = 0 to m - 1 do
+    for j = 0 to n do
+      mat.(i).(i + j) <- Upoly.coeff p (n - j)
+    done
+  done;
+  (* n rows of q's coefficients, shifted *)
+  for i = 0 to n - 1 do
+    for j = 0 to m do
+      mat.(m + i).(i + j) <- Upoly.coeff q (m - j)
+    done
+  done;
+  mat
+
+let resultant p q =
+  let n = Upoly.degree p and m = Upoly.degree q in
+  if n < 0 || m < 0 then Q.zero
+  else if n = 0 && m = 0 then Q.one
+  else if n = 0 then Q.pow (Upoly.leading p) m
+  else if m = 0 then Q.pow (Upoly.leading q) n
+  else Qmat.det (sylvester p q)
+
+let discriminant p =
+  let n = Upoly.degree p in
+  if n < 1 then invalid_arg "Resultant.discriminant: degree < 1";
+  if n = 1 then Q.one
+  else begin
+    let r = resultant p (Upoly.derivative p) in
+    let sign = if n * (n - 1) / 2 mod 2 = 0 then Q.one else Q.minus_one in
+    Q.mul sign (Q.div r (Upoly.leading p))
+  end
+
+(* Fraction-free Bareiss determinant over the polynomial ring Q[x]: every
+   division is exact by construction. *)
+let det_poly m =
+  let n = Array.length m in
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Resultant.det_poly")
+    m;
+  if n = 0 then Upoly.one
+  else begin
+    let a = Array.map Array.copy m in
+    let sign = ref 1 in
+    let prev = ref Upoly.one in
+    let result = ref None in
+    (try
+       for k = 0 to n - 2 do
+         (* pivot selection: any nonzero entry in column k at row >= k *)
+         if Upoly.is_zero a.(k).(k) then begin
+           let p = ref (-1) in
+           for i = k + 1 to n - 1 do
+             if !p < 0 && not (Upoly.is_zero a.(i).(k)) then p := i
+           done;
+           if !p < 0 then begin
+             result := Some Upoly.zero;
+             raise Exit
+           end;
+           let t = a.(!p) in
+           a.(!p) <- a.(k);
+           a.(k) <- t;
+           sign := - !sign
+         end;
+         for i = k + 1 to n - 1 do
+           for j = k + 1 to n - 1 do
+             let num =
+               Upoly.sub
+                 (Upoly.mul a.(k).(k) a.(i).(j))
+                 (Upoly.mul a.(i).(k) a.(k).(j))
+             in
+             let d, r = Upoly.divmod num !prev in
+             assert (Upoly.is_zero r);
+             a.(i).(j) <- d
+           done;
+           a.(i).(k) <- Upoly.zero
+         done;
+         prev := a.(k).(k)
+       done
+     with Exit -> ());
+    match !result with
+    | Some z -> z
+    | None ->
+        let d = a.(n - 1).(n - 1) in
+        if !sign < 0 then Upoly.neg d else d
+  end
+
+let resultant_y p q =
+  let trim l =
+    (* drop zero leading coefficients (highest y-degree) *)
+    let rec cut = function
+      | c :: rest when Upoly.is_zero c -> cut rest
+      | l -> l
+    in
+    List.rev (cut (List.rev l))
+  in
+  let p = trim p and q = trim q in
+  let n = List.length p - 1 and m = List.length q - 1 in
+  if n < 0 || m < 0 then invalid_arg "Resultant.resultant_y: zero polynomial";
+  if n = 0 && m = 0 then invalid_arg "Resultant.resultant_y: two y-constants";
+  if n = 0 then Upoly.pow (List.hd p) m
+  else if m = 0 then Upoly.pow (List.hd q) n
+  else begin
+    let size = n + m in
+    let mat = Array.make_matrix size size Upoly.zero in
+    let pa = Array.of_list p and qa = Array.of_list q in
+    for i = 0 to m - 1 do
+      for j = 0 to n do
+        mat.(i).(i + j) <- pa.(n - j)
+      done
+    done;
+    for i = 0 to n - 1 do
+      for j = 0 to m do
+        mat.(m + i).(i + j) <- qa.(m - j)
+      done
+    done;
+    det_poly mat
+  end
+
+let have_common_root p q = Q.is_zero (resultant p q)
+
+let is_square_free p =
+  if Upoly.degree p < 1 then not (Upoly.is_zero p)
+  else not (Q.is_zero (discriminant p))

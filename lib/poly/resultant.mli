@@ -1,0 +1,43 @@
+(** Resultants and discriminants of univariate polynomials over the
+    rationals, via the Sylvester matrix.
+
+    [resultant p q = 0] iff [p] and [q] share a root (over the complex
+    numbers); the discriminant detects multiple roots.  These power fast
+    common-root tests on real algebraic numbers and the square-freeness
+    checks of the 1-D CAD. *)
+
+open Cqa_arith
+
+val sylvester : Upoly.t -> Upoly.t -> Q.t array array
+(** The [(m+n) x (m+n)] Sylvester matrix of two nonzero polynomials of
+    degrees [n] and [m].  @raise Invalid_argument on a zero polynomial or
+    two constants. *)
+
+val resultant : Upoly.t -> Upoly.t -> Q.t
+(** [Res (p, q)].  Conventions: if either polynomial is zero the resultant
+    is 0; if both are (nonzero) constants it is 1; if exactly one is a
+    constant [c] with the other of degree [n], it is [c^n]. *)
+
+val discriminant : Upoly.t -> Q.t
+(** [disc p = (-1)^(n (n-1) / 2) Res (p, p') / lc (p)].
+    Zero iff [p] has a multiple (complex) root.
+    @raise Invalid_argument on polynomials of degree < 1. *)
+
+val det_poly : Upoly.t array array -> Upoly.t
+(** Determinant of a square matrix with polynomial entries, by the
+    fraction-free Bareiss elimination (exact division in Q[x]). *)
+
+val resultant_y : Upoly.t list -> Upoly.t list -> Upoly.t
+(** [resultant_y p q] eliminates [y] from two polynomials in [y] whose
+    coefficients (low to high degree in [y]) are polynomials in [x]: the
+    result is a polynomial in [x] vanishing exactly on the [x] for which
+    they share a [y]-root.  This is the engine behind arithmetic on real
+    algebraic numbers ({!Algnum.add}, {!Algnum.mul}).
+    @raise Invalid_argument when either list is empty or has a zero leading
+    coefficient, or both have [y]-degree 0. *)
+
+val have_common_root : Upoly.t -> Upoly.t -> bool
+(** Shared complex root test ([resultant = 0]). *)
+
+val is_square_free : Upoly.t -> bool
+(** No multiple complex roots (degree >= 1); constants are square-free. *)

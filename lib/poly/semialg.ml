@@ -1,0 +1,407 @@
+open Cqa_arith
+open Cqa_logic
+open Cqa_linear
+
+type op = Le | Lt | Eq
+
+type atom = { poly : Mpoly.t; op : op }
+
+let atom_holds a env =
+  let v = Mpoly.eval a.poly env in
+  match a.op with
+  | Le -> Q.leq v Q.zero
+  | Lt -> Q.lt v Q.zero
+  | Eq -> Q.is_zero v
+
+let negate_atom a =
+  match a.op with
+  | Le -> [ { poly = Mpoly.neg a.poly; op = Lt } ]
+  | Lt -> [ { poly = Mpoly.neg a.poly; op = Le } ]
+  | Eq -> [ { poly = a.poly; op = Lt }; { poly = Mpoly.neg a.poly; op = Lt } ]
+
+let pp_atom fmt a =
+  let s = match a.op with Le -> "<=" | Lt -> "<" | Eq -> "=" in
+  Format.fprintf fmt "%a %s 0" Mpoly.pp a.poly s
+
+type formula = atom Formula.t
+
+type t = { vars : Var.t array; dnf : atom list list }
+
+let dim t = Array.length t.vars
+let vars t = t.vars
+let dnf t = t.dnf
+
+let atom_vars a = Mpoly.vars a.poly
+
+let check_vars vars =
+  let s = Var.Set.of_list (Array.to_list vars) in
+  if Var.Set.cardinal s <> Array.length vars then
+    invalid_arg "Semialg.make: duplicate coordinate variables";
+  s
+
+let atom_trivial a =
+  match Mpoly.constant_value a.poly with
+  | None -> None
+  | Some c ->
+      Some
+        (match a.op with
+        | Le -> Q.leq c Q.zero
+        | Lt -> Q.lt c Q.zero
+        | Eq -> Q.is_zero c)
+
+let simplify_conj conj =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | a :: rest -> (
+        match atom_trivial a with
+        | Some true -> go acc rest
+        | Some false -> None
+        | None -> go (a :: acc) rest)
+  in
+  go [] conj
+
+let make vars d =
+  let allowed = check_vars vars in
+  List.iter
+    (fun conj ->
+      List.iter
+        (fun a ->
+          if not (List.for_all (fun v -> Var.Set.mem v allowed) (atom_vars a))
+          then invalid_arg "Semialg.make: foreign variable")
+        conj)
+    d;
+  { vars; dnf = List.filter_map simplify_conj d }
+
+let of_qf_formula vars f =
+  let allowed = check_vars vars in
+  let free = Formula.free_vars ~atom_vars f in
+  if not (Var.Set.subset free allowed) then
+    invalid_arg "Semialg.of_qf_formula: free variable not a coordinate";
+  let nnf = Formula.nnf ~negate_atom:(fun a ->
+      Formula.disj (List.map (fun n -> Formula.Atom n) (negate_atom a))) f
+  in
+  let rec to_dnf = function
+    | Formula.True -> [ [] ]
+    | Formula.False -> []
+    | Formula.Atom a -> [ [ a ] ]
+    | Formula.And (g, h) ->
+        let dg = to_dnf g and dh = to_dnf h in
+        List.concat_map (fun cg -> List.map (fun ch -> cg @ ch) dh) dg
+    | Formula.Or (g, h) -> to_dnf g @ to_dnf h
+    | Formula.Not _ -> invalid_arg "Semialg.of_qf_formula: not in NNF"
+    | Formula.Rel _ -> invalid_arg "Semialg.of_qf_formula: schema atom"
+    | Formula.Exists _ | Formula.Forall _ | Formula.Exists_adom _
+    | Formula.Forall_adom _ ->
+        invalid_arg "Semialg.of_qf_formula: quantifier"
+  in
+  make vars (to_dnf nnf)
+
+let lin_op : Linconstr.op -> op = function
+  | Linconstr.Le -> Le
+  | Linconstr.Lt -> Lt
+  | Linconstr.Eq -> Eq
+
+let of_semilinear s =
+  { vars = Semilinear.vars s;
+    dnf =
+      List.map
+        (List.map (fun c ->
+             { poly = Mpoly.of_linexpr (Linconstr.expr c); op = lin_op (Linconstr.op c) }))
+        (Semilinear.dnf s) }
+
+let default_vars n = Array.init n (fun i -> Var.of_string (Printf.sprintf "x%d" i))
+
+let empty n = { vars = default_vars n; dnf = [] }
+let full n = { vars = default_vars n; dnf = [ [] ] }
+
+let ball ~center ~radius =
+  let n = Array.length center in
+  let vars = default_vars n in
+  let sq =
+    Array.to_list
+      (Array.mapi
+         (fun i c ->
+           let d = Mpoly.sub (Mpoly.var vars.(i)) (Mpoly.constant c) in
+           Mpoly.mul d d)
+         center)
+  in
+  let lhs =
+    Mpoly.sub
+      (List.fold_left Mpoly.add Mpoly.zero sq)
+      (Mpoly.constant (Q.mul radius radius))
+  in
+  { vars; dnf = [ [ { poly = lhs; op = Le } ] ] }
+
+let env_of t pt =
+  if Array.length pt <> dim t then invalid_arg "Semialg: point dimension";
+  let env = ref Var.Map.empty in
+  Array.iteri (fun i v -> env := Var.Map.add v pt.(i) !env) t.vars;
+  !env
+
+let mem t pt =
+  let env = env_of t pt in
+  List.exists (List.for_all (fun a -> atom_holds a env)) t.dnf
+
+let align a b =
+  if dim a <> dim b then invalid_arg "Semialg: dimension mismatch";
+  if a.vars = b.vars then b.dnf
+  else begin
+    let table = Hashtbl.create 8 in
+    Array.iteri (fun i v -> Hashtbl.replace table v a.vars.(i)) b.vars;
+    let rn v = match Hashtbl.find_opt table v with Some v' -> v' | None -> v in
+    List.map
+      (List.map (fun at -> { at with poly = Mpoly.rename rn at.poly }))
+      b.dnf
+  end
+
+let union a b = { a with dnf = a.dnf @ align a b }
+
+let inter a b =
+  let db = align a b in
+  { a with
+    dnf =
+      List.concat_map
+        (fun ca -> List.filter_map (fun cb -> simplify_conj (ca @ cb)) db)
+        a.dnf }
+
+let compl a =
+  let parts = List.map (fun conj -> List.concat_map negate_atom conj) a.dnf in
+  (* complement of a DNF: conjunction of disjunctions; expand *)
+  match a.dnf with
+  | [] -> { a with dnf = [ [] ] }
+  | _ ->
+      let product =
+        List.fold_left
+          (fun acc part ->
+            List.concat_map (fun c -> List.map (fun atom -> atom :: c) part) acc)
+          [ [] ] parts
+      in
+      { a with dnf = List.filter_map simplify_conj product }
+
+let diff a b = inter a (compl { a with dnf = align a b })
+
+let clamp_unit a =
+  let cube_conj =
+    Array.to_list a.vars
+    |> List.concat_map (fun v ->
+           [ { poly = Mpoly.neg (Mpoly.var v); op = Le };
+             { poly = Mpoly.sub (Mpoly.var v) Mpoly.one; op = Le } ])
+  in
+  inter a { a with dnf = [ cube_conj ] }
+
+let atom_count a = List.fold_left (fun acc c -> acc + List.length c) 0 a.dnf
+
+module Section = struct
+  type bound =
+    | Ninf
+    | Pinf
+    | Incl of Algnum.t
+    | Excl of Algnum.t
+
+  type component = { lo : bound; hi : bound }
+
+  type t = component list
+
+  let endpoints t =
+    List.concat_map
+      (fun c ->
+        let f = function Incl a | Excl a -> [ a ] | Ninf | Pinf -> [] in
+        f c.lo @ f c.hi)
+      t
+    |> List.sort_uniq Algnum.compare
+
+  let mem t x =
+    List.exists
+      (fun c ->
+        (match c.lo with
+        | Ninf -> true
+        | Pinf -> false
+        | Incl a -> Algnum.compare_q a x <= 0
+        | Excl a -> Algnum.compare_q a x < 0)
+        &&
+        match c.hi with
+        | Pinf -> true
+        | Ninf -> false
+        | Incl a -> Algnum.compare_q a x >= 0
+        | Excl a -> Algnum.compare_q a x > 0)
+      t
+
+  let is_empty t = t = []
+  let component_count = List.length
+
+  let measure_approx ~eps t =
+    if Q.sign eps <= 0 then invalid_arg "Section.measure_approx: eps <= 0";
+    let bounded =
+      List.for_all
+        (fun c ->
+          (match c.lo with Ninf -> false | _ -> true)
+          && match c.hi with Pinf -> false | _ -> true)
+        t
+    in
+    if not bounded then None
+    else begin
+      let k = max 1 (2 * List.length t) in
+      let step = Q.div eps (Q.of_int k) in
+      let value = function
+        | Incl a | Excl a -> Algnum.approx a step
+        | Ninf | Pinf -> assert false
+      in
+      Some
+        (List.fold_left
+           (fun acc c -> Q.add acc (Q.max Q.zero (Q.sub (value c.hi) (value c.lo))))
+           Q.zero t)
+    end
+
+  let measure_exact t =
+    let bounded =
+      List.for_all
+        (fun c ->
+          (match c.lo with Ninf -> false | _ -> true)
+          && match c.hi with Pinf -> false | _ -> true)
+        t
+    in
+    if not bounded then None
+    else
+      Some
+        (List.fold_left
+           (fun acc c ->
+             match (c.lo, c.hi) with
+             | (Incl a | Excl a), (Incl b | Excl b) ->
+                 Algnum.add acc (Algnum.sub b a)
+             | _ -> assert false)
+           (Algnum.of_int 0) t)
+
+  let clamp lo hi t =
+    let qlo = Algnum.of_q lo and qhi = Algnum.of_q hi in
+    let max_lo b =
+      match b with
+      | Ninf -> Incl qlo
+      | Pinf -> Pinf
+      | Incl a -> if Algnum.compare_q a lo < 0 then Incl qlo else b
+      | Excl a -> if Algnum.compare_q a lo < 0 then Incl qlo else b
+    in
+    let min_hi b =
+      match b with
+      | Pinf -> Incl qhi
+      | Ninf -> Ninf
+      | Incl a -> if Algnum.compare_q a hi > 0 then Incl qhi else b
+      | Excl a -> if Algnum.compare_q a hi > 0 then Incl qhi else b
+    in
+    let nonempty c =
+      match (c.lo, c.hi) with
+      | Ninf, _ | _, Pinf -> true
+      | Pinf, _ | _, Ninf -> false
+      | (Incl a | Excl a), (Incl b | Excl b) -> (
+          match (c.lo, c.hi) with
+          | Incl _, Incl _ -> Algnum.compare a b <= 0
+          | _ -> Algnum.compare a b < 0)
+    in
+    List.filter nonempty
+      (List.map (fun c -> { lo = max_lo c.lo; hi = min_hi c.hi }) t)
+
+  let pp fmt t =
+    if t = [] then Format.pp_print_string fmt "{}"
+    else begin
+      let pl fmt = function
+        | Ninf -> Format.pp_print_string fmt "(-inf"
+        | Incl a -> Format.fprintf fmt "[%a" Algnum.pp a
+        | Excl a -> Format.fprintf fmt "(%a" Algnum.pp a
+        | Pinf -> Format.pp_print_string fmt "(+inf"
+      in
+      let ph fmt = function
+        | Pinf -> Format.pp_print_string fmt "+inf)"
+        | Incl a -> Format.fprintf fmt "%a]" Algnum.pp a
+        | Excl a -> Format.fprintf fmt "%a)" Algnum.pp a
+        | Ninf -> Format.pp_print_string fmt "-inf)"
+      in
+      Format.pp_print_list
+        ~pp_sep:(fun f () -> Format.pp_print_string f " u ")
+        (fun f c -> Format.fprintf f "%a, %a" pl c.lo ph c.hi)
+        fmt t
+    end
+end
+
+let last_axis_section t pt =
+  let n = dim t in
+  if n = 0 then invalid_arg "Semialg.last_axis_section: dimension 0";
+  if Array.length pt <> n - 1 then
+    invalid_arg "Semialg.last_axis_section: point dimension";
+  let env = ref Var.Map.empty in
+  for i = 0 to n - 2 do
+    env := Var.Map.add t.vars.(i) pt.(i) !env
+  done;
+  let last = t.vars.(n - 1) in
+  (* substitute: each atom becomes univariate in the last variable *)
+  let sub_dnf =
+    List.filter_map
+      (fun conj ->
+        simplify_conj
+          (List.map (fun a -> { a with poly = Mpoly.eval_partial a.poly !env }) conj))
+      t.dnf
+  in
+  let upoly_of a =
+    match Mpoly.to_upoly a.poly last with
+    | Some p -> p
+    | None -> invalid_arg "Semialg.last_axis_section: non-univariate residue"
+  in
+  let polys =
+    List.concat_map (fun conj -> List.map upoly_of conj) sub_dnf
+    |> List.filter (fun p -> Upoly.degree p >= 1)
+  in
+  let cells = Cad1.decompose polys in
+  let cell_holds cell =
+    List.exists
+      (fun conj ->
+        List.for_all
+          (fun a ->
+            let s = Cad1.sign_on cell (upoly_of a) in
+            match a.op with Le -> s <= 0 | Lt -> s < 0 | Eq -> s = 0)
+          conj)
+      sub_dnf
+  in
+  let flagged = List.map (fun c -> (c, cell_holds c)) cells in
+  (* merge consecutive kept cells into maximal components *)
+  let close_at cell prev_open =
+    ignore prev_open;
+    match cell with
+    | Cad1.Point a -> Section.Excl a
+    | Cad1.Gap g -> (
+        match g.left with
+        | Some a -> Section.Incl a
+        | None -> assert false)
+  in
+  let rec build acc current = function
+    | [] -> (
+        match current with
+        | None -> List.rev acc
+        | Some lo -> List.rev ({ Section.lo; hi = Section.Pinf } :: acc))
+    | (cell, kept) :: rest -> (
+        match (current, kept) with
+        | None, false -> build acc None rest
+        | None, true ->
+            let lo =
+              match cell with
+              | Cad1.Point a -> Section.Incl a
+              | Cad1.Gap g -> (
+                  match g.left with
+                  | None -> Section.Ninf
+                  | Some a -> Section.Excl a)
+            in
+            build acc (Some lo) rest
+        | Some _, true -> build acc current rest
+        | Some lo, false ->
+            build ({ Section.lo; hi = close_at cell true } :: acc) None rest)
+  in
+  build [] None flagged
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>dim %d:@ %a@]" (dim t)
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.fprintf f " \\/@ ")
+       (fun f conj ->
+         Format.fprintf f "{%a}"
+           (Format.pp_print_list
+              ~pp_sep:(fun f () -> Format.fprintf f " /\\ ")
+              pp_atom)
+           conj))
+    t.dnf

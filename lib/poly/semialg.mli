@@ -1,0 +1,84 @@
+(** Semi-algebraic sets: finitely representable subsets of R^n given by
+    quantifier-free formulas over the real field R = (R, +, *, 0, 1, <),
+    kept in DNF of polynomial sign conditions.
+
+    No general quantifier elimination is attempted (see DESIGN.md): the
+    paper's exact algorithms only need one-dimensional sections, which the
+    1-D CAD provides with exact algebraic endpoints, and its approximation
+    algorithms (Theorem 4) only need membership tests at rational points. *)
+
+open Cqa_arith
+open Cqa_logic
+open Cqa_linear
+
+type op = Le | Lt | Eq
+
+type atom = { poly : Mpoly.t; op : op }
+(** The sign condition [poly op 0]. *)
+
+val atom_holds : atom -> Q.t Var.Map.t -> bool
+val negate_atom : atom -> atom list
+val pp_atom : Format.formatter -> atom -> unit
+
+type formula = atom Formula.t
+
+type t
+
+val dim : t -> int
+val vars : t -> Var.t array
+val dnf : t -> atom list list
+
+val make : Var.t array -> atom list list -> t
+val of_qf_formula : Var.t array -> formula -> t
+(** @raise Invalid_argument on quantifiers, schema atoms, or free variables
+    outside the coordinates. *)
+
+val of_semilinear : Semilinear.t -> t
+val empty : int -> t
+val full : int -> t
+val ball : center:Q.t array -> radius:Q.t -> t
+(** Closed euclidean ball [|x - c|^2 <= r^2]. *)
+
+val mem : t -> Q.t array -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val compl : t -> t
+val diff : t -> t -> t
+val clamp_unit : t -> t
+val atom_count : t -> int
+
+(** One-dimensional sections with exact algebraic endpoints. *)
+module Section : sig
+  type bound =
+    | Ninf
+    | Pinf
+    | Incl of Algnum.t
+    | Excl of Algnum.t
+
+  type component = { lo : bound; hi : bound }
+
+  type t = component list
+  (** Sorted, disjoint, maximal components. *)
+
+  val endpoints : t -> Algnum.t list
+  val mem : t -> Q.t -> bool
+  val is_empty : t -> bool
+  val component_count : t -> int
+
+  val measure_approx : eps:Q.t -> t -> Q.t option
+  (** Within [eps] of the true measure; [None] when infinite. *)
+
+  val measure_exact : t -> Algnum.t option
+  (** The measure as an exact real algebraic number (sums of the components'
+      algebraic endpoint differences); [None] when infinite. *)
+
+  val clamp : Q.t -> Q.t -> t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+val last_axis_section : t -> Q.t array -> Section.t
+(** [{ y | (a, y) in s }] for a rational point [a] of dimension [dim - 1]:
+    the semi-algebraic analogue of {!Semilinear.last_axis_cell}, computed by
+    1-D CAD on the substituted polynomials. *)
+
+val pp : Format.formatter -> t -> unit

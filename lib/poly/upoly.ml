@@ -1,0 +1,282 @@
+open Cqa_arith
+
+(* Dense little-endian coefficient array without trailing zeros. *)
+type t = Q.t array
+
+let normalize a =
+  let n = Array.length a in
+  let rec top i = if i >= 0 && Q.is_zero a.(i) then top (i - 1) else i in
+  let t = top (n - 1) in
+  if t < 0 then [||] else if t = n - 1 then a else Array.sub a 0 (t + 1)
+
+let zero = [||]
+let one = [| Q.one |]
+let x = [| Q.zero; Q.one |]
+let constant c = normalize [| c |]
+let of_coeffs l = normalize (Array.of_list l)
+let of_int_coeffs l = of_coeffs (List.map Q.of_int l)
+let coeffs p = Array.to_list p
+let degree p = Array.length p - 1
+let coeff p i = if i < Array.length p then p.(i) else Q.zero
+let leading p = if Array.length p = 0 then Q.zero else p.(Array.length p - 1)
+let is_zero p = Array.length p = 0
+
+let add a b =
+  let n = max (Array.length a) (Array.length b) in
+  normalize (Array.init n (fun i -> Q.add (coeff a i) (coeff b i)))
+
+let neg a = Array.map Q.neg a
+let sub a b = add a (neg b)
+
+let scale c a = if Q.is_zero c then zero else Array.map (Q.mul c) a
+
+let mul a b =
+  if is_zero a || is_zero b then zero
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let r = Array.make (la + lb - 1) Q.zero in
+    for i = 0 to la - 1 do
+      for j = 0 to lb - 1 do
+        r.(i + j) <- Q.add r.(i + j) (Q.mul a.(i) b.(j))
+      done
+    done;
+    normalize r
+  end
+
+let pow p k =
+  let rec go acc b k =
+    if k = 0 then acc
+    else go (if k land 1 = 1 then mul acc b else acc) (mul b b) (k lsr 1)
+  in
+  if k < 0 then invalid_arg "Upoly.pow" else go one p k
+
+let monic p = if is_zero p then p else scale (Q.inv (leading p)) p
+
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  let db = degree b in
+  let lb = leading b in
+  let rem = Array.copy a in
+  let da = degree a in
+  if da < db then (zero, normalize rem)
+  else begin
+    let q = Array.make (da - db + 1) Q.zero in
+    for i = da downto db do
+      let c = rem.(i) in
+      if not (Q.is_zero c) then begin
+        let f = Q.div c lb in
+        q.(i - db) <- f;
+        for j = 0 to db do
+          rem.(i - db + j) <- Q.sub rem.(i - db + j) (Q.mul f (coeff b j))
+        done
+      end
+    done;
+    (normalize q, normalize rem)
+  end
+
+let rec gcd a b = if is_zero b then monic a else gcd b (snd (divmod a b))
+
+let derivative p =
+  if Array.length p <= 1 then zero
+  else normalize (Array.init (Array.length p - 1) (fun i -> Q.mul_int p.(i + 1) (i + 1)))
+
+let square_free p =
+  if is_zero p then p
+  else begin
+    let g = gcd p (derivative p) in
+    if degree g <= 0 then monic p else monic (fst (divmod p g))
+  end
+
+let compose p q =
+  Array.fold_right (fun c acc -> add (mul acc q) (constant c)) p zero
+
+let eval p v =
+  Array.fold_right (fun c acc -> Q.add (Q.mul acc v) c) p Q.zero
+
+let sign_at p v = Q.sign (eval p v)
+
+let sturm_chain p =
+  if is_zero p then []
+  else begin
+    let p0 = p and p1 = derivative p in
+    if is_zero p1 then [ p0 ]
+    else begin
+      let rec go acc a b =
+        if is_zero b then List.rev acc
+        else begin
+          let r = snd (divmod a b) in
+          go (b :: acc) b (neg r)
+        end
+      in
+      go [ p0 ] p0 p1
+    end
+  end
+
+let variations signs =
+  let rec go acc last = function
+    | [] -> acc
+    | 0 :: rest -> go acc last rest
+    | s :: rest ->
+        if last <> 0 && s <> last then go (acc + 1) s rest else go acc s rest
+  in
+  go 0 0 signs
+
+let sign_variations_at chain v = variations (List.map (fun p -> sign_at p v) chain)
+
+let sign_at_pinf p = Q.sign (leading p)
+
+let sign_at_ninf p =
+  let s = Q.sign (leading p) in
+  if degree p mod 2 = 0 then s else -s
+
+let sign_variations_at_pinf chain = variations (List.map sign_at_pinf chain)
+let sign_variations_at_ninf chain = variations (List.map sign_at_ninf chain)
+
+let count_real_roots p =
+  if is_zero p then invalid_arg "Upoly.count_real_roots: zero polynomial"
+  else if degree p = 0 then 0
+  else begin
+    let chain = sturm_chain (square_free p) in
+    sign_variations_at_ninf chain - sign_variations_at_pinf chain
+  end
+
+let count_roots_in p a b =
+  if Q.gt a b then invalid_arg "Upoly.count_roots_in: a > b";
+  if is_zero p then invalid_arg "Upoly.count_roots_in: zero polynomial"
+  else if degree p = 0 then 0
+  else begin
+    let chain = sturm_chain (square_free p) in
+    sign_variations_at chain a - sign_variations_at chain b
+  end
+
+let cauchy_bound p =
+  if is_zero p then invalid_arg "Upoly.cauchy_bound: zero polynomial";
+  let lc = Q.abs (leading p) in
+  let m =
+    Array.fold_left (fun acc c -> Q.max acc (Q.abs c)) Q.zero
+      (Array.sub p 0 (Array.length p - 1))
+  in
+  Q.add Q.one (Q.div m lc)
+
+let isolate_roots p =
+  if is_zero p then invalid_arg "Upoly.isolate_roots: zero polynomial";
+  if degree p = 0 then []
+  else begin
+    let sf = square_free p in
+    let chain = sturm_chain sf in
+    let var_at = sign_variations_at chain in
+    (* count of distinct roots in (a, b], both endpoints non-roots of sf
+       except possibly b *)
+    let count a b = var_at a - var_at b in
+    let bound = cauchy_bound sf in
+    let lo0 = Q.neg bound and hi0 = bound in
+    (* invariant: sf(lo) <> 0 and sf(hi) <> 0 *)
+    let result = ref [] in
+    let rec walk lo hi =
+      let n = count lo hi in
+      if n = 1 then result := Interval.make lo hi :: !result
+      else if n > 1 then begin
+        let mid = Q.mid lo hi in
+        if sign_at sf mid = 0 then begin
+          (* rational root: emit a point, then carve out a root-free margin *)
+          result := Interval.point mid :: !result;
+          let rec margin d =
+            let l = Q.sub mid d and r = Q.add mid d in
+            if sign_at sf l <> 0 && sign_at sf r <> 0 && count l r = 1 then (l, r)
+            else margin (Q.mul d Q.half)
+          in
+          let l, r = margin (Q.mul (Q.sub hi lo) (Q.of_ints 1 4)) in
+          walk lo l;
+          walk r hi
+        end
+        else begin
+          walk lo mid;
+          walk mid hi
+        end
+      end
+    in
+    walk lo0 hi0;
+    List.sort (fun i j -> Q.compare (Interval.lo i) (Interval.lo j)) !result
+  end
+
+let interpolate pts =
+  if pts = [] then invalid_arg "Upoly.interpolate: no points";
+  let rec check = function
+    | [] -> ()
+    | (x1, _) :: rest ->
+        if List.exists (fun (x, _) -> Q.equal x x1) rest then
+          invalid_arg "Upoly.interpolate: duplicate abscissa"
+        else check rest
+  in
+  check pts;
+  (* Lagrange basis *)
+  List.fold_left
+    (fun acc (xi, yi) ->
+      let basis =
+        List.fold_left
+          (fun b (xj, _) ->
+            if Q.equal xi xj then b
+            else begin
+              let factor = of_coeffs [ Q.neg xj; Q.one ] in
+              scale (Q.inv (Q.sub xi xj)) (mul b factor)
+            end)
+          one pts
+      in
+      add acc (scale yi basis))
+    zero pts
+
+let antiderivative p =
+  if is_zero p then zero
+  else
+    normalize
+      (Array.init
+         (Array.length p + 1)
+         (fun i -> if i = 0 then Q.zero else Q.div p.(i - 1) (Q.of_int i)))
+
+let integrate p a b =
+  let prim = antiderivative p in
+  Q.sub (eval prim b) (eval prim a)
+
+let equal a b =
+  Array.length a = Array.length b
+  && begin
+       let rec go i = i >= Array.length a || (Q.equal a.(i) b.(i) && go (i + 1)) in
+       go 0
+     end
+
+let compare a b =
+  let c = Stdlib.compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else begin
+        let c = Q.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i - 1)
+      end
+    in
+    go (Array.length a - 1)
+  end
+
+let pp fmt p =
+  if is_zero p then Format.pp_print_string fmt "0"
+  else begin
+    let first = ref true in
+    for i = Array.length p - 1 downto 0 do
+      let c = p.(i) in
+      if not (Q.is_zero c) then begin
+        if !first then begin
+          if Q.sign c < 0 then Format.pp_print_string fmt "-";
+          first := false
+        end
+        else Format.pp_print_string fmt (if Q.sign c < 0 then " - " else " + ");
+        let a = Q.abs c in
+        if i = 0 then Q.pp fmt a
+        else begin
+          if not (Q.equal a Q.one) then Format.fprintf fmt "%a*" Q.pp a;
+          if i = 1 then Format.pp_print_string fmt "x"
+          else Format.fprintf fmt "x^%d" i
+        end
+      end
+    done
+  end

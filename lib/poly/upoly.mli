@@ -1,0 +1,85 @@
+(** Univariate polynomials over the rationals: the computational backbone of
+    the semi-algebraic (R = (R, +, *, 0, 1, <)) side of the paper.  Sturm
+    sequences and exact root isolation provide sign determination and the
+    one-dimensional cell decompositions used by [Cad1] and [Semialg]. *)
+
+open Cqa_arith
+
+type t
+
+val zero : t
+val one : t
+val x : t
+val constant : Q.t -> t
+val of_coeffs : Q.t list -> t
+(** Low-to-high degree. *)
+
+val of_int_coeffs : int list -> t
+val coeffs : t -> Q.t list
+val degree : t -> int
+(** [-1] for the zero polynomial. *)
+
+val coeff : t -> int -> Q.t
+val leading : t -> Q.t
+val is_zero : t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val scale : Q.t -> t -> t
+val pow : t -> int -> t
+val monic : t -> t
+
+val divmod : t -> t -> t * t
+(** Euclidean division. @raise Division_by_zero on zero divisor. *)
+
+val gcd : t -> t -> t
+(** Monic gcd; [gcd 0 0 = 0]. *)
+
+val derivative : t -> t
+val square_free : t -> t
+(** The radical [p / gcd (p, p')]: same roots, all simple. *)
+
+val compose : t -> t -> t
+(** [compose p q] is [p(q(x))]. *)
+
+val eval : t -> Q.t -> Q.t
+val sign_at : t -> Q.t -> int
+
+val sturm_chain : t -> t list
+val sign_variations_at : t list -> Q.t -> int
+val sign_variations_at_ninf : t list -> int
+val sign_variations_at_pinf : t list -> int
+
+val count_real_roots : t -> int
+(** Number of distinct real roots. *)
+
+val count_roots_in : t -> Q.t -> Q.t -> int
+(** Distinct roots in the half-open interval [(a, b]]; requires [a <= b]. *)
+
+val cauchy_bound : t -> Q.t
+(** All real roots lie strictly within [(-B, B)].
+    @raise Invalid_argument on the zero polynomial. *)
+
+val isolate_roots : t -> Interval.t list
+(** Disjoint isolating intervals for the distinct real roots, sorted left to
+    right.  Each interval contains exactly one root of the square-free part
+    and has non-root rational endpoints, except that rational roots hit
+    during bisection come back as point intervals.  Empty list for
+    constants; @raise Invalid_argument on the zero polynomial. *)
+
+val interpolate : (Q.t * Q.t) list -> t
+(** Lagrange interpolation through the given (distinct-abscissa) points; the
+    result has degree below the point count.
+    @raise Invalid_argument on duplicate abscissae or no points. *)
+
+val antiderivative : t -> t
+(** The primitive with zero constant term. *)
+
+val integrate : t -> Q.t -> Q.t -> Q.t
+(** Exact definite integral over [a, b]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+open Cqa_arith
+
+type sample = Q.t array list
+
+let random_sample ~prng ~dim ~n =
+  List.init n (fun _ -> Array.init dim (fun _ -> Prng.q_unit prng))
+
+let halton_sample ~dim ~n = Halton.points ~dim n
+
+let fraction_in sample mem =
+  match sample with
+  | [] -> invalid_arg "Approx_volume.fraction_in: empty sample"
+  | _ ->
+      let hits = List.length (List.filter mem sample) in
+      Q.of_ints hits (List.length sample)
+
+let estimate ~sample ~mem = fraction_in sample mem
+
+let sample_size = Bounds.blumer_sample_size
+
+let estimate_family ~sample ~mem params =
+  List.map (fun a -> (a, fraction_in sample (mem a))) params

@@ -1,0 +1,30 @@
+(** Sampling-based approximate volume: the executable content of Lemma 1 and
+    Theorem 4.  An epsilon-approximation of [vol (S intersect I^n)] is the
+    fraction of a sample falling in [S]; the sample size comes from the
+    BEHW bound and the family's VC dimension, so one shared sample is good
+    for all parameter values simultaneously with probability [1 - delta]. *)
+
+open Cqa_arith
+
+type sample = Q.t array list
+
+val random_sample : prng:Prng.t -> dim:int -> n:int -> sample
+(** Uniform dyadic-rational points in the unit cube. *)
+
+val halton_sample : dim:int -> n:int -> sample
+(** Deterministic low-discrepancy sample (the derandomized stand-in). *)
+
+val fraction_in : sample -> (Q.t array -> bool) -> Q.t
+(** Fraction of the sample inside the set; exact rational. *)
+
+val estimate :
+  sample:sample -> mem:(Q.t array -> bool) -> Q.t
+(** Volume estimate for one set: [fraction_in]. *)
+
+val sample_size : eps:float -> delta:float -> vc_dim:int -> int
+(** The BEHW [M] (re-exported from {!Bounds}). *)
+
+val estimate_family :
+  sample:sample -> mem:('a -> Q.t array -> bool) -> 'a list -> ('a * Q.t) list
+(** One shared sample scored against every parameter: the Theorem 4
+    uniform-over-parameters shape. *)

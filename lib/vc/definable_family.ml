@@ -1,0 +1,9 @@
+let of_oracle ~params ~ground ~mem =
+  let ground_arr = Array.of_list ground in
+  let sets =
+    List.map (fun a -> Array.map (fun x -> mem a x) ground_arr) params
+  in
+  Setsystem.create ~ground_size:(Array.length ground_arr) sets
+
+let empirical_vc_dim ~params ~ground ~mem =
+  Setsystem.vc_dimension (of_oracle ~params ~ground ~mem)

@@ -1,0 +1,15 @@
+(** Materialization of definable families F_phi(D) = { phi(a, D) | a } on
+    finite ground sets, for the empirical VC-dimension experiments of
+    Propositions 5 and 6. *)
+
+open Cqa_arith
+
+val of_oracle :
+  params:'a list -> ground:Q.t array list -> mem:('a -> Q.t array -> bool) -> Setsystem.t
+(** Restrict the family [{ {x | mem a x} : a in params }] to the finite
+    ground set. *)
+
+val empirical_vc_dim :
+  params:'a list -> ground:Q.t array list -> mem:('a -> Q.t array -> bool) -> int
+(** VC dimension of the restricted system: a lower bound on the true VC
+    dimension of the family. *)

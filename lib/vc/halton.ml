@@ -1,0 +1,22 @@
+open Cqa_arith
+
+let primes =
+  [| 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59; 61; 67;
+     71; 73; 79; 83; 89; 97 |]
+
+let radical_inverse ~base i =
+  if base < 2 then invalid_arg "Halton.radical_inverse: base < 2";
+  let rec go i f acc =
+    if i = 0 then acc
+    else begin
+      let f = Q.div f (Q.of_int base) in
+      go (i / base) f (Q.add acc (Q.mul_int f (i mod base)))
+    end
+  in
+  go i Q.one Q.zero
+
+let point ~dim i =
+  if dim > Array.length primes then invalid_arg "Halton.point: dimension too large";
+  Array.init dim (fun d -> radical_inverse ~base:primes.(d) i)
+
+let points ~dim n = List.init n (fun i -> point ~dim (i + 1))

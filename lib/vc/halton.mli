@@ -1,0 +1,19 @@
+(** Halton low-discrepancy sequences with exact rational coordinates: the
+    library's executable stand-in for the derandomized sample of
+    Karpinski-Macintyre/Koiran (see DESIGN.md).  A fixed low-discrepancy
+    point set plays the role their covering/translate argument plays in the
+    first-order construction. *)
+
+open Cqa_arith
+
+val radical_inverse : base:int -> int -> Q.t
+(** van der Corput radical inverse of the index in the given base, in
+    [0, 1). *)
+
+val point : dim:int -> int -> Q.t array
+(** [point ~dim i]: the [i]-th Halton point in [0,1)^dim (bases are the
+    first [dim] primes).  @raise Invalid_argument for [dim] beyond the
+    25 supplied primes. *)
+
+val points : dim:int -> int -> Q.t array list
+(** The first [n] points, indices 1..n. *)

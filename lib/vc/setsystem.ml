@@ -1,0 +1,86 @@
+module Sset = Set.Make (struct
+  type t = bool array
+
+  let compare = Stdlib.compare
+end)
+
+type t = { ground_size : int; sets : bool array array }
+
+let create ~ground_size sets =
+  List.iter
+    (fun s ->
+      if Array.length s <> ground_size then
+        invalid_arg "Setsystem.create: vector length mismatch")
+    sets;
+  let distinct = Sset.elements (Sset.of_list sets) in
+  { ground_size; sets = Array.of_list distinct }
+
+let of_mem ~ground_size ~set_count mem =
+  create ~ground_size
+    (List.init set_count (fun j -> Array.init ground_size (fun i -> mem j i)))
+
+let ground_size t = t.ground_size
+let set_count t = Array.length t.sets
+
+let shatters t points =
+  let k = List.length points in
+  if k > 62 then invalid_arg "Setsystem.shatters: too many points";
+  let traces = Hashtbl.create (1 lsl k) in
+  Array.iter
+    (fun s ->
+      let trace =
+        List.fold_left (fun acc i -> (acc lsl 1) lor (if s.(i) then 1 else 0)) 0 points
+      in
+      Hashtbl.replace traces trace ())
+    t.sets;
+  Hashtbl.length traces = 1 lsl k
+
+let shattered_witness t k =
+  if k = 0 then Some []
+  else begin
+    let n = t.ground_size in
+    let chosen = Array.make k 0 in
+    let rec search depth start =
+      if depth = k then begin
+        let pts = Array.to_list chosen in
+        if shatters t pts then Some pts else None
+      end
+      else begin
+        let rec try_from i =
+          if i > n - (k - depth) then None
+          else begin
+            chosen.(depth) <- i;
+            (* prune: the chosen prefix must itself be shattered *)
+            let prefix = Array.to_list (Array.sub chosen 0 (depth + 1)) in
+            if shatters t prefix then begin
+              match search (depth + 1) (i + 1) with
+              | Some _ as r -> r
+              | None -> try_from (i + 1)
+            end
+            else try_from (i + 1)
+          end
+        in
+        try_from start
+      end
+    in
+    search 0 0
+  end
+
+let vc_dimension t =
+  if Array.length t.sets = 0 then -1
+  else begin
+    (* Sauer-Shelah: a system shattering k points has >= 2^k sets *)
+    let max_k =
+      let rec log2 n acc = if n <= 1 then acc else log2 (n / 2) (acc + 1) in
+      min t.ground_size (log2 (Array.length t.sets) 0)
+    in
+    let rec best k =
+      if k > max_k then k - 1
+      else begin
+        match shattered_witness t k with
+        | Some _ -> best (k + 1)
+        | None -> k - 1
+      end
+    in
+    best 1
+  end

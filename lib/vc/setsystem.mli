@@ -1,0 +1,32 @@
+(** Finite set systems and exact VC dimension.
+
+    The Vapnik-Chervonenkis dimension of definable families drives both the
+    positive (Theorem 4 sample bounds) and the cautionary (Proposition 5
+    growth, Section 3 blow-up) results of the paper.  On finite ground sets
+    the dimension is computed exactly by subset search with a
+    Sauer-Shelah-style pruning. *)
+
+type t
+
+val create : ground_size:int -> bool array list -> t
+(** Each set is a characteristic vector over the ground set [0 ..
+    ground_size - 1].  Duplicate sets are collapsed.
+    @raise Invalid_argument on vectors of the wrong length. *)
+
+val of_mem : ground_size:int -> set_count:int -> (int -> int -> bool) -> t
+(** [of_mem ~ground_size ~set_count mem]: set [j] contains point [i] iff
+    [mem j i]. *)
+
+val ground_size : t -> int
+val set_count : t -> int
+(** Distinct sets. *)
+
+val shatters : t -> int list -> bool
+(** Does the system realize all [2^k] traces on the given points? *)
+
+val vc_dimension : t -> int
+(** Exact VC dimension (exhaustive search over candidate shattered sets,
+    pruned by the [log2 set_count] upper bound). *)
+
+val shattered_witness : t -> int -> int list option
+(** Some shattered set of the given size, if one exists. *)

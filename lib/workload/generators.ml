@@ -1,0 +1,100 @@
+open Cqa_arith
+open Cqa_linear
+open Cqa_geom
+open Cqa_poly
+open Cqa_vc
+
+let rational prng ~den ~lo ~hi =
+  let span = (hi - lo) * den in
+  Q.of_ints ((lo * den) + Prng.int prng (span + 1)) den
+
+let finite_set prng ~size ~lo ~hi =
+  let rec go acc n guard =
+    if n = 0 || guard = 0 then acc
+    else begin
+      let den = 1 + Prng.int prng 8 in
+      let v = rational prng ~den ~lo ~hi in
+      if List.exists (Q.equal v) acc then go acc n (guard - 1)
+      else go (v :: acc) (n - 1) guard
+    end
+  in
+  List.sort Q.compare (go [] size (size * 50))
+
+let box_conjunction prng ~vars ~lo ~hi =
+  Array.to_list vars
+  |> List.concat_map (fun v ->
+         let a = rational prng ~den:2 ~lo ~hi:(hi - 1) in
+         let w = rational prng ~den:2 ~lo:1 ~hi:(max 2 ((hi - lo) / 2)) in
+         [ Linconstr.ge (Linexpr.var v) (Linexpr.const a);
+           Linconstr.le (Linexpr.var v) (Linexpr.const (Q.add a w)) ])
+
+let polytope_conjunction prng ~vars ~extra ~lo ~hi =
+  let base = box_conjunction prng ~vars ~lo ~hi in
+  let halfspaces =
+    List.init extra (fun _ ->
+        let e =
+          Linexpr.of_list
+            (Q.of_int (Prng.int prng (2 * (hi - lo)) - (hi - lo)))
+            (Array.to_list vars
+            |> List.filter_map (fun v ->
+                   let c = Prng.int prng 5 - 2 in
+                   if c = 0 then None else Some (Q.of_int c, v)))
+        in
+        Linconstr.make e
+          (if Prng.int prng 2 = 0 then Linconstr.Le else Linconstr.Lt))
+  in
+  base @ halfspaces
+
+let semilinear prng ~dim ~disjuncts =
+  let vars = Semilinear.default_vars dim in
+  Semilinear.make vars
+    (List.init disjuncts (fun _ ->
+         polytope_conjunction prng ~vars ~extra:(Prng.int prng 3) ~lo:(-5) ~hi:5))
+
+let convex_polygon prng ~points =
+  let pts =
+    List.init points (fun _ ->
+        [| rational prng ~den:2 ~lo:(-8) ~hi:8; rational prng ~den:2 ~lo:(-8) ~hi:8 |])
+  in
+  let h = Hull2d.hull pts in
+  if List.length h >= 3 then Some (Polygon.of_vertices h) else None
+
+let polygon_to_semilinear poly =
+  let vars = Semilinear.default_vars 2 in
+  let vs = Array.of_list (Polygon.vertices poly) in
+  let n = Array.length vs in
+  let conj =
+    List.init n (fun i ->
+        let a = vs.(i) and b = vs.((i + 1) mod n) in
+        (* inward halfplane of the ccw edge (a, b) *)
+        let nx = Q.sub b.(1) a.(1) and ny = Q.sub a.(0) b.(0) in
+        let e =
+          Linexpr.of_list
+            (Q.neg (Q.add (Q.mul nx a.(0)) (Q.mul ny a.(1))))
+            [ (nx, vars.(0)); (ny, vars.(1)) ]
+        in
+        Linconstr.make e Linconstr.Le)
+  in
+  Semilinear.of_conjunction vars conj
+
+let random_disk prng =
+  let r = rational prng ~den:8 ~lo:1 ~hi:3 in
+  let r = Q.div r (Q.of_int 8) in
+  (* radius in [1/8, 3/8]; center keeps the disk inside the unit square *)
+  let c () =
+    Q.add r (Q.mul (Prng.q_unit prng) (Q.sub Q.one (Q.mul r Q.two)))
+  in
+  Semialg.ball ~center:[| c (); c () |] ~radius:r
+
+let parabolic_region x =
+  let coords = Semialg.vars (Semialg.empty 2) in
+  let y = Mpoly.var coords.(0) and z = Mpoly.var coords.(1) in
+  let inside =
+    (* z * (y^2 + 1) - 1 <= 0 *)
+    { Semialg.poly = Mpoly.(sub (mul z (add (mul y y) one)) one);
+      op = Semialg.Le }
+  in
+  let y_le_x =
+    { Semialg.poly = Mpoly.(sub y (constant x)); op = Semialg.Le }
+  in
+  Semialg.clamp_unit (Semialg.make coords [ [ inside; y_le_x ] ])

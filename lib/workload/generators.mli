@@ -1,0 +1,39 @@
+(** Seeded random workload generators for tests, experiments and benchmarks.
+    Everything draws from an explicit {!Cqa_vc.Prng.t}, so runs are
+    reproducible. *)
+
+open Cqa_arith
+open Cqa_linear
+open Cqa_geom
+open Cqa_poly
+open Cqa_vc
+
+val rational : Prng.t -> den:int -> lo:int -> hi:int -> Q.t
+(** Uniform on the grid [{ k/den | lo*den <= k <= hi*den }]. *)
+
+val finite_set : Prng.t -> size:int -> lo:int -> hi:int -> Q.t list
+(** Distinct rationals with denominator up to 8. *)
+
+val box_conjunction :
+  Prng.t -> vars:Cqa_logic.Var.t array -> lo:int -> hi:int -> Linformula.conjunction
+
+val polytope_conjunction :
+  Prng.t -> vars:Cqa_logic.Var.t array -> extra:int -> lo:int -> hi:int -> Linformula.conjunction
+(** A random box plus [extra] random halfspaces (possibly strict): a bounded
+    convex region. *)
+
+val semilinear : Prng.t -> dim:int -> disjuncts:int -> Semilinear.t
+(** A bounded union of random convex pieces within [[-5, 5]^dim]. *)
+
+val convex_polygon : Prng.t -> points:int -> Polygon.t option
+(** The hull of random grid points; [None] when degenerate. *)
+
+val polygon_to_semilinear : Polygon.t -> Semilinear.t
+(** Convex polygon as a conjunction of edge halfplanes (2-D). *)
+
+val random_disk : Prng.t -> Semialg.t
+(** A random disk inside the unit square. *)
+
+val parabolic_region : Q.t -> Semialg.t
+(** The region [{ (y, z) in I^2 | z * (y^2 + 1) <= 1, y <= x }] of the
+    paper's arctan example, for the parameter [x]. *)

@@ -1,0 +1,95 @@
+open Cqa_arith
+open Cqa_logic
+open Cqa_linear
+open Cqa_poly
+open Cqa_core
+
+let section3_schema = Schema.of_list [ ("U", 1) ]
+
+let section3_query () =
+  let x1 = Var.of_string "x1" and x2 = Var.of_string "x2" in
+  let y1 = Var.of_string "y1" and y2 = Var.of_string "y2" in
+  let tv = Ast.(fun v -> TVar v) in
+  let f =
+    Ast.(
+      conj
+        [ Rel ("U", [ x1 ]);
+          Rel ("U", [ x2 ]);
+          tv x1 <! tv y1;
+          tv y1 <! tv x2;
+          int 0 <=! tv y2;
+          tv y2 <=! tv y1 ])
+  in
+  (f, [ x1; x2 ], [ y1; y2 ])
+
+let section3_db points =
+  Db.of_list section3_schema
+    [ ("U", Db.Finite (List.map (fun q -> [| q |]) points)) ]
+
+let section3_exact_volume a b =
+  if Q.gt a b then Q.zero
+  else Q.mul (Q.sub (Q.mul b b) (Q.mul a a)) Q.half
+
+let arctan_epigraph x =
+  let coords = Semialg.vars (Semialg.empty 2) in
+  let y = Mpoly.var coords.(0) and z = Mpoly.var coords.(1) in
+  Semialg.make coords
+    [ [ { Semialg.poly = Mpoly.neg y; op = Semialg.Le };
+        { Semialg.poly = Mpoly.(sub y (constant x)); op = Semialg.Le };
+        { Semialg.poly = Mpoly.neg z; op = Semialg.Le };
+        (* z * (y^2 + 1) <= 1 *)
+        { Semialg.poly = Mpoly.(sub (mul z (add (mul y y) one)) one);
+          op = Semialg.Le } ] ]
+
+let arctan_volume_float x = atan (Q.to_float x)
+
+let polygon_schema = Schema.of_list [ ("P", 2) ]
+
+let q = Q.of_int
+
+let conj_db cs =
+  let vars = Semilinear.default_vars 2 in
+  Db.of_list polygon_schema
+    [ ("P", Db.Semilin (Semilinear.of_conjunction vars cs)) ]
+
+let xy () =
+  let vars = Semilinear.default_vars 2 in
+  (Linexpr.var vars.(0), Linexpr.var vars.(1))
+
+let triangle_db () =
+  let x, y = xy () in
+  conj_db
+    [ Linconstr.ge x Linexpr.zero;
+      Linconstr.ge y Linexpr.zero;
+      Linconstr.le (Linexpr.add x y) (Linexpr.const (q 2)) ]
+
+let rectangle_db () =
+  let x, y = xy () in
+  conj_db
+    [ Linconstr.ge x Linexpr.zero;
+      Linconstr.le x (Linexpr.const (q 3));
+      Linconstr.ge y Linexpr.zero;
+      Linconstr.le y (Linexpr.const (q 2)) ]
+
+let pentagon_db () =
+  let x, y = xy () in
+  conj_db
+    [ Linconstr.ge x Linexpr.zero;
+      Linconstr.le x (Linexpr.const (q 3));
+      Linconstr.ge y Linexpr.zero;
+      Linconstr.le y (Linexpr.const (q 2));
+      Linconstr.le (Linexpr.add x y) (Linexpr.const (q 4)) ]
+
+let prop5_instance ~bits =
+  if bits < 1 || bits > 16 then invalid_arg "Paper_examples.prop5_instance";
+  let schema = Schema.of_list [ ("R", 2) ] in
+  (* R (a, i) holds when bit i of a is set: the sets R (a, .) over
+     a in [0, 2^bits) trace out every subset of the bit positions *)
+  let inst = ref (Instance.empty schema) in
+  for a = 0 to (1 lsl bits) - 1 do
+    for i = 0 to bits - 1 do
+      if (a lsr i) land 1 = 1 then
+        inst := Instance.add "R" [| q a; q i |] !inst
+    done
+  done;
+  (!inst, "R")

@@ -1,0 +1,42 @@
+(** The worked examples named in the paper, as data and queries. *)
+
+open Cqa_arith
+open Cqa_logic
+open Cqa_core
+
+val section3_schema : Schema.t
+(** One unary predicate [U] over [0, 1]. *)
+
+val section3_query : unit -> Ast.formula * Var.t list * Var.t list
+(** The Section 3 example [phi (x1, x2; y1, y2) = U(x1) /\ U(x2) /\ x1 < y1
+    /\ y1 < x2 /\ 0 <= y2 /\ y2 <= y1]; returns (formula, parameters
+    [x1; x2], section variables [y1; y2]). *)
+
+val section3_db : Q.t list -> Db.t
+(** A finite interpretation of [U]. *)
+
+val section3_exact_volume : Q.t -> Q.t -> Q.t
+(** [VOL_I (phi (a, b, U)) = (b^2 - a^2) / 2] for [0 <= a <= b <= 1] with
+    [U(a)], [U(b)] (the paper's closed form). *)
+
+val arctan_epigraph : Q.t -> Cqa_poly.Semialg.t
+(** The set [{ (y, z) | 0 <= y <= x /\ 0 <= z <= 1/(y^2+1) }] of Section 2:
+    its volume is [arctan x], witnessing that FO + LIN and FO + POLY are not
+    closed under [VOL_I]. *)
+
+val arctan_volume_float : Q.t -> float
+(** The transcendental ground truth [arctan x]. *)
+
+val triangle_db : unit -> Db.t
+val rectangle_db : unit -> Db.t
+val pentagon_db : unit -> Db.t
+(** Convex-polygon databases (schema [P/2]) for the Section 5 area
+    program, with areas 2, 6 and 11/2. *)
+
+val polygon_schema : Schema.t
+
+val prop5_instance : bits:int -> Cqa_logic.Instance.t * string
+(** The Proposition 5 witness: a quantifier-free binary query [R (x, y)]
+    over a database of size about [2^bits] whose definable family shatters
+    [bits] points, so [VCdim (F_phi (D)) >= log2 |D|].  Returns the instance
+    and the relation name. *)

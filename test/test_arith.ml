@@ -1,0 +1,324 @@
+open Cqa_arith
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let bi = Bigint.of_int
+let bs = Bigint.of_string
+
+(* ------------------------------------------------------------------ *)
+(* Bigint                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bigint_basics () =
+  check_str "zero" "0" (Bigint.to_string Bigint.zero);
+  check_str "neg" "-42" (Bigint.to_string (bi (-42)));
+  check "is_zero" true (Bigint.is_zero Bigint.zero);
+  check "is_one" true (Bigint.is_one Bigint.one);
+  check "sign+" true (Bigint.sign (bi 5) = 1);
+  check "sign-" true (Bigint.sign (bi (-5)) = -1);
+  check_int "to_int" 123456 (Bigint.to_int_exn (bi 123456))
+
+let test_bigint_string_roundtrip () =
+  let cases =
+    [ "0"; "1"; "-1"; "1073741824"; "-1073741823"; "999999999999999999999";
+      "-123456789012345678901234567890"; "10000000000000000000000000000001" ]
+  in
+  List.iter (fun s -> check_str s s (Bigint.to_string (bs s))) cases
+
+let test_bigint_int_edges () =
+  check_str "max_int" (string_of_int max_int) (Bigint.to_string (bi max_int));
+  check_str "min_int" (string_of_int min_int) (Bigint.to_string (bi min_int));
+  check "min_int roundtrip" true (Bigint.to_int_opt (bi min_int) = Some min_int);
+  check "overflow detected" true
+    (Bigint.to_int_opt (Bigint.mul (bi max_int) (bi 2)) = None)
+
+let test_bigint_arith () =
+  let a = bs "123456789123456789123456789" in
+  let b = bs "987654321987654321" in
+  check_str "add" "123456790111111111111111110"
+    (Bigint.to_string (Bigint.add a b));
+  check_str "mul" "121932631356500531469135800347203169112635269"
+    (Bigint.to_string (Bigint.mul a b));
+  check "sub anti" true
+    (Bigint.equal (Bigint.sub a b) (Bigint.neg (Bigint.sub b a)));
+  check "double negation" true (Bigint.equal (Bigint.neg (Bigint.neg a)) a)
+
+let test_bigint_divmod () =
+  let a = bs "1000000000000000000000" and b = bs "7" in
+  let q, r = Bigint.divmod a b in
+  check "recompose" true (Bigint.equal a (Bigint.add (Bigint.mul q b) r));
+  check_str "rem" "6" (Bigint.to_string r);
+  (* sign conventions match Stdlib *)
+  List.iter
+    (fun (x, y) ->
+      let q, r = Bigint.divmod (bi x) (bi y) in
+      check_int (Printf.sprintf "%d/%d" x y) (x / y) (Bigint.to_int_exn q);
+      check_int (Printf.sprintf "%d mod %d" x y) (x mod y) (Bigint.to_int_exn r))
+    [ (7, 2); (-7, 2); (7, -2); (-7, -2); (6, 3); (-6, 3) ];
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Bigint.divmod a Bigint.zero))
+
+let test_bigint_ediv () =
+  List.iter
+    (fun (x, y) ->
+      let q, r = Bigint.ediv (bi x) (bi y) in
+      check "euclid recompose" true
+        (Bigint.equal (bi x) (Bigint.add (Bigint.mul q (bi y)) r));
+      check "euclid nonneg" true (Bigint.sign r >= 0))
+    [ (7, 2); (-7, 2); (7, -2); (-7, -2); (0, 5) ]
+
+let test_bigint_gcd () =
+  check_str "gcd" "12" (Bigint.to_string (Bigint.gcd (bi 48) (bi (-36))));
+  check_str "gcd00" "0" (Bigint.to_string (Bigint.gcd Bigint.zero Bigint.zero));
+  check_str "lcm" "36" (Bigint.to_string (Bigint.lcm (bi 12) (bi 18)));
+  check_str "big gcd" "1"
+    (Bigint.to_string (Bigint.gcd (bs "1000000007") (bs "998244353")))
+
+let test_bigint_pow_shift () =
+  check_str "2^100" "1267650600228229401496703205376"
+    (Bigint.to_string (Bigint.pow (bi 2) 100));
+  check "shift = pow" true
+    (Bigint.equal (Bigint.shift_left Bigint.one 100) (Bigint.pow (bi 2) 100));
+  check "shift right inverse" true
+    (Bigint.equal
+       (Bigint.shift_right (Bigint.shift_left (bi 12345) 37) 37)
+       (bi 12345));
+  check_int "numbits 2^100" 101 (Bigint.numbits (Bigint.pow (bi 2) 100));
+  check_int "numbits 0" 0 (Bigint.numbits Bigint.zero)
+
+let test_bigint_compare () =
+  check "lt" true (Bigint.compare (bi (-5)) (bi 3) < 0);
+  check "mixed magnitudes" true
+    (Bigint.compare (bs "-100000000000000000000") (bi (-5)) < 0);
+  check "min max" true
+    (Bigint.equal (Bigint.min (bi 2) (bi 7)) (bi 2)
+    && Bigint.equal (Bigint.max (bi 2) (bi 7)) (bi 7))
+
+let test_bigint_to_float () =
+  check "small" true (Bigint.to_float (bi 42) = 42.0);
+  let big = Bigint.pow (bi 10) 30 in
+  check "1e30" true (abs_float (Bigint.to_float big -. 1e30) /. 1e30 < 1e-9)
+
+(* qcheck generators *)
+let gen_bigint =
+  QCheck2.Gen.(
+    map
+      (fun (digits, neg) ->
+        let s = String.concat "" (List.map string_of_int digits) in
+        let s = if s = "" then "0" else s in
+        Bigint.of_string (if neg then "-" ^ s else s))
+      (pair (list_size (int_range 1 30) (int_range 0 9)) bool))
+
+let prop_ring =
+  QCheck2.Test.make ~name:"bigint ring laws" ~count:300
+    QCheck2.Gen.(triple gen_bigint gen_bigint gen_bigint)
+    (fun (a, b, c) ->
+      Bigint.equal (Bigint.add a b) (Bigint.add b a)
+      && Bigint.equal (Bigint.mul a b) (Bigint.mul b a)
+      && Bigint.equal
+           (Bigint.mul a (Bigint.add b c))
+           (Bigint.add (Bigint.mul a b) (Bigint.mul a c))
+      && Bigint.equal (Bigint.add a (Bigint.neg a)) Bigint.zero)
+
+let prop_divmod =
+  QCheck2.Test.make ~name:"bigint divmod invariant" ~count:300
+    QCheck2.Gen.(pair gen_bigint gen_bigint)
+    (fun (a, b) ->
+      QCheck2.assume (not (Bigint.is_zero b));
+      let q, r = Bigint.divmod a b in
+      Bigint.equal a (Bigint.add (Bigint.mul q b) r)
+      && Bigint.compare (Bigint.abs r) (Bigint.abs b) < 0
+      && (Bigint.is_zero r || Bigint.sign r = Bigint.sign a))
+
+let prop_string_roundtrip =
+  QCheck2.Test.make ~name:"bigint string roundtrip" ~count:300 gen_bigint
+    (fun a -> Bigint.equal (Bigint.of_string (Bigint.to_string a)) a)
+
+let prop_gcd_divides =
+  QCheck2.Test.make ~name:"gcd divides both" ~count:200
+    QCheck2.Gen.(pair gen_bigint gen_bigint)
+    (fun (a, b) ->
+      QCheck2.assume (not (Bigint.is_zero a) || not (Bigint.is_zero b));
+      let g = Bigint.gcd a b in
+      Bigint.is_zero (Bigint.rem a g) && Bigint.is_zero (Bigint.rem b g))
+
+(* ------------------------------------------------------------------ *)
+(* Q                                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_q_normalization () =
+  check "6/4 = 3/2" true (Q.equal (Q.of_ints 6 4) (Q.of_ints 3 2));
+  check "neg den" true (Q.equal (Q.of_ints 1 (-2)) (Q.of_ints (-1) 2));
+  check_str "to_string" "3/2" (Q.to_string (Q.of_ints 6 4));
+  check_str "integer" "5" (Q.to_string (Q.of_ints 10 2));
+  Alcotest.check_raises "zero den" Division_by_zero (fun () ->
+      ignore (Q.of_ints 1 0))
+
+let test_q_arith () =
+  let a = Q.of_ints 1 3 and b = Q.of_ints 1 6 in
+  check "1/3+1/6" true (Q.equal (Q.add a b) Q.half);
+  check "1/3-1/6" true (Q.equal (Q.sub a b) b);
+  check "1/3*1/6" true (Q.equal (Q.mul a b) (Q.of_ints 1 18));
+  check "div" true (Q.equal (Q.div a b) Q.two);
+  check "inv" true (Q.equal (Q.inv (Q.of_ints (-2) 3)) (Q.of_ints (-3) 2));
+  check "pow neg" true (Q.equal (Q.pow (Q.of_ints 2 3) (-2)) (Q.of_ints 9 4))
+
+let test_q_parse () =
+  check "a/b" true (Q.equal (Q.of_string "-7/3") (Q.of_ints (-7) 3));
+  check "decimal" true (Q.equal (Q.of_string "0.125") (Q.of_ints 1 8));
+  check "neg decimal" true (Q.equal (Q.of_string "-0.5") (Q.of_ints (-1) 2));
+  check "neg frac only" true (Q.equal (Q.of_string "-0.25") (Q.of_ints (-1) 4));
+  check "int" true (Q.equal (Q.of_string "42") (Q.of_int 42))
+
+let test_q_floor_ceil () =
+  let cases = [ (7, 2, 3, 4); (-7, 2, -4, -3); (6, 3, 2, 2); (0, 5, 0, 0) ] in
+  List.iter
+    (fun (n, d, f, c) ->
+      check_int "floor" f (Bigint.to_int_exn (Q.floor (Q.of_ints n d)));
+      check_int "ceil" c (Bigint.to_int_exn (Q.ceil (Q.of_ints n d))))
+    cases
+
+let test_q_float () =
+  check "to_float" true (Q.to_float (Q.of_ints 1 4) = 0.25);
+  check "of_float_dyadic" true (Q.equal (Q.of_float_dyadic 0.375) (Q.of_ints 3 8));
+  check "of_float big" true
+    (Q.equal (Q.of_float_dyadic 1024.0) (Q.of_int 1024))
+
+let gen_q =
+  QCheck2.Gen.(
+    map
+      (fun (n, d) -> Q.of_ints n (1 + abs d))
+      (pair (int_range (-10000) 10000) (int_range 0 999)))
+
+let prop_q_field =
+  QCheck2.Test.make ~name:"q field laws" ~count:300
+    QCheck2.Gen.(triple gen_q gen_q gen_q)
+    (fun (a, b, c) ->
+      Q.equal (Q.add a b) (Q.add b a)
+      && Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c))
+      && (Q.is_zero a || Q.equal (Q.mul a (Q.inv a)) Q.one))
+
+let prop_q_compare_consistent =
+  QCheck2.Test.make ~name:"q compare vs sub sign" ~count:300
+    QCheck2.Gen.(pair gen_q gen_q)
+    (fun (a, b) -> Q.compare a b = Q.sign (Q.sub a b))
+
+let prop_q_floor_bound =
+  QCheck2.Test.make ~name:"floor <= q < floor+1" ~count:300 gen_q (fun a ->
+      let f = Q.of_bigint (Q.floor a) in
+      Q.leq f a && Q.lt a (Q.add f Q.one))
+
+(* ------------------------------------------------------------------ *)
+(* Interval                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_interval () =
+  let i = Interval.make (Q.of_int 1) (Q.of_int 3) in
+  check "width" true (Q.equal (Interval.width i) Q.two);
+  check "mid" true (Q.equal (Interval.mid i) Q.two);
+  check "contains" true (Interval.contains i Q.two);
+  check "not contains" false (Interval.contains i (Q.of_int 4));
+  let l, r = Interval.bisect i in
+  check "bisect" true
+    (Q.equal (Interval.hi l) (Interval.lo r) && Q.equal (Interval.lo l) Q.one);
+  check "intersect" true
+    (Interval.intersect i (Interval.make Q.two (Q.of_int 5))
+    = Some (Interval.make Q.two (Q.of_int 3)));
+  check "disjoint" true
+    (Interval.intersect i (Interval.make (Q.of_int 4) (Q.of_int 5)) = None);
+  Alcotest.check_raises "inverted" (Invalid_argument "Interval.make: lo > hi")
+    (fun () -> ignore (Interval.make Q.one Q.zero))
+
+(* ------------------------------------------------------------------ *)
+(* Qmat                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_qmat_det () =
+  check "det 2x2" true
+    (Q.equal (Qmat.det (Qmat.mat_of_ints [ [ 2; 1 ]; [ 1; 3 ] ])) (Q.of_int 5));
+  check "det singular" true
+    (Q.equal (Qmat.det (Qmat.mat_of_ints [ [ 1; 2 ]; [ 2; 4 ] ])) Q.zero);
+  check "det id" true (Q.equal (Qmat.det (Qmat.identity 4)) Q.one);
+  check "det 3x3" true
+    (Q.equal
+       (Qmat.det (Qmat.mat_of_ints [ [ 1; 2; 3 ]; [ 4; 5; 6 ]; [ 7; 8; 10 ] ]))
+       (Q.of_int (-3)))
+
+let test_qmat_solve () =
+  let a = Qmat.mat_of_ints [ [ 2; 1 ]; [ 1; 3 ] ] in
+  (match Qmat.solve a [| Q.of_int 3; Q.of_int 5 |] with
+  | Some x ->
+      check "solution" true
+        (Qmat.vec_equal x [| Q.of_ints 4 5; Q.of_ints 7 5 |])
+  | None -> Alcotest.fail "expected solution");
+  check "singular" true
+    (Qmat.solve (Qmat.mat_of_ints [ [ 1; 2 ]; [ 2; 4 ] ]) [| Q.one; Q.one |]
+    = None)
+
+let test_qmat_inverse_rank () =
+  let a = Qmat.mat_of_ints [ [ 2; 1 ]; [ 1; 3 ] ] in
+  (match Qmat.inverse a with
+  | Some inv ->
+      let prod = Qmat.mat_mul a inv in
+      check "a*inv = id" true
+        (Array.for_all2 Qmat.vec_equal prod (Qmat.identity 2))
+  | None -> Alcotest.fail "invertible");
+  check_int "rank full" 2 (Qmat.rank a);
+  check_int "rank deficient" 1 (Qmat.rank (Qmat.mat_of_ints [ [ 1; 2 ]; [ 2; 4 ] ]));
+  check_int "rank zero" 0 (Qmat.rank (Qmat.mat_of_ints [ [ 0; 0 ] ]))
+
+let gen_mat3 =
+  QCheck2.Gen.(
+    array_size (return 3)
+      (array_size (return 3) (map Q.of_int (int_range (-5) 5))))
+
+let prop_det_transpose =
+  QCheck2.Test.make ~name:"det m = det m^T" ~count:200 gen_mat3 (fun m ->
+      Q.equal (Qmat.det m) (Qmat.det (Qmat.transpose m)))
+
+let prop_det_multiplicative =
+  QCheck2.Test.make ~name:"det (a b) = det a * det b" ~count:200
+    QCheck2.Gen.(pair gen_mat3 gen_mat3)
+    (fun (a, b) ->
+      Q.equal (Qmat.det (Qmat.mat_mul a b)) (Q.mul (Qmat.det a) (Qmat.det b)))
+
+let prop_solve_correct =
+  QCheck2.Test.make ~name:"solve gives a genuine solution" ~count:200
+    QCheck2.Gen.(
+      pair gen_mat3 (array_size (return 3) (map Q.of_int (int_range (-5) 5))))
+    (fun (a, b) ->
+      match Qmat.solve a b with
+      | None -> Q.is_zero (Qmat.det a)
+      | Some x -> Qmat.vec_equal (Qmat.mat_vec a x) b)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "cqa_arith"
+    [ ( "bigint",
+        [ Alcotest.test_case "basics" `Quick test_bigint_basics;
+          Alcotest.test_case "string roundtrip" `Quick test_bigint_string_roundtrip;
+          Alcotest.test_case "int edges" `Quick test_bigint_int_edges;
+          Alcotest.test_case "arith" `Quick test_bigint_arith;
+          Alcotest.test_case "divmod" `Quick test_bigint_divmod;
+          Alcotest.test_case "ediv" `Quick test_bigint_ediv;
+          Alcotest.test_case "gcd lcm" `Quick test_bigint_gcd;
+          Alcotest.test_case "pow shift" `Quick test_bigint_pow_shift;
+          Alcotest.test_case "compare" `Quick test_bigint_compare;
+          Alcotest.test_case "to_float" `Quick test_bigint_to_float ] );
+      qsuite "bigint-props" [ prop_ring; prop_divmod; prop_string_roundtrip; prop_gcd_divides ];
+      ( "q",
+        [ Alcotest.test_case "normalization" `Quick test_q_normalization;
+          Alcotest.test_case "arith" `Quick test_q_arith;
+          Alcotest.test_case "parse" `Quick test_q_parse;
+          Alcotest.test_case "floor ceil" `Quick test_q_floor_ceil;
+          Alcotest.test_case "float" `Quick test_q_float ] );
+      qsuite "q-props" [ prop_q_field; prop_q_compare_consistent; prop_q_floor_bound ];
+      ("interval", [ Alcotest.test_case "interval" `Quick test_interval ]);
+      ( "qmat",
+        [ Alcotest.test_case "det" `Quick test_qmat_det;
+          Alcotest.test_case "solve" `Quick test_qmat_solve;
+          Alcotest.test_case "inverse rank" `Quick test_qmat_inverse_rank ] );
+      qsuite "qmat-props" [ prop_det_transpose; prop_det_multiplicative; prop_solve_correct ] ]

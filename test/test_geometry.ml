@@ -1,0 +1,233 @@
+open Cqa_arith
+open Cqa_geom
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let q = Q.of_int
+let qq = Q.of_ints
+let rng = Random.State.make [| 777 |]
+
+let pt a b = [| qq a 2; qq b 2 |]
+
+(* ------------------------------------------------------------------ *)
+(* Hpolytope                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_hpolytope_basics () =
+  let c = Hpolytope.cube 3 in
+  check "contains center" true (Hpolytope.contains c [| Q.half; Q.half; Q.half |]);
+  check "boundary" true (Hpolytope.contains c [| Q.zero; Q.one; Q.half |]);
+  check "outside" false (Hpolytope.contains c [| Q.two; Q.zero; Q.zero |]);
+  check "nonempty" false (Hpolytope.is_empty c);
+  check "bounded" true (Hpolytope.is_bounded c);
+  (match Hpolytope.bounding_box c with
+  | Some bb ->
+      check "bb" true
+        (Array.for_all (fun (lo, hi) -> Q.is_zero lo && Q.equal hi Q.one) bb)
+  | None -> Alcotest.fail "bounded");
+  let empty =
+    Hpolytope.make 1
+      [ { Hpolytope.normal = [| Q.one |]; offset = Q.zero };
+        { Hpolytope.normal = [| Q.minus_one |]; offset = Q.minus_one } ]
+  in
+  check "empty" true (Hpolytope.is_empty empty);
+  let half = Hpolytope.make 2 [ { Hpolytope.normal = [| Q.one; Q.zero |]; offset = Q.zero } ] in
+  check "halfspace unbounded" false (Hpolytope.is_bounded half)
+
+let test_hpolytope_translate () =
+  let c = Hpolytope.cube 2 in
+  let t = Hpolytope.translate [| q 5; q (-1) |] c in
+  check "translated in" true (Hpolytope.contains t [| qq 11 2; qq (-1) 2 |]);
+  check "translated out" false (Hpolytope.contains t [| Q.half; Q.half |]);
+  check "volume invariant" true (Q.equal (Lasserre.volume t) Q.one)
+
+let test_feasible_point () =
+  let p = Hpolytope.simplex_standard 4 in
+  match Hpolytope.feasible_point p with
+  | Some x -> check "feasible" true (Hpolytope.contains p x)
+  | None -> Alcotest.fail "nonempty"
+
+(* ------------------------------------------------------------------ *)
+(* Vertex_enum                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_vertex_enum () =
+  check_int "cube 3" 8 (List.length (Vertex_enum.vertices (Hpolytope.cube 3)));
+  check_int "cube 4" 16 (List.length (Vertex_enum.vertices (Hpolytope.cube 4)));
+  check_int "simplex 3" 4 (List.length (Vertex_enum.vertices (Hpolytope.simplex_standard 3)));
+  check_int "empty" 0
+    (List.length
+       (Vertex_enum.vertices
+          (Hpolytope.make 1
+             [ { Hpolytope.normal = [| Q.one |]; offset = Q.zero };
+               { Hpolytope.normal = [| Q.minus_one |]; offset = Q.minus_one } ])));
+  (match Vertex_enum.lex_min (Vertex_enum.vertices (Hpolytope.cube 2)) with
+  | Some v -> check "lex min origin" true (Array.for_all Q.is_zero v)
+  | None -> Alcotest.fail "vertices");
+  Alcotest.check_raises "unbounded"
+    (Invalid_argument "Vertex_enum.vertices: unbounded polytope") (fun () ->
+      ignore
+        (Vertex_enum.vertices
+           (Hpolytope.make 1 [ { Hpolytope.normal = [| Q.one |]; offset = Q.zero } ])))
+
+(* ------------------------------------------------------------------ *)
+(* Hull2d / Polygon                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rand_points n =
+  List.init n (fun _ -> pt (Random.State.int rng 33 - 16) (Random.State.int rng 33 - 16))
+
+let test_hull_known () =
+  let h = Hull2d.hull [ pt 0 0; pt 4 0; pt 4 4; pt 0 4; pt 2 2 ] in
+  check_int "square hull" 4 (List.length h);
+  check "starts at lex min" true (Hull2d.compare_pt (List.hd h) (pt 0 0) = 0);
+  (* collinear input *)
+  let col = Hull2d.hull [ pt 0 0; pt 2 2; pt 4 4 ] in
+  check_int "collinear" 2 (List.length col)
+
+let test_hull_properties () =
+  for _ = 1 to 200 do
+    let pts = rand_points (3 + Random.State.int rng 20) in
+    let h = Hull2d.hull pts in
+    if List.length h >= 3 then begin
+      let poly = Polygon.of_vertices h in
+      check "convex" true (Polygon.is_convex poly);
+      check "ccw" true (Q.sign (Polygon.signed_area poly) > 0);
+      List.iter (fun p -> check "contains input" true (Polygon.contains_convex poly p)) pts;
+      (* idempotent *)
+      check "idempotent" true (Hull2d.hull h = h)
+    end
+  done
+
+let test_polygon_area () =
+  let square = Polygon.of_vertices [ pt 0 0; pt 4 0; pt 4 4; pt 0 4 ] in
+  check "area 4" true (Q.equal (Polygon.area square) (q 4));
+  check "signed ccw positive" true (Q.sign (Polygon.signed_area square) > 0);
+  let cw = Polygon.of_vertices [ pt 0 0; pt 0 4; pt 4 4; pt 4 0 ] in
+  check "cw negative" true (Q.sign (Polygon.signed_area cw) < 0);
+  check "perimeter sq" true (Q.equal (Polygon.perimeter_sq_sum square) (q 16));
+  check "triangle area formula" true
+    (Q.equal (Polygon.triangle_area (pt 0 0) (pt 4 0) (pt 0 4)) (q 2));
+  check "degenerate zero" true
+    (Q.is_zero (Polygon.triangle_area (pt 0 0) (pt 2 2) (pt 4 4)));
+  let c = Polygon.centroid square in
+  check "centroid" true (Q.equal c.(0) Q.one && Q.equal c.(1) Q.one)
+
+(* ------------------------------------------------------------------ *)
+(* Triangulate                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_fan_vs_shoelace () =
+  for _ = 1 to 150 do
+    let pts = rand_points (3 + Random.State.int rng 12) in
+    let h = Hull2d.hull pts in
+    if List.length h >= 3 then begin
+      let poly = Polygon.of_vertices h in
+      check "fan = shoelace" true (Q.equal (Triangulate.area_by_fan h) (Polygon.area poly));
+      check_int "triangle count" (List.length h - 2) (List.length (Triangulate.fan h))
+    end
+  done
+
+let test_simplex_volume () =
+  (* unit simplex in R^3: volume 1/6 *)
+  let pts =
+    [ [| Q.zero; Q.zero; Q.zero |]; [| Q.one; Q.zero; Q.zero |];
+      [| Q.zero; Q.one; Q.zero |]; [| Q.zero; Q.zero; Q.one |] ]
+  in
+  check "1/6" true (Q.equal (Triangulate.simplex_volume pts) (qq 1 6));
+  (* translation invariance *)
+  let shift = List.map (fun v -> Array.map (Q.add (q 7)) v) pts in
+  check "translation invariant" true (Q.equal (Triangulate.simplex_volume shift) (qq 1 6));
+  Alcotest.check_raises "wrong count"
+    (Invalid_argument "Triangulate.simplex_volume: need n+1 points in R^n")
+    (fun () -> ignore (Triangulate.simplex_volume (List.tl pts)))
+
+(* ------------------------------------------------------------------ *)
+(* Lasserre                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_lasserre_known () =
+  for n = 1 to 5 do
+    check "cube" true (Q.equal (Lasserre.volume (Hpolytope.cube n)) Q.one)
+  done;
+  let fact = [| 1; 1; 2; 6; 24; 120 |] in
+  for n = 1 to 5 do
+    check "simplex" true
+      (Q.equal (Lasserre.volume (Hpolytope.simplex_standard n)) (qq 1 fact.(n)))
+  done;
+  check "box" true
+    (Q.equal
+       (Lasserre.volume (Hpolytope.box [| (q 0, q 2); (q (-1), q 2); (q 1, q 5) |]))
+       (q 24));
+  check "empty" true
+    (Q.is_zero
+       (Lasserre.volume
+          (Hpolytope.make 1
+             [ { Hpolytope.normal = [| Q.one |]; offset = Q.zero };
+               { Hpolytope.normal = [| Q.minus_one |]; offset = Q.minus_one } ])))
+
+let test_lasserre_degenerate_redundant () =
+  (* a slab x = y inside a box has zero area *)
+  let deg =
+    Hpolytope.make 2
+      [ { Hpolytope.normal = [| Q.one; Q.minus_one |]; offset = Q.zero };
+        { Hpolytope.normal = [| Q.minus_one; Q.one |]; offset = Q.zero };
+        { Hpolytope.normal = [| Q.one; Q.zero |]; offset = Q.one };
+        { Hpolytope.normal = [| Q.minus_one; Q.zero |]; offset = Q.one } ]
+  in
+  check "degenerate" true (Q.is_zero (Lasserre.volume deg));
+  (* redundant constraints leave the volume unchanged *)
+  let c = Hpolytope.cube 3 in
+  let r = Hpolytope.intersect c (Hpolytope.box (Array.make 3 (q (-9), q 9))) in
+  check "redundant" true (Q.equal (Lasserre.volume r) Q.one);
+  (* duplicated constraints too *)
+  let dup = Hpolytope.intersect c c in
+  check "duplicated" true (Q.equal (Lasserre.volume dup) Q.one)
+
+let test_lasserre_vs_shoelace () =
+  for _ = 1 to 80 do
+    let pts = rand_points (3 + Random.State.int rng 8) in
+    let h = Hull2d.hull pts in
+    if List.length h >= 3 then begin
+      let poly = Polygon.of_vertices h in
+      let vs = Array.of_list h in
+      let n = Array.length vs in
+      let hs =
+        List.init n (fun i ->
+            let a = vs.(i) and b = vs.((i + 1) mod n) in
+            let nx = Q.sub b.(1) a.(1) and ny = Q.sub a.(0) b.(0) in
+            { Hpolytope.normal = [| nx; ny |];
+              offset = Q.add (Q.mul nx a.(0)) (Q.mul ny a.(1)) })
+      in
+      let p = Hpolytope.make 2 hs in
+      check "lasserre = shoelace" true (Q.equal (Lasserre.volume p) (Polygon.area poly));
+      check_int "vertices recovered" n (List.length (Vertex_enum.vertices p))
+    end
+  done
+
+let test_lasserre_scaling () =
+  (* scaling a box by 2 in each axis multiplies volume by 2^n *)
+  let b = Hpolytope.box [| (q 0, q 1); (q 0, q 2); (q 0, q 3) |] in
+  let b2 = Hpolytope.box [| (q 0, q 2); (q 0, q 4); (q 0, q 6) |] in
+  check "scaling" true
+    (Q.equal (Lasserre.volume b2) (Q.mul (q 8) (Lasserre.volume b)))
+
+let () =
+  Alcotest.run "cqa_geom"
+    [ ( "hpolytope",
+        [ Alcotest.test_case "basics" `Quick test_hpolytope_basics;
+          Alcotest.test_case "translate" `Quick test_hpolytope_translate;
+          Alcotest.test_case "feasible point" `Quick test_feasible_point ] );
+      ("vertex-enum", [ Alcotest.test_case "known counts" `Quick test_vertex_enum ]);
+      ( "hull-polygon",
+        [ Alcotest.test_case "hull known" `Quick test_hull_known;
+          Alcotest.test_case "hull properties" `Quick test_hull_properties;
+          Alcotest.test_case "polygon area" `Quick test_polygon_area ] );
+      ( "triangulate",
+        [ Alcotest.test_case "fan vs shoelace" `Quick test_fan_vs_shoelace;
+          Alcotest.test_case "simplex volume" `Quick test_simplex_volume ] );
+      ( "lasserre",
+        [ Alcotest.test_case "known" `Quick test_lasserre_known;
+          Alcotest.test_case "degenerate redundant" `Quick test_lasserre_degenerate_redundant;
+          Alcotest.test_case "vs shoelace" `Quick test_lasserre_vs_shoelace;
+          Alcotest.test_case "scaling" `Quick test_lasserre_scaling ] ) ]

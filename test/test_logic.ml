@@ -1,0 +1,261 @@
+open Cqa_arith
+open Cqa_logic
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let q = Q.of_int
+
+(* ------------------------------------------------------------------ *)
+(* Var / Schema / Instance                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_var () =
+  let a = Var.fresh () and b = Var.fresh () in
+  check "fresh distinct" false (Var.equal a b);
+  check "fresh avoids user names" true
+    (String.contains (Var.name (Var.fresh ~hint:"x" ())) '#');
+  check "roundtrip" true (Var.equal (Var.of_string "x") (Var.of_string "x"))
+
+let test_schema () =
+  let s = Schema.of_list [ ("R", 2); ("U", 1) ] in
+  check "mem" true (Schema.mem s "R");
+  check "arity" true (Schema.arity s "R" = Some 2);
+  check "absent" true (Schema.arity s "X" = None);
+  check_int "names" 2 (List.length (Schema.names s));
+  Alcotest.check_raises "duplicate" (Invalid_argument "Schema.add: duplicate relation R")
+    (fun () -> ignore (Schema.add "R" 1 s));
+  Alcotest.check_raises "bad arity" (Invalid_argument "Schema.add: non-positive arity")
+    (fun () -> ignore (Schema.add "Z" 0 s))
+
+let test_instance () =
+  let s = Schema.of_list [ ("R", 2); ("U", 1) ] in
+  let d =
+    Instance.of_list s
+      [ ("R", [ [| q 1; q 2 |]; [| q 1; q 2 |]; [| q 3; q 1 |] ]);
+        ("U", [ [| q 5 |] ]) ]
+  in
+  check_int "dedup" 2 (Instance.cardinality d "R");
+  check "mem" true (Instance.mem d "R" [| q 3; q 1 |]);
+  check "not mem" false (Instance.mem d "R" [| q 2; q 1 |]);
+  check_int "adom" 4 (Instance.size d);
+  check "adom sorted" true (Instance.active_domain d = [ q 1; q 2; q 3; q 5 ]);
+  let d2 = Instance.map_constants (fun v -> Q.mul v Q.two) d in
+  check "map" true (Instance.mem d2 "U" [| q 10 |]);
+  Alcotest.check_raises "arity" (Invalid_argument "Instance.add: arity mismatch for U")
+    (fun () -> ignore (Instance.add "U" [| q 1; q 2 |] d))
+
+(* ------------------------------------------------------------------ *)
+(* Formula (with simple integer-comparison atoms)                      *)
+(* ------------------------------------------------------------------ *)
+
+type atom = Lt of Var.t * int (* "x < k" over integer assignments *)
+
+let atom_vars (Lt (v, _)) = [ v ]
+let negate_atom (Lt (v, k)) = Formula.Not (Formula.Atom (Lt (v, k)))
+let x = Var.of_string "x"
+let y = Var.of_string "y"
+
+let rec eval_formula env (f : atom Formula.t) =
+  match f with
+  | Formula.True -> true
+  | Formula.False -> false
+  | Formula.Atom (Lt (v, k)) -> Var.Map.find v env < k
+  | Formula.Rel _ -> assert false
+  | Formula.Not g -> not (eval_formula env g)
+  | Formula.And (g, h) -> eval_formula env g && eval_formula env h
+  | Formula.Or (g, h) -> eval_formula env g || eval_formula env h
+  | Formula.Exists (v, g) | Formula.Exists_adom (v, g) ->
+      List.exists (fun k -> eval_formula (Var.Map.add v k env) g) [ 0; 1; 2; 3 ]
+  | Formula.Forall (v, g) | Formula.Forall_adom (v, g) ->
+      List.for_all (fun k -> eval_formula (Var.Map.add v k env) g) [ 0; 1; 2; 3 ]
+
+let test_formula_free_vars () =
+  let f =
+    Formula.Exists (x, Formula.And (Formula.Atom (Lt (x, 1)), Formula.Atom (Lt (y, 2))))
+  in
+  check "bound excluded" true
+    (Var.Set.equal (Formula.free_vars ~atom_vars f) (Var.Set.singleton y));
+  let g =
+    Formula.And (Formula.Atom (Lt (x, 0)), Formula.Exists (x, Formula.Atom (Lt (x, 1))))
+  in
+  check "shadowing" true
+    (Var.Set.equal (Formula.free_vars ~atom_vars g) (Var.Set.singleton x))
+
+let test_formula_metrics () =
+  let f =
+    Formula.Exists
+      ( x,
+        Formula.Or
+          (Formula.Forall (y, Formula.Atom (Lt (y, 1))), Formula.Atom (Lt (x, 2))) )
+  in
+  check_int "qcount" 2 (Formula.quantifier_count f);
+  check_int "qrank" 2 (Formula.quantifier_rank f);
+  check_int "atoms" 2 (Formula.atom_count f);
+  check "not qf" false (Formula.is_quantifier_free f);
+  check "active_only false" false (Formula.active_only f);
+  check "active_only true" true
+    (Formula.active_only (Formula.Exists_adom (x, Formula.Atom (Lt (x, 1)))))
+
+let random_formula rng depth =
+  let rec go depth =
+    if depth = 0 then
+      Formula.Atom (Lt ((if Random.State.bool rng then x else y), Random.State.int rng 4))
+    else begin
+      match Random.State.int rng 5 with
+      | 0 -> Formula.Not (go (depth - 1))
+      | 1 -> Formula.And (go (depth - 1), go (depth - 1))
+      | 2 -> Formula.Or (go (depth - 1), go (depth - 1))
+      | 3 -> Formula.Exists ((if Random.State.bool rng then x else y), go (depth - 1))
+      | _ -> Formula.Forall ((if Random.State.bool rng then x else y), go (depth - 1))
+    end
+  in
+  go depth
+
+let test_nnf_preserves_semantics () =
+  let rng = Random.State.make [| 17 |] in
+  for _ = 1 to 200 do
+    let f = random_formula rng 4 in
+    let g = Formula.nnf ~negate_atom f in
+    for xv = 0 to 3 do
+      for yv = 0 to 3 do
+        let env = Var.Map.add x xv (Var.Map.singleton y yv) in
+        check "nnf equivalent" (eval_formula env f) (eval_formula env g)
+      done
+    done
+  done
+
+let test_relations () =
+  let f =
+    Formula.And
+      ( Formula.Rel ("R", [ x; y ]),
+        Formula.Or (Formula.Rel ("U", [ x ]), Formula.Rel ("R", [ y; x ])) )
+  in
+  check "relations" true (Formula.relations f = [ "R"; "U" ])
+
+(* ------------------------------------------------------------------ *)
+(* EF games                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_ef_pure_orders () =
+  for k = 1 to 3 do
+    for m = 1 to 8 do
+      for n = 1 to 8 do
+        let theory = Ef_game.linear_orders_equivalent k m n in
+        let game =
+          Ef_game.duplicator_wins k (Ef_game.uncolored m) (Ef_game.uncolored n)
+        in
+        if theory <> game then
+          Alcotest.failf "EF mismatch k=%d m=%d n=%d: theory %b game %b" k m n
+            theory game
+      done
+    done
+  done
+
+let test_ef_colored () =
+  let a = Ef_game.of_color_sets 2 [ [ 0 ] ] in
+  let b = Ef_game.of_color_sets 2 [ [] ] in
+  check "one round suffices" false (Ef_game.duplicator_wins 1 a b);
+  check "identity" true (Ef_game.duplicator_wins 3 a a)
+
+let test_ef_separating_counterexample () =
+  match
+    Ef_game.separating_counterexample ~rounds:2 ~c1:(Q.of_int 2) ~c2:(Q.of_int 2)
+  with
+  | None -> Alcotest.fail "expected a counterexample"
+  | Some (a, b) ->
+      let card s =
+        Array.fold_left
+          (fun acc v -> if v then acc + 1 else acc)
+          0 s.Ef_game.colors.(0)
+      in
+      let ca = card a and cb = card b in
+      check "a has U-majority" true (ca > 2 * (a.Ef_game.size - ca));
+      check "b has complement majority" true (b.Ef_game.size - cb > 2 * cb);
+      check "duplicator wins" true (Ef_game.duplicator_wins 2 a b)
+
+(* ------------------------------------------------------------------ *)
+(* Circuits                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let exists_sentence = Formula.Exists (x, Formula.Atom (Circuit.Pred (0, x)))
+
+let two_elements_sentence =
+  Formula.Exists
+    ( x,
+      Formula.Exists
+        ( y,
+          Formula.conj
+            [ Formula.Atom (Circuit.Lt (x, y));
+              Formula.Atom (Circuit.Pred (0, x));
+              Formula.Atom (Circuit.Pred (0, y)) ] ) )
+
+let eval_direct n sentence input =
+  let rec go env (f : Circuit.atom Formula.t) =
+    match f with
+    | Formula.True -> true
+    | Formula.False -> false
+    | Formula.Atom (Circuit.Lt (a, b)) -> Var.Map.find a env < Var.Map.find b env
+    | Formula.Atom (Circuit.Eq (a, b)) -> Var.Map.find a env = Var.Map.find b env
+    | Formula.Atom (Circuit.Pred (_, a)) -> input.(Var.Map.find a env)
+    | Formula.Rel _ -> assert false
+    | Formula.Not g -> not (go env g)
+    | Formula.And (g, h) -> go env g && go env h
+    | Formula.Or (g, h) -> go env g || go env h
+    | Formula.Exists (v, g) | Formula.Exists_adom (v, g) ->
+        List.exists (fun i -> go (Var.Map.add v i env) g) (List.init n Fun.id)
+    | Formula.Forall (v, g) | Formula.Forall_adom (v, g) ->
+        List.for_all (fun i -> go (Var.Map.add v i env) g) (List.init n Fun.id)
+  in
+  go Var.Map.empty sentence
+
+let test_circuit_translation () =
+  List.iter
+    (fun sentence ->
+      for n = 1 to 5 do
+        let c = Circuit.of_sentence ~preds:1 ~n sentence in
+        check_int "inputs" n (Circuit.input_count c);
+        for mask = 0 to (1 lsl n) - 1 do
+          let input = Array.init n (fun i -> (mask lsr i) land 1 = 1) in
+          check "circuit = FO" (eval_direct n sentence input) (Circuit.eval c input)
+        done
+      done)
+    [ exists_sentence; two_elements_sentence ]
+
+let test_circuit_depth_size () =
+  let c = Circuit.of_sentence ~preds:1 ~n:4 two_elements_sentence in
+  check "positive size" true (Circuit.gate_count c > 0);
+  check "constant depth" true (Circuit.depth c <= 5)
+
+let test_circuit_separation_failure () =
+  (* "at least two elements of U" accepts card 2 < 9/3: not (1/3,2/3)-good *)
+  let n = 9 in
+  let c = Circuit.of_sentence ~preds:1 ~n two_elements_sentence in
+  check "fails to separate" false
+    (Circuit.separates_cardinalities ~c1:(Q.of_ints 1 3) ~c2:(Q.of_ints 2 3) ~n c)
+
+let test_circuit_free_var_rejected () =
+  Alcotest.check_raises "free var"
+    (Invalid_argument "Circuit.of_sentence: free variable x") (fun () ->
+      ignore (Circuit.of_sentence ~preds:1 ~n:3 (Formula.Atom (Circuit.Pred (0, x)))))
+
+let () =
+  Alcotest.run "cqa_logic"
+    [ ( "base",
+        [ Alcotest.test_case "var" `Quick test_var;
+          Alcotest.test_case "schema" `Quick test_schema;
+          Alcotest.test_case "instance" `Quick test_instance ] );
+      ( "formula",
+        [ Alcotest.test_case "free vars" `Quick test_formula_free_vars;
+          Alcotest.test_case "metrics" `Quick test_formula_metrics;
+          Alcotest.test_case "nnf semantics" `Quick test_nnf_preserves_semantics;
+          Alcotest.test_case "relations" `Quick test_relations ] );
+      ( "ef-games",
+        [ Alcotest.test_case "pure orders vs theory" `Slow test_ef_pure_orders;
+          Alcotest.test_case "colored" `Quick test_ef_colored;
+          Alcotest.test_case "separating counterexample" `Quick
+            test_ef_separating_counterexample ] );
+      ( "circuits",
+        [ Alcotest.test_case "translation" `Quick test_circuit_translation;
+          Alcotest.test_case "depth size" `Quick test_circuit_depth_size;
+          Alcotest.test_case "separation failure" `Quick test_circuit_separation_failure;
+          Alcotest.test_case "free var rejected" `Quick test_circuit_free_var_rejected ] ) ]

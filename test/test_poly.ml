@@ -1,0 +1,525 @@
+open Cqa_arith
+open Cqa_logic
+open Cqa_poly
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let q = Q.of_int
+let qq = Q.of_ints
+let rng = Random.State.make [| 31337 |]
+
+let rand_upoly maxdeg =
+  Upoly.of_coeffs
+    (List.init (1 + Random.State.int rng (maxdeg + 1)) (fun _ ->
+         q (Random.State.int rng 11 - 5)))
+
+(* ------------------------------------------------------------------ *)
+(* Upoly                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_upoly_basics () =
+  let p = Upoly.of_int_coeffs [ 1; 0; -3; 2 ] in
+  check_int "degree" 3 (Upoly.degree p);
+  check "leading" true (Q.equal (Upoly.leading p) Q.two);
+  check "eval" true (Q.equal (Upoly.eval p Q.two) (q 5));
+  check "trailing zeros stripped" true
+    (Upoly.equal (Upoly.of_int_coeffs [ 1; 2; 0; 0 ]) (Upoly.of_int_coeffs [ 1; 2 ]));
+  check_int "degree zero poly" (-1) (Upoly.degree Upoly.zero)
+
+let test_upoly_arith () =
+  let p = Upoly.of_int_coeffs [ 1; 1 ] in
+  (* (x+1)^2 = x^2+2x+1 *)
+  check "square" true (Upoly.equal (Upoly.mul p p) (Upoly.of_int_coeffs [ 1; 2; 1 ]));
+  check "pow" true (Upoly.equal (Upoly.pow p 3) (Upoly.of_int_coeffs [ 1; 3; 3; 1 ]));
+  check "compose" true
+    (Upoly.equal
+       (Upoly.compose (Upoly.of_int_coeffs [ 0; 0; 1 ]) p)
+       (Upoly.of_int_coeffs [ 1; 2; 1 ]));
+  check "derivative" true
+    (Upoly.equal (Upoly.derivative (Upoly.of_int_coeffs [ 5; 0; 3 ])) (Upoly.of_int_coeffs [ 0; 6 ]))
+
+let test_upoly_divmod () =
+  for _ = 1 to 300 do
+    let a = rand_upoly 6 and b = rand_upoly 4 in
+    if not (Upoly.is_zero b) then begin
+      let d, r = Upoly.divmod a b in
+      check "recompose" true (Upoly.equal a (Upoly.add (Upoly.mul d b) r));
+      check "degree drop" true (Upoly.degree r < Upoly.degree b || Upoly.is_zero r)
+    end
+  done
+
+let test_upoly_gcd () =
+  (* gcd ((x-1)(x-2), (x-1)(x-3)) = x - 1 monic *)
+  let f = Upoly.mul (Upoly.of_int_coeffs [ -1; 1 ]) (Upoly.of_int_coeffs [ -2; 1 ]) in
+  let g = Upoly.mul (Upoly.of_int_coeffs [ -1; 1 ]) (Upoly.of_int_coeffs [ -3; 1 ]) in
+  check "gcd" true (Upoly.equal (Upoly.gcd f g) (Upoly.of_int_coeffs [ -1; 1 ]));
+  check "square free" true
+    (Upoly.equal
+       (Upoly.square_free (Upoly.mul f f))
+       (Upoly.monic f))
+
+let test_sturm_counts () =
+  (* (x^2-2)(x-3): 3 real roots *)
+  let p = Upoly.of_int_coeffs [ 6; -2; -3; 1 ] in
+  check_int "3 roots" 3 (Upoly.count_real_roots p);
+  check_int "roots in (0,2]" 1 (Upoly.count_roots_in p Q.zero Q.two);
+  check_int "roots in (-2,0]" 1 (Upoly.count_roots_in p (q (-2)) Q.zero);
+  check_int "x^2+1 rootless" 0 (Upoly.count_real_roots (Upoly.of_int_coeffs [ 1; 0; 1 ]));
+  (* multiplicities collapse *)
+  check_int "(x-1)^4" 1 (Upoly.count_real_roots (Upoly.pow (Upoly.of_int_coeffs [ -1; 1 ]) 4))
+
+let test_isolate_roots () =
+  for _ = 1 to 150 do
+    let p = rand_upoly 6 in
+    if Upoly.degree p >= 1 then begin
+      let ivs = Upoly.isolate_roots p in
+      check_int "count matches sturm" (Upoly.count_real_roots p) (List.length ivs);
+      let sf = Upoly.square_free p in
+      List.iter
+        (fun iv ->
+          if Interval.is_point iv then
+            check "point is root" true (Upoly.sign_at sf (Interval.lo iv) = 0)
+          else begin
+            check "endpoints nonroot" true
+              (Upoly.sign_at sf (Interval.lo iv) <> 0
+              && Upoly.sign_at sf (Interval.hi iv) <> 0);
+            check_int "isolates one" 1
+              (Upoly.count_roots_in sf (Interval.lo iv) (Interval.hi iv))
+          end)
+        ivs;
+      (* disjoint and sorted *)
+      let rec disjoint = function
+        | a :: (b :: _ as rest) ->
+            Q.lt (Interval.hi a) (Interval.lo b)
+            || (Q.equal (Interval.hi a) (Interval.lo b) && disjoint rest)
+            || (Q.leq (Interval.hi a) (Interval.lo b) && disjoint rest)
+        | _ -> true
+      in
+      check "sorted disjoint" true (disjoint ivs)
+    end
+  done
+
+let test_cauchy_bound () =
+  for _ = 1 to 100 do
+    let p = rand_upoly 5 in
+    if Upoly.degree p >= 1 then begin
+      let b = Upoly.cauchy_bound p in
+      check_int "no roots outside"
+        (Upoly.count_real_roots p)
+        (Upoly.count_roots_in p (Q.neg b) b)
+    end
+  done
+
+let test_interpolate_integrate () =
+  (* interpolation through exact samples of x^3 - x recovers it *)
+  let p = Upoly.of_int_coeffs [ 0; -1; 0; 1 ] in
+  let pts = List.map (fun i -> (q i, Upoly.eval p (q i))) [ -2; -1; 0; 1; 2 ] in
+  check "lagrange exact" true (Upoly.equal (Upoly.interpolate pts) p);
+  (* integral of x^2 over [0,3] = 9 *)
+  check "integrate" true
+    (Q.equal (Upoly.integrate (Upoly.of_int_coeffs [ 0; 0; 1 ]) Q.zero (q 3)) (q 9));
+  check "antiderivative derivative" true
+    (Upoly.equal (Upoly.derivative (Upoly.antiderivative p)) p);
+  Alcotest.check_raises "dup abscissa"
+    (Invalid_argument "Upoly.interpolate: duplicate abscissa") (fun () ->
+      ignore (Upoly.interpolate [ (Q.zero, Q.one); (Q.zero, Q.two) ]))
+
+let test_resultant () =
+  (* Res(x^2-2, x^2-3) <> 0: no common root *)
+  let p2 = Upoly.of_int_coeffs [ -2; 0; 1 ] and p3 = Upoly.of_int_coeffs [ -3; 0; 1 ] in
+  check "no common root" false (Resultant.have_common_root p2 p3);
+  (* common factor (x-1) *)
+  let f = Upoly.mul (Upoly.of_int_coeffs [ -1; 1 ]) p2 in
+  let g = Upoly.mul (Upoly.of_int_coeffs [ -1; 1 ]) p3 in
+  check "common root" true (Resultant.have_common_root f g);
+  (* classic closed form: Res(x^2+bx+c, x-r) = r^2+br+c *)
+  check "eval form" true
+    (Q.equal
+       (Resultant.resultant (Upoly.of_int_coeffs [ 3; 2; 1 ]) (Upoly.of_int_coeffs [ -2; 1 ]))
+       (q 11));
+  (* discriminant of x^2+bx+c is b^2-4c *)
+  check "quadratic discriminant" true
+    (Q.equal (Resultant.discriminant (Upoly.of_int_coeffs [ 3; 2; 1 ])) (q (-8)));
+  check "square free" true (Resultant.is_square_free p2);
+  check "not square free" false
+    (Resultant.is_square_free (Upoly.mul p2 p2));
+  (* random: resultant vanishes iff gcd is nonconstant (rational roots) *)
+  for _ = 1 to 100 do
+    let a = rand_upoly 4 and b = rand_upoly 4 in
+    if Upoly.degree a >= 1 && Upoly.degree b >= 1 then begin
+      let has_common = Upoly.degree (Upoly.gcd a b) >= 1 in
+      if has_common then
+        check "gcd implies res 0" true (Resultant.have_common_root a b)
+    end
+  done;
+  (* multiplicativity: Res(p, q r) = Res(p, q) Res(p, r) *)
+  for _ = 1 to 50 do
+    let a = rand_upoly 3 and b = rand_upoly 3 and c = rand_upoly 3 in
+    if Upoly.degree a >= 1 && Upoly.degree b >= 1 && Upoly.degree c >= 1 then
+      check "multiplicative" true
+        (Q.equal
+           (Resultant.resultant a (Upoly.mul b c))
+           (Q.mul (Resultant.resultant a b) (Resultant.resultant a c)))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Mpoly                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let vx = Var.of_string "x"
+let vy = Var.of_string "y"
+
+let rand_mpoly () =
+  let term () =
+    Mpoly.monomial
+      (q (Random.State.int rng 7 - 3))
+      [ (vx, Random.State.int rng 3); (vy, Random.State.int rng 3) ]
+  in
+  List.fold_left Mpoly.add Mpoly.zero (List.init (1 + Random.State.int rng 4) (fun _ -> term ()))
+
+let envs =
+  List.concat_map
+    (fun a -> List.map (fun b -> Var.Map.add vx (qq a 2) (Var.Map.singleton vy (qq b 2))) [ -3; -1; 0; 2 ])
+    [ -2; 0; 1; 3 ]
+
+let test_mpoly_ring_pointwise () =
+  for _ = 1 to 150 do
+    let p = rand_mpoly () and r = rand_mpoly () in
+    List.iter
+      (fun env ->
+        check "add hom" true
+          (Q.equal (Mpoly.eval (Mpoly.add p r) env) (Q.add (Mpoly.eval p env) (Mpoly.eval r env)));
+        check "mul hom" true
+          (Q.equal (Mpoly.eval (Mpoly.mul p r) env) (Q.mul (Mpoly.eval p env) (Mpoly.eval r env))))
+      envs
+  done
+
+let test_mpoly_subst () =
+  (* substitute y := x + 1 into x*y: get x^2 + x *)
+  let p = Mpoly.mul (Mpoly.var vx) (Mpoly.var vy) in
+  let s = Mpoly.subst p vy (Mpoly.add (Mpoly.var vx) Mpoly.one) in
+  List.iter
+    (fun env ->
+      let xv = Var.Map.find vx env in
+      check "subst" true (Q.equal (Mpoly.eval s env) (Q.add (Q.mul xv xv) xv)))
+    envs
+
+let test_mpoly_partial_eval () =
+  for _ = 1 to 100 do
+    let p = rand_mpoly () in
+    List.iter
+      (fun env ->
+        let partial = Mpoly.eval_partial p (Var.Map.singleton vx (Var.Map.find vx env)) in
+        check "partial then full" true
+          (Q.equal (Mpoly.eval partial env) (Mpoly.eval p env)))
+      envs
+  done
+
+let test_mpoly_derivative () =
+  (* d/dx (x^2 y) = 2 x y *)
+  let p = Mpoly.mul (Mpoly.mul (Mpoly.var vx) (Mpoly.var vx)) (Mpoly.var vy) in
+  let d = Mpoly.derivative p vx in
+  check "derivative" true
+    (Mpoly.equal d (Mpoly.scale Q.two (Mpoly.mul (Mpoly.var vx) (Mpoly.var vy))))
+
+let test_mpoly_conversions () =
+  let le = Cqa_linear.Linexpr.of_list (q 3) [ (Q.two, vx); (Q.minus_one, vy) ] in
+  let p = Mpoly.of_linexpr le in
+  check_int "degree 1" 1 (Mpoly.total_degree p);
+  (match Mpoly.to_linexpr p with
+  | Some le' -> check "roundtrip" true (Cqa_linear.Linexpr.equal le le')
+  | None -> Alcotest.fail "linear");
+  check "nonlinear no linexpr" true (Mpoly.to_linexpr (Mpoly.mul (Mpoly.var vx) (Mpoly.var vx)) = None);
+  (match Mpoly.to_upoly (Mpoly.mul (Mpoly.var vx) (Mpoly.var vx)) vx with
+  | Some u -> check "to_upoly" true (Upoly.equal u (Upoly.of_int_coeffs [ 0; 0; 1 ]))
+  | None -> Alcotest.fail "univariate");
+  check "bivariate no upoly" true (Mpoly.to_upoly (Mpoly.mul (Mpoly.var vx) (Mpoly.var vy)) vx = None)
+
+(* ------------------------------------------------------------------ *)
+(* Algnum                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sqrt2 = List.nth (Algnum.roots_of (Upoly.of_int_coeffs [ -2; 0; 1 ])) 1
+
+let test_algnum_known () =
+  let roots = Algnum.roots_of (Upoly.of_int_coeffs [ 6; -2; -3; 1 ]) in
+  check_int "3 roots" 3 (List.length roots);
+  let expected = [ -.sqrt 2.; sqrt 2.; 3.0 ] in
+  List.iter2
+    (fun a e -> check "approx" true (abs_float (Algnum.to_float a -. e) < 1e-6))
+    roots expected;
+  (* the rational root is recognized on comparison *)
+  check "rational root" true (Algnum.compare_q (List.nth roots 2) (q 3) = 0)
+
+let test_algnum_compare () =
+  check "sqrt2 < 3/2" true (Algnum.compare_q sqrt2 (qq 3 2) < 0);
+  check "sqrt2 > 7/5" true (Algnum.compare_q sqrt2 (qq 7 5) > 0);
+  check "sign" true (Algnum.sign sqrt2 > 0);
+  (* equality across different defining polynomials: (x^2-2)^2 has sqrt2 *)
+  let sqrt2' = List.nth (Algnum.roots_of (Upoly.of_int_coeffs [ 4; 0; -4; 0; 1 ])) 1 in
+  check "cross-poly equal" true (Algnum.equal sqrt2 sqrt2');
+  check "order" true (Algnum.compare (Algnum.of_q Q.one) sqrt2 < 0);
+  check "rat rat" true (Algnum.compare (Algnum.of_q Q.one) (Algnum.of_int 2) < 0)
+
+let test_algnum_sign_of_upoly () =
+  check_int "defining vanishes" 0
+    (Algnum.sign_of_upoly_at (Upoly.of_int_coeffs [ -2; 0; 1 ]) sqrt2);
+  check_int "x^2-3 negative at sqrt2" (-1)
+    (Algnum.sign_of_upoly_at (Upoly.of_int_coeffs [ -3; 0; 1 ]) sqrt2);
+  check_int "x^2-1 positive at sqrt2" 1
+    (Algnum.sign_of_upoly_at (Upoly.of_int_coeffs [ -1; 0; 1 ]) sqrt2);
+  check_int "zero poly" 0 (Algnum.sign_of_upoly_at Upoly.zero sqrt2)
+
+let test_algnum_approx () =
+  let a = Algnum.approx sqrt2 (qq 1 1000000) in
+  check "tight" true
+    (abs_float (Q.to_float a -. sqrt 2.) < 2e-6);
+  (* refinement converges and keeps the root *)
+  let r = ref sqrt2 in
+  for _ = 1 to 20 do
+    r := Algnum.refine !r
+  done;
+  check "refined equal" true (Algnum.equal !r sqrt2)
+
+let test_algnum_total_order () =
+  let polys =
+    [ Upoly.of_int_coeffs [ -2; 0; 1 ]; Upoly.of_int_coeffs [ -3; 0; 1 ];
+      Upoly.of_int_coeffs [ 1; -3; 1 ]; Upoly.of_int_coeffs [ -1; -1; 1 ] ]
+  in
+  let nums = List.concat_map Algnum.roots_of polys @ List.map Algnum.of_int [ -2; 0; 1 ] in
+  let sorted = List.sort Algnum.compare nums in
+  (* sorted floats must be nondecreasing *)
+  let floats = List.map Algnum.to_float sorted in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && mono rest
+    | _ -> true
+  in
+  check "total order consistent with floats" true (mono floats)
+
+let test_algnum_arithmetic () =
+  let sqrt3 = List.nth (Algnum.roots_of (Upoly.of_int_coeffs [ -3; 0; 1 ])) 1 in
+  (* sqrt2 + sqrt3 is the largest root of x^4 - 10x^2 + 1 *)
+  let s23 = Algnum.add sqrt2 sqrt3 in
+  check "sum value" true
+    (abs_float (Algnum.to_float s23 -. (sqrt 2. +. sqrt 3.)) < 1e-9);
+  check_int "sum vanishes on x^4-10x^2+1" 0
+    (Algnum.sign_of_upoly_at (Upoly.of_int_coeffs [ 1; 0; -10; 0; 1 ]) s23);
+  (* sqrt2 * sqrt3 = sqrt6 *)
+  let p6 = Algnum.mul sqrt2 sqrt3 in
+  check_int "product is sqrt6" 0
+    (Algnum.sign_of_upoly_at (Upoly.of_int_coeffs [ -6; 0; 1 ]) p6);
+  check "product positive" true (Algnum.sign p6 > 0);
+  (* cancellation detects rationality: sqrt2 - sqrt2 = 0 *)
+  check "cancel" true (Algnum.equal (Algnum.sub sqrt2 sqrt2) (Algnum.of_int 0));
+  (* sqrt2 * sqrt2 = 2 exactly *)
+  check "square" true (Algnum.equal (Algnum.mul sqrt2 sqrt2) (Algnum.of_int 2));
+  (* rational shortcuts *)
+  let shifted = Algnum.add sqrt2 (Algnum.of_q (qq 1 2)) in
+  check "shift" true
+    (abs_float (Algnum.to_float shifted -. (sqrt 2. +. 0.5)) < 1e-9);
+  let scaled = Algnum.mul sqrt2 (Algnum.of_int (-3)) in
+  check "scale" true
+    (abs_float (Algnum.to_float scaled +. (3. *. sqrt 2.)) < 1e-9);
+  (* inverse: 1/sqrt2 = sqrt2/2 *)
+  let i2 = Algnum.inv sqrt2 in
+  check "inverse" true
+    (Algnum.equal (Algnum.mul i2 (Algnum.of_int 2)) sqrt2);
+  check "inv zero raises" true
+    (try ignore (Algnum.inv (Algnum.of_int 0)); false
+     with Division_by_zero -> true);
+  (* field laws on a random mix, checked in floating point *)
+  let nums =
+    sqrt2 :: sqrt3 :: Algnum.of_q (qq (-3) 2)
+    :: Algnum.roots_of (Upoly.of_int_coeffs [ 1; -4; 1 ])
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let fa = Algnum.to_float a and fb = Algnum.to_float b in
+          check "add float" true
+            (abs_float (Algnum.to_float (Algnum.add a b) -. (fa +. fb)) < 1e-6);
+          check "mul float" true
+            (abs_float (Algnum.to_float (Algnum.mul a b) -. (fa *. fb)) < 1e-6);
+          check "commutative" true
+            (Algnum.equal (Algnum.add a b) (Algnum.add b a)))
+        nums)
+    nums
+
+(* ------------------------------------------------------------------ *)
+(* Cad1                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_cad1_structure () =
+  let polys = [ Upoly.of_int_coeffs [ -2; 0; 1 ]; Upoly.of_int_coeffs [ 0; 1 ] ] in
+  let cells = Cad1.decompose polys in
+  (* roots: -sqrt2, 0, sqrt2: 3 points + 4 gaps *)
+  check_int "cells" 7 (Cad1.cell_count cells);
+  (* signs are invariant: check at sample vs endpoints *)
+  List.iter
+    (fun cell ->
+      List.iter
+        (fun p ->
+          match cell with
+          | Cad1.Gap { sample; _ } ->
+              check "gap sample sign consistent" true
+                (Cad1.sign_on cell p = Upoly.sign_at p sample)
+          | Cad1.Point a ->
+              check "point sign" true
+                (Cad1.sign_on cell p = Algnum.sign_of_upoly_at p a))
+        polys)
+    cells;
+  check_int "no polys" 1 (Cad1.cell_count (Cad1.decompose []));
+  check_int "constants ignored" 1 (Cad1.cell_count (Cad1.decompose [ Upoly.one ]))
+
+let test_cad1_random_membership () =
+  for _ = 1 to 60 do
+    let polys = List.filter (fun p -> Upoly.degree p >= 1) [ rand_upoly 4; rand_upoly 4 ] in
+    let cells = Cad1.decompose polys in
+    (* each gap's sample indeed lies strictly between neighbouring roots *)
+    List.iter
+      (function
+        | Cad1.Gap { left; right; sample } ->
+            (match left with
+            | Some a -> check "sample right of left" true (Algnum.compare_q a sample < 0)
+            | None -> ());
+            (match right with
+            | Some b -> check "sample left of right" true (Algnum.compare_q b sample > 0)
+            | None -> ())
+        | Cad1.Point _ -> ())
+      cells
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Semialg                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let disk r =
+  Semialg.ball ~center:[| Q.zero; Q.zero |] ~radius:r
+
+let test_semialg_mem () =
+  let d = disk Q.two in
+  check "center" true (Semialg.mem d [| Q.zero; Q.zero |]);
+  check "inside" true (Semialg.mem d [| Q.one; Q.one |]);
+  check "boundary" true (Semialg.mem d [| Q.two; Q.zero |]);
+  check "outside" false (Semialg.mem d [| Q.two; Q.one |])
+
+let test_semialg_ops () =
+  let d1 = disk Q.one and d2 = disk Q.two in
+  let ring = Semialg.diff d2 d1 in
+  check "in ring" true (Semialg.mem ring [| qq 3 2; Q.zero |]);
+  check "hole" false (Semialg.mem ring [| Q.zero; Q.zero |]);
+  check "union restores" true
+    (Semialg.mem (Semialg.union ring d1) [| Q.zero; Q.zero |]);
+  check "compl" true (Semialg.mem (Semialg.compl d1) [| q 5; q 5 |])
+
+let test_semialg_section () =
+  let d = disk Q.two in
+  (* section at x = 0: y in [-2, 2] *)
+  let s = Semialg.last_axis_section d [| Q.zero |] in
+  check_int "one component" 1 (Semialg.Section.component_count s);
+  check "mem 0" true (Semialg.Section.mem s Q.zero);
+  check "mem 2" true (Semialg.Section.mem s Q.two);
+  check "not mem 3" false (Semialg.Section.mem s (q 3));
+  (match Semialg.Section.measure_approx ~eps:(qq 1 1000) s with
+  | Some m -> check "measure 4" true (abs_float (Q.to_float m -. 4.0) < 0.002)
+  | None -> Alcotest.fail "finite");
+  (* sqrt-2-type endpoints: section of unit disk at x = 1/2 has endpoints
+     +- sqrt(3)/2 *)
+  let s2 = Semialg.last_axis_section (disk Q.one) [| Q.half |] in
+  let eps = Semialg.Section.endpoints s2 in
+  check_int "two endpoints" 2 (List.length eps);
+  List.iter
+    (fun a ->
+      check "endpoint is sqrt(3)/2" true
+        (abs_float (abs_float (Algnum.to_float a) -. (sqrt 3. /. 2.)) < 1e-6))
+    eps;
+  (* empty section *)
+  check "empty" true
+    (Semialg.Section.is_empty (Semialg.last_axis_section (disk Q.one) [| q 5 |]))
+
+let test_semialg_section_vs_membership () =
+  for _ = 1 to 10 do
+    let c = qq (Random.State.int rng 5 - 2) 2 in
+    let d = Semialg.ball ~center:[| c; Q.zero |] ~radius:(qq 3 2) in
+    let xv = qq (Random.State.int rng 9 - 4) 2 in
+    let s = Semialg.last_axis_section d [| xv |] in
+    List.iter
+      (fun yv ->
+        check "section consistent" (Semialg.mem d [| xv; yv |]) (Semialg.Section.mem s yv))
+      (List.init 17 (fun i -> qq (i - 8) 2))
+  done
+
+let test_semialg_measure_exact () =
+  (* disk radius sqrt2 at x = 0: measure exactly 2*sqrt2, an algebraic
+     number vanishing on x^2 - 8 *)
+  let sec = Semialg.last_axis_section (disk Q.two) [| Q.zero |] in
+  (match Semialg.Section.measure_exact sec with
+  | Some m -> check "chord exact 4" true (Algnum.equal m (Algnum.of_int 4))
+  | None -> Alcotest.fail "finite");
+  (* more directly: section of the radius-sqrt2 disk *)
+  let d2 =
+    let coords = Semialg.vars (Semialg.empty 2) in
+    let x = Mpoly.var coords.(0) and y = Mpoly.var coords.(1) in
+    Semialg.make coords
+      [ [ { Semialg.poly = Mpoly.(sub (add (mul x x) (mul y y)) (constant (q 2)));
+            op = Semialg.Le } ] ]
+  in
+  let sec2 = Semialg.last_axis_section d2 [| Q.zero |] in
+  (match Semialg.Section.measure_exact sec2 with
+  | Some m ->
+      (* m = 2 sqrt2: vanishes on x^2 - 8 *)
+      check_int "2sqrt2" 0
+        (Algnum.sign_of_upoly_at (Upoly.of_int_coeffs [ -8; 0; 1 ]) m)
+  | None -> Alcotest.fail "finite");
+  (* unbounded section has no exact measure *)
+  let co = Semialg.compl d2 in
+  check "unbounded none" true
+    (Semialg.Section.measure_exact (Semialg.last_axis_section co [| Q.zero |]) = None)
+
+let test_semialg_clamp () =
+  let d = disk Q.two in
+  let c = Semialg.clamp_unit d in
+  check "clamped in" true (Semialg.mem c [| Q.half; Q.half |]);
+  check "clamped out" false (Semialg.mem c [| qq 3 2; Q.zero |]);
+  let s = Semialg.last_axis_section d [| Q.zero |] in
+  let sc = Semialg.Section.clamp Q.zero Q.one s in
+  match Semialg.Section.measure_approx ~eps:(qq 1 1000) sc with
+  | Some m -> check "clamp measure" true (abs_float (Q.to_float m -. 1.0) < 0.002)
+  | None -> Alcotest.fail "finite"
+
+let () =
+  Alcotest.run "cqa_poly"
+    [ ( "upoly",
+        [ Alcotest.test_case "basics" `Quick test_upoly_basics;
+          Alcotest.test_case "arith" `Quick test_upoly_arith;
+          Alcotest.test_case "divmod" `Quick test_upoly_divmod;
+          Alcotest.test_case "gcd square-free" `Quick test_upoly_gcd;
+          Alcotest.test_case "sturm counts" `Quick test_sturm_counts;
+          Alcotest.test_case "isolate roots" `Quick test_isolate_roots;
+          Alcotest.test_case "cauchy bound" `Quick test_cauchy_bound;
+          Alcotest.test_case "interpolate integrate" `Quick test_interpolate_integrate;
+          Alcotest.test_case "resultant" `Quick test_resultant ] );
+      ( "mpoly",
+        [ Alcotest.test_case "ring pointwise" `Quick test_mpoly_ring_pointwise;
+          Alcotest.test_case "subst" `Quick test_mpoly_subst;
+          Alcotest.test_case "partial eval" `Quick test_mpoly_partial_eval;
+          Alcotest.test_case "derivative" `Quick test_mpoly_derivative;
+          Alcotest.test_case "conversions" `Quick test_mpoly_conversions ] );
+      ( "algnum",
+        [ Alcotest.test_case "known roots" `Quick test_algnum_known;
+          Alcotest.test_case "compare" `Quick test_algnum_compare;
+          Alcotest.test_case "sign of poly" `Quick test_algnum_sign_of_upoly;
+          Alcotest.test_case "approx refine" `Quick test_algnum_approx;
+          Alcotest.test_case "total order" `Quick test_algnum_total_order;
+          Alcotest.test_case "arithmetic" `Quick test_algnum_arithmetic ] );
+      ( "cad1",
+        [ Alcotest.test_case "structure" `Quick test_cad1_structure;
+          Alcotest.test_case "random samples" `Quick test_cad1_random_membership ] );
+      ( "semialg",
+        [ Alcotest.test_case "mem" `Quick test_semialg_mem;
+          Alcotest.test_case "ops" `Quick test_semialg_ops;
+          Alcotest.test_case "section" `Quick test_semialg_section;
+          Alcotest.test_case "section vs membership" `Quick test_semialg_section_vs_membership;
+          Alcotest.test_case "measure exact" `Quick test_semialg_measure_exact;
+          Alcotest.test_case "clamp" `Quick test_semialg_clamp ] ) ]
