@@ -105,6 +105,24 @@ let lp_objective =
 let big_a = Bigint.of_string (String.concat "" (List.init 8 (fun _ -> "123456789")))
 let big_b = Bigint.of_string (String.concat "" (List.init 8 (fun _ -> "987654321")))
 
+(* Arithmetic micro-bench pools: small operands fit the native fast path,
+   big operands force the limb tier, mixed interleaves both. *)
+let q_small_pool =
+  Array.init 64 (fun i -> Q.of_ints ((i * 7) - 224) (1 + (i mod 9)))
+
+let q_big_pool =
+  Array.init 16 (fun i ->
+      Q.make
+        (Bigint.mul big_a (Bigint.of_int (2 * i + 1)))
+        (Bigint.mul big_b (Bigint.of_int (i + 3))))
+
+let q_mixed_pool =
+  Array.init 64 (fun i ->
+      if i mod 8 = 0 then q_big_pool.(i / 8 mod 16) else q_small_pool.(i))
+
+let int_pool =
+  Array.init 64 (fun i -> Bigint.of_int (((i * 92821) + 1) * ((i mod 11) + 1)))
+
 let sturm_poly =
   (* (x^2-2)(x^2-3)(x-1) *)
   Cqa_poly.Upoly.mul
@@ -191,6 +209,64 @@ let experiment_tests =
              Var_indep.grid_volume boxes_union
            else Q.zero)) ]
 
+(* Each micro test folds its whole pool so one "run" is a batch of pool-size
+   operations; pool contents are opaque to the optimizer via the fold. *)
+let fold_pairs pool f init =
+  let n = Array.length pool in
+  let acc = ref init in
+  for i = 0 to n - 1 do
+    acc := f !acc pool.(i) pool.((i + 1) mod n)
+  done;
+  !acc
+
+let arith_micro_tests =
+  [ Test.make ~name:"q_add_small_64"
+      (stage (fun () -> fold_pairs q_small_pool (fun acc a b -> Q.add acc (Q.add a b)) Q.zero));
+    Test.make ~name:"q_sub_small_64"
+      (stage (fun () -> fold_pairs q_small_pool (fun acc a b -> Q.add acc (Q.sub a b)) Q.zero));
+    Test.make ~name:"q_mul_small_64"
+      (stage (fun () -> fold_pairs q_small_pool (fun acc a b -> Q.add acc (Q.mul a b)) Q.zero));
+    Test.make ~name:"q_compare_small_64"
+      (stage (fun () ->
+           fold_pairs q_small_pool
+             (fun acc a b -> if Q.compare a b < 0 then acc + 1 else acc)
+             0));
+    Test.make ~name:"q_add_mixed_64"
+      (stage (fun () -> fold_pairs q_mixed_pool (fun acc a b -> Q.add acc (Q.add a b)) Q.zero));
+    Test.make ~name:"q_mul_big_16"
+      (stage (fun () ->
+           fold_pairs q_big_pool (fun acc a b -> Q.add acc (Q.mul a b)) Q.zero));
+    Test.make ~name:"bigint_add_small_64"
+      (stage (fun () ->
+           fold_pairs int_pool (fun acc a b -> Bigint.add acc (Bigint.add a b)) Bigint.zero));
+    Test.make ~name:"bigint_mul_small_64"
+      (stage (fun () ->
+           fold_pairs int_pool (fun acc a b -> Bigint.add acc (Bigint.mul a b)) Bigint.zero));
+    Test.make ~name:"bigint_gcd_small_64"
+      (stage (fun () ->
+           fold_pairs int_pool
+             (fun acc a b -> Bigint.add acc (Bigint.gcd a b))
+             Bigint.zero));
+    Test.make ~name:"bigint_gcd_72digits"
+      (stage (fun () -> Bigint.gcd (Bigint.mul big_a big_b) (Bigint.mul big_b big_b))) ]
+
+(* Domain-parallel sampling estimator: same membership oracle and sample
+   size across domain counts, so the ns/run ratios are the scaling curve. *)
+let sampler_mem = Cqa_geom.Hpolytope.contains p4
+
+let sampler_test domains =
+  Test.make ~name:(Printf.sprintf "sampler_random_2k_dom%d" domains)
+    (stage (fun () ->
+         let prng = Prng.create 7 in
+         Approx_volume.estimate_random ~domains ~prng ~dim:4 ~n:2000 sampler_mem))
+
+let sampler_tests =
+  [ sampler_test 1; sampler_test 2; sampler_test 4;
+    Test.make ~name:"sampler_halton_1k_dom1"
+      (stage (fun () -> Approx_volume.estimate_halton ~domains:1 ~dim:4 ~n:1000 sampler_mem));
+    Test.make ~name:"sampler_halton_1k_dom4"
+      (stage (fun () -> Approx_volume.estimate_halton ~domains:4 ~dim:4 ~n:1000 sampler_mem)) ]
+
 let substrate_tests =
   [ Test.make ~name:"bigint_mul_72digits" (stage (fun () -> Bigint.mul big_a big_b));
     Test.make ~name:"fm_qe_density" (stage (fun () -> Fourier_motzkin.qe density_formula));
@@ -212,6 +288,10 @@ let substrate_tests =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Collected (name, ns/run) pairs, emitted as JSON at exit so BENCH_*.json
+   snapshots can be diffed across PRs. *)
+let json_results : (string * float) list ref = ref []
+
 let run_group name tests =
   Printf.printf "\n== %s ==\n%!" name;
   let ols =
@@ -229,6 +309,7 @@ let run_group name tests =
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
           | Some [ est ] ->
+              json_results := (name, est) :: !json_results;
               if est > 1e9 then Printf.printf "%-36s %10.3f s/run\n%!" name (est /. 1e9)
               else if est > 1e6 then
                 Printf.printf "%-36s %10.3f ms/run\n%!" name (est /. 1e6)
@@ -238,6 +319,20 @@ let run_group name tests =
           | _ -> Printf.printf "%-36s (no estimate)\n%!" name)
         analyzed)
     tests
+
+let emit_json () =
+  let path = try Sys.getenv "BENCH_JSON" with Not_found -> "BENCH.json" in
+  let oc = open_out path in
+  let entries = List.rev !json_results in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  %S: %.1f%s\n" name ns
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  output_string oc "}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s (%d entries)\n%!" path (List.length entries)
 
 (* Ablations of the quantifier-elimination pipeline (cold cache each run):
    the DESIGN.md design-choice knobs, measured on the Section 5 vertex
@@ -278,6 +373,9 @@ let ablation_tests =
 
 let () =
   Printf.printf "cqa benchmark harness (bechamel)\n";
+  run_group "arithmetic kernels" arith_micro_tests;
+  run_group "parallel sampler" sampler_tests;
   run_group "experiments (one per table/figure)" experiment_tests;
   run_group "substrates" substrate_tests;
-  run_group "ablations (QE design choices, cold cache)" ablation_tests
+  run_group "ablations (QE design choices, cold cache)" ablation_tests;
+  emit_json ()

@@ -1,88 +1,30 @@
-(* Sign-magnitude arbitrary-precision integers over base-2^30 limbs.
+(* Two-tier exact integers, zarith-style: a native-int fast tier [Small] and
+   a sign-magnitude base-2^30 limb tier [Big].
 
-   Invariants: [mag] is little-endian with no leading zero limb; [sign] is 0
-   iff [mag] is empty.  All limb values lie in [0, base).  Limb products fit
-   a 63-bit native int: (2^30-1)^2 + 2*2^30 < 2^62. *)
+   Canonical-form invariant: every value representable as a native [int] is
+   [Small]; [Big] is reserved for values outside [min_int, max_int].  All
+   public operations re-establish the invariant (promotion on overflow,
+   demotion after limb-tier computation), so each integer has exactly one
+   representation and [compare]/[equal]/[hash] may dispatch on the
+   constructor.
+
+   Limb invariants ([Big]): [mag] is little-endian with no leading zero
+   limb; [sign] is never 0 (zero is [Small 0]).  All limb values lie in
+   [0, base).  Limb products fit a 63-bit native int:
+   (2^30-1)^2 + 2*2^30 < 2^62. *)
 
 let base_bits = 30
 let base = 1 lsl base_bits
 let base_mask = base - 1
 
-type t = { sign : int; mag : int array }
+type big = { sign : int; mag : int array }
+type t = Small of int | Big of big
 
-let zero = { sign = 0; mag = [||] }
+(* ------------------------------------------------------------------ *)
+(* Magnitude primitives (limb tier)                                    *)
+(* ------------------------------------------------------------------ *)
 
-let normalize sign mag =
-  let n = Array.length mag in
-  let rec top i = if i >= 0 && mag.(i) = 0 then top (i - 1) else i in
-  let t = top (n - 1) in
-  if t < 0 then zero
-  else if t = n - 1 then { sign; mag }
-  else { sign; mag = Array.sub mag 0 (t + 1) }
-
-let of_int n =
-  if n = 0 then zero
-  else begin
-    let sign = if n < 0 then -1 else 1 in
-    (* min_int negation is safe: abs through successive shifting of the
-       negative value would be needed only for min_int; handle via landing in
-       three limbs using logical shifts on the negative number. *)
-    if n = min_int then
-      (* |min_int| = 2^62 = bit 2 of limb 2 with 30-bit limbs *)
-      { sign; mag = [| 0; 0; 1 lsl (62 - (2 * base_bits)) |] }
-    else begin
-      let m = abs n in
-      if m < base then { sign; mag = [| m |] }
-      else if m < base * base then
-        { sign; mag = [| m land base_mask; m lsr base_bits |] }
-      else
-        { sign;
-          mag =
-            [| m land base_mask;
-               (m lsr base_bits) land base_mask;
-               m lsr (2 * base_bits) |] }
-    end
-  end
-
-let one = of_int 1
-let two = of_int 2
-let minus_one = of_int (-1)
-
-let sign x = x.sign
-let is_zero x = x.sign = 0
-let is_one x = x.sign = 1 && Array.length x.mag = 1 && x.mag.(0) = 1
-
-let numbits x =
-  let n = Array.length x.mag in
-  if n = 0 then 0
-  else begin
-    let top = x.mag.(n - 1) in
-    let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
-    ((n - 1) * base_bits) + bits top 0
-  end
-
-let to_int_opt x =
-  if numbits x <= 62 then begin
-    let acc = ref 0 in
-    for i = Array.length x.mag - 1 downto 0 do
-      acc := (!acc lsl base_bits) lor x.mag.(i)
-    done;
-    Some (if x.sign < 0 then - !acc else !acc)
-  end
-  else if
-    (* min_int's magnitude 2^62 needs 63 bits but still fits *)
-    x.sign < 0 && numbits x = 63
-    && Array.for_all (fun l -> l = 0) (Array.sub x.mag 0 (Array.length x.mag - 1))
-    && x.mag.(Array.length x.mag - 1) = 1 lsl (62 - ((Array.length x.mag - 1) * base_bits))
-  then Some min_int
-  else None
-
-let to_int_exn x =
-  match to_int_opt x with
-  | Some n -> n
-  | None -> invalid_arg "Bigint.to_int_exn: does not fit"
-
-(* magnitude comparison *)
+(* magnitude comparison; both arguments trimmed *)
 let cmp_mag a b =
   let la = Array.length a and lb = Array.length b in
   if la <> lb then compare la lb
@@ -94,6 +36,13 @@ let cmp_mag a b =
     in
     go (la - 1)
   end
+
+(* strip leading zero limbs *)
+let trim_mag a =
+  let n = Array.length a in
+  let rec top i = if i >= 0 && a.(i) = 0 then top (i - 1) else i in
+  let t = top (n - 1) in
+  if t = n - 1 then a else Array.sub a 0 (t + 1)
 
 let add_mag a b =
   let la = Array.length a and lb = Array.length b in
@@ -125,25 +74,6 @@ let sub_mag a b =
     end
   done;
   r
-
-let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
-let abs x = if x.sign < 0 then neg x else x
-
-let rec add x y =
-  if x.sign = 0 then y
-  else if y.sign = 0 then x
-  else if x.sign = y.sign then normalize x.sign (add_mag x.mag y.mag)
-  else begin
-    match cmp_mag x.mag y.mag with
-    | 0 -> zero
-    | c when c > 0 -> normalize x.sign (sub_mag x.mag y.mag)
-    | _ -> normalize y.sign (sub_mag y.mag x.mag)
-  end
-
-and sub x y = add x (neg y)
-
-let succ x = add x one
-let pred x = sub x one
 
 let mul_mag_schoolbook a b =
   let la = Array.length a and lb = Array.length b in
@@ -214,10 +144,6 @@ let rec mul_mag a b =
     r
   end
 
-let mul x y =
-  if x.sign = 0 || y.sign = 0 then zero
-  else normalize (x.sign * y.sign) (mul_mag x.mag y.mag)
-
 (* magnitude shifts *)
 let shift_left_mag a k =
   if Array.length a = 0 || k = 0 then Array.copy a
@@ -258,16 +184,6 @@ let shift_right_mag a k =
       done;
     r
   end
-
-let shift_left x k =
-  if k < 0 then invalid_arg "Bigint.shift_left"
-  else if x.sign = 0 then zero
-  else normalize x.sign (shift_left_mag x.mag k)
-
-let shift_right x k =
-  if k < 0 then invalid_arg "Bigint.shift_right"
-  else if x.sign = 0 then zero
-  else normalize x.sign (shift_right_mag x.mag k)
 
 (* Knuth algorithm D on magnitudes; returns (quotient, remainder). *)
 let divmod_mag u v =
@@ -355,28 +271,285 @@ let divmod_mag u v =
     (q, r)
   end
 
-let divmod a b =
-  if b.sign = 0 then raise Division_by_zero;
-  if a.sign = 0 then (zero, zero)
+(* ------------------------------------------------------------------ *)
+(* Tier conversion                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let big_zero = { sign = 0; mag = [||] }
+
+let normalize sign mag =
+  let mag = trim_mag mag in
+  if Array.length mag = 0 then big_zero else { sign; mag }
+
+let big_of_int n =
+  if n = 0 then big_zero
   else begin
-    let qm, rm = divmod_mag a.mag b.mag in
-    let q = normalize (a.sign * b.sign) qm in
-    let r = normalize a.sign rm in
-    (q, r)
+    let sign = if n < 0 then -1 else 1 in
+    if n = min_int then
+      (* |min_int| = 2^62 = bit 2 of limb 2 with 30-bit limbs *)
+      { sign; mag = [| 0; 0; 1 lsl (62 - (2 * base_bits)) |] }
+    else begin
+      let m = abs n in
+      if m < base then { sign; mag = [| m |] }
+      else if m < base * base then
+        { sign; mag = [| m land base_mask; m lsr base_bits |] }
+      else
+        { sign;
+          mag =
+            [| m land base_mask;
+               (m lsr base_bits) land base_mask;
+               m lsr (2 * base_bits) |] }
+    end
   end
+
+let mag_numbits mag =
+  let n = Array.length mag in
+  if n = 0 then 0
+  else begin
+    let top = mag.(n - 1) in
+    let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
+    ((n - 1) * base_bits) + bits top 0
+  end
+
+(* value of a trimmed magnitude that fits in 62 bits *)
+let mag_to_int mag =
+  let acc = ref 0 in
+  for i = Array.length mag - 1 downto 0 do
+    acc := (!acc lsl base_bits) lor mag.(i)
+  done;
+  !acc
+
+let big_to_int_opt (b : big) : int option =
+  let nb = mag_numbits b.mag in
+  if nb <= 62 then Some (if b.sign < 0 then -mag_to_int b.mag else mag_to_int b.mag)
+  else if
+    (* min_int's magnitude 2^62 needs 63 bits but still fits *)
+    b.sign < 0 && nb = 63
+    && b.mag.(Array.length b.mag - 1)
+       = 1 lsl (62 - ((Array.length b.mag - 1) * base_bits))
+    && Array.for_all (fun l -> l = 0) (Array.sub b.mag 0 (Array.length b.mag - 1))
+  then Some min_int
+  else None
+
+(* demote to the canonical representation *)
+let big_to_t (b : big) : t =
+  match big_to_int_opt b with Some n -> Small n | None -> Big b
+
+let to_big = function Small n -> big_of_int n | Big b -> b
+
+(* ------------------------------------------------------------------ *)
+(* Constructors and accessors                                          *)
+(* ------------------------------------------------------------------ *)
+
+let zero = Small 0
+let one = Small 1
+let two = Small 2
+let minus_one = Small (-1)
+let of_int n = Small n
+
+let to_int_opt = function Small n -> Some n | Big _ -> None
+
+let to_int_exn x =
+  match to_int_opt x with
+  | Some n -> n
+  | None -> invalid_arg "Bigint.to_int_exn: does not fit"
+
+let sign = function
+  | Small n -> Stdlib.compare n 0
+  | Big b -> b.sign
+
+let is_zero = function Small 0 -> true | _ -> false
+let is_one = function Small 1 -> true | _ -> false
+
+let int_numbits n =
+  (* bits of |n| *)
+  if n = 0 then 0
+  else if n = min_int then 63
+  else begin
+    let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
+    bits (abs n) 0
+  end
+
+let numbits = function
+  | Small n -> int_numbits n
+  | Big b -> mag_numbits b.mag
+
+let big_neg (b : big) : big = if b.sign = 0 then b else { b with sign = -b.sign }
+
+let neg = function
+  | Small n ->
+      if n = min_int then Big { sign = 1; mag = (big_of_int min_int).mag }
+      else Small (-n)
+  | Big b -> big_to_t (big_neg b)
+
+let abs x = match x with
+  | Small n -> if n >= 0 then x else neg x
+  | Big b -> if b.sign >= 0 then x else big_to_t { b with sign = 1 }
+
+(* ------------------------------------------------------------------ *)
+(* Ring operations                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let big_add (x : big) (y : big) : big =
+  if x.sign = 0 then y
+  else if y.sign = 0 then x
+  else if x.sign = y.sign then normalize x.sign (add_mag x.mag y.mag)
+  else begin
+    match cmp_mag x.mag y.mag with
+    | 0 -> big_zero
+    | c when c > 0 -> normalize x.sign (sub_mag x.mag y.mag)
+    | _ -> normalize y.sign (sub_mag y.mag x.mag)
+  end
+
+let add x y =
+  match (x, y) with
+  | Small a, Small b ->
+      let s = a + b in
+      (* overflow iff operands share a sign the sum does not *)
+      if (a lxor s) land (b lxor s) >= 0 then Small s
+      else big_to_t (big_add (big_of_int a) (big_of_int b))
+  | _ -> big_to_t (big_add (to_big x) (to_big y))
+
+let sub x y =
+  match (x, y) with
+  | Small a, Small b ->
+      let s = a - b in
+      if (a lxor b) land (a lxor s) >= 0 then Small s
+      else big_to_t (big_add (big_of_int a) (big_neg (big_of_int b)))
+  | _ -> big_to_t (big_add (to_big x) (big_neg (to_big y)))
+
+let succ x = add x one
+let pred x = sub x one
+
+let mul x y =
+  match (x, y) with
+  | Small 0, _ | _, Small 0 -> Small 0
+  | Small a, Small b when a <> min_int && b <> min_int ->
+      (* |a|,|b| < 2^31 cannot overflow; otherwise validate by division *)
+      let p = a * b in
+      if (Stdlib.abs a < 1 lsl 31 && Stdlib.abs b < 1 lsl 31) || p / b = a then
+        Small p
+      else
+        big_to_t
+          (normalize
+             (Stdlib.compare a 0 * Stdlib.compare b 0)
+             (mul_mag (big_of_int a).mag (big_of_int b).mag))
+  | _ ->
+      let xb = to_big x and yb = to_big y in
+      if xb.sign = 0 || yb.sign = 0 then Small 0
+      else big_to_t (normalize (xb.sign * yb.sign) (mul_mag xb.mag yb.mag))
+
+(* ------------------------------------------------------------------ *)
+(* Shifts                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let shift_left x k =
+  if k < 0 then invalid_arg "Bigint.shift_left";
+  match x with
+  | Small 0 -> Small 0
+  | Small n when n <> min_int && int_numbits n + k <= 62 -> Small (n lsl k)
+  | _ ->
+      let b = to_big x in
+      big_to_t (normalize b.sign (shift_left_mag b.mag k))
+
+(* truncates the magnitude toward zero, matching the limb-tier semantics
+   (not an arithmetic shift on negatives) *)
+let shift_right x k =
+  if k < 0 then invalid_arg "Bigint.shift_right";
+  match x with
+  | Small n when n >= 0 -> Small (if k >= 62 then 0 else n lsr k)
+  | Small n when n <> min_int -> Small (if k >= 62 then 0 else -(-n lsr k))
+  | _ ->
+      let b = to_big x in
+      big_to_t (normalize b.sign (shift_right_mag b.mag k))
+
+(* ------------------------------------------------------------------ *)
+(* Division                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let divmod a b =
+  match (a, b) with
+  | _, Small 0 -> raise Division_by_zero
+  | Small 0, _ -> (zero, zero)
+  | Small x, Small y ->
+      if x = min_int && y = -1 then (neg a, zero)
+      else (Small (x / y), Small (x mod y))
+  | Small _, Big _ ->
+      (* canonical: |a| <= max_int < |b|, so the quotient is 0 *)
+      (zero, a)
+  | _ ->
+      let ab = to_big a and bb = to_big b in
+      let qm, rm = divmod_mag ab.mag bb.mag in
+      let q = normalize (ab.sign * bb.sign) qm in
+      let r = normalize ab.sign rm in
+      (big_to_t q, big_to_t r)
 
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
 
 let ediv a b =
   let q, r = divmod a b in
-  if r.sign >= 0 then (q, r)
-  else if b.sign > 0 then (pred q, add r b)
+  if sign r >= 0 then (q, r)
+  else if sign b > 0 then (pred q, add r b)
   else (succ q, sub r b)
 
-let rec gcd a b =
-  let a = abs a and b = abs b in
-  if is_zero b then a else gcd b (rem a b)
+(* ------------------------------------------------------------------ *)
+(* GCD (binary)                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let int_ctz n =
+  (* trailing zero bits; n > 0 *)
+  let rec go n acc = if n land 1 = 1 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+(* binary (Stein) gcd on non-negative natives: no division, no allocation *)
+let int_gcd a b =
+  if a = 0 then b
+  else if b = 0 then a
+  else begin
+    let za = int_ctz a and zb = int_ctz b in
+    let k = Stdlib.min za zb in
+    let a = ref (a lsr za) and b = ref (b lsr zb) in
+    while !a <> !b do
+      if !a > !b then begin
+        let d = !a - !b in
+        a := d lsr int_ctz d
+      end
+      else begin
+        let d = !b - !a in
+        b := d lsr int_ctz d
+      end
+    done;
+    !a lsl k
+  end
+
+(* GCD on magnitudes: quotient-based (Euclid) reduction while either
+   operand is wider than a native int — each divmod step shrinks the pair
+   geometrically, which subtraction alone would not — then the native-int
+   Stein gcd for the (common) small tail. *)
+let gcd_mag a b =
+  let a = ref (trim_mag a) and b = ref (trim_mag b) in
+  if cmp_mag !a !b < 0 then begin
+    let t = !a in
+    a := !b;
+    b := t
+  end;
+  (* invariant: a >= b *)
+  while Array.length !b > 0 && mag_numbits !a > 62 do
+    let r = trim_mag (snd (divmod_mag !a !b)) in
+    a := !b;
+    b := r
+  done;
+  if Array.length !b = 0 then !a
+  else (big_of_int (int_gcd (mag_to_int !a) (mag_to_int !b))).mag
+
+let gcd x y =
+  match (x, y) with
+  | Small 0, _ -> abs y
+  | _, Small 0 -> abs x
+  | Small a, Small b when a <> min_int && b <> min_int ->
+      Small (int_gcd (Stdlib.abs a) (Stdlib.abs b))
+  | _ -> big_to_t (normalize 1 (gcd_mag (to_big x).mag (to_big y).mag))
 
 let lcm a b =
   if is_zero a || is_zero b then zero
@@ -393,36 +566,53 @@ let pow x k =
   in
   go one x k
 
-let compare a b =
-  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
-  else if a.sign >= 0 then cmp_mag a.mag b.mag
-  else cmp_mag b.mag a.mag
+(* ------------------------------------------------------------------ *)
+(* Comparison, hashing, conversions                                    *)
+(* ------------------------------------------------------------------ *)
 
-let equal a b = compare a b = 0
+let compare x y =
+  match (x, y) with
+  | Small a, Small b -> Stdlib.compare a b
+  | Small _, Big b ->
+      (* canonical Big values lie outside the native range *)
+      if b.sign > 0 then -1 else 1
+  | Big a, Small _ -> if a.sign > 0 then 1 else -1
+  | Big a, Big b ->
+      if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+      else if a.sign >= 0 then cmp_mag a.mag b.mag
+      else cmp_mag b.mag a.mag
+
+let equal a b =
+  match (a, b) with
+  | Small x, Small y -> x = y
+  | Big x, Big y -> x.sign = y.sign && cmp_mag x.mag y.mag = 0
+  | _ -> false
+
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
 
-let hash x =
-  Array.fold_left (fun acc l -> (acc * 1000003) lxor l) (x.sign + 7) x.mag
+let hash = function
+  | Small n -> (n * 1000003) lxor 0x5bd1e995
+  | Big b ->
+      Array.fold_left (fun acc l -> (acc * 1000003) lxor l) (b.sign + 7) b.mag
 
-let to_float x =
-  let n = Array.length x.mag in
-  if n = 0 then 0.0
-  else begin
-    let acc = ref 0.0 in
-    let lo = Stdlib.max 0 (n - 4) in
-    for i = n - 1 downto lo do
-      acc := (!acc *. float_of_int base) +. float_of_int x.mag.(i)
-    done;
-    let f = ldexp !acc (lo * base_bits) in
-    if x.sign < 0 then -.f else f
-  end
+let to_float = function
+  | Small n -> float_of_int n
+  | Big b ->
+      let n = Array.length b.mag in
+      let acc = ref 0.0 in
+      let lo = Stdlib.max 0 (n - 4) in
+      for i = n - 1 downto lo do
+        acc := (!acc *. float_of_int base) +. float_of_int b.mag.(i)
+      done;
+      let f = ldexp !acc (lo * base_bits) in
+      if b.sign < 0 then -.f else f
 
 let chunk_base = 1_000_000_000 (* 10^9 < 2^30 *)
 
-(* multiply by small int (< base) and add small int, in place of chains *)
-let mul_add_small x m a =
-  if x.sign = 0 then of_int a
+(* multiply a non-negative big by a small int (< base) and add a small int *)
+let mul_add_small (x : big) m a : big =
+  if x.sign = 0 then big_of_int a
   else begin
     let la = Array.length x.mag in
     let r = Array.make (la + 2) 0 in
@@ -451,45 +641,58 @@ let of_string s =
     | _ -> (false, 0)
   in
   if start >= n then invalid_arg "Bigint.of_string: no digits";
-  let acc = ref zero in
-  let i = ref start in
-  while !i < n do
-    let stop = Stdlib.min n (!i + 9) in
-    let chunk_len = stop - !i in
-    let chunk = ref 0 in
-    for j = !i to stop - 1 do
+  if n - start <= 18 then begin
+    (* fast path: fits a native int with room to spare *)
+    let acc = ref 0 in
+    for j = start to n - 1 do
       match s.[j] with
-      | '0' .. '9' -> chunk := (!chunk * 10) + (Char.code s.[j] - Char.code '0')
+      | '0' .. '9' -> acc := (!acc * 10) + (Char.code s.[j] - Char.code '0')
       | c -> invalid_arg (Printf.sprintf "Bigint.of_string: bad char %c" c)
     done;
-    let scale =
-      let rec p10 k = if k = 0 then 1 else 10 * p10 (k - 1) in
-      p10 chunk_len
-    in
-    acc := mul_add_small !acc scale !chunk;
-    i := stop
-  done;
-  if neg_sign then neg !acc else !acc
+    Small (if neg_sign then - !acc else !acc)
+  end
+  else begin
+    let acc = ref big_zero in
+    let i = ref start in
+    while !i < n do
+      let stop = Stdlib.min n (!i + 9) in
+      let chunk_len = stop - !i in
+      let chunk = ref 0 in
+      for j = !i to stop - 1 do
+        match s.[j] with
+        | '0' .. '9' -> chunk := (!chunk * 10) + (Char.code s.[j] - Char.code '0')
+        | c -> invalid_arg (Printf.sprintf "Bigint.of_string: bad char %c" c)
+      done;
+      let scale =
+        let rec p10 k = if k = 0 then 1 else 10 * p10 (k - 1) in
+        p10 chunk_len
+      in
+      acc := mul_add_small !acc scale !chunk;
+      i := stop
+    done;
+    let b = if neg_sign then { !acc with sign = - !acc.sign } else !acc in
+    big_to_t (if b.sign = 0 then big_zero else b)
+  end
 
 let to_string x =
-  if x.sign = 0 then "0"
-  else begin
-    let buf = Buffer.create 16 in
-    let chunks = ref [] in
-    let cur = ref (abs x) in
-    let small_div = of_int chunk_base in
-    while not (is_zero !cur) do
-      let q, r = divmod !cur small_div in
-      chunks := (match to_int_opt r with Some v -> v | None -> assert false) :: !chunks;
-      cur := q
-    done;
-    (match !chunks with
-    | [] -> assert false
-    | first :: rest ->
-        if x.sign < 0 then Buffer.add_char buf '-';
-        Buffer.add_string buf (string_of_int first);
-        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
-    Buffer.contents buf
-  end
+  match x with
+  | Small n -> string_of_int n
+  | Big b ->
+      let buf = Buffer.create 16 in
+      let chunks = ref [] in
+      let cur = ref b.mag in
+      let small_div = [| chunk_base |] in
+      while Array.length !cur > 0 do
+        let q, r = divmod_mag !cur small_div in
+        chunks := (if Array.length r = 0 then 0 else r.(0)) :: !chunks;
+        cur := trim_mag q
+      done;
+      (match !chunks with
+      | [] -> assert false
+      | first :: rest ->
+          if b.sign < 0 then Buffer.add_char buf '-';
+          Buffer.add_string buf (string_of_int first);
+          List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+      Buffer.contents buf
 
 let pp fmt x = Format.pp_print_string fmt (to_string x)

@@ -1,10 +1,16 @@
 (** Arbitrary-precision signed integers.
 
-    Sign-magnitude representation over base-[2^30] limbs.  Implemented from
-    scratch because the sealed build environment has no [zarith]; exact
-    integer arithmetic is required by Fourier-Motzkin elimination and exact
-    volume computation, whose intermediate coefficients overflow native
-    integers. *)
+    Two-tier representation in the style of [zarith]: every value that fits
+    in a native [int] is carried as an immediate, with overflow-checked
+    add/sub/mul and a binary (Stein) GCD that never allocate; values beyond
+    62 bits promote to sign-magnitude base-[2^30] limbs (Karatsuba
+    multiplication, Knuth Algorithm D division, hybrid Euclid-to-Stein
+    GCD).  Results demote back to the small tier whenever they fit, so the
+    representation is canonical and structural dispatch is sound.
+    Implemented from scratch because the sealed build environment has no
+    [zarith]; exact integer arithmetic is required by Fourier-Motzkin
+    elimination and exact volume computation, whose intermediate
+    coefficients overflow native integers. *)
 
 type t
 

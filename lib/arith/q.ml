@@ -1,3 +1,11 @@
+(* Normalized rationals: [d] is positive and [gcd (n, d) = 1] always.
+
+   The arithmetic kernels are the Knuth 4.5.1 coprime-operand forms: because
+   operands are already in lowest terms, [add]/[sub]/[mul] only GCD the
+   small cross factors instead of the full products, and same-denominator /
+   integer inputs skip the GCD entirely.  On the two-tier [Bigint] this
+   keeps the whole simplex/FM hot path on native ints. *)
+
 type t = { n : Bigint.t; d : Bigint.t }
 
 let make_raw n d = { n; d }
@@ -38,24 +46,70 @@ let inv x =
   else if Bigint.sign x.n > 0 then make_raw x.d x.n
   else make_raw (Bigint.neg x.d) (Bigint.neg x.n)
 
-let add x y =
-  if is_zero x then y
-  else if is_zero y then x
-  else
-    make
-      (Bigint.add (Bigint.mul x.n y.d) (Bigint.mul y.n x.d))
-      (Bigint.mul x.d y.d)
+(* x.n/x.d + s * y.n/y.d for s = add or sub, both operands nonzero.
+   With b = x.d, d = y.d, g = gcd (b, d), b = g b', d = g d':
+   the sum is t / (b' d) for t = x.n d' +- y.n b', and gcd (t, b' d') = 1,
+   so only the leftover g can still divide t. *)
+let addsub big_op x y =
+  if Bigint.equal x.d y.d then begin
+    let n = big_op x.n y.n in
+    if Bigint.is_zero n then zero
+    else if Bigint.is_one x.d then make_raw n x.d
+    else begin
+      let g = Bigint.gcd n x.d in
+      if Bigint.is_one g then make_raw n x.d
+      else make_raw (Bigint.div n g) (Bigint.div x.d g)
+    end
+  end
+  else begin
+    let g = Bigint.gcd x.d y.d in
+    if Bigint.is_one g then
+      make_raw
+        (big_op (Bigint.mul x.n y.d) (Bigint.mul y.n x.d))
+        (Bigint.mul x.d y.d)
+    else begin
+      let xd' = Bigint.div x.d g and yd' = Bigint.div y.d g in
+      let t = big_op (Bigint.mul x.n yd') (Bigint.mul y.n xd') in
+      if Bigint.is_zero t then zero
+      else begin
+        let h = Bigint.gcd t g in
+        if Bigint.is_one h then make_raw t (Bigint.mul xd' y.d)
+        else make_raw (Bigint.div t h) (Bigint.mul xd' (Bigint.div y.d h))
+      end
+    end
+  end
 
-let sub x y = add x (neg y)
+let add x y =
+  if is_zero x then y else if is_zero y then x else addsub Bigint.add x y
+
+let sub x y =
+  if is_zero x then neg y
+  else if is_zero y then x
+  else addsub Bigint.sub x y
 
 let mul x y =
   if is_zero x || is_zero y then zero
-  else make (Bigint.mul x.n y.n) (Bigint.mul x.d y.d)
+  else begin
+    (* remove the cross gcds first; the products are then already coprime *)
+    let g1 = Bigint.gcd x.n y.d and g2 = Bigint.gcd y.n x.d in
+    let xn = if Bigint.is_one g1 then x.n else Bigint.div x.n g1 in
+    let yd = if Bigint.is_one g1 then y.d else Bigint.div y.d g1 in
+    let yn = if Bigint.is_one g2 then y.n else Bigint.div y.n g2 in
+    let xd = if Bigint.is_one g2 then x.d else Bigint.div x.d g2 in
+    make_raw (Bigint.mul xn yn) (Bigint.mul xd yd)
+  end
 
 let div x y = mul x (inv y)
 
 let mul_int x k =
-  if k = 0 then zero else make (Bigint.mul x.n (Bigint.of_int k)) x.d
+  if k = 0 || is_zero x then zero
+  else if k = 1 then x
+  else begin
+    let kb = Bigint.of_int k in
+    let g = Bigint.gcd kb x.d in
+    if Bigint.is_one g then make_raw (Bigint.mul x.n kb) x.d
+    else make_raw (Bigint.mul x.n (Bigint.div kb g)) (Bigint.div x.d g)
+  end
 
 let pow x k =
   if k >= 0 then make_raw (Bigint.pow x.n k) (Bigint.pow x.d k)
@@ -65,9 +119,13 @@ let pow x k =
   end
 
 let compare x y =
-  let sx = sign x and sy = sign y in
-  if sx <> sy then Stdlib.compare sx sy
-  else Bigint.compare (Bigint.mul x.n y.d) (Bigint.mul y.n x.d)
+  if x == y then 0
+  else begin
+    let sx = sign x and sy = sign y in
+    if sx <> sy then Stdlib.compare sx sy
+    else if Bigint.equal x.d y.d then Bigint.compare x.n y.n
+    else Bigint.compare (Bigint.mul x.n y.d) (Bigint.mul y.n x.d)
+  end
 
 let equal x y = Bigint.equal x.n y.n && Bigint.equal x.d y.d
 let lt x y = compare x y < 0

@@ -29,30 +29,55 @@ module Holds_tbl = Hashtbl.Make (Holds_key)
 
 let holds_memo : bool Holds_tbl.t = Holds_tbl.create 4096
 
+(* The memo state is shared across domains (the Theorem-4 sampling
+   estimators test membership in parallel); every access goes through
+   [memo_lock].  The linear-fragment elimination itself runs outside the
+   lock and is protected by Fourier_motzkin's own lock. *)
+let memo_lock = Mutex.create ()
+
 (* small physical-identity registry of memoized formula nodes *)
 let formula_ids : (Ast.formula * int) list ref = ref []
 
 let formula_id f =
-  match List.find_opt (fun (g, _) -> g == f) !formula_ids with
-  | Some (_, i) -> i
-  | None ->
-      let i = List.length !formula_ids in
-      if i > 4096 then begin
-        (* runaway distinct formulas: stop registering, disable sharing *)
-        formula_ids := []
-      end;
-      formula_ids := (f, i) :: !formula_ids;
-      i
+  Mutex.lock memo_lock;
+  let i =
+    match List.find_opt (fun (g, _) -> g == f) !formula_ids with
+    | Some (_, i) -> i
+    | None ->
+        let i = List.length !formula_ids in
+        if i > 4096 then begin
+          (* runaway distinct formulas: stop registering, disable sharing *)
+          formula_ids := []
+        end;
+        formula_ids := (f, i) :: !formula_ids;
+        i
+  in
+  Mutex.unlock memo_lock;
+  i
 
 let memo_db : Obj.t ref = ref (Obj.repr ())
 
 let refresh_memo db =
   let r = Obj.repr db in
+  Mutex.lock memo_lock;
   if not (!memo_db == r) then begin
     Holds_tbl.reset holds_memo;
     formula_ids := [];
     memo_db := r
-  end
+  end;
+  Mutex.unlock memo_lock
+
+let holds_memo_find key =
+  Mutex.lock memo_lock;
+  let r = Holds_tbl.find_opt holds_memo key in
+  Mutex.unlock memo_lock;
+  r
+
+let holds_memo_add key b =
+  Mutex.lock memo_lock;
+  if Holds_tbl.length holds_memo > 100_000 then Holds_tbl.reset holds_memo;
+  Holds_tbl.add holds_memo key b;
+  Mutex.unlock memo_lock
 
 (* ------------------------------------------------------------------ *)
 (* Term evaluation and reduction of terms to polynomials               *)
@@ -202,12 +227,11 @@ and holds db env (f : Ast.formula) : bool =
               | None -> acc)
             frees [] )
       in
-      (match Holds_tbl.find_opt holds_memo key with
+      (match holds_memo_find key with
       | Some b -> b
       | None ->
           let b = Fourier_motzkin.sat (reduce_linear db env f) in
-          if Holds_tbl.length holds_memo > 100_000 then Holds_tbl.reset holds_memo;
-          Holds_tbl.add holds_memo key b;
+          holds_memo_add key b;
           b)
 
 (* ------------------------------------------------------------------ *)

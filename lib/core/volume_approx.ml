@@ -11,14 +11,13 @@ type result = {
 let sample_size_for ~eps ~delta ~vc_dim =
   Bounds.blumer_sample_size ~eps ~delta ~vc_dim
 
-let approx_semialg ~prng ~m s =
+let approx_semialg ?(domains = 1) ~prng ~m s =
   let dim = Semialg.dim s in
-  let sample = Approx_volume.random_sample ~prng ~dim ~n:m in
-  Approx_volume.fraction_in sample (Semialg.mem s)
+  Approx_volume.estimate_random ~domains ~prng ~dim ~n:m (Semialg.mem s)
 
-let approx_semialg_eps ~prng ~eps ~delta ~vc_dim s =
+let approx_semialg_eps ?(domains = 1) ~prng ~eps ~delta ~vc_dim s =
   let m = sample_size_for ~eps ~delta ~vc_dim in
-  { estimate = approx_semialg ~prng ~m s; sample_size = m }
+  { estimate = approx_semialg ~domains ~prng ~m s; sample_size = m }
 
 let env_of vars pt =
   let env = ref Var.Map.empty in
@@ -28,29 +27,26 @@ let env_of vars pt =
 let member db yvars f pt =
   Eval.holds db (env_of yvars pt) f
 
-let approx_query ~prng ~m db ~yvars f =
+let approx_query ?(domains = 1) ~prng ~m db ~yvars f =
   let dim = Array.length yvars in
-  let sample = Approx_volume.random_sample ~prng ~dim ~n:m in
-  Approx_volume.fraction_in sample (member db yvars f)
+  Approx_volume.estimate_random ~domains ~prng ~dim ~n:m (member db yvars f)
 
-let approx_query_family ~prng ~m db ~xvars ~yvars f ~params =
+let approx_query_family ?(domains = 1) ~prng ~m db ~xvars ~yvars f ~params =
   let dim = Array.length yvars in
-  let sample = Approx_volume.random_sample ~prng ~dim ~n:m in
-  List.map
-    (fun a ->
-      let base = env_of xvars a in
-      let mem pt =
-        let env =
-          Array.to_list yvars
-          |> List.mapi (fun i v -> (v, pt.(i)))
-          |> List.fold_left (fun e (v, c) -> Var.Map.add v c e) base
-        in
-        Eval.holds db env f
+  (* staged so the parameter environment is built once per parameter, not
+     once per membership test *)
+  let mem a =
+    let base = env_of xvars a in
+    fun pt ->
+      let env =
+        Array.to_list yvars
+        |> List.mapi (fun i v -> (v, pt.(i)))
+        |> List.fold_left (fun e (v, c) -> Var.Map.add v c e) base
       in
-      (a, Approx_volume.fraction_in sample mem))
-    params
+      Eval.holds db env f
+  in
+  Approx_volume.estimate_family_random ~domains ~prng ~dim ~n:m ~mem params
 
-let halton_approx_query ~m db ~yvars f =
+let halton_approx_query ?(domains = 1) ~m db ~yvars f =
   let dim = Array.length yvars in
-  let sample = Approx_volume.halton_sample ~dim ~n:m in
-  Approx_volume.fraction_in sample (member db yvars f)
+  Approx_volume.estimate_halton ~domains ~dim ~n:m (member db yvars f)

@@ -3,7 +3,13 @@
     eps log 13/eps)] points with the witness operator and reports, for every
     parameter tuple simultaneously, the fraction of the sample falling in
     the section -- within [eps] of the true volume with probability [1 -
-    delta], uniformly in the parameters. *)
+    delta], uniformly in the parameters.
+
+    Every estimator takes an optional [?domains] argument (default [1]):
+    with more than one domain the sample is generated and scored in
+    parallel chunks, each chunk's PRNG split deterministically from the
+    caller's generator, so runs are reproducible for a fixed seed and
+    domain count.  [domains = 1] is exactly the sequential path. *)
 
 open Cqa_arith
 open Cqa_logic
@@ -18,14 +24,21 @@ type result = {
 val sample_size_for : eps:float -> delta:float -> vc_dim:int -> int
 (** The BEHW bound used throughout. *)
 
-val approx_semialg : prng:Prng.t -> m:int -> Semialg.t -> Q.t
+val approx_semialg : ?domains:int -> prng:Prng.t -> m:int -> Semialg.t -> Q.t
 (** Fraction of [m] uniform unit-cube points inside the set: estimates
     [VOL_I]. *)
 
 val approx_semialg_eps :
-  prng:Prng.t -> eps:float -> delta:float -> vc_dim:int -> Semialg.t -> result
+  ?domains:int ->
+  prng:Prng.t ->
+  eps:float ->
+  delta:float ->
+  vc_dim:int ->
+  Semialg.t ->
+  result
 
 val approx_query :
+  ?domains:int ->
   prng:Prng.t ->
   m:int ->
   Db.t ->
@@ -35,6 +48,7 @@ val approx_query :
 (** Estimate [VOL_I { y | phi (y) }] with [m] pointwise membership tests. *)
 
 val approx_query_family :
+  ?domains:int ->
   prng:Prng.t ->
   m:int ->
   Db.t ->
@@ -47,5 +61,6 @@ val approx_query_family :
     against [phi (a, .)] for every [a] in [params]. *)
 
 val halton_approx_query :
-  m:int -> Db.t -> yvars:Var.t array -> Ast.formula -> Q.t
-(** Deterministic low-discrepancy variant (the derandomized stand-in). *)
+  ?domains:int -> m:int -> Db.t -> yvars:Var.t array -> Ast.formula -> Q.t
+(** Deterministic low-discrepancy variant (the derandomized stand-in); the
+    exact result is independent of the domain count. *)

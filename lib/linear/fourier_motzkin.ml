@@ -262,10 +262,54 @@ let complement_dnf (d : Linformula.dnf) : Linformula.dnf =
 
 (* Quantifier elimination is memoized on the structure of subformulas:
    callers (notably the FO + POLY + SUM evaluator) re-eliminate identical
-   quantified subformulas under many different outer instantiations. *)
+   quantified subformulas under many different outer instantiations.
+
+   The table is shared across domains (the sampling estimators evaluate
+   membership in parallel), so every access is under [memo_lock]; the
+   elimination itself runs outside the lock, at worst duplicating work for
+   a formula two domains race on.  When the table outgrows its capacity it
+   sheds half of its entries instead of resetting, keeping the warm half of
+   the working set. *)
 let qe_memo : (Linformula.t, Linformula.dnf) Hashtbl.t = Hashtbl.create 256
 
-let memo_cap = 65536
+let memo_lock = Mutex.create ()
+let memo_cap = ref 65536
+
+let set_qe_cache_capacity n =
+  if n < 2 then invalid_arg "Fourier_motzkin.set_qe_cache_capacity";
+  Mutex.lock memo_lock;
+  memo_cap := n;
+  Mutex.unlock memo_lock
+
+let qe_cache_size () =
+  Mutex.lock memo_lock;
+  let n = Hashtbl.length qe_memo in
+  Mutex.unlock memo_lock;
+  n
+
+(* caller holds [memo_lock] *)
+let evict_half () =
+  let parity = ref false in
+  let victims =
+    Hashtbl.fold
+      (fun k _ acc ->
+        parity := not !parity;
+        if !parity then k :: acc else acc)
+      qe_memo []
+  in
+  List.iter (Hashtbl.remove qe_memo) victims
+
+let memo_find f =
+  Mutex.lock memo_lock;
+  let r = Hashtbl.find_opt qe_memo f in
+  Mutex.unlock memo_lock;
+  r
+
+let memo_add f d =
+  Mutex.lock memo_lock;
+  if Hashtbl.length qe_memo >= !memo_cap then evict_half ();
+  Hashtbl.replace qe_memo f d;
+  Mutex.unlock memo_lock
 
 let rec qe_nnf (f : Linformula.t) : Linformula.dnf =
   match f with
@@ -274,12 +318,11 @@ let rec qe_nnf (f : Linformula.t) : Linformula.dnf =
   | Formula.Atom a -> [ [ a ] ]
   | Formula.Not (Formula.Atom a) -> List.map (fun c -> [ c ]) (Linconstr.negate a)
   | _ -> (
-      match Hashtbl.find_opt qe_memo f with
+      match memo_find f with
       | Some d -> d
       | None ->
           let d = qe_nnf_raw f in
-          if Hashtbl.length qe_memo > memo_cap then Hashtbl.reset qe_memo;
-          Hashtbl.replace qe_memo f d;
+          memo_add f d;
           d)
 
 and qe_nnf_raw (f : Linformula.t) : Linformula.dnf =
@@ -325,7 +368,10 @@ and qe_nnf_raw (f : Linformula.t) : Linformula.dnf =
   | Formula.Exists_adom _ | Formula.Forall_adom _ ->
       invalid_arg "Fourier_motzkin.qe: active-domain quantifier"
 
-let clear_qe_cache () = Hashtbl.reset qe_memo
+let clear_qe_cache () =
+  Mutex.lock memo_lock;
+  Hashtbl.reset qe_memo;
+  Mutex.unlock memo_lock
 
 let qe f = List.filter satisfiable_conj (qe_nnf (Linformula.nnf f))
 

@@ -53,6 +53,13 @@ val clear_qe_cache : unit -> unit
 (** Drop the internal quantifier-elimination memo table (used by benchmarks
     to measure cold-cache behaviour). *)
 
+val qe_cache_size : unit -> int
+(** Number of memoized quantifier-elimination entries. *)
+
+val set_qe_cache_capacity : int -> unit
+(** Capacity above which the memo sheds half of its entries (default
+    65536); exposed for tests.  @raise Invalid_argument below 2. *)
+
 val qe : Linformula.t -> Linformula.dnf
 (** Full quantifier elimination of a schema-free FO + LIN formula; the
     result is an equivalent quantifier-free DNF over the formula's free

@@ -11,8 +11,12 @@ let fraction_in sample mem =
   match sample with
   | [] -> invalid_arg "Approx_volume.fraction_in: empty sample"
   | _ ->
-      let hits = List.length (List.filter mem sample) in
-      Q.of_ints hits (List.length sample)
+      let hits, total =
+        List.fold_left
+          (fun (h, t) pt -> ((if mem pt then h + 1 else h), t + 1))
+          (0, 0) sample
+      in
+      Q.of_ints hits total
 
 let estimate ~sample ~mem = fraction_in sample mem
 
@@ -20,3 +24,110 @@ let sample_size = Bounds.blumer_sample_size
 
 let estimate_family ~sample ~mem params =
   List.map (fun a -> (a, fraction_in sample (mem a))) params
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel estimation                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The Blumer-sized sample sets of Theorem 4 run to tens of thousands of
+   membership tests; they are embarrassingly parallel.  The sample of [n]
+   points is split into [domains] chunks, each generated and scored on its
+   own domain.  Chunk PRNGs are split deterministically from the caller's
+   generator in chunk order, so a run is reproducible for a fixed seed and
+   domain count; [domains = 1] (the default) takes exactly the sequential
+   path of [random_sample] + [fraction_in]. *)
+
+let clamp_domains ~n domains =
+  let d = Stdlib.max 1 domains in
+  Stdlib.min d (Stdlib.max 1 n)
+
+(* first (n mod k) chunks carry the extra point *)
+let chunk_sizes ~n ~chunks =
+  let q = n / chunks and r = n mod chunks in
+  Array.init chunks (fun i -> if i < r then q + 1 else q)
+
+let spawn_join jobs =
+  let domains = Array.map Domain.spawn jobs in
+  Array.map Domain.join domains
+
+let count_hits_random ~prng ~dim ~n mem =
+  let hits = ref 0 in
+  for _ = 1 to n do
+    let pt = Array.init dim (fun _ -> Prng.q_unit prng) in
+    if mem pt then incr hits
+  done;
+  !hits
+
+let estimate_random ?(domains = 1) ~prng ~dim ~n mem =
+  if n <= 0 then invalid_arg "Approx_volume.estimate_random: empty sample";
+  let domains = clamp_domains ~n domains in
+  if domains = 1 then fraction_in (random_sample ~prng ~dim ~n) mem
+  else begin
+    let sizes = chunk_sizes ~n ~chunks:domains in
+    let prngs = Array.init domains (fun _ -> Prng.split prng) in
+    let hits =
+      spawn_join
+        (Array.init domains (fun i () ->
+             count_hits_random ~prng:prngs.(i) ~dim ~n:sizes.(i) mem))
+    in
+    Q.of_ints (Array.fold_left ( + ) 0 hits) n
+  end
+
+(* Halton points are indexed, so the sequence is partitioned into [domains]
+   contiguous index blocks: the estimate is the same rational for every
+   domain count, including 1. *)
+let estimate_halton ?(domains = 1) ~dim ~n mem =
+  if n <= 0 then invalid_arg "Approx_volume.estimate_halton: empty sample";
+  let domains = clamp_domains ~n domains in
+  if domains = 1 then fraction_in (halton_sample ~dim ~n) mem
+  else begin
+    let sizes = chunk_sizes ~n ~chunks:domains in
+    let starts = Array.make domains 1 in
+    for i = 1 to domains - 1 do
+      starts.(i) <- starts.(i - 1) + sizes.(i - 1)
+    done;
+    let hits =
+      spawn_join
+        (Array.init domains (fun i () ->
+             let h = ref 0 in
+             for j = starts.(i) to starts.(i) + sizes.(i) - 1 do
+               if mem (Halton.point ~dim j) then incr h
+             done;
+             !h))
+    in
+    Q.of_ints (Array.fold_left ( + ) 0 hits) n
+  end
+
+(* Theorem-4 shape: each domain generates its chunk of the shared sample
+   once and scores it against every parameter, so the combined counts are
+   those of one sample of [n] points scored against all parameters. *)
+let estimate_family_random ?(domains = 1) ~prng ~dim ~n ~mem params =
+  if n <= 0 then invalid_arg "Approx_volume.estimate_family_random: empty sample";
+  let domains = clamp_domains ~n domains in
+  if domains = 1 then begin
+    let sample = random_sample ~prng ~dim ~n in
+    estimate_family ~sample ~mem params
+  end
+  else begin
+    let sizes = chunk_sizes ~n ~chunks:domains in
+    let prngs = Array.init domains (fun _ -> Prng.split prng) in
+    let params_arr = Array.of_list params in
+    let counts =
+      spawn_join
+        (Array.init domains (fun i () ->
+             let chunk = random_sample ~prng:prngs.(i) ~dim ~n:sizes.(i) in
+             Array.map
+               (fun a ->
+                 let test = mem a in
+                 List.fold_left
+                   (fun h pt -> if test pt then h + 1 else h)
+                   0 chunk)
+               params_arr))
+    in
+    let totals = Array.make (Array.length params_arr) 0 in
+    Array.iter
+      (fun per_param ->
+        Array.iteri (fun j h -> totals.(j) <- totals.(j) + h) per_param)
+      counts;
+    List.mapi (fun j a -> (a, Q.of_ints totals.(j) n)) params
+  end

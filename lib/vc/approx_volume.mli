@@ -28,3 +28,34 @@ val estimate_family :
   sample:sample -> mem:('a -> Q.t array -> bool) -> 'a list -> ('a * Q.t) list
 (** One shared sample scored against every parameter: the Theorem 4
     uniform-over-parameters shape. *)
+
+val estimate_random :
+  ?domains:int ->
+  prng:Prng.t ->
+  dim:int ->
+  n:int ->
+  (Q.t array -> bool) ->
+  Q.t
+(** Fraction of [n] uniform unit-cube points inside the set, generating and
+    scoring the sample in [domains] parallel chunks (default [1] = the
+    sequential path, identical to [fraction_in (random_sample ...)]).
+    Chunk generators are split deterministically from [prng], so the result
+    is reproducible for a fixed seed and domain count.  The membership
+    oracle must be safe to call from several domains. *)
+
+val estimate_halton :
+  ?domains:int -> dim:int -> n:int -> (Q.t array -> bool) -> Q.t
+(** Deterministic low-discrepancy estimate over Halton indices [1..n],
+    partitioned into contiguous blocks: the result is the same exact
+    rational for every domain count. *)
+
+val estimate_family_random :
+  ?domains:int ->
+  prng:Prng.t ->
+  dim:int ->
+  n:int ->
+  mem:('a -> Q.t array -> bool) ->
+  'a list ->
+  ('a * Q.t) list
+(** [estimate_family] over a freshly drawn sample of [n] points, scored
+    against every parameter, chunk-parallel across [domains]. *)

@@ -145,6 +145,112 @@ let prop_gcd_divides =
       Bigint.is_zero (Bigint.rem a g) && Bigint.is_zero (Bigint.rem b g))
 
 (* ------------------------------------------------------------------ *)
+(* Bigint small/big boundary                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The representation keeps every native-int value in the small tier, so
+   the interesting inputs sit at the promotion boundary: min_int/max_int,
+   the limb radix 2^30, and the 62-bit overflow edges. *)
+let boundary_ints =
+  [ 0; 1; -1; 2; -2;
+    (1 lsl 30) - 1; 1 lsl 30; (1 lsl 30) + 1;
+    -(1 lsl 30) + 1; -(1 lsl 30); -(1 lsl 30) - 1;
+    (1 lsl 31) - 1; 1 lsl 31; -(1 lsl 31);
+    1 lsl 62; -(1 lsl 62);
+    max_int; max_int - 1; min_int; min_int + 1 ]
+
+let test_bigint_boundary_roundtrip () =
+  List.iter
+    (fun v ->
+      check "int roundtrip" true (Bigint.to_int_opt (bi v) = Some v);
+      check_str "string agrees" (string_of_int v) (Bigint.to_string (bi v));
+      check "of_string agrees" true
+        (Bigint.equal (bs (string_of_int v)) (bi v)))
+    boundary_ints
+
+let test_bigint_promotion_demotion () =
+  (* one past max_int must leave the native tier... *)
+  let above = Bigint.succ (bi max_int) in
+  check "max_int+1 overflows" true (Bigint.to_int_opt above = None);
+  check_str "max_int+1 string" "4611686018427387904" (Bigint.to_string above);
+  (* ...and coming back must demote to the canonical small form *)
+  check "demotes back" true (Bigint.to_int_opt (Bigint.pred above) = Some max_int);
+  check "equal across round trip" true
+    (Bigint.equal (Bigint.pred above) (bi max_int));
+  let below = Bigint.pred (bi min_int) in
+  check "min_int-1 overflows" true (Bigint.to_int_opt below = None);
+  check_str "min_int-1 string" "-4611686018427387905" (Bigint.to_string below);
+  check "demotes back neg" true
+    (Bigint.to_int_opt (Bigint.succ below) = Some min_int);
+  (* neg min_int is not an int *)
+  check "neg min_int big" true (Bigint.to_int_opt (Bigint.neg (bi min_int)) = None);
+  check "neg neg min_int" true
+    (Bigint.equal (Bigint.neg (Bigint.neg (bi min_int))) (bi min_int));
+  (* min_int / -1 is the one divmod that overflows the native tier *)
+  let q, r = Bigint.divmod (bi min_int) (bi (-1)) in
+  check "min_int / -1" true (Bigint.equal q (Bigint.neg (bi min_int)));
+  check "min_int mod -1" true (Bigint.is_zero r);
+  check "abs min_int big" true (Bigint.to_int_opt (Bigint.abs (bi min_int)) = None)
+
+let gen_boundary =
+  QCheck2.Gen.(
+    map (fun (i, d) -> bi (List.nth boundary_ints i + d))
+      (pair (int_range 0 (List.length boundary_ints - 1)) (int_range (-2) 2)))
+
+(* Scaling by 2^100 forces the same computation through the multi-limb
+   path: agreement means the small tier and the promotion boundary are
+   consistent with the big tier. *)
+let big_scale = Bigint.pow (bi 2) 100
+
+let prop_boundary_scaled_agreement =
+  QCheck2.Test.make ~name:"small ops agree with scaled big ops" ~count:500
+    QCheck2.Gen.(pair gen_boundary gen_boundary)
+    (fun (a, b) ->
+      let s = big_scale in
+      Bigint.equal
+        (Bigint.mul (Bigint.add a b) s)
+        (Bigint.add (Bigint.mul a s) (Bigint.mul b s))
+      && Bigint.equal
+           (Bigint.mul (Bigint.sub a b) s)
+           (Bigint.sub (Bigint.mul a s) (Bigint.mul b s))
+      && Bigint.equal
+           (Bigint.mul (Bigint.gcd a b) s)
+           (Bigint.gcd (Bigint.mul a s) (Bigint.mul b s)))
+
+(* Reference Euclid over the public divmod checks the binary/hybrid gcd. *)
+let rec gcd_euclid a b =
+  if Bigint.is_zero b then Bigint.abs a
+  else gcd_euclid b (Bigint.rem a b)
+
+let prop_boundary_gcd_reference =
+  QCheck2.Test.make ~name:"boundary gcd matches euclid reference" ~count:500
+    QCheck2.Gen.(pair gen_boundary gen_boundary)
+    (fun (a, b) -> Bigint.equal (Bigint.gcd a b) (gcd_euclid a b))
+
+let prop_boundary_divmod =
+  QCheck2.Test.make ~name:"boundary divmod invariant" ~count:500
+    QCheck2.Gen.(pair gen_boundary gen_boundary)
+    (fun (a, b) ->
+      QCheck2.assume (not (Bigint.is_zero b));
+      let q, r = Bigint.divmod a b in
+      Bigint.equal a (Bigint.add (Bigint.mul q b) r)
+      && Bigint.compare (Bigint.abs r) (Bigint.abs b) < 0
+      && (Bigint.is_zero r || Bigint.sign r = Bigint.sign a))
+
+let prop_boundary_compare_hash =
+  QCheck2.Test.make ~name:"boundary compare/equal/hash coherent" ~count:500
+    QCheck2.Gen.(pair gen_boundary gen_boundary)
+    (fun (a, b) ->
+      (* equality must be representation-independent: route one side
+         through the big tier and back *)
+      let a' = Bigint.sub (Bigint.add a big_scale) big_scale in
+      Bigint.equal a a'
+      && Bigint.hash a = Bigint.hash a'
+      && Bigint.compare a a' = 0
+      && Bigint.compare a b = -Bigint.compare b a
+      && (Bigint.compare a b = 0) = Bigint.equal a b)
+
+(* ------------------------------------------------------------------ *)
 (* Q                                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -209,6 +315,47 @@ let prop_q_floor_bound =
   QCheck2.Test.make ~name:"floor <= q < floor+1" ~count:300 gen_q (fun a ->
       let f = Q.of_bigint (Q.floor a) in
       Q.leq f a && Q.lt a (Q.add f Q.one))
+
+(* The coprime kernels must preserve the normalization invariant
+   (gcd (num, den) = 1, den > 0) and agree with the naive cross-multiply
+   route through Q.make, which renormalizes from scratch. *)
+let normalized q =
+  Bigint.sign (Q.den q) > 0
+  && Bigint.is_one (Bigint.gcd (Q.num q) (Q.den q))
+
+let naive_add a b =
+  Q.make
+    (Bigint.add (Bigint.mul (Q.num a) (Q.den b)) (Bigint.mul (Q.num b) (Q.den a)))
+    (Bigint.mul (Q.den a) (Q.den b))
+
+let naive_mul a b =
+  Q.make (Bigint.mul (Q.num a) (Q.num b)) (Bigint.mul (Q.den a) (Q.den b))
+
+(* exercises the same-denominator, coprime-denominator, and shared-factor
+   branches: denominators drawn from a small set collide often *)
+let gen_q_kernel =
+  QCheck2.Gen.(
+    map
+      (fun (n, d) -> Q.of_ints n (List.nth [ 1; 2; 3; 4; 6; 12; 30; 997 ] d))
+      (pair (int_range (-3000) 3000) (int_range 0 7)))
+
+let prop_q_kernels_vs_naive =
+  QCheck2.Test.make ~name:"q kernels agree with cross-multiply" ~count:500
+    QCheck2.Gen.(pair gen_q_kernel gen_q_kernel)
+    (fun (a, b) ->
+      let sum = Q.add a b and diff = Q.sub a b and prod = Q.mul a b in
+      normalized sum && normalized diff && normalized prod
+      && Q.equal sum (naive_add a b)
+      && Q.equal diff (naive_add a (Q.neg b))
+      && Q.equal prod (naive_mul a b)
+      && Q.compare a b = Q.sign (naive_add a (Q.neg b)))
+
+let prop_q_mul_int_consistent =
+  QCheck2.Test.make ~name:"mul_int = mul of_int" ~count:500
+    QCheck2.Gen.(pair gen_q_kernel (int_range (-1000) 1000))
+    (fun (a, k) ->
+      let r = Q.mul_int a k in
+      normalized r && Q.equal r (Q.mul a (Q.of_int k)))
 
 (* ------------------------------------------------------------------ *)
 (* Interval                                                            *)
@@ -309,13 +456,22 @@ let () =
           Alcotest.test_case "compare" `Quick test_bigint_compare;
           Alcotest.test_case "to_float" `Quick test_bigint_to_float ] );
       qsuite "bigint-props" [ prop_ring; prop_divmod; prop_string_roundtrip; prop_gcd_divides ];
+      ( "bigint-boundary",
+        [ Alcotest.test_case "roundtrip" `Quick test_bigint_boundary_roundtrip;
+          Alcotest.test_case "promotion demotion" `Quick
+            test_bigint_promotion_demotion ] );
+      qsuite "bigint-boundary-props"
+        [ prop_boundary_scaled_agreement; prop_boundary_gcd_reference;
+          prop_boundary_divmod; prop_boundary_compare_hash ];
       ( "q",
         [ Alcotest.test_case "normalization" `Quick test_q_normalization;
           Alcotest.test_case "arith" `Quick test_q_arith;
           Alcotest.test_case "parse" `Quick test_q_parse;
           Alcotest.test_case "floor ceil" `Quick test_q_floor_ceil;
           Alcotest.test_case "float" `Quick test_q_float ] );
-      qsuite "q-props" [ prop_q_field; prop_q_compare_consistent; prop_q_floor_bound ];
+      qsuite "q-props"
+        [ prop_q_field; prop_q_compare_consistent; prop_q_floor_bound;
+          prop_q_kernels_vs_naive; prop_q_mul_int_consistent ];
       ("interval", [ Alcotest.test_case "interval" `Quick test_interval ]);
       ( "qmat",
         [ Alcotest.test_case "det" `Quick test_qmat_det;

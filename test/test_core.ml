@@ -344,6 +344,39 @@ let test_volume_approx_query () =
       check "family accuracy" true (abs_float (Q.to_float est -. truth) < 0.05))
     fam
 
+let test_volume_approx_domains () =
+  (* the parallel sampler drives Eval.holds (and the QE memo behind it)
+     from several domains at once: for a fixed seed and domain count the
+     estimate must be reproducible, and the halton variant must not depend
+     on the domain count at all *)
+  let f = Ast.Rel ("P", dv2 |> Array.to_list) in
+  let run domains =
+    let prng = Cqa_vc.Prng.create 11 in
+    Volume_approx.approx_query ~domains ~prng ~m:600 db ~yvars:dv2 f
+  in
+  check "seq covers cube" true (Q.equal (run 1) Q.one);
+  let a = run 3 and b = run 3 in
+  check "parallel deterministic" true (Q.equal a b);
+  check "parallel covers cube" true (Q.equal a Q.one);
+  let h d = Volume_approx.halton_approx_query ~domains:d ~m:400 db ~yvars:dv2 f in
+  check "halton domain-invariant" true (Q.equal (h 1) (h 4));
+  let fam d =
+    let prng = Cqa_vc.Prng.create 23 in
+    Volume_approx.approx_query_family ~domains:d ~prng ~m:900 db
+      ~xvars:[| dv2.(0) |] ~yvars:[| dv2.(1) |]
+      (Ast.Rel ("P", [ dv2.(0); dv2.(1) ]))
+      ~params:[ [| Q.zero |]; [| Q.one |]; [| qq 3 2 |] ]
+  in
+  let fa = fam 3 and fb = fam 3 in
+  check "family parallel deterministic" true
+    (List.for_all2 (fun (_, u) (_, v) -> Q.equal u v) fa fb);
+  List.iter
+    (fun (p, est) ->
+      let truth = Stdlib.min 1.0 (2.0 -. Q.to_float p.(0)) in
+      check "family parallel accuracy" true
+        (abs_float (Q.to_float est -. truth) < 0.06))
+    fa
+
 let test_trivial_approx () =
   let tri = Semilinear.of_conjunction dv2 tri_conj in
   check "nontrivial 1/2" true (Q.equal (Trivial_approx.trivial_approx tri) Q.one);
@@ -729,6 +762,7 @@ let () =
           Alcotest.test_case "monotone" `Quick test_volume_monotone;
           Alcotest.test_case "approx semialg" `Quick test_volume_approx;
           Alcotest.test_case "approx query" `Quick test_volume_approx_query;
+          Alcotest.test_case "approx domains" `Quick test_volume_approx_domains;
           Alcotest.test_case "trivial approx" `Quick test_trivial_approx;
           Alcotest.test_case "mu" `Quick test_mu;
           Alcotest.test_case "variable independence" `Quick test_var_indep ] );

@@ -276,6 +276,42 @@ let test_qe_pointwise () =
       [ q (-2); Q.zero; qq 1 2; q 3 ]
   done
 
+let test_qe_memo_agrees_with_cold () =
+  (* elimination is deterministic, so a memo hit must return exactly what
+     a cold run computes *)
+  let formulas =
+    List.init 25 (fun _ ->
+        Formula.Exists (y, Formula.Exists (z, rand_qf_formula 2)))
+  in
+  Fourier_motzkin.clear_qe_cache ();
+  let cold = List.map Fourier_motzkin.qe formulas in
+  check "cache populated" true (Fourier_motzkin.qe_cache_size () > 0);
+  let warm = List.map Fourier_motzkin.qe formulas in
+  check "warm = cold" true (cold = warm);
+  Fourier_motzkin.clear_qe_cache ();
+  let recold = List.map Fourier_motzkin.qe formulas in
+  check "recold = cold" true (cold = recold)
+
+let test_qe_memo_eviction () =
+  (* a tiny capacity forces evictions mid-stream; results must not change
+     and the table must stay bounded *)
+  Fourier_motzkin.clear_qe_cache ();
+  Fourier_motzkin.set_qe_cache_capacity 8;
+  Fun.protect
+    ~finally:(fun () ->
+      Fourier_motzkin.set_qe_cache_capacity 65536;
+      Fourier_motzkin.clear_qe_cache ())
+    (fun () ->
+      let formulas =
+        List.init 40 (fun _ -> Formula.Exists (y, rand_qf_formula 2))
+      in
+      let evicting = List.map Fourier_motzkin.qe formulas in
+      check "table bounded" true (Fourier_motzkin.qe_cache_size () <= 8);
+      Fourier_motzkin.clear_qe_cache ();
+      Fourier_motzkin.set_qe_cache_capacity 65536;
+      let roomy = List.map Fourier_motzkin.qe formulas in
+      check "eviction preserves results" true (evicting = roomy))
+
 (* ------------------------------------------------------------------ *)
 (* Simplex                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -569,7 +605,10 @@ let () =
           Alcotest.test_case "complement" `Quick test_fm_complement;
           Alcotest.test_case "entails prune" `Quick test_fm_entails_prune;
           Alcotest.test_case "tighten parallel" `Quick test_tighten_parallel;
-          Alcotest.test_case "qe pointwise" `Quick test_qe_pointwise ] );
+          Alcotest.test_case "qe pointwise" `Quick test_qe_pointwise;
+          Alcotest.test_case "qe memo agrees with cold" `Quick
+            test_qe_memo_agrees_with_cold;
+          Alcotest.test_case "qe memo eviction" `Quick test_qe_memo_eviction ] );
       ( "simplex",
         [ Alcotest.test_case "known LPs" `Quick test_simplex_known;
           Alcotest.test_case "vs FM random" `Quick test_simplex_vs_fm_random ] );

@@ -175,6 +175,85 @@ let test_estimate_family_shared_sample () =
         (abs_float (Q.to_float est -. Q.to_float a) < 0.03))
     results
 
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel estimation                                          *)
+(* ------------------------------------------------------------------ *)
+
+let quarter_box p = Q.lt p.(0) Q.half && Q.lt p.(1) Q.half
+
+let test_estimate_random_seq_matches_fraction_in () =
+  (* domains:1 must be the exact sequential path: same PRNG stream, same
+     rational *)
+  let reference =
+    let prng = Prng.create 42 in
+    Approx_volume.fraction_in
+      (Approx_volume.random_sample ~prng ~dim:2 ~n:1000)
+      quarter_box
+  in
+  let seq =
+    Approx_volume.estimate_random ~prng:(Prng.create 42) ~dim:2 ~n:1000
+      quarter_box
+  in
+  check "seq = fraction_in of random_sample" true (Q.equal reference seq)
+
+let test_estimate_random_parallel_deterministic () =
+  let run () =
+    Approx_volume.estimate_random ~domains:3 ~prng:(Prng.create 42) ~dim:2
+      ~n:1000 quarter_box
+  in
+  let a = run () and b = run () in
+  check "fixed seed+domains reproducible" true (Q.equal a b);
+  check "estimate close" true (abs_float (Q.to_float a -. 0.25) < 0.05);
+  (* chunk sizes must cover the sample exactly: denominator is n *)
+  let other =
+    Approx_volume.estimate_random ~domains:4 ~prng:(Prng.create 42) ~dim:2
+      ~n:1000 quarter_box
+  in
+  check "other domain count also close" true
+    (abs_float (Q.to_float other -. 0.25) < 0.05)
+
+let test_estimate_halton_domain_invariant () =
+  (* Halton indices are partitioned, so every domain count gives the same
+     exact rational *)
+  let e1 = Approx_volume.estimate_halton ~domains:1 ~dim:2 ~n:500 quarter_box in
+  List.iter
+    (fun d ->
+      let ed = Approx_volume.estimate_halton ~domains:d ~dim:2 ~n:500 quarter_box in
+      check (Printf.sprintf "halton dom%d = dom1" d) true (Q.equal e1 ed))
+    [ 2; 3; 4; 7 ]
+
+let test_estimate_family_random_parallel () =
+  let params = [ qq 1 4; Q.half; qq 3 4 ] in
+  let mem a p = Q.leq p.(0) a in
+  (* sequential path equals estimate_family over the same drawn sample *)
+  let reference =
+    let prng = Prng.create 21 in
+    Approx_volume.estimate_family
+      ~sample:(Approx_volume.random_sample ~prng ~dim:1 ~n:3000)
+      ~mem params
+  in
+  let seq =
+    Approx_volume.estimate_family_random ~prng:(Prng.create 21) ~dim:1 ~n:3000
+      ~mem params
+  in
+  check "family seq = shared-sample reference" true
+    (List.for_all2
+       (fun (a, e) (a', e') -> Q.equal a a' && Q.equal e e')
+       reference seq);
+  (* parallel: reproducible, uniformly accurate *)
+  let par () =
+    Approx_volume.estimate_family_random ~domains:3 ~prng:(Prng.create 21)
+      ~dim:1 ~n:3000 ~mem params
+  in
+  let r1 = par () and r2 = par () in
+  check "family parallel reproducible" true
+    (List.for_all2 (fun (_, e) (_, e') -> Q.equal e e') r1 r2);
+  List.iter
+    (fun (a, est) ->
+      check "family parallel uniform accuracy" true
+        (abs_float (Q.to_float est -. Q.to_float a) < 0.04))
+    r1
+
 let () =
   Alcotest.run "cqa_vc"
     [ ( "prng-halton",
@@ -194,4 +273,13 @@ let () =
         [ Alcotest.test_case "definable family" `Quick test_definable_family_halfline;
           Alcotest.test_case "fraction" `Quick test_fraction_in;
           Alcotest.test_case "monte carlo box" `Quick test_monte_carlo_box;
-          Alcotest.test_case "family shared sample" `Quick test_estimate_family_shared_sample ] ) ]
+          Alcotest.test_case "family shared sample" `Quick test_estimate_family_shared_sample ] );
+      ( "parallel-sampling",
+        [ Alcotest.test_case "seq path exact" `Quick
+            test_estimate_random_seq_matches_fraction_in;
+          Alcotest.test_case "parallel deterministic" `Quick
+            test_estimate_random_parallel_deterministic;
+          Alcotest.test_case "halton domain-invariant" `Quick
+            test_estimate_halton_domain_invariant;
+          Alcotest.test_case "family parallel" `Quick
+            test_estimate_family_random_parallel ] ) ]
