@@ -1,0 +1,25 @@
+.PHONY: all build test bench bench-smoke verify clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full benchmark sweep; rewrites BENCH.json (slow).
+bench:
+	dune exec bench/main.exe
+
+# Fraction-of-a-second quota per benchmark: checks every benchmark still
+# runs and emits JSON, without disturbing the committed BENCH.json.
+bench-smoke:
+	BENCH_SMOKE=1 BENCH_JSON=BENCH_smoke.json dune exec bench/main.exe
+
+# The tier-1 gate: build, test suite, benchmark smoke run.
+verify: build test bench-smoke
+
+clean:
+	dune clean
+	rm -f BENCH_smoke.json

@@ -292,6 +292,14 @@ let substrate_tests =
    snapshots can be diffed across PRs. *)
 let json_results : (string * float) list ref = ref []
 
+(* BENCH_SMOKE=1 shrinks the per-test quota to a fraction of a second: the
+   `make verify` smoke run only checks that every benchmark still executes
+   and emits JSON, not that the numbers are stable. *)
+let smoke =
+  match Sys.getenv_opt "BENCH_SMOKE" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
 let run_group name tests =
   Printf.printf "\n== %s ==\n%!" name;
   let ols =
@@ -299,7 +307,8 @@ let run_group name tests =
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+    if smoke then Benchmark.cfg ~limit:50 ~quota:(Time.second 0.02) ~stabilize:false ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
   in
   List.iter
     (fun test ->
@@ -342,34 +351,68 @@ let ablation_formula =
   let f = Compile.vertex_formula ~rel:"P" v1 v2 in
   Eval.reduce_linear pentagon_db Var.Map.empty f
 
-let with_knobs ~tightening ~elim_pruning ~absorption f =
+let with_knobs ~tightening ~elim_pruning ~absorption ~simplex_redundancy f =
   let o = Fourier_motzkin.optimizations in
-  let saved = (o.Fourier_motzkin.tightening, o.Fourier_motzkin.elim_pruning, o.Fourier_motzkin.absorption) in
+  let saved =
+    ( o.Fourier_motzkin.tightening,
+      o.Fourier_motzkin.elim_pruning,
+      o.Fourier_motzkin.absorption,
+      o.Fourier_motzkin.simplex_redundancy )
+  in
   o.Fourier_motzkin.tightening <- tightening;
   o.Fourier_motzkin.elim_pruning <- elim_pruning;
   o.Fourier_motzkin.absorption <- absorption;
+  o.Fourier_motzkin.simplex_redundancy <- simplex_redundancy;
   Fun.protect
     ~finally:(fun () ->
-      let t, p, a = saved in
+      let t, p, a, r = saved in
       o.Fourier_motzkin.tightening <- t;
       o.Fourier_motzkin.elim_pruning <- p;
-      o.Fourier_motzkin.absorption <- a)
+      o.Fourier_motzkin.absorption <- a;
+      o.Fourier_motzkin.simplex_redundancy <- r)
     f
 
 let ablation_tests =
-  let run ~tightening ~elim_pruning ~absorption () =
-    with_knobs ~tightening ~elim_pruning ~absorption (fun () ->
+  let run ~simplex_redundancy ~tightening ~elim_pruning ~absorption () =
+    with_knobs ~tightening ~elim_pruning ~absorption ~simplex_redundancy (fun () ->
         Fourier_motzkin.clear_qe_cache ();
         Fourier_motzkin.qe ablation_formula)
   in
+  let std = run ~simplex_redundancy:false in
   [ Test.make ~name:"qe_vertex_all_optimizations"
-      (stage (run ~tightening:true ~elim_pruning:true ~absorption:true));
+      (stage (std ~tightening:true ~elim_pruning:true ~absorption:true));
     Test.make ~name:"qe_vertex_no_tightening"
-      (stage (run ~tightening:false ~elim_pruning:true ~absorption:true));
+      (stage (std ~tightening:false ~elim_pruning:true ~absorption:true));
     Test.make ~name:"qe_vertex_no_elim_pruning"
-      (stage (run ~tightening:true ~elim_pruning:false ~absorption:true));
+      (stage (std ~tightening:true ~elim_pruning:false ~absorption:true));
     Test.make ~name:"qe_vertex_no_absorption"
-      (stage (run ~tightening:true ~elim_pruning:true ~absorption:false)) ]
+      (stage (std ~tightening:true ~elim_pruning:true ~absorption:false));
+    Test.make ~name:"qe_vertex_simplex_redundancy"
+      (stage
+         (run ~simplex_redundancy:true ~tightening:true ~elim_pruning:true
+            ~absorption:true)) ]
+
+(* Theorem 3 exact-volume engine: the domain-scaling curve of the sweep, the
+   incremental vertex enumeration, and the cold-cache end-to-end pipeline
+   (QE memo + satisfiability memo cleared each run). *)
+let volume_domain_test domains =
+  Test.make ~name:(Printf.sprintf "thm3_volume_sweep_3d_dom%d" domains)
+    (stage (fun () -> Volume_exact.volume_sweep ~domains s3))
+
+let exact_volume_tests =
+  [ volume_domain_test 1; volume_domain_test 2; volume_domain_test 4;
+    Test.make ~name:"thm3_vertex_enum_3d"
+      (stage (fun () -> Volume_exact.arrangement_vertices s3));
+    Test.make ~name:"thm3_incl_excl_2d_dom1"
+      (stage (fun () -> Volume_exact.volume_incl_excl ~domains:1 s2));
+    Test.make ~name:"thm3_incl_excl_2d_dom4"
+      (stage (fun () -> Volume_exact.volume_incl_excl ~domains:4 s2));
+    Test.make ~name:"thm3_end_to_end_cold_3d"
+      (stage (fun () ->
+           Fourier_motzkin.clear_qe_cache ();
+           Volume_exact.volume_sweep s3));
+    Test.make ~name:"thm3_section_function_3d"
+      (stage (fun () -> Volume_param.section_volume_function s3)) ]
 
 let () =
   Printf.printf "cqa benchmark harness (bechamel)\n";
@@ -377,5 +420,6 @@ let () =
   run_group "parallel sampler" sampler_tests;
   run_group "experiments (one per table/figure)" experiment_tests;
   run_group "substrates" substrate_tests;
+  run_group "exact volume engine (Theorem 3)" exact_volume_tests;
   run_group "ablations (QE design choices, cold cache)" ablation_tests;
   emit_json ()

@@ -149,6 +149,94 @@ let inverse m =
   if rank < r then None
   else Some (Array.init r (fun i -> Array.init r (fun j -> aug.(i).(c + j))))
 
+(* ------------------------------------------------------------------ *)
+(* Incremental elimination                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Backtracking Gaussian elimination on augmented rows [coeffs | rhs], for
+   enumerating square subsystems of a fixed row family (vertex enumeration
+   over n-subsets of hyperplanes): a subset whose prefix is already
+   rank-deficient is rejected before any further rows are tried, pruning
+   the whole enumeration subtree instead of solving each full subset from
+   scratch.
+
+   Each pushed row is forward-reduced against the current pivot rows, so
+   the stack stays in (permuted) echelon form; [elim_solution] finishes by
+   back-substitution in reverse pivot order.  For a nonsingular square
+   system the solution is unique, hence identical to [solve]'s. *)
+type elim = {
+  cols : int; (* unaugmented column count *)
+  mutable depth : int;
+  pivot_cols : int array; (* pivot column of stack row i *)
+  stack : Q.t array array; (* row i: cols coefficients, then the rhs *)
+}
+
+let elim_create cols =
+  { cols;
+    depth = 0;
+    pivot_cols = Array.make (max cols 1) (-1);
+    stack = Array.init (max cols 1) (fun _ -> Array.make (cols + 1) Q.zero) }
+
+let elim_depth e = e.depth
+
+let elim_push e row rhs =
+  if Array.length row <> e.cols then invalid_arg "Qmat.elim_push: dim mismatch";
+  if e.depth >= e.cols then invalid_arg "Qmat.elim_push: already full rank";
+  let r = e.stack.(e.depth) in
+  Array.blit row 0 r 0 e.cols;
+  r.(e.cols) <- rhs;
+  (* reduce against the existing pivot rows *)
+  for i = 0 to e.depth - 1 do
+    let p = e.pivot_cols.(i) in
+    let f = r.(p) in
+    if not (Q.is_zero f) then begin
+      let pr = e.stack.(i) in
+      for j = 0 to e.cols do
+        if not (Q.is_zero pr.(j)) then r.(j) <- Q.sub r.(j) (Q.mul f pr.(j))
+      done
+    end
+  done;
+  (* find the new pivot among the coefficient columns *)
+  let p = ref (-1) in
+  (try
+     for j = 0 to e.cols - 1 do
+       if not (Q.is_zero r.(j)) then begin
+         p := j;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !p < 0 then false (* linearly dependent on the rows already pushed *)
+  else begin
+    let inv = Q.inv r.(!p) in
+    for j = 0 to e.cols do
+      if not (Q.is_zero r.(j)) then r.(j) <- Q.mul r.(j) inv
+    done;
+    e.pivot_cols.(e.depth) <- !p;
+    e.depth <- e.depth + 1;
+    true
+  end
+
+let elim_pop e =
+  if e.depth = 0 then invalid_arg "Qmat.elim_pop: empty";
+  e.depth <- e.depth - 1
+
+let elim_solution e =
+  if e.depth <> e.cols then invalid_arg "Qmat.elim_solution: not full rank";
+  let x = Array.make e.cols Q.zero in
+  (* row i has zeros in the pivot columns of rows < i, so solving in
+     reverse push order is plain back-substitution *)
+  for i = e.depth - 1 downto 0 do
+    let r = e.stack.(i) in
+    let acc = ref r.(e.cols) in
+    for j = 0 to e.cols - 1 do
+      if j <> e.pivot_cols.(i) && not (Q.is_zero r.(j)) then
+        acc := Q.sub !acc (Q.mul r.(j) x.(j))
+    done;
+    x.(e.pivot_cols.(i)) <- !acc
+  done;
+  x
+
 let pp_mat fmt m =
   Format.fprintf fmt "@[<v>%a@]"
     (Format.pp_print_list pp_vec)

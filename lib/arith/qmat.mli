@@ -37,4 +37,32 @@ val solve_general : mat -> vec -> vec option
     set to zero. *)
 
 val inverse : mat -> mat option
+
+(** {2 Incremental elimination}
+
+    Backtracking Gaussian elimination over augmented rows, for enumerating
+    square subsystems of a fixed row family: push rows one at a time, reject
+    a dependent row immediately ([elim_push] returns [false]), pop to
+    backtrack, and read the unique solution once [cols] independent rows are
+    in.  A rank-deficient prefix prunes the entire enumeration subtree. *)
+
+type elim
+
+val elim_create : int -> elim
+(** [elim_create cols] for systems in [cols] unknowns. *)
+
+val elim_depth : elim -> int
+
+val elim_push : elim -> vec -> Q.t -> bool
+(** [elim_push e row rhs] adds the equation [row . x = rhs]; [false] (and no
+    push) when [row] is linearly dependent on the rows already in.
+    @raise Invalid_argument on dimension mismatch or a full stack. *)
+
+val elim_pop : elim -> unit
+(** Remove the most recently pushed row. @raise Invalid_argument if empty. *)
+
+val elim_solution : elim -> vec
+(** The unique solution of the current square system.
+    @raise Invalid_argument unless exactly [cols] rows are in. *)
+
 val pp_mat : Format.formatter -> mat -> unit

@@ -35,21 +35,34 @@ let holds_memo : bool Holds_tbl.t = Holds_tbl.create 4096
    lock and is protected by Fourier_motzkin's own lock. *)
 let memo_lock = Mutex.create ()
 
-(* small physical-identity registry of memoized formula nodes *)
-let formula_ids : (Ast.formula * int) list ref = ref []
+(* Physical-identity registry of memoized formula nodes.  A hashtable over
+   [( == )] replaces the former association list, whose linear scan sat on
+   the hot path of every memoized [holds] call; ids come from a monotonic
+   counter so a registry reset can never reissue an id that is still keying
+   entries in [holds_memo]. *)
+module Fid_key = struct
+  type t = Ast.formula
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end
+
+module Fid_tbl = Hashtbl.Make (Fid_key)
+
+let formula_ids : int Fid_tbl.t = Fid_tbl.create 256
+let formula_id_next = ref 0
 
 let formula_id f =
   Mutex.lock memo_lock;
   let i =
-    match List.find_opt (fun (g, _) -> g == f) !formula_ids with
-    | Some (_, i) -> i
+    match Fid_tbl.find_opt formula_ids f with
+    | Some i -> i
     | None ->
-        let i = List.length !formula_ids in
-        if i > 4096 then begin
-          (* runaway distinct formulas: stop registering, disable sharing *)
-          formula_ids := []
-        end;
-        formula_ids := (f, i) :: !formula_ids;
+        (* runaway distinct formulas: shed the registry, keep ids fresh *)
+        if Fid_tbl.length formula_ids > 4096 then Fid_tbl.reset formula_ids;
+        let i = !formula_id_next in
+        incr formula_id_next;
+        Fid_tbl.add formula_ids f i;
         i
   in
   Mutex.unlock memo_lock;
@@ -62,7 +75,8 @@ let refresh_memo db =
   Mutex.lock memo_lock;
   if not (!memo_db == r) then begin
     Holds_tbl.reset holds_memo;
-    formula_ids := [];
+    Fid_tbl.reset formula_ids;
+    formula_id_next := 0;
     memo_db := r
   end;
   Mutex.unlock memo_lock

@@ -1,0 +1,81 @@
+(* Deterministic fork/join helpers over OCaml 5 domains, shared by the
+   exact-volume engine (mirrors the conventions of Cqa_vc.Approx_volume):
+   work is split into contiguous index chunks, one domain per chunk, and
+   results are reassembled in slot order, so the output never depends on
+   domain scheduling. *)
+
+let clamp_domains ~n domains =
+  let d = Stdlib.max 1 domains in
+  Stdlib.min d (Stdlib.max 1 n)
+
+(* first (n mod k) chunks carry the extra element *)
+let chunk_sizes ~n ~chunks =
+  let q = n / chunks and r = n mod chunks in
+  Array.init chunks (fun i -> if i < r then q + 1 else q)
+
+let chunk_starts sizes =
+  let k = Array.length sizes in
+  let starts = Array.make k 0 in
+  for i = 1 to k - 1 do
+    starts.(i) <- starts.(i - 1) + sizes.(i - 1)
+  done;
+  starts
+
+let spawn_join jobs =
+  let domains = Array.map Domain.spawn jobs in
+  Array.map Domain.join domains
+
+(* Exceptions are captured per element and re-raised in index order only
+   after every domain has been joined: no domain is ever abandoned, and the
+   surfaced exception is the one the sequential run would have hit first. *)
+let map ~domains f arr =
+  let n = Array.length arr in
+  let k = clamp_domains ~n domains in
+  if k <= 1 then Array.map f arr
+  else begin
+    let sizes = chunk_sizes ~n ~chunks:k in
+    let starts = chunk_starts sizes in
+    let jobs =
+      Array.init k (fun d () ->
+          Array.init sizes.(d) (fun i ->
+              match f arr.(starts.(d) + i) with
+              | v -> Ok v
+              | exception e -> Error e))
+    in
+    let chunks = spawn_join jobs in
+    let results = Array.concat (Array.to_list chunks) in
+    Array.map (function Ok v -> v | Error e -> raise e) results
+  end
+
+(* Chunked reduction of [combine] over [term lo .. term hi]: each domain
+   folds a contiguous index range, partial results are combined in chunk
+   order.  [combine] must be associative and commutative (exact rational
+   addition here), so the re-association cannot change the value. *)
+let fold_ints ~domains ~combine ~init term lo hi =
+  let n = hi - lo + 1 in
+  if n <= 0 then init
+  else begin
+    let k = clamp_domains ~n domains in
+    let seq a b =
+      let acc = ref init in
+      for i = a to b do
+        acc := combine !acc (term i)
+      done;
+      !acc
+    in
+    if k <= 1 then seq lo hi
+    else begin
+      let sizes = chunk_sizes ~n ~chunks:k in
+      let starts = chunk_starts sizes in
+      let jobs =
+        Array.init k (fun d () ->
+            let a = lo + starts.(d) in
+            let b = a + sizes.(d) - 1 in
+            match seq a b with v -> Ok v | exception e -> Error e)
+      in
+      let parts = spawn_join jobs in
+      Array.fold_left
+        (fun acc r -> match r with Ok v -> combine acc v | Error e -> raise e)
+        init parts
+    end
+  end

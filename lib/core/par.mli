@@ -1,0 +1,28 @@
+(** Deterministic fork/join over OCaml 5 domains for the exact-volume
+    engine: contiguous index chunks, slot-order reassembly, exceptions
+    re-raised in index order after all domains are joined.  With exact
+    rational arithmetic the chunked reductions are value-identical to their
+    sequential counterparts, whatever the domain count. *)
+
+val clamp_domains : n:int -> int -> int
+(** Usable domain count: at least 1, at most [n] (and [n = 0] still gives
+    1). *)
+
+val chunk_sizes : n:int -> chunks:int -> int array
+(** Split [n] into [chunks] contiguous sizes; the first [n mod chunks]
+    chunks carry the extra element. *)
+
+val chunk_starts : int array -> int array
+(** Prefix sums of the chunk sizes: the starting offset of each chunk. *)
+
+val spawn_join : (unit -> 'a) array -> 'a array
+
+val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~domains f arr]: [Array.map f arr] evaluated on up to [domains]
+    domains.  [domains <= 1] is exactly [Array.map]. *)
+
+val fold_ints :
+  domains:int -> combine:('a -> 'a -> 'a) -> init:'a -> (int -> 'a) -> int -> int -> 'a
+(** [fold_ints ~domains ~combine ~init term lo hi] combines
+    [term lo, ..., term hi]; [combine] must be associative and commutative
+    with unit [init] for the result to be independent of [domains]. *)

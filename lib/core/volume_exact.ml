@@ -12,20 +12,59 @@ let prune s =
   Semilinear.make (Semilinear.vars s)
     (List.filter Fourier_motzkin.satisfiable_conj (Semilinear.dnf s))
 
+(* Constraints are hash-consed, so first-occurrence dedup is a tag-set
+   membership test instead of the former quadratic scan over accumulated
+   atoms. *)
 let hyperplane_exprs s =
   let all =
     List.concat_map
       (fun conj -> List.map (fun a -> Linconstr.make (Linconstr.expr a) Linconstr.Eq) conj)
       (Semilinear.dnf s)
   in
+  let seen = Hashtbl.create 64 in
   let rec uniq acc = function
     | [] -> List.rev acc
     | c :: rest ->
-        if List.exists (Linconstr.equal c) acc then uniq acc rest
-        else uniq (c :: acc) rest
+        let tg = Linconstr.tag c in
+        if Hashtbl.mem seen tg then uniq acc rest
+        else begin
+          Hashtbl.add seen tg ();
+          uniq (c :: acc) rest
+        end
   in
   List.map Linconstr.expr (uniq [] all)
 
+(* Guard for the combinatorial core below: warn (once per call) before
+   enumerating an unreasonable number of n-subsets, but still proceed --
+   the enumeration is exact and the caller asked for it. *)
+let max_arrangement_subsets = ref 2_000_000
+
+let set_max_arrangement_subsets n =
+  if n < 1 then invalid_arg "Volume_exact.set_max_arrangement_subsets";
+  max_arrangement_subsets := n
+
+let get_max_arrangement_subsets () = !max_arrangement_subsets
+
+(* binomial(m, n), saturating at [max_int] *)
+let subset_count m n =
+  let n = Stdlib.min n (m - n) in
+  if n < 0 then 0
+  else begin
+    let rec go acc i =
+      if i >= n then acc
+      else if acc > max_int / (m - i) then max_int
+      else go (acc * (m - i) / (i + 1)) (i + 1)
+    in
+    go 1 0
+  end
+
+(* Enumerate the n-subsets of the constraint hyperplanes with a
+   backtracking incremental elimination: a hyperplane whose normal is
+   linearly dependent on the current prefix is rejected immediately
+   ([Qmat.elim_push] returns false), pruning every subset extending that
+   prefix, where the former code built and solved a fresh n-by-n system per
+   subset.  Nonsingular systems have unique solutions, so the vertices (and
+   their order) are identical to the naive enumeration's. *)
 let arrangement_vertices s =
   let n = Semilinear.dim s in
   let vars = Semilinear.vars s in
@@ -33,22 +72,28 @@ let arrangement_vertices s =
   let m = Array.length exprs in
   let verts = ref [] in
   if n >= 1 && m >= n then begin
-    let idx = Array.make n 0 in
+    let subsets = subset_count m n in
+    if subsets > !max_arrangement_subsets then
+      Format.eprintf
+        "Volume_exact.arrangement_vertices: %d hyperplanes in dimension %d: %d subsets \
+         exceeds the advisory limit %d; proceeding (exact but slow)@."
+        m n subsets !max_arrangement_subsets;
+    let rows =
+      Array.map
+        (fun e ->
+          (Array.map (fun v -> Linexpr.coeff e v) vars, Q.neg (Linexpr.constant e)))
+        exprs
+    in
+    let elim = Qmat.elim_create n in
     let rec choose k start =
-      if k = n then begin
-        let a =
-          Array.init n (fun r ->
-              Array.map (fun v -> Linexpr.coeff exprs.(idx.(r)) v) vars)
-        in
-        let b = Array.init n (fun r -> Q.neg (Linexpr.constant exprs.(idx.(r)))) in
-        match Qmat.solve a b with
-        | Some x -> verts := x :: !verts
-        | None -> ()
-      end
+      if k = n then verts := Qmat.elim_solution elim :: !verts
       else
         for i = start to m - 1 do
-          idx.(k) <- i;
-          choose (k + 1) (i + 1)
+          let row, rhs = rows.(i) in
+          if Qmat.elim_push elim row rhs then begin
+            choose (k + 1) (i + 1);
+            Qmat.elim_pop elim
+          end
         done
     in
     choose 0 0
@@ -72,7 +117,12 @@ let breakpoints s =
   if Semilinear.dnf s = [] then []
   else breakpoints_pruned s
 
-let rec volume_sweep_pruned s =
+(* The sweep of the paper's Theorem 3 proof.  [?domains] parallelizes the
+   interpolation-sample sections of the top-level sweep only (recursive
+   sections run sequentially inside their domain); the sample values are
+   reassembled in slot order and combined by exact rational arithmetic, so
+   the result is byte-identical for every domain count. *)
+let rec volume_sweep_pruned ?(domains = 1) s =
   let n = Semilinear.dim s in
   if Semilinear.dnf s = [] then Q.zero
   else if n = 0 then Q.one
@@ -84,31 +134,47 @@ let rec volume_sweep_pruned s =
   end
   else begin
     let bps = breakpoints_pruned s in
-    let h t = volume_sweep_pruned (prune (Semilinear.section_last s t)) in
-    let rec pieces acc = function
+    (* the section measure is a polynomial of degree < n on each open piece
+       (a, b): recover it by interpolation at n interior points *)
+    let rec collect acc = function
       | a :: (b :: _ as rest) ->
           let width = Q.sub b a in
-          if Q.sign width <= 0 then pieces acc rest
+          if Q.sign width <= 0 then collect acc rest
           else begin
-            (* the section measure is a polynomial of degree < n on (a, b):
-               recover it by interpolation at n interior points *)
             let samples =
               List.init n (fun j ->
                   let frac = Q.of_ints (j + 1) (n + 1) in
                   Q.add a (Q.mul width frac))
             in
-            let pts = List.map (fun t -> (t, h t)) samples in
-            let p = Upoly.interpolate pts in
-            pieces (Q.add acc (Upoly.integrate p a b)) rest
+            collect ((a, b, samples) :: acc) rest
           end
-      | _ -> acc
+      | _ -> List.rev acc
     in
-    pieces Q.zero bps
+    let pieces = collect [] bps in
+    let all_samples =
+      Array.of_list (List.concat_map (fun (_, _, samples) -> samples) pieces)
+    in
+    let h t = volume_sweep_pruned (prune (Semilinear.section_last s t)) in
+    let values = Par.map ~domains h all_samples in
+    let pos = ref 0 in
+    List.fold_left
+      (fun acc (a, b, samples) ->
+        let pts =
+          List.map
+            (fun t ->
+              let v = values.(!pos) in
+              incr pos;
+              (t, v))
+            samples
+        in
+        let p = Upoly.interpolate pts in
+        Q.add acc (Upoly.integrate p a b))
+      Q.zero pieces
   end
 
-let volume_sweep s = volume_sweep_pruned (prune s)
+let volume_sweep ?domains s = volume_sweep_pruned ?domains (prune s)
 
-let volume_incl_excl s =
+let volume_incl_excl ?(domains = 1) s =
   let s = prune s in
   let disjuncts = Semilinear.dnf s in
   if disjuncts = [] then Q.zero
@@ -121,8 +187,7 @@ let volume_incl_excl s =
     in
     let d = Array.length polys in
     if d > 20 then invalid_arg "Volume_exact.volume_incl_excl: too many disjuncts";
-    let total = ref Q.zero in
-    for mask = 1 to (1 lsl d) - 1 do
+    let term mask =
       let inter = ref None in
       let count = ref 0 in
       for i = 0 to d - 1 do
@@ -139,12 +204,13 @@ let volume_incl_excl s =
       | None -> assert false
       | Some p ->
           let v = Lasserre.volume p in
-          if !count mod 2 = 1 then total := Q.add !total v
-          else total := Q.sub !total v
-    done;
-    !total
+          if !count mod 2 = 1 then v else Q.neg v
+    in
+    (* the signed terms are chunked over domains; exact rational addition is
+       associative and commutative, so the re-association is value-exact *)
+    Par.fold_ints ~domains ~combine:Q.add ~init:Q.zero term 1 ((1 lsl d) - 1)
   end
 
-let volume = volume_sweep
+let volume ?domains s = volume_sweep ?domains s
 
-let volume_clamped s = volume_sweep (Semilinear.clamp_unit s)
+let volume_clamped ?domains s = volume_sweep ?domains (Semilinear.clamp_unit s)

@@ -20,23 +20,36 @@ open Cqa_linear
 
 exception Unbounded
 
-val volume_sweep : Semilinear.t -> Q.t
-(** @raise Unbounded when the set has infinite measure (strict/equality
+val volume_sweep : ?domains:int -> Semilinear.t -> Q.t
+(** [?domains] (default 1) spreads the top-level interpolation sections
+    over that many OCaml domains; the result is byte-identical for every
+    domain count (slot-order reassembly, exact arithmetic).
+    @raise Unbounded when the set has infinite measure (strict/equality
     atoms are relaxed: measure is closure-invariant). *)
 
-val volume_incl_excl : Semilinear.t -> Q.t
-(** @raise Unbounded likewise.  Exponential in the number of disjuncts. *)
+val volume_incl_excl : ?domains:int -> Semilinear.t -> Q.t
+(** @raise Unbounded likewise.  Exponential in the number of disjuncts;
+    [?domains] chunks the signed intersection terms. *)
 
-val volume : Semilinear.t -> Q.t
+val volume : ?domains:int -> Semilinear.t -> Q.t
 (** The default algorithm ([volume_sweep]). *)
 
-val volume_clamped : Semilinear.t -> Q.t
+val volume_clamped : ?domains:int -> Semilinear.t -> Q.t
 (** [VOL_I]: volume of the intersection with the unit cube; always finite. *)
 
 val arrangement_vertices : Semilinear.t -> Q.t array list
 (** All 0-dimensional intersections of [dim]-subsets of the constraint
     hyperplanes (no feasibility filtering): a superset of the vertices of
-    every disjunct. *)
+    every disjunct.  Enumerated by backtracking incremental elimination,
+    pruning every subset extending a linearly dependent prefix. *)
+
+val set_max_arrangement_subsets : int -> unit
+(** Advisory limit on the number of hyperplane subsets
+    [arrangement_vertices] enumerates before warning on stderr (default
+    2_000_000; the enumeration still proceeds).
+    @raise Invalid_argument below 1. *)
+
+val get_max_arrangement_subsets : unit -> int
 
 val breakpoints : Semilinear.t -> Q.t list
 (** The candidate breakpoints used by the sweep on the last coordinate:

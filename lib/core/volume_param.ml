@@ -6,26 +6,44 @@ type piece = { lo : Q.t; hi : Q.t; poly : Upoly.t }
 
 type t = piece list
 
-let section_volume_function s =
+let section_volume_function ?(domains = 1) s =
   let n = Semilinear.dim s in
   if n < 2 then invalid_arg "Volume_param.section_volume_function: dim < 2";
   let bps = Volume_exact.breakpoints s in
   let h t = Volume_exact.volume_sweep (Semilinear.section_last s t) in
-  let rec walk acc = function
+  (* collect every piece's interpolation samples, evaluate the sections in
+     one deterministic parallel batch, then rebuild the pieces in order *)
+  let rec collect acc = function
     | a :: (b :: _ as rest) ->
-        if Q.geq a b then walk acc rest
+        if Q.geq a b then collect acc rest
         else begin
           let width = Q.sub b a in
           let samples =
             List.init n (fun j ->
                 Q.add a (Q.mul width (Q.of_ints (j + 1) (n + 1))))
           in
-          let poly = Upoly.interpolate (List.map (fun t -> (t, h t)) samples) in
-          walk ({ lo = a; hi = b; poly } :: acc) rest
+          collect ((a, b, samples) :: acc) rest
         end
     | _ -> List.rev acc
   in
-  walk [] bps
+  let pieces = collect [] bps in
+  let all_samples =
+    Array.of_list (List.concat_map (fun (_, _, samples) -> samples) pieces)
+  in
+  let values = Par.map ~domains h all_samples in
+  let pos = ref 0 in
+  List.map
+    (fun (a, b, samples) ->
+      let pts =
+        List.map
+          (fun t ->
+            let v = values.(!pos) in
+            incr pos;
+            (t, v))
+          samples
+      in
+      { lo = a; hi = b; poly = Upoly.interpolate pts })
+    pieces
 
 let eval t x =
   let rec go = function

@@ -25,8 +25,10 @@ type t = piece list
 (** Consecutive, non-overlapping pieces covering the parameter range of the
     bounded set. *)
 
-val section_volume_function : Semilinear.t -> t
+val section_volume_function : ?domains:int -> Semilinear.t -> t
 (** [vol (section_last S t)] as an explicit piecewise polynomial in [t].
+    [?domains] (default 1) evaluates the interpolation sections on that
+    many OCaml domains; the result is identical for every domain count.
     @raise Volume_exact.Unbounded on unbounded sets.
     @raise Invalid_argument in dimension < 2. *)
 

@@ -42,29 +42,43 @@ let tighten_parallel conj =
   eqs @ List.sort Linconstr.compare ineqs
 
 (* Optimization toggles, exposed for the ablation benchmarks: each knob
-   names one of the design choices DESIGN.md calls out.  All are on by
-   default; turning them off restores textbook Fourier-Motzkin behaviour. *)
+   names one of the design choices DESIGN.md calls out.  The first three are
+   on by default; turning them off restores textbook Fourier-Motzkin
+   behaviour.  [simplex_redundancy] selects the pure-simplex per-atom
+   redundancy oracle instead of the default hybrid (elimination for small
+   conjunctions, simplex above the dispatch threshold): both are exact, so
+   the toggle changes speed only, and on the small conjunctions that
+   dominate the benchmark workloads the hybrid is faster -- it defaults to
+   off. *)
 type optimizations = {
   mutable tightening : bool; (* parallel-atom strengthening after each step *)
   mutable elim_pruning : bool; (* satisfiability-based pruning of large conjunctions *)
   mutable absorption : bool; (* drop disjuncts syntactically implied by another *)
+  mutable simplex_redundancy : bool; (* simplex oracle for per-atom redundancy *)
 }
 
-let optimizations = { tightening = true; elim_pruning = true; absorption = true }
+let optimizations =
+  { tightening = true; elim_pruning = true; absorption = true; simplex_redundancy = false }
 
-(* Partition a conjunction by the sign of the coefficient of [x]. *)
+(* Partition a conjunction by the sign of the coefficient of [x].  The
+   accumulators are consed and the frees reversed once at the end, keeping
+   the pass linear (the previous [frees @ [a]] made it quadratic on
+   conjunctions dominated by atoms not mentioning [x]). *)
 let partition_on x conj =
-  List.fold_left
-    (fun (eqs, lowers, uppers, frees) a ->
-      let c = Linexpr.coeff (Linconstr.expr a) x in
-      if Q.is_zero c then (eqs, lowers, uppers, frees @ [ a ])
-      else
-        match Linconstr.op a with
-        | Linconstr.Eq -> (a :: eqs, lowers, uppers, frees)
-        | Linconstr.Le | Linconstr.Lt ->
-            if Q.sign c < 0 then (eqs, a :: lowers, uppers, frees)
-            else (eqs, lowers, a :: uppers, frees))
-    ([], [], [], []) conj
+  let eqs, lowers, uppers, frees =
+    List.fold_left
+      (fun (eqs, lowers, uppers, frees) a ->
+        let c = Linexpr.coeff (Linconstr.expr a) x in
+        if Q.is_zero c then (eqs, lowers, uppers, a :: frees)
+        else
+          match Linconstr.op a with
+          | Linconstr.Eq -> (a :: eqs, lowers, uppers, frees)
+          | Linconstr.Le | Linconstr.Lt ->
+              if Q.sign c < 0 then (eqs, a :: lowers, uppers, frees)
+              else (eqs, lowers, a :: uppers, frees))
+      ([], [], [], []) conj
+  in
+  (eqs, lowers, uppers, List.rev frees)
 
 (* Positive combination eliminating x from a lower bound [l] (coeff < 0) and
    an upper bound [u] (coeff > 0): c_u * e_l - c_l * e_u. *)
@@ -165,9 +179,47 @@ let satisfiable_conj_simplex conj =
 (* Elimination-based satisfiability is fastest on the small conjunctions
    that dominate, but degrades combinatorially; large systems go to the
    polynomial simplex. *)
-let satisfiable_conj conj =
+let satisfiable_conj_raw conj =
   if List.length conj <= 12 then satisfiable_conj_fm conj
   else satisfiable_conj_simplex conj
+
+(* Satisfiability memo, keyed on the sorted interned-constraint tags of the
+   conjunction.  Tags are never reused (the intern counter only grows), so a
+   stale entry for collected constraints can never be looked up again; and
+   the answer is a property of the constraint set, independent of both atom
+   order and the optimization toggles, so the table survives ablation runs.
+   Mutex-guarded for the domain-parallel volume engine. *)
+let sat_memo : (int list, bool) Hashtbl.t = Hashtbl.create 1024
+let sat_lock = Mutex.create ()
+let sat_memo_cap = 65536
+
+let sat_cache_size () =
+  Mutex.lock sat_lock;
+  let n = Hashtbl.length sat_memo in
+  Mutex.unlock sat_lock;
+  n
+
+(* The verdict is a property of the constraint set, not of the deciding
+   oracle, so every oracle shares the one table. *)
+let satisfiable_conj_memo oracle conj =
+  match conj with
+  | [] -> true
+  | _ -> (
+      let key = List.sort_uniq Int.compare (List.map Linconstr.tag conj) in
+      Mutex.lock sat_lock;
+      let cached = Hashtbl.find_opt sat_memo key in
+      Mutex.unlock sat_lock;
+      match cached with
+      | Some b -> b
+      | None ->
+          let b = oracle conj in
+          Mutex.lock sat_lock;
+          if Hashtbl.length sat_memo >= sat_memo_cap then Hashtbl.reset sat_memo;
+          Hashtbl.replace sat_memo key b;
+          Mutex.unlock sat_lock;
+          b)
+
+let satisfiable_conj conj = satisfiable_conj_memo satisfiable_conj_raw conj
 
 let satisfiable_dnf d = List.exists satisfiable_conj d
 
@@ -185,13 +237,39 @@ let prune_redundant conj =
   in
   go [] conj
 
+(* The same per-atom sweep with the simplex as the entailment oracle: each
+   check is one LP per negated disjunct instead of a full re-elimination of
+   the context, so it scales polynomially with the conjunction size.  The
+   satisfiability queries go through the shared verdict memo (the verdict
+   does not depend on the oracle), so warm checks are table hits for either
+   pruner.  Both oracles are exact and complete over the reals, so the two
+   pruners make identical keep/drop decisions -- toggling
+   [simplex_redundancy] changes speed, never results. *)
+let entails_conj_simplex conj a =
+  List.for_all
+    (fun n -> not (satisfiable_conj_memo satisfiable_conj_simplex (n :: conj)))
+    (Linconstr.negate a)
+
+let prune_redundant_simplex conj =
+  let rec go kept = function
+    | [] -> List.rev kept
+    | a :: rest ->
+        if entails_conj_simplex (List.rev_append kept rest) a then go kept rest
+        else go (a :: kept) rest
+  in
+  go [] conj
+
+let prune_checked conj =
+  if optimizations.simplex_redundancy then prune_redundant_simplex conj
+  else prune_redundant conj
+
 (* Keep Fourier-Motzkin's intermediate conjunctions irredundant: without
    this, each eliminated variable can square the constraint count, which is
    the method's classical failure mode. *)
 let () =
   prune_large :=
     fun conj ->
-      if List.length conj > prune_threshold then prune_redundant conj else conj
+      if List.length conj > prune_threshold then prune_checked conj else conj
 
 (* Syntactic dedup of disjuncts (atoms sorted first), plus absorption:
    a disjunct whose atom set contains another disjunct's atom set is
@@ -248,7 +326,7 @@ let complement_dnf (d : Linformula.dnf) : Linformula.dnf =
                             let t = tighten_parallel merged in
                             Some
                               (if List.length t > prune_threshold then
-                                 prune_redundant t
+                                 prune_checked t
                                else t)
                           end
                           else None)
@@ -260,6 +338,53 @@ let complement_dnf (d : Linformula.dnf) : Linformula.dnf =
       in
       product
 
+(* Memo key for formulas over hash-consed atoms: equality short-circuits on
+   physical identity and bottoms out in O(1) [Linconstr.equal]; the hash
+   mixes the precomputed atom hashes instead of walking coefficient maps
+   with the depth-limited polymorphic hash (whose 10-node cutoff made deep
+   QE keys collide systematically). *)
+module Fkey = struct
+  type t = Linformula.t
+
+  let rec equal (f : t) (g : t) =
+    f == g
+    ||
+    match (f, g) with
+    | Formula.True, Formula.True | Formula.False, Formula.False -> true
+    | Formula.Atom a, Formula.Atom b -> Linconstr.equal a b
+    | Formula.Rel (r, vs), Formula.Rel (r', vs') ->
+        String.equal r r' && List.equal Var.equal vs vs'
+    | Formula.Not f', Formula.Not g' -> equal f' g'
+    | Formula.And (f1, f2), Formula.And (g1, g2)
+    | Formula.Or (f1, f2), Formula.Or (g1, g2) ->
+        equal f1 g1 && equal f2 g2
+    | Formula.Exists (v, f'), Formula.Exists (w, g')
+    | Formula.Forall (v, f'), Formula.Forall (w, g')
+    | Formula.Exists_adom (v, f'), Formula.Exists_adom (w, g')
+    | Formula.Forall_adom (v, f'), Formula.Forall_adom (w, g') ->
+        Var.equal v w && equal f' g'
+    | _ -> false
+
+  let mix a b = (((a * 65599) lxor b) * 65599) land max_int
+
+  let rec hash (f : t) =
+    match f with
+    | Formula.True -> 1
+    | Formula.False -> 2
+    | Formula.Atom a -> mix 3 (Linconstr.hash a)
+    | Formula.Rel (r, vs) ->
+        List.fold_left (fun acc v -> mix acc (Hashtbl.hash v)) (mix 5 (Hashtbl.hash r)) vs
+    | Formula.Not f' -> mix 7 (hash f')
+    | Formula.And (f1, f2) -> mix (mix 11 (hash f1)) (hash f2)
+    | Formula.Or (f1, f2) -> mix (mix 13 (hash f1)) (hash f2)
+    | Formula.Exists (v, f') -> mix (mix 17 (Hashtbl.hash v)) (hash f')
+    | Formula.Forall (v, f') -> mix (mix 19 (Hashtbl.hash v)) (hash f')
+    | Formula.Exists_adom (v, f') -> mix (mix 23 (Hashtbl.hash v)) (hash f')
+    | Formula.Forall_adom (v, f') -> mix (mix 29 (Hashtbl.hash v)) (hash f')
+end
+
+module Fmemo = Hashtbl.Make (Fkey)
+
 (* Quantifier elimination is memoized on the structure of subformulas:
    callers (notably the FO + POLY + SUM evaluator) re-eliminate identical
    quantified subformulas under many different outer instantiations.
@@ -270,7 +395,7 @@ let complement_dnf (d : Linformula.dnf) : Linformula.dnf =
    a formula two domains race on.  When the table outgrows its capacity it
    sheds half of its entries instead of resetting, keeping the warm half of
    the working set. *)
-let qe_memo : (Linformula.t, Linformula.dnf) Hashtbl.t = Hashtbl.create 256
+let qe_memo : Linformula.dnf Fmemo.t = Fmemo.create 256
 
 let memo_lock = Mutex.create ()
 let memo_cap = ref 65536
@@ -283,7 +408,7 @@ let set_qe_cache_capacity n =
 
 let qe_cache_size () =
   Mutex.lock memo_lock;
-  let n = Hashtbl.length qe_memo in
+  let n = Fmemo.length qe_memo in
   Mutex.unlock memo_lock;
   n
 
@@ -291,24 +416,24 @@ let qe_cache_size () =
 let evict_half () =
   let parity = ref false in
   let victims =
-    Hashtbl.fold
+    Fmemo.fold
       (fun k _ acc ->
         parity := not !parity;
         if !parity then k :: acc else acc)
       qe_memo []
   in
-  List.iter (Hashtbl.remove qe_memo) victims
+  List.iter (Fmemo.remove qe_memo) victims
 
 let memo_find f =
   Mutex.lock memo_lock;
-  let r = Hashtbl.find_opt qe_memo f in
+  let r = Fmemo.find_opt qe_memo f in
   Mutex.unlock memo_lock;
   r
 
 let memo_add f d =
   Mutex.lock memo_lock;
-  if Hashtbl.length qe_memo >= !memo_cap then evict_half ();
-  Hashtbl.replace qe_memo f d;
+  if Fmemo.length qe_memo >= !memo_cap then evict_half ();
+  Fmemo.replace qe_memo f d;
   Mutex.unlock memo_lock
 
 let rec qe_nnf (f : Linformula.t) : Linformula.dnf =
@@ -370,8 +495,11 @@ and qe_nnf_raw (f : Linformula.t) : Linformula.dnf =
 
 let clear_qe_cache () =
   Mutex.lock memo_lock;
-  Hashtbl.reset qe_memo;
-  Mutex.unlock memo_lock
+  Fmemo.reset qe_memo;
+  Mutex.unlock memo_lock;
+  Mutex.lock sat_lock;
+  Hashtbl.reset sat_memo;
+  Mutex.unlock sat_lock
 
 let qe f = List.filter satisfiable_conj (qe_nnf (Linformula.nnf f))
 

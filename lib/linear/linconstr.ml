@@ -2,7 +2,43 @@ open Cqa_arith
 
 type op = Le | Lt | Eq
 
-type t = { expr : Linexpr.t; op : op }
+(* Hash-consed constraints over hash-consed expressions.  [make] both
+   normalizes (primitive integer coefficients, oriented equalities) and
+   memoizes the normalization on the interned input expression, so the QE
+   and volume layers stop re-scaling expressions they have already seen;
+   the resulting constraint is itself interned, making [equal] a pointer
+   comparison and [tag] a memo key for downstream tables. *)
+type t = { expr : Linexpr.t; op : op; hkey : int; tag : int }
+
+let op_code = function Le -> 3 | Lt -> 5 | Eq -> 7
+
+module Node = struct
+  type nonrec t = t
+
+  let equal a b = a.op = b.op && Linexpr.equal a.expr b.expr
+  let hash a = a.hkey
+end
+
+module Pool = Weak.Make (Node)
+
+let pool = Pool.create 4096
+let pool_lock = Mutex.create ()
+let tag_counter = ref 0
+
+let intern expr op =
+  let hkey = (Linexpr.hash expr * 65599) lxor op_code op land max_int in
+  Mutex.lock pool_lock;
+  let node = { expr; op; hkey; tag = !tag_counter + 1 } in
+  let r = Pool.merge pool node in
+  if r == node then incr tag_counter;
+  Mutex.unlock pool_lock;
+  r
+
+let pool_size () =
+  Mutex.lock pool_lock;
+  let n = Pool.count pool in
+  Mutex.unlock pool_lock;
+  n
 
 (* Scale an expression to primitive integer coefficients, preserving sign.
    Returns the scaled expression (multiplied by a positive rational). *)
@@ -19,7 +55,7 @@ let primitive e =
   if Bigint.is_zero g || Bigint.is_one g then scaled
   else Linexpr.smul (Q.inv (Q.of_bigint g)) scaled
 
-let make e op =
+let make_raw e op =
   let e = primitive e in
   let e =
     if op = Eq then begin
@@ -31,7 +67,30 @@ let make e op =
     end
     else e
   in
-  { expr = e; op }
+  intern e op
+
+(* Normalization memo: input expressions are interned, so (tag, op) keys the
+   full [primitive]-and-orient pipeline.  Mutex-guarded for the parallel
+   volume engine; reset (cheap, it only caches work) when it outgrows the
+   capacity. *)
+let make_memo : (int * op, t) Hashtbl.t = Hashtbl.create 1024
+let make_lock = Mutex.create ()
+let make_memo_cap = 65536
+
+let make e op =
+  let key = (Linexpr.tag e, op) in
+  Mutex.lock make_lock;
+  let cached = Hashtbl.find_opt make_memo key in
+  Mutex.unlock make_lock;
+  match cached with
+  | Some t -> t
+  | None ->
+      let t = make_raw e op in
+      Mutex.lock make_lock;
+      if Hashtbl.length make_memo >= make_memo_cap then Hashtbl.reset make_memo;
+      Hashtbl.replace make_memo key t;
+      Mutex.unlock make_lock;
+      t
 
 let le a b = make (Linexpr.sub a b) Le
 let lt a b = make (Linexpr.sub a b) Lt
@@ -42,6 +101,8 @@ let gt a b = lt b a
 let expr t = t.expr
 let op t = t.op
 let vars t = Linexpr.vars t.expr
+let hash t = t.hkey
+let tag t = t.tag
 
 let holds t env =
   let v = Linexpr.eval t.expr env in
@@ -72,10 +133,13 @@ let is_trivial t =
   else None
 
 let compare a b =
-  let c = Stdlib.compare a.op b.op in
-  if c <> 0 then c else Linexpr.compare a.expr b.expr
+  if a == b then 0
+  else begin
+    let c = Stdlib.compare a.op b.op in
+    if c <> 0 then c else Linexpr.compare a.expr b.expr
+  end
 
-let equal a b = compare a b = 0
+let equal a b = a == b || (a.hkey = b.hkey && a.op = b.op && Linexpr.equal a.expr b.expr)
 
 let pp fmt t =
   let opstr = match t.op with Le -> "<=" | Lt -> "<" | Eq -> "=" in

@@ -1,17 +1,23 @@
 (** Atomic linear constraints in the normal form [e <= 0], [e < 0] or
     [e = 0], kept with primitive integer coefficients so that syntactically
-    equal constraints are structurally equal. *)
+    equal constraints are structurally equal.
+
+    Values are hash-consed (like {!Linexpr}): equal constraints are
+    physically equal while alive, [equal]/[compare]/[hash] have O(1) fast
+    paths, and [tag] identifies the interned node for memo keys. *)
 
 open Cqa_arith
 open Cqa_logic
 
 type op = Le | Lt | Eq
 
-type t = private { expr : Linexpr.t; op : op }
+type t
 
 val make : Linexpr.t -> op -> t
 (** Normalizes: scales to primitive integer coefficients; [Eq] additionally
-    gets a positive leading coefficient. *)
+    gets a positive leading coefficient.  Memoized on the interned input
+    expression, so repeated normalization of the same expression is a table
+    lookup. *)
 
 val le : Linexpr.t -> Linexpr.t -> t
 (** [le a b] is [a <= b]. *)
@@ -39,4 +45,15 @@ val is_trivial : t -> bool option
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Structural hash, precomputed at construction: O(1). *)
+
+val tag : t -> int
+(** Unique id of the interned node (two live constraints share a tag iff
+    they are equal); the key the QE satisfiability memo is built on. *)
+
+val pool_size : unit -> int
+(** Number of live interned constraints. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,31 +1,84 @@
 open Cqa_arith
 open Cqa_logic
 
-type t = { const : Q.t; coeffs : Q.t Var.Map.t }
-(* Invariant: no zero entries in [coeffs]. *)
+(* Hash-consed linear expressions.  Every value is interned in a weak pool,
+   so structurally equal expressions are physically equal while alive: the
+   QE and volume layers compare, hash and dedup expressions constantly, and
+   interning turns those from O(terms) walks into pointer operations.  The
+   structural hash is computed once at construction and stored in [hkey];
+   [tag] is a unique id of the interned node, usable as a memo key.
 
-let zero = { const = Q.zero; coeffs = Var.Map.empty }
-let const c = { const = c; coeffs = Var.Map.empty }
+   Invariant: no zero entries in [coeffs]. *)
+type t = { const : Q.t; coeffs : Q.t Var.Map.t; hkey : int; tag : int }
+
+let compute_hash const coeffs =
+  Var.Map.fold
+    (fun v c acc -> ((acc * 65599) lxor Hashtbl.hash v) lxor Q.hash c)
+    coeffs (Q.hash const)
+  land max_int
+
+module Node = struct
+  type nonrec t = t
+
+  let equal a b =
+    a.hkey = b.hkey
+    && Q.equal a.const b.const
+    && Var.Map.equal Q.equal a.coeffs b.coeffs
+
+  let hash a = a.hkey
+end
+
+module Pool = Weak.Make (Node)
+
+(* The pool is shared across domains (the exact-volume engine evaluates
+   disjuncts in parallel); all accesses are under [pool_lock].  A node's
+   [tag] is only spent when the node is actually interned. *)
+let pool = Pool.create 4096
+let pool_lock = Mutex.create ()
+let tag_counter = ref 0
+
+let mk const coeffs =
+  let hkey = compute_hash const coeffs in
+  Mutex.lock pool_lock;
+  let node = { const; coeffs; hkey; tag = !tag_counter + 1 } in
+  let r = Pool.merge pool node in
+  if r == node then incr tag_counter;
+  Mutex.unlock pool_lock;
+  r
+
+let pool_size () =
+  Mutex.lock pool_lock;
+  let n = Pool.count pool in
+  Mutex.unlock pool_lock;
+  n
+
+let hash a = a.hkey
+let tag a = a.tag
+
+let zero = mk Q.zero Var.Map.empty
+let const c = if Q.is_zero c then zero else mk c Var.Map.empty
 let of_int n = const (Q.of_int n)
 
 let monomial c v =
-  if Q.is_zero c then zero
-  else { const = Q.zero; coeffs = Var.Map.singleton v c }
+  if Q.is_zero c then zero else mk Q.zero (Var.Map.singleton v c)
 
 let var v = monomial Q.one v
 
 let add a b =
-  { const = Q.add a.const b.const;
-    coeffs =
-      Var.Map.union
-        (fun _ x y ->
-          let s = Q.add x y in
-          if Q.is_zero s then None else Some s)
-        a.coeffs b.coeffs }
+  if a == zero then b
+  else if b == zero then a
+  else
+    mk (Q.add a.const b.const)
+      (Var.Map.union
+         (fun _ x y ->
+           let s = Q.add x y in
+           if Q.is_zero s then None else Some s)
+         a.coeffs b.coeffs)
 
 let smul c a =
   if Q.is_zero c then zero
-  else { const = Q.mul c a.const; coeffs = Var.Map.map (Q.mul c) a.coeffs }
+  else if Q.equal c Q.one then a
+  else mk (Q.mul c a.const) (Var.Map.map (Q.mul c) a.coeffs)
 
 let neg a = smul Q.minus_one a
 let sub a b = add a (neg b)
@@ -45,21 +98,20 @@ let eval a env =
     a.coeffs a.const
 
 let eval_partial a env =
-  Var.Map.fold
-    (fun v c acc ->
-      match Var.Map.find_opt v env with
-      | Some x -> { acc with const = Q.add acc.const (Q.mul c x) }
-      | None ->
-          { acc with coeffs = Var.Map.add v c acc.coeffs })
-    a.coeffs (const a.const)
+  let const', coeffs' =
+    Var.Map.fold
+      (fun v c (k, m) ->
+        match Var.Map.find_opt v env with
+        | Some x -> (Q.add k (Q.mul c x), m)
+        | None -> (k, Var.Map.add v c m))
+      a.coeffs (a.const, Var.Map.empty)
+  in
+  mk const' coeffs'
 
 let subst a x e =
   let c = coeff a x in
   if Q.is_zero c then a
-  else begin
-    let without = { a with coeffs = Var.Map.remove x a.coeffs } in
-    add without (smul c e)
-  end
+  else add (mk a.const (Var.Map.remove x a.coeffs)) (smul c e)
 
 let rename rn a =
   Var.Map.fold
@@ -70,15 +122,25 @@ let solve_for a x =
   let c = coeff a x in
   if Q.is_zero c then None
   else begin
-    let rest = { a with coeffs = Var.Map.remove x a.coeffs } in
+    let rest = mk a.const (Var.Map.remove x a.coeffs) in
     Some (smul (Q.neg (Q.inv c)) rest)
   end
 
 let compare a b =
-  let c = Q.compare a.const b.const in
-  if c <> 0 then c else Var.Map.compare Q.compare a.coeffs b.coeffs
+  if a == b then 0
+  else begin
+    let c = Q.compare a.const b.const in
+    if c <> 0 then c else Var.Map.compare Q.compare a.coeffs b.coeffs
+  end
 
-let equal a b = compare a b = 0
+(* Interning makes structural equality coincide with physical equality for
+   live nodes; the structural fallback (guarded by the precomputed hash)
+   keeps [equal] correct even for values from distinct intern generations. *)
+let equal a b =
+  a == b
+  || (a.hkey = b.hkey
+     && Q.equal a.const b.const
+     && Var.Map.equal Q.equal a.coeffs b.coeffs)
 
 let pp fmt a =
   let items = Var.Map.bindings a.coeffs in

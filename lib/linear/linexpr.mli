@@ -1,5 +1,9 @@
 (** Linear expressions [c0 + sum ci * xi] with exact rational coefficients:
-    the terms of the R_lin signature [(+, -, 0, 1, <)]. *)
+    the terms of the R_lin signature [(+, -, 0, 1, <)].
+
+    Values are hash-consed: structurally equal expressions are physically
+    equal while alive, [equal] and [compare] have O(1) physical fast paths,
+    and [hash] returns a structural hash precomputed at construction. *)
 
 open Cqa_arith
 open Cqa_logic
@@ -42,6 +46,17 @@ val solve_for : t -> Var.t -> t option
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Structural hash, precomputed at construction: O(1). *)
+
+val tag : t -> int
+(** Unique id of the interned node, stable for its lifetime; usable as a
+    memoization key (two live expressions share a tag iff they are equal). *)
+
+val pool_size : unit -> int
+(** Number of live interned expressions (the weak pool's population). *)
+
 val pp : Format.formatter -> t -> unit
 
 val of_list : Q.t -> (Q.t * Var.t) list -> t

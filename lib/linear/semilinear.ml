@@ -123,8 +123,20 @@ let enumerate_finite a =
       coords 0 []
     end
   in
+  (* Lexicographic comparison through [Q.compare]: the polymorphic compare
+     would order rationals by representation (two-tier integers), not by
+     value. *)
+  let cmp_pt (p : Q.t array) (q : Q.t array) =
+    let rec go i =
+      if i >= Array.length p then 0
+      else
+        let c = Q.compare p.(i) q.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  in
   let rec go acc = function
-    | [] -> Some (List.sort_uniq Stdlib.compare (List.rev acc))
+    | [] -> Some (List.sort_uniq cmp_pt (List.rev acc))
     | conj :: rest -> (
         match point_of conj with
         | None -> None
@@ -171,7 +183,7 @@ let last_axis_cell a pt =
       | Some c -> Cell1.union acc (Cell1.of_constraints last c))
     Cell1.empty a.dnf
 
-let bounding_box a =
+let bounding_box_raw a =
   if a.dnf = [] then None
   else begin
     let n = dim a in
@@ -199,6 +211,42 @@ let bounding_box a =
          disjuncts were infeasible *)
       None
     else Some (Array.map (function Some r -> r | None -> assert false) ranges)
+  end
+
+(* Bounding boxes cost two LPs per (disjunct, dimension); the volume sweep
+   recomputes them for the same sets at every level (breakpoints, then each
+   recursive section).  Constraints are interned, and the box is invariant
+   under both disjunct order and atom order (ranges merge by min/max), so
+   the canonical tag key is sound.  Mutex-guarded for the domain-parallel
+   volume engine; reset when it outgrows its capacity. *)
+let bbox_memo : (Var.t list * int list list, (Q.t * Q.t) array option) Hashtbl.t =
+  Hashtbl.create 256
+
+let bbox_lock = Mutex.create ()
+let bbox_memo_cap = 16384
+
+let bounding_box a =
+  if a.dnf = [] then None
+  else begin
+    let key =
+      ( Array.to_list a.vars,
+        List.sort compare
+          (List.map
+             (fun conj -> List.sort_uniq Int.compare (List.map Linconstr.tag conj))
+             a.dnf) )
+    in
+    Mutex.lock bbox_lock;
+    let cached = Hashtbl.find_opt bbox_memo key in
+    Mutex.unlock bbox_lock;
+    match cached with
+    | Some r -> r
+    | None ->
+        let r = bounding_box_raw a in
+        Mutex.lock bbox_lock;
+        if Hashtbl.length bbox_memo >= bbox_memo_cap then Hashtbl.reset bbox_memo;
+        Hashtbl.replace bbox_memo key r;
+        Mutex.unlock bbox_lock;
+        r
   end
 
 let is_bounded a = is_empty a || bounding_box a <> None

@@ -329,3 +329,8 @@ let range e constraints =
       | Optimal (hi, _) -> Some (Some lo, Some hi)
       | Unbounded -> Some (Some lo, None)
       | Infeasible -> assert false)
+
+let implied context atom =
+  List.for_all
+    (fun n -> Option.is_none (strictly_feasible (n :: context)))
+    (Linconstr.negate atom)

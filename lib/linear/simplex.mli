@@ -33,3 +33,9 @@ val range : Linexpr.t -> Linconstr.t list -> (Q.t option * Q.t option) option
     otherwise [Some (lo, hi)] where [lo]/[hi] are the exact minimum/maximum
     of [e] over the solution set ([None] = unbounded on that side).
     @raise Invalid_argument on a strict constraint. *)
+
+val implied : Linconstr.t list -> Linconstr.t -> bool
+(** [implied context atom]: every real point satisfying [context] satisfies
+    [atom] — i.e. each disjunct of [atom]'s negation is unsatisfiable
+    together with [context].  Exact, hence usable as a redundancy oracle
+    without changing QE results. *)

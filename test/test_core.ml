@@ -377,6 +377,66 @@ let test_volume_approx_domains () =
         (abs_float (Q.to_float est -. truth) < 0.06))
     fa
 
+
+let test_volume_domains () =
+  (* the parallel exact-volume engine must be value-identical to the
+     sequential one for every domain count *)
+  for _ = 1 to 12 do
+    let s = rand_union () in
+    let v1 = Volume_exact.volume_sweep ~domains:1 s in
+    List.iter
+      (fun k ->
+        check "sweep domains" true
+          (Q.equal v1 (Volume_exact.volume_sweep ~domains:k s)))
+      [ 2; 4 ];
+    let w1 = Volume_exact.volume_incl_excl ~domains:1 s in
+    List.iter
+      (fun k ->
+        check "incl-excl domains" true
+          (Q.equal w1 (Volume_exact.volume_incl_excl ~domains:k s)))
+      [ 2; 4 ];
+    check "sweep = incl-excl (parallel)" true (Q.equal v1 w1);
+    let c1 = Volume_exact.volume_clamped ~domains:1 s in
+    check "clamped domains" true
+      (Q.equal c1 (Volume_exact.volume_clamped ~domains:4 s))
+  done;
+  (* parametric sections too *)
+  for _ = 1 to 6 do
+    let s = rand_union () in
+    let f1 = Volume_param.section_volume_function ~domains:1 s in
+    let f4 = Volume_param.section_volume_function ~domains:4 s in
+    check_int "same piece count" (List.length f1) (List.length f4);
+    check "same integral" true
+      (Q.equal (Volume_param.integrate f1) (Volume_param.integrate f4));
+    List.iter2
+      (fun p1 p4 ->
+        check "same piece bounds" true
+          (Q.equal p1.Volume_param.lo p4.Volume_param.lo
+          && Q.equal p1.Volume_param.hi p4.Volume_param.hi))
+      f1 f4
+  done
+
+let test_arrangement_vertices () =
+  let tri = Semilinear.of_conjunction dv2 tri_conj in
+  let verts = Volume_exact.arrangement_vertices tri in
+  (* 3 hyperplanes in dimension 2, all pairs independent: 3 vertices *)
+  check_int "triangle vertex count" 3 (List.length verts);
+  let expect = [ (Q.zero, Q.zero); (Q.zero, q 2); (q 2, Q.zero) ] in
+  List.iter
+    (fun (a, b) ->
+      check "vertex present" true
+        (List.exists (fun v -> Q.equal v.(0) a && Q.equal v.(1) b) verts))
+    expect;
+  (* the advisory subset limit only warns: results are unchanged *)
+  let dflt = Volume_exact.get_max_arrangement_subsets () in
+  Volume_exact.set_max_arrangement_subsets 1;
+  let verts' = Volume_exact.arrangement_vertices tri in
+  Volume_exact.set_max_arrangement_subsets dflt;
+  check_int "guarded run identical" (List.length verts) (List.length verts');
+  List.iter2
+    (fun v w -> check "guarded vertices equal" true (Qmat.vec_equal v w))
+    verts verts'
+
 let test_trivial_approx () =
   let tri = Semilinear.of_conjunction dv2 tri_conj in
   check "nontrivial 1/2" true (Q.equal (Trivial_approx.trivial_approx tri) Q.one);
@@ -763,6 +823,8 @@ let () =
           Alcotest.test_case "approx semialg" `Quick test_volume_approx;
           Alcotest.test_case "approx query" `Quick test_volume_approx_query;
           Alcotest.test_case "approx domains" `Quick test_volume_approx_domains;
+          Alcotest.test_case "exact volume domains" `Quick test_volume_domains;
+          Alcotest.test_case "arrangement vertices" `Quick test_arrangement_vertices;
           Alcotest.test_case "trivial approx" `Quick test_trivial_approx;
           Alcotest.test_case "mu" `Quick test_mu;
           Alcotest.test_case "variable independence" `Quick test_var_indep ] );

@@ -588,6 +588,95 @@ let test_active_eval () =
   check "avg empty" true
     (Active_eval.avg inst x (Formula.And (Formula.Rel ("U", [ x ]), Formula.Atom (Linconstr.gt ex (Linexpr.const (q 9))))) = None)
 
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consing and redundancy pruning                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_interning () =
+  for _ = 1 to 200 do
+    let c = q (Random.State.int rng 11 - 5) in
+    let coefs =
+      List.filter_map
+        (fun v ->
+          let k = Random.State.int rng 7 - 3 in
+          if k = 0 then None else Some (q k, v))
+        [ x; y; z ]
+    in
+    let e1 = Linexpr.of_list c coefs in
+    let e2 = Linexpr.of_list c coefs in
+    check "expr interned" true (e1 == e2);
+    check "expr equal" true (Linexpr.equal e1 e2);
+    check_int "expr compare" 0 (Linexpr.compare e1 e2);
+    check_int "expr hash" (Linexpr.hash e1) (Linexpr.hash e2);
+    check_int "expr tag" (Linexpr.tag e1) (Linexpr.tag e2);
+    let a1 = Linconstr.make e1 Linconstr.Le in
+    let a2 = Linconstr.make e2 Linconstr.Le in
+    check "constr interned" true (a1 == a2);
+    check "constr equal" true (Linconstr.equal a1 a2);
+    check_int "constr compare" 0 (Linconstr.compare a1 a2);
+    check_int "constr tag" (Linconstr.tag a1) (Linconstr.tag a2);
+    (* interning respects the algebra: a rebuilt sum lands on the same node *)
+    let sum = Linexpr.add e1 (Linexpr.var x) in
+    let sum' = Linexpr.add (Linexpr.var x) e2 in
+    check "add interned" true (sum == sum');
+    (* distinct ops stay distinct *)
+    let b = Linconstr.make e1 Linconstr.Lt in
+    check "op distinguishes" false (Linconstr.equal a1 b)
+  done;
+  (* observational equality: fresh vs interned evaluate identically *)
+  for _ = 1 to 100 do
+    let a = rand_atom [ x; y ] in
+    let a' = Linconstr.make (Linconstr.expr a) (Linconstr.op a) in
+    check "renormalization is stable" true (a == a');
+    List.iter
+      (fun (vx, vy) ->
+        let env = Var.Map.(add x vx (add y vy empty)) in
+        check "holds agree" (Linconstr.holds a env) (Linconstr.holds a' env))
+      (List.filteri (fun i _ -> i mod 13 = 0) grid2)
+  done
+
+let test_prune_simplex_agrees () =
+  for _ = 1 to 60 do
+    let conj = rand_conj [ x; y; z ] (2 + Random.State.int rng 6) in
+    if Fourier_motzkin.satisfiable_conj conj then begin
+      let p_fm = Fourier_motzkin.prune_redundant conj in
+      let p_sx = Fourier_motzkin.prune_redundant_simplex conj in
+      check_int "same length" (List.length p_fm) (List.length p_sx);
+      List.iter2
+        (fun a b -> check "same atoms kept" true (Linconstr.equal a b))
+        p_fm p_sx;
+      (* the pruned conjunction is still equivalent pointwise *)
+      List.iter
+        (fun (vx, vy) ->
+          let env = Var.Map.(add x vx (add y vy (add z Q.zero empty))) in
+          let holds c = List.for_all (fun a -> Linconstr.holds a env) c in
+          check "pointwise preserved" (holds conj) (holds p_sx))
+        (List.filteri (fun i _ -> i mod 7 = 0) grid2);
+      check "satisfiability preserved" true
+        (Fourier_motzkin.satisfiable_conj p_sx)
+    end
+  done
+
+let test_sat_memo () =
+  Fourier_motzkin.clear_qe_cache ();
+  check_int "sat cache cleared" 0 (Fourier_motzkin.sat_cache_size ());
+  let verdicts = ref [] in
+  for _ = 1 to 30 do
+    let conj = rand_conj [ x; y ] (1 + Random.State.int rng 4) in
+    verdicts := (conj, Fourier_motzkin.satisfiable_conj conj) :: !verdicts
+  done;
+  check "sat cache populated" true (Fourier_motzkin.sat_cache_size () > 0);
+  (* warm verdicts agree with the recorded cold ones, in any atom order *)
+  List.iter
+    (fun (conj, v) ->
+      check "warm verdict" v (Fourier_motzkin.satisfiable_conj conj);
+      check "order-independent" v
+        (Fourier_motzkin.satisfiable_conj (List.rev conj)))
+    !verdicts;
+  Fourier_motzkin.clear_qe_cache ();
+  check_int "clear drops sat memo" 0 (Fourier_motzkin.sat_cache_size ())
+
 let () =
   Alcotest.run "cqa_linear"
     [ ( "linexpr",
@@ -609,6 +698,10 @@ let () =
           Alcotest.test_case "qe memo agrees with cold" `Quick
             test_qe_memo_agrees_with_cold;
           Alcotest.test_case "qe memo eviction" `Quick test_qe_memo_eviction ] );
+      ( "hash-consing",
+        [ Alcotest.test_case "interning" `Quick test_interning;
+          Alcotest.test_case "simplex prune agrees" `Quick test_prune_simplex_agrees;
+          Alcotest.test_case "sat memo" `Quick test_sat_memo ] );
       ( "simplex",
         [ Alcotest.test_case "known LPs" `Quick test_simplex_known;
           Alcotest.test_case "vs FM random" `Quick test_simplex_vs_fm_random ] );
