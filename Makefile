@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke verify clean
+.PHONY: all build test bench bench-smoke verify lint clean
 
 all: build
 
@@ -16,6 +16,22 @@ bench:
 # runs and emits JSON, without disturbing the committed BENCH.json.
 bench-smoke:
 	BENCH_SMOKE=1 BENCH_JSON=BENCH_smoke.json dune exec bench/main.exe
+
+# Static-analysis gate: the built-in workload corpus and every good_*.cq
+# example must analyze without errors; every bad_*.cq example must trip a
+# diagnostic under --deny-warnings (each seeds a distinct failure).
+lint: build
+	dune exec bin/cqa.exe -- analyze --corpus > /dev/null
+	@set -e; for f in examples/queries/good_*.cq; do \
+	  echo "lint $$f"; \
+	  dune exec bin/cqa.exe -- analyze --file $$f > /dev/null; \
+	done
+	@set -e; for f in examples/queries/bad_*.cq; do \
+	  echo "lint $$f (expect diagnostics)"; \
+	  if dune exec bin/cqa.exe -- analyze --deny-warnings --file $$f > /dev/null 2>&1; \
+	  then echo "FAIL: expected diagnostics in $$f"; exit 1; fi; \
+	done
+	@echo "lint OK"
 
 # The tier-1 gate: build, test suite, benchmark smoke run.
 verify: build test bench-smoke

@@ -170,10 +170,191 @@ let qe_cmd =
        ~doc:"Quantifier elimination of an FO + LIN formula (Fourier-Motzkin).")
     Term.(const run $ formula)
 
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let schema_of_spec spec =
+  let parts =
+    String.split_on_char ',' spec
+    |> List.concat_map (String.split_on_char ' ')
+    |> List.filter (fun s -> String.trim s <> "")
+  in
+  let parse_one part =
+    match String.split_on_char ':' (String.trim part) with
+    | [ name; arity ] -> (
+        match int_of_string_opt (String.trim arity) with
+        | Some a when a > 0 -> (String.trim name, a)
+        | _ -> failwith (Printf.sprintf "bad arity in schema entry %S" part))
+    | _ -> failwith (Printf.sprintf "bad schema entry %S (want Name:arity)" part)
+  in
+  Schema.of_list (List.map parse_one parts)
+
+(* .cq files: '#' lines are comments, a '# schema: U:1 P:2' line declares
+   relation arities, the remaining lines joined are the query text. *)
+let read_cq path =
+  let ic = open_in path in
+  let schema = ref None in
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       let line = input_line ic in
+       let trimmed = String.trim line in
+       if String.length trimmed > 0 && trimmed.[0] = '#' then (
+         let body = String.sub trimmed 1 (String.length trimmed - 1) in
+         let body = String.trim body in
+         if String.length body >= 7 && String.sub body 0 7 = "schema:" then
+           schema :=
+             Some (String.sub body 7 (String.length body - 7) |> String.trim))
+       else (
+         Buffer.add_string buf line;
+         Buffer.add_char buf ' ')
+     done
+   with End_of_file -> close_in ic);
+  (Buffer.contents buf, !schema)
+
+let parse_target src =
+  match Parser.formula_of_string src with
+  | f -> Ok (Cqa_analysis.Analyzer.Formula f)
+  | exception Parser.Parse_error e1 -> (
+      match Parser.term_of_string src with
+      | t -> Ok (Cqa_analysis.Analyzer.Term t)
+      | exception Parser.Parse_error e2 -> Error (e1, e2))
+
+let analyze_cmd =
+  let open Cqa_analysis in
+  let query =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:
+            "Query text: an FO + POLY + SUM formula or term (same syntax as \
+             $(b,qe), plus 'SUM { w | guard | END(y . body) } (x . gamma)').")
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:
+            "Read the query from a .cq file: '#' lines are comments, a '# \
+             schema: U:1 P:2' line declares relation arities.")
+  in
+  let corpus =
+    Arg.(
+      value & flag
+      & info [ "corpus" ]
+          ~doc:"Analyze every built-in workload query instead of one query.")
+  in
+  let schema =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schema" ] ~docv:"SPEC"
+          ~doc:"Relation arities, e.g. 'U:1,P:2' (overrides the file header).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
+      & info [ "format" ] ~doc:"Output format: $(b,human) or $(b,json).")
+  in
+  let deny =
+    Arg.(
+      value & flag
+      & info [ "deny-warnings" ] ~doc:"Exit nonzero on warnings too.")
+  in
+  let show_info =
+    Arg.(
+      value & flag
+      & info [ "show-info" ]
+          ~doc:"Include info-level diagnostics in human output.")
+  in
+  let endpoints =
+    Arg.(
+      value & opt int 8
+      & info [ "endpoints" ] ~docv:"N"
+          ~doc:"Assumed END endpoint-set size for the cost projection.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 1e6
+      & info [ "threshold" ] ~docv:"X"
+          ~doc:"Projected-blowup warning threshold.")
+  in
+  let run query file corpus schema format deny show_info endpoints threshold =
+    let options = { Analyzer.endpoints; threshold } in
+    let analyze_one ?db name target =
+      let r = Analyzer.analyze ?db ~options target in
+      (match format with
+      | `Human ->
+          if name <> "" then Format.printf "== %s ==@." name;
+          Format.printf "%a@." (fun fmt -> Analyzer.pp_result ~show_info fmt) r
+      | `Json -> print_endline (Analyzer.result_to_json r));
+      Analyzer.ok ~deny_warnings:deny r
+    in
+    if corpus then (
+      let all_ok =
+        List.fold_left
+          (fun acc (name, tgt, db) ->
+            let target =
+              match tgt with
+              | `F f -> Analyzer.Formula f
+              | `T t -> Analyzer.Term t
+            in
+            analyze_one ?db name target && acc)
+          true
+          (Paper_examples.analysis_corpus ())
+      in
+      if not all_ok then exit 1)
+    else
+      let src, schema_spec =
+        match (query, file) with
+        | Some q, None -> (q, schema)
+        | None, Some path ->
+            let src, file_schema = read_cq path in
+            (src, if schema <> None then schema else file_schema)
+        | Some _, Some _ ->
+            Format.eprintf "give either QUERY or --file, not both@.";
+            exit 2
+        | None, None ->
+            Format.eprintf "nothing to analyze: give QUERY or --file@.";
+            exit 2
+      in
+      let db =
+        match schema_spec with
+        | None -> None
+        | Some spec -> (
+            match schema_of_spec spec with
+            | s -> Some (Db.empty s)
+            | exception Failure msg ->
+                Format.eprintf "schema error: %s@." msg;
+                exit 2)
+      in
+      match parse_target src with
+      | Error (e1, e2) ->
+          Format.eprintf "parse error (as formula): %s@." e1;
+          Format.eprintf "parse error (as term):    %s@." e2;
+          exit 2
+      | Ok target -> if not (analyze_one ?db "" target) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static analysis: fragment classification, scope and \
+          range-restriction diagnostics, QE cost projection, dispatch hint.")
+    Term.(
+      const run $ query $ file $ corpus $ schema $ format $ deny $ show_info
+      $ endpoints $ threshold)
+
 let main =
   Cmd.group
     (Cmd.info "cqa" ~version:"1.0"
        ~doc:"Exact and approximate aggregation in constraint query languages.")
-    [ experiments_cmd; volume_cmd; approx_cmd; vcdim_cmd; area_cmd; qe_cmd ]
+    [
+      experiments_cmd; volume_cmd; approx_cmd; vcdim_cmd; area_cmd; qe_cmd;
+      analyze_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,47 @@
+(** The analyzer driver: runs the scope, fragment, range-restriction and
+    cost passes (plus {!Cqa_core.Safety} as the safety pass when a database
+    is supplied) over a formula or term and aggregates their diagnostics
+    into one report.
+
+    {!Cqa_core.Safety} stays the dependency-light well-formedness kernel;
+    this module is the full static analyzer layered on top of it (the
+    dependency arrow points from analyzer to kernel, so [Eval] keeps
+    depending only on [Safety]). *)
+
+open Cqa_core
+
+type target = Formula of Ast.formula | Term of Ast.term
+
+type options = {
+  endpoints : int;  (** assumed END endpoint-set size for cost projection *)
+  threshold : float;  (** blowup warning threshold *)
+}
+
+val default_options : options
+
+type result = {
+  target : target;
+  diagnostics : Diagnostic.t list;  (** all passes, sorted by severity *)
+  scope : Scope.report;
+  classification : Fragment.classification;
+  hint : Dispatch.hint;  (** routing decision, = [classification.hint] *)
+  cost : Cost.estimate;
+}
+
+val analyze : ?db:Db.t -> ?options:options -> target -> result
+(** Never raises on any well-typed AST. *)
+
+val analyze_formula : ?db:Db.t -> ?options:options -> Ast.formula -> result
+val analyze_term : ?db:Db.t -> ?options:options -> Ast.term -> result
+
+val error_count : result -> int
+val warning_count : result -> int
+
+val ok : ?deny_warnings:bool -> result -> bool
+(** No errors (and, with [deny_warnings], no warnings either). *)
+
+val pp_result : ?show_info:bool -> Format.formatter -> result -> unit
+(** Human rendering: summary header then diagnostics ([Info] entries only
+    with [show_info]). *)
+
+val result_to_json : result -> string

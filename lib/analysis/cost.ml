@@ -1,0 +1,147 @@
+open Cqa_logic
+open Cqa_core
+open Cqa_vc
+
+type estimate = {
+  atoms : int;
+  quantifiers : int;
+  free_var_count : int;
+  sum_count : int;
+  tuple_width : int;
+  endpoints_assumed : int;
+  projected_qe_atoms : float;
+  projected_sum_points : float;
+  km : Bounds.km_size option;
+}
+
+(* (atoms, quantifiers, sums, tuple width) *)
+let rec f_stats (f : Ast.formula) =
+  match f with
+  | Ast.True | Ast.False -> (0, 0, 0, 0)
+  | Ast.Rel _ -> (1, 0, 0, 0)
+  | Ast.Cmp (_, a, b) ->
+      let x = add4 (t_stats a) (t_stats b) in
+      add4 (1, 0, 0, 0) x
+  | Ast.Not g -> f_stats g
+  | Ast.And (g, h) | Ast.Or (g, h) -> add4 (f_stats g) (f_stats h)
+  | Ast.Exists (_, g) | Ast.Forall (_, g) -> add4 (0, 1, 0, 0) (f_stats g)
+
+and t_stats (t : Ast.term) =
+  match t with
+  | Ast.Const _ | Ast.TVar _ -> (0, 0, 0, 0)
+  | Ast.Add (a, b) | Ast.Mul (a, b) -> add4 (t_stats a) (t_stats b)
+  | Ast.Sum s ->
+      add4
+        (0, 0, 1, List.length s.Ast.w)
+        (add4 (f_stats s.Ast.guard)
+           (add4 (f_stats s.Ast.gamma) (f_stats s.Ast.end_body)))
+
+and add4 (a, b, c, d) (a', b', c', d') = (a + a', b + b', c + c', d + d')
+
+(* Fourier-Motzkin worst case: eliminating one variable from m constraints
+   can leave floor(m/2)*ceil(m/2) <= m^2/4 of them. *)
+let qe_projection ~atoms ~quantifiers =
+  let m = ref (float_of_int (max 2 atoms)) in
+  for _ = 1 to quantifiers do
+    if !m < 1e150 then m := Float.max !m (!m *. !m /. 4.)
+  done;
+  !m
+
+let build ~endpoints ~free_var_count (atoms, quantifiers, sum_count, tuple_width)
+    =
+  let projected_qe_atoms = qe_projection ~atoms ~quantifiers in
+  let projected_sum_points =
+    if sum_count = 0 then 0.
+    else float_of_int endpoints ** float_of_int tuple_width
+  in
+  let km =
+    if free_var_count = 0 then None
+    else
+      Some
+        (Bounds.km_formula_size ~eps:0.1 ~delta:0.25
+           ~vc_dim:(free_var_count + 2) ~m:free_var_count
+           ~atoms_in_phi:(max 1 atoms))
+  in
+  {
+    atoms;
+    quantifiers;
+    free_var_count;
+    sum_count;
+    tuple_width;
+    endpoints_assumed = endpoints;
+    projected_qe_atoms;
+    projected_sum_points;
+    km;
+  }
+
+let estimate_formula ?(endpoints = 8) f =
+  build ~endpoints
+    ~free_var_count:(Var.Set.cardinal (Ast.free_vars f))
+    (f_stats f)
+
+let estimate_term ?(endpoints = 8) t =
+  build ~endpoints
+    ~free_var_count:(Var.Set.cardinal (Ast.term_free_vars t))
+    (t_stats t)
+
+let check ?(threshold = 1e6) e =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  if e.projected_qe_atoms > threshold then
+    add
+      (Diagnostic.warning ~code:"qe-blowup" ~path:[]
+         "projected quantifier-elimination blowup: eliminating %d quantifiers \
+          from %d atoms can reach ~%.2g constraints (threshold %.2g); \
+          consider the Theorem 4 sampling estimator"
+         e.quantifiers e.atoms e.projected_qe_atoms threshold);
+  if e.projected_sum_points > threshold then
+    add
+      (Diagnostic.warning ~code:"sum-blowup" ~path:[]
+         "projected summation enumeration: %d tuple variables over ~%d \
+          endpoints each is ~%.2g index points (threshold %.2g)"
+         e.tuple_width e.endpoints_assumed e.projected_sum_points threshold);
+  (match e.km with
+  | Some km ->
+      add
+        (Diagnostic.info ~code:"cost" ~path:[]
+           "%d atoms, %d quantifiers; projected QE atoms %.2g; a \
+            derandomized eps=1/10 approximation would need ~%.2g atoms and \
+            ~%.2g quantified reals (Section 3 model)"
+           e.atoms e.quantifiers e.projected_qe_atoms km.Bounds.atoms
+           km.Bounds.quantifiers)
+  | None ->
+      add
+        (Diagnostic.info ~code:"cost" ~path:[]
+           "%d atoms, %d quantifiers; projected QE atoms %.2g"
+           e.atoms e.quantifiers e.projected_qe_atoms));
+  List.rev !diags
+
+let pp_estimate fmt e =
+  Format.fprintf fmt
+    "%d atoms, %d quantifiers, %d free vars; projected QE atoms %.3g" e.atoms
+    e.quantifiers e.free_var_count e.projected_qe_atoms;
+  if e.sum_count > 0 then
+    Format.fprintf fmt
+      "; %d summations (tuple width %d, ~%.3g index points at %d endpoints)"
+      e.sum_count e.tuple_width e.projected_sum_points e.endpoints_assumed;
+  match e.km with
+  | Some km ->
+      Format.fprintf fmt
+        "; KM approximation ~%.3g atoms / ~%.3g quantified reals"
+        km.Bounds.atoms km.Bounds.quantifiers
+  | None -> ()
+
+let estimate_to_json e =
+  let km_json =
+    match e.km with
+    | None -> "null"
+    | Some km ->
+        Printf.sprintf
+          {|{"sample_size":%d,"sample_vars":%d,"translates":%d,"quantifiers":%g,"atoms":%g}|}
+          km.Bounds.sample_size km.Bounds.sample_vars km.Bounds.translates
+          km.Bounds.quantifiers km.Bounds.atoms
+  in
+  Printf.sprintf
+    {|{"atoms":%d,"quantifiers":%d,"free_vars":%d,"sum_count":%d,"tuple_width":%d,"endpoints_assumed":%d,"projected_qe_atoms":%g,"projected_sum_points":%g,"km":%s}|}
+    e.atoms e.quantifiers e.free_var_count e.sum_count e.tuple_width
+    e.endpoints_assumed e.projected_qe_atoms e.projected_sum_points km_json

@@ -1,0 +1,36 @@
+(** Pass 4: cost estimation.
+
+    Projects the quantifier-elimination blowup in the spirit of Section 3:
+    Fourier-Motzkin can square the constraint count at every eliminated
+    variable (m -> m^2/4), and naive summation enumerates the END endpoint
+    grid, |endpoints|^|tuple| points.  Both projections are crude upper
+    bounds meant to flag queries whose exact evaluation is about to explode;
+    the Kearns-Mansour style sampling size from {!Cqa_vc.Bounds} is reported
+    alongside as the Theorem 4 alternative. *)
+
+open Cqa_core
+open Cqa_vc
+
+type estimate = {
+  atoms : int;
+  quantifiers : int;
+  free_var_count : int;
+  sum_count : int;
+  tuple_width : int;  (** total summation tuple width, nested sums included *)
+  endpoints_assumed : int;
+  projected_qe_atoms : float;
+  projected_sum_points : float;
+  km : Bounds.km_size option;
+      (** sampling alternative, present when the query has free variables *)
+}
+
+val estimate_formula : ?endpoints:int -> Ast.formula -> estimate
+val estimate_term : ?endpoints:int -> Ast.term -> estimate
+(** [endpoints] is the assumed size of each END endpoint set (default 8). *)
+
+val check : ?threshold:float -> estimate -> Diagnostic.t list
+(** [qe-blowup] / [sum-blowup] warnings when a projection exceeds
+    [threshold] (default [1e6]); always an [Info] with the numbers. *)
+
+val pp_estimate : Format.formatter -> estimate -> unit
+val estimate_to_json : estimate -> string

@@ -1,0 +1,268 @@
+open Cqa_logic
+open Cqa_poly
+open Cqa_core
+
+type frag = Lin | Poly | Sum
+
+let fragment_name = function
+  | Lin -> "FO+LIN"
+  | Poly -> "FO+POLY"
+  | Sum -> "FO+POLY+SUM"
+
+let rank = function Lin -> 0 | Poly -> 1 | Sum -> 2
+let join a b = if rank a >= rank b then a else b
+
+type classification = {
+  syntactic : frag;
+  normalized : frag;
+  atoms : int;
+  nonlinear_spelled : int;
+  nonlinear_normalized : int;
+  sum_terms : int;
+  open_sums : int;
+  reducible_sums : int;
+  semialg_relations : int;
+  hint : Dispatch.hint;
+}
+
+type acc = {
+  mutable a_atoms : int;
+  mutable a_nl_spelled : int;
+  mutable a_nl_normalized : int;
+  mutable a_sums : int;
+  mutable a_open : int;
+  mutable a_reducible : int;
+  mutable a_semialg : int;
+  mutable a_diags : Diagnostic.t list;
+}
+
+let emit acc d = acc.a_diags <- d :: acc.a_diags
+
+(* A term is FO+LIN as spelled when every Mul has a variable-free factor. *)
+let rec spelled_linear (t : Ast.term) =
+  match t with
+  | Ast.Const _ | Ast.TVar _ -> true
+  | Ast.Add (a, b) -> spelled_linear a && spelled_linear b
+  | Ast.Mul (a, b) ->
+      spelled_linear a && spelled_linear b
+      && (Var.Set.is_empty (Ast.term_free_vars a)
+         || Var.Set.is_empty (Ast.term_free_vars b))
+  | Ast.Sum _ -> false
+
+let rec term_has_sum (t : Ast.term) =
+  match t with
+  | Ast.Const _ | Ast.TVar _ -> false
+  | Ast.Add (a, b) | Ast.Mul (a, b) -> term_has_sum a || term_has_sum b
+  | Ast.Sum _ -> true
+
+(* Would Eval's linear reducer accept this formula once its sum binders are
+   instantiated?  Conservative check: every atom normalizes to a polynomial
+   that is linear in the [live] variables (the ones the reducer must keep
+   symbolic: quantified variables plus the section's own binder; the
+   summation tuple is substituted with constants before reduction, so any
+   degree in tuple-only variables is fine). *)
+let rec reducer_friendly ~live (f : Ast.formula) =
+  match f with
+  | Ast.True | Ast.False | Ast.Rel _ -> true
+  | Ast.Cmp (_, a, b) -> (
+      if term_has_sum a || term_has_sum b then false
+      else
+        match Ast.to_mpoly Ast.(a -! b) with
+        | None -> false
+        | Some p ->
+            List.for_all
+              (fun (mono, _) ->
+                let live_deg =
+                  List.fold_left
+                    (fun d (v, e) -> if Var.Set.mem v live then d + e else d)
+                    0 mono
+                in
+                live_deg <= 1)
+              (Mpoly.terms p))
+  | Ast.Not g -> reducer_friendly ~live g
+  | Ast.And (g, h) | Ast.Or (g, h) ->
+      reducer_friendly ~live g && reducer_friendly ~live h
+  | Ast.Exists (x, g) | Ast.Forall (x, g) ->
+      reducer_friendly ~live:(Var.Set.add x live) g
+
+(* Classification of one comparison atom: spelled fragment and normalized
+   fragment (ignoring sums, which the caller handles). *)
+let atom_frags acc path (a : Ast.term) (b : Ast.term) =
+  let spelled =
+    if spelled_linear a && spelled_linear b then Lin
+    else if term_has_sum a || term_has_sum b then Sum
+    else Poly
+  in
+  let normalized =
+    if term_has_sum a || term_has_sum b then Sum
+    else
+      match Ast.to_mpoly Ast.(a -! b) with
+      | None -> Sum
+      | Some p -> (
+          match Mpoly.to_linexpr p with Some _ -> Lin | None -> Poly)
+  in
+  acc.a_atoms <- acc.a_atoms + 1;
+  (match spelled with
+  | Poly -> acc.a_nl_spelled <- acc.a_nl_spelled + 1
+  | _ -> ());
+  (match normalized with
+  | Poly ->
+      acc.a_nl_normalized <- acc.a_nl_normalized + 1;
+      emit acc
+        (Diagnostic.info ~code:"nonlinear-atom" ~path
+           "atom stays nonlinear after normalization (FO+POLY)")
+  | _ -> ());
+  if spelled = Poly && normalized = Lin then
+    emit acc
+      (Diagnostic.info ~code:"poly-spelled-linear" ~path
+         "atom is FO+POLY-spelled but normalizes to a linear comparison");
+  (spelled, normalized)
+
+let rec walk_f acc ?db path (f : Ast.formula) =
+  match f with
+  | Ast.True | Ast.False -> (Lin, Lin)
+  | Ast.Rel (r, _) -> (
+      acc.a_atoms <- acc.a_atoms + 1;
+      match db with
+      | None -> (Lin, Lin)
+      | Some db -> (
+          match Db.find db r with
+          | Db.Semialgebraic _ ->
+              acc.a_semialg <- acc.a_semialg + 1;
+              emit acc
+                (Diagnostic.info ~code:"semialgebraic-relation" ~path
+                   "relation %s is interpreted by a semi-algebraic set" r);
+              (Poly, Poly)
+          | Db.Finite _ | Db.Semilin _ -> (Lin, Lin)
+          | exception Not_found -> (Lin, Lin)))
+  | Ast.Cmp (_, a, b) ->
+      let spelled, normalized = atom_frags acc path a b in
+      let sub_spelled, sub_normalized =
+        join2
+          (walk_t acc ?db (path @ [ "cmp.l" ]) a)
+          (walk_t acc ?db (path @ [ "cmp.r" ]) b)
+      in
+      (* when the atom mentions a sum, the sum's own classification decides
+         the normalized label; the atom itself is Sum only syntactically *)
+      if spelled = Sum then (Sum, join normalized sub_normalized)
+      else (join spelled sub_spelled, join normalized sub_normalized)
+  | Ast.Not g -> walk_f acc ?db (path @ [ "not" ]) g
+  | Ast.And (g, h) ->
+      join2
+        (walk_f acc ?db (path @ [ "and.l" ]) g)
+        (walk_f acc ?db (path @ [ "and.r" ]) h)
+  | Ast.Or (g, h) ->
+      join2
+        (walk_f acc ?db (path @ [ "or.l" ]) g)
+        (walk_f acc ?db (path @ [ "or.r" ]) h)
+  | Ast.Exists (x, g) ->
+      walk_f acc ?db (path @ [ Printf.sprintf "exists:%s" (Var.name x) ]) g
+  | Ast.Forall (x, g) ->
+      walk_f acc ?db (path @ [ Printf.sprintf "forall:%s" (Var.name x) ]) g
+
+and walk_t acc ?db path (t : Ast.term) =
+  match t with
+  | Ast.Const _ | Ast.TVar _ -> (Lin, Lin)
+  | Ast.Add (a, b) ->
+      join2
+        (walk_t acc ?db (path @ [ "add.l" ]) a)
+        (walk_t acc ?db (path @ [ "add.r" ]) b)
+  | Ast.Mul (a, b) ->
+      join2
+        (walk_t acc ?db (path @ [ "mul.l" ]) a)
+        (walk_t acc ?db (path @ [ "mul.r" ]) b)
+  | Ast.Sum s ->
+      let spath = path @ [ "sum" ] in
+      acc.a_sums <- acc.a_sums + 1;
+      let closed = Var.Set.is_empty (Ast.term_free_vars t) in
+      ignore (walk_f acc ?db (spath @ [ "guard" ]) s.Ast.guard);
+      ignore (walk_f acc ?db (spath @ [ "gamma" ]) s.Ast.gamma);
+      ignore (walk_f acc ?db (spath @ [ "end" ]) s.Ast.end_body);
+      let reducible =
+        closed
+        && reducer_friendly ~live:Var.Set.empty s.Ast.guard
+        && reducer_friendly
+             ~live:(Var.Set.singleton s.Ast.gamma_var)
+             s.Ast.gamma
+        && reducer_friendly
+             ~live:(Var.Set.singleton s.Ast.end_y)
+             s.Ast.end_body
+      in
+      if not closed then (
+        acc.a_open <- acc.a_open + 1;
+        emit acc
+          (Diagnostic.info ~code:"open-sum" ~path:spath
+             "summation has free variables (%s); it cannot be folded to a \
+              constant"
+             (String.concat ", "
+                (List.map Var.name (Var.Set.elements (Ast.term_free_vars t))))));
+      if reducible then (
+        acc.a_reducible <- acc.a_reducible + 1;
+        emit acc
+          (Diagnostic.info ~code:"closed-sum" ~path:spath
+             "closed summation is linear-reducible; the evaluator folds it \
+              to a constant"));
+      ((Sum : frag), if reducible then Lin else Sum)
+
+and join2 (a, b) (a', b') = (join a a', join b b')
+
+let finish ?db acc (syntactic, normalized) =
+  let db_linear = match db with None -> true | Some db -> Db.is_linear db in
+  let hint =
+    if normalized = Lin && db_linear then Dispatch.Exact_semilinear
+    else if acc.a_open > 0 || normalized = Sum then Dispatch.Sum_eval
+    else Dispatch.Pointwise_poly
+  in
+  ( {
+      syntactic;
+      normalized;
+      atoms = acc.a_atoms;
+      nonlinear_spelled = acc.a_nl_spelled;
+      nonlinear_normalized = acc.a_nl_normalized;
+      sum_terms = acc.a_sums;
+      open_sums = acc.a_open;
+      reducible_sums = acc.a_reducible;
+      semialg_relations = acc.a_semialg;
+      hint;
+    },
+    List.rev acc.a_diags )
+
+let fresh_acc () =
+  {
+    a_atoms = 0;
+    a_nl_spelled = 0;
+    a_nl_normalized = 0;
+    a_sums = 0;
+    a_open = 0;
+    a_reducible = 0;
+    a_semialg = 0;
+    a_diags = [];
+  }
+
+let classify_formula ?db f =
+  let acc = fresh_acc () in
+  finish ?db acc (walk_f acc ?db [] f)
+
+let classify_term ?db t =
+  let acc = fresh_acc () in
+  finish ?db acc (walk_t acc ?db [] t)
+
+let pp_classification fmt c =
+  Format.fprintf fmt "%s as spelled, %s normalized; dispatch hint %a"
+    (fragment_name c.syntactic)
+    (fragment_name c.normalized)
+    Dispatch.pp c.hint;
+  if c.nonlinear_spelled > c.nonlinear_normalized then
+    Format.fprintf fmt
+      " (%d of %d nonlinear-spelled atoms normalize to linear)"
+      (c.nonlinear_spelled - c.nonlinear_normalized)
+      c.nonlinear_spelled
+
+let classification_to_json c =
+  Printf.sprintf
+    {|{"syntactic":"%s","normalized":"%s","atoms":%d,"nonlinear_spelled":%d,"nonlinear_normalized":%d,"sum_terms":%d,"open_sums":%d,"reducible_sums":%d,"semialg_relations":%d,"hint":"%s"}|}
+    (fragment_name c.syntactic)
+    (fragment_name c.normalized)
+    c.atoms c.nonlinear_spelled c.nonlinear_normalized c.sum_terms c.open_sums
+    c.reducible_sums c.semialg_relations
+    (Dispatch.to_string c.hint)

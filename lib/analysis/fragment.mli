@@ -1,0 +1,42 @@
+(** Pass 2: fragment classification.
+
+    Labels a query inside the FO+LIN ⊆ FO+POLY ⊆ FO+POLY+SUM hierarchy, both
+    {e syntactically} (as spelled) and {e normalized} (after multiplying out
+    polynomial atoms and constant-folding closed summations), and derives a
+    static {!Cqa_core.Dispatch.hint} so provably semi-linear queries can be
+    routed to the Theorem 3 exact-volume engine without the runtime
+    linearity probe. *)
+
+open Cqa_core
+
+type frag = Lin | Poly | Sum
+
+val fragment_name : frag -> string
+(** ["FO+LIN"], ["FO+POLY"], ["FO+POLY+SUM"]. *)
+
+val join : frag -> frag -> frag
+
+type classification = {
+  syntactic : frag;
+  normalized : frag;
+  atoms : int;  (** comparison + relation atoms, including inside sums *)
+  nonlinear_spelled : int;  (** atoms spelled with variable products *)
+  nonlinear_normalized : int;  (** atoms still nonlinear after normalizing *)
+  sum_terms : int;
+  open_sums : int;  (** summations with free variables: never foldable *)
+  reducible_sums : int;
+      (** closed summations whose sections the linear reducer handles *)
+  semialg_relations : int;
+  hint : Dispatch.hint;
+}
+
+val classify_formula : ?db:Db.t -> Ast.formula -> classification * Diagnostic.t list
+val classify_term : ?db:Db.t -> Ast.term -> classification * Diagnostic.t list
+(** The hint is [Exact_semilinear] iff the normalized query is FO+LIN (every
+    atom normalizes to a linear comparison, every summation is closed and
+    linear-reducible) and, when [db] is given, every interpreted relation is
+    semi-linear.  Diagnostic codes (all [Info]): [poly-spelled-linear],
+    [nonlinear-atom], [closed-sum], [open-sum], [semialgebraic-relation]. *)
+
+val pp_classification : Format.formatter -> classification -> unit
+val classification_to_json : classification -> string

@@ -1,0 +1,335 @@
+open Cqa_arith
+open Cqa_logic
+open Cqa_linear
+open Cqa_poly
+open Cqa_core
+
+type bound = Q.t option
+type abs = Empty | Itv of bound * bound
+
+let full = Itv (None, None)
+
+let pp_abs fmt = function
+  | Empty -> Format.pp_print_string fmt "empty"
+  | Itv (lo, hi) ->
+      let pb inf fmt = function
+        | None -> Format.pp_print_string fmt inf
+        | Some q -> Q.pp fmt q
+      in
+      Format.fprintf fmt "[%a, %a]" (pb "-inf") lo (pb "+inf") hi
+
+let meet a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Itv (l1, h1), Itv (l2, h2) ->
+      let lo =
+        match (l1, l2) with
+        | None, x | x, None -> x
+        | Some a, Some b -> Some (Q.max a b)
+      in
+      let hi =
+        match (h1, h2) with
+        | None, x | x, None -> x
+        | Some a, Some b -> Some (Q.min a b)
+      in
+      (match (lo, hi) with
+      | Some l, Some h when Q.gt l h -> Empty
+      | _ -> Itv (lo, hi))
+
+let join a b =
+  match (a, b) with
+  | Empty, x | x, Empty -> x
+  | Itv (l1, h1), Itv (l2, h2) ->
+      let lo =
+        match (l1, l2) with
+        | None, _ | _, None -> None
+        | Some a, Some b -> Some (Q.min a b)
+      in
+      let hi =
+        match (h1, h2) with
+        | None, _ | _, None -> None
+        | Some a, Some b -> Some (Q.max a b)
+      in
+      Itv (lo, hi)
+
+let cmp_holds (op : Ast.cmp) (c : Q.t) =
+  match op with
+  | Ast.Ceq -> Q.is_zero c
+  | Ast.Clt -> Q.lt c Q.zero
+  | Ast.Cle -> Q.leq c Q.zero
+
+let rec truth (f : Ast.formula) =
+  match f with
+  | Ast.True -> Some true
+  | Ast.False -> Some false
+  | Ast.Rel _ -> None
+  | Ast.Cmp (op, a, b) -> (
+      match Ast.to_mpoly Ast.(a -! b) with
+      | None -> None
+      | Some p -> (
+          match Mpoly.constant_value p with
+          | None -> None
+          | Some c -> Some (cmp_holds op c)))
+  | Ast.Not g -> Option.map not (truth g)
+  | Ast.And (g, h) -> (
+      match (truth g, truth h) with
+      | Some false, _ | _, Some false -> Some false
+      | Some true, Some true -> Some true
+      | _ -> None)
+  | Ast.Or (g, h) -> (
+      match (truth g, truth h) with
+      | Some true, _ | _, Some true -> Some true
+      | Some false, Some false -> Some false
+      | _ -> None)
+  | Ast.Exists (_, g) | Ast.Forall (_, g) -> truth g
+
+let bounds_of ?db (y : Var.t) (f : Ast.formula) =
+  let unknown = ref false in
+  let atom (op : Ast.cmp) a b pos =
+    match Ast.to_mpoly Ast.(a -! b) with
+    | None ->
+        unknown := true;
+        full
+    | Some p -> (
+        match Mpoly.to_linexpr p with
+        | None ->
+            unknown := true;
+            full
+        | Some e -> (
+            match Linexpr.coeffs e with
+            | [] -> (
+                let c = Linexpr.constant e in
+                let holds = cmp_holds op c in
+                match if pos then holds else not holds with
+                | true -> full
+                | false -> Empty)
+            | [ (v, c) ] when Var.equal v y && not (Q.is_zero c) -> (
+                (* c*y + d OP 0, threshold t0 = -d/c *)
+                let t0 = Q.div (Q.neg (Linexpr.constant e)) c in
+                let pos_c = Q.gt c Q.zero in
+                match (op, pos) with
+                | Ast.Ceq, true -> Itv (Some t0, Some t0)
+                | Ast.Ceq, false -> full
+                | (Ast.Clt | Ast.Cle), true ->
+                    if pos_c then Itv (None, Some t0) else Itv (Some t0, None)
+                | (Ast.Clt | Ast.Cle), false ->
+                    if pos_c then Itv (Some t0, None) else Itv (None, Some t0))
+            | coeffs ->
+                (* multi-variable atom mentioning y: it may well bound y
+                   through the other variables, which this one-variable
+                   analysis cannot see *)
+                if List.exists (fun (v, _) -> Var.equal v y) coeffs then
+                  unknown := true;
+                full))
+  in
+  let rec go pos (f : Ast.formula) =
+    match f with
+    | Ast.True -> if pos then full else Empty
+    | Ast.False -> if pos then Empty else full
+    | Ast.Cmp (op, a, b) -> atom op a b pos
+    | Ast.Not g -> go (not pos) g
+    | Ast.And (g, h) ->
+        if pos then meet (go pos g) (go pos h) else join (go pos g) (go pos h)
+    | Ast.Or (g, h) ->
+        if pos then join (go pos g) (go pos h) else meet (go pos g) (go pos h)
+    | Ast.Exists (x, g) | Ast.Forall (x, g) ->
+        if Var.equal x y then full else go pos g
+    | Ast.Rel (r, args) -> (
+        if not pos then full
+        else
+          match db with
+          | None ->
+              unknown := true;
+              full
+          | Some db -> (
+              let hits =
+                List.mapi (fun i v -> (i, v)) args
+                |> List.filter (fun (_, v) -> Var.equal v y)
+              in
+              match hits with
+              | [ (i, _) ] -> (
+                  match Db.as_semilinear db r with
+                  | Some s -> (
+                      match Semilinear.bounding_box s with
+                      | Some box when i < Array.length box ->
+                          let lo, hi = box.(i) in
+                          Itv (Some lo, Some hi)
+                      | _ ->
+                          unknown := true;
+                          full)
+                  | None ->
+                      unknown := true;
+                      full
+                  | exception Not_found ->
+                      unknown := true;
+                      full)
+              | [] -> full
+              | _ ->
+                  unknown := true;
+                  full))
+  in
+  let r = go true f in
+  (r, !unknown)
+
+let check ?db diags path0 target =
+  let add d = diags := d :: !diags in
+  let warn code path fmt =
+    Format.kasprintf
+      (fun m -> add { Diagnostic.severity = Warning; code; path; message = m })
+      fmt
+  and info code path fmt =
+    Format.kasprintf
+      (fun m -> add { Diagnostic.severity = Info; code; path; message = m })
+      fmt
+  in
+  let unsat_conjunction path f =
+    let bad =
+      Var.Set.fold
+        (fun v acc ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+              match bounds_of ?db v f with
+              | Empty, _ -> Some v
+              | _ -> None))
+        (Ast.free_vars f) None
+    in
+    Option.iter
+      (fun v ->
+        warn "unsat-conjunction" path
+          "interval analysis: %s is constrained to an empty set; this \
+           conjunction is unsatisfiable"
+          (Var.name v))
+      bad
+  in
+  let rec fwalk in_and path (f : Ast.formula) =
+    match f with
+    | Ast.True | Ast.False | Ast.Rel _ -> ()
+    | Ast.Cmp (_, a, b) ->
+        (match truth f with
+        | Some bv ->
+            warn "trivial-atom" path
+              "atom is trivially %s; fold it away"
+              (if bv then "true" else "false")
+        | None -> ());
+        twalk (path @ [ "cmp.l" ]) a;
+        twalk (path @ [ "cmp.r" ]) b
+    | Ast.Not g -> fwalk false (path @ [ "not" ]) g
+    | Ast.And (g, h) ->
+        if not in_and then unsat_conjunction path f;
+        (match truth g with
+        | Some false ->
+            warn "dead-branch"
+              (path @ [ "and.r" ])
+              "unreachable: the left conjunct is trivially false"
+        | _ -> ());
+        (match truth h with
+        | Some false ->
+            warn "dead-branch"
+              (path @ [ "and.l" ])
+              "unreachable: the right conjunct is trivially false"
+        | _ -> ());
+        fwalk true (path @ [ "and.l" ]) g;
+        fwalk true (path @ [ "and.r" ]) h
+    | Ast.Or (g, h) ->
+        (match truth g with
+        | Some true ->
+            warn "dead-branch"
+              (path @ [ "or.r" ])
+              "dead: the left disjunct is trivially true"
+        | _ -> ());
+        (match truth h with
+        | Some true ->
+            warn "dead-branch"
+              (path @ [ "or.l" ])
+              "dead: the right disjunct is trivially true"
+        | _ -> ());
+        fwalk false (path @ [ "or.l" ]) g;
+        fwalk false (path @ [ "or.r" ]) h
+    | Ast.Exists (x, g) ->
+        fwalk false (path @ [ Printf.sprintf "exists:%s" (Var.name x) ]) g
+    | Ast.Forall (x, g) ->
+        fwalk false (path @ [ Printf.sprintf "forall:%s" (Var.name x) ]) g
+  and twalk path (t : Ast.term) =
+    match t with
+    | Ast.Const _ | Ast.TVar _ -> ()
+    | Ast.Add (a, b) ->
+        twalk (path @ [ "add.l" ]) a;
+        twalk (path @ [ "add.r" ]) b
+    | Ast.Mul (a, b) ->
+        twalk (path @ [ "mul.l" ]) a;
+        twalk (path @ [ "mul.r" ]) b
+    | Ast.Sum s ->
+        let spath = path @ [ "sum" ] in
+        (* END finiteness: the endpoint set must be a finite union of
+           points, so end_y has to be pinned to a bounded interval *)
+        (match bounds_of ?db s.Ast.end_y s.Ast.end_body with
+        | Empty, _ ->
+            warn "empty-end"
+              (spath @ [ "end" ])
+              "END body is unsatisfiable: the summation ranges over an empty \
+               endpoint set"
+        | Itv (lo, hi), unk ->
+            let missing =
+              (match lo with None -> [ "below" ] | Some _ -> [])
+              @ match hi with None -> [ "above" ] | Some _ -> []
+            in
+            if missing <> [] then
+              let sides = String.concat " and " missing in
+              if unk then
+                info "possibly-unbounded"
+                  (spath @ [ "end" ])
+                  "cannot prove the END section bounds %s %s (a relation or \
+                   nonlinear atom is opaque to interval analysis)"
+                  (Var.name s.Ast.end_y) sides
+              else
+                warn "unbounded-guard"
+                  (spath @ [ "end" ])
+                  "range restriction is not finite: the END section leaves \
+                   %s unbounded %s, so the summation index set need not be \
+                   finite"
+                  (Var.name s.Ast.end_y) sides);
+        (* guard satisfiability *)
+        (match truth s.Ast.guard with
+        | Some false ->
+            warn "empty-sum"
+              (spath @ [ "guard" ])
+              "guard is trivially false; the summation is empty"
+        | _ ->
+            let bad =
+              Var.Set.fold
+                (fun v acc ->
+                  match acc with
+                  | Some _ -> acc
+                  | None -> (
+                      match bounds_of ?db v s.Ast.guard with
+                      | Empty, _ -> Some v
+                      | _ -> None))
+                (Ast.free_vars s.Ast.guard) None
+            in
+            Option.iter
+              (fun v ->
+                warn "empty-sum"
+                  (spath @ [ "guard" ])
+                  "interval analysis: the guard constrains %s to an empty \
+                   set; the summation is empty"
+                  (Var.name v))
+              bad);
+        fwalk false (spath @ [ "guard" ]) s.Ast.guard;
+        fwalk false (spath @ [ "gamma" ]) s.Ast.gamma;
+        fwalk false (spath @ [ "end" ]) s.Ast.end_body
+  in
+  (match target with
+  | `F f -> fwalk false path0 f
+  | `T t -> twalk path0 t);
+  ()
+
+let check_formula ?db f =
+  let diags = ref [] in
+  check ?db diags [] (`F f);
+  List.rev !diags
+
+let check_term ?db t =
+  let diags = ref [] in
+  check ?db diags [] (`T t);
+  List.rev !diags

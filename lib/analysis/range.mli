@@ -1,0 +1,39 @@
+(** Pass 3: range restriction and finiteness.
+
+    Interval abstract interpretation over single-variable linear atoms,
+    polarity-aware, with relation atoms bounded through
+    {!Cqa_linear.Semilinear.bounding_box} when a database is supplied.  Used
+    to flag END sections that do not pin their variable to a finite interval
+    (the finiteness precondition of Lemma 4's range-restricted sums),
+    trivially true/false atoms, dead conjunction/disjunction branches, and
+    conjunctions whose interval meet is already empty. *)
+
+open Cqa_arith
+open Cqa_logic
+open Cqa_core
+
+type bound = Q.t option
+(** [None] is the corresponding infinity. *)
+
+type abs = Empty | Itv of bound * bound
+
+val pp_abs : Format.formatter -> abs -> unit
+
+val bounds_of : ?db:Db.t -> Var.t -> Ast.formula -> abs * bool
+(** Sound over-approximation of the set of values of the variable consistent
+    with the formula (other variables unconstrained).  The flag is true when
+    the result leans on an atom the analysis cannot see through (an
+    uninterpreted or unbounded relation), in which case an unbounded verdict
+    is only "not provably bounded". *)
+
+val truth : Ast.formula -> bool option
+(** Constant folding: [Some] when the formula's truth value is decided by
+    its constant atoms alone. *)
+
+val check_formula : ?db:Db.t -> Ast.formula -> Diagnostic.t list
+val check_term : ?db:Db.t -> Ast.term -> Diagnostic.t list
+(** Codes: [unbounded-guard] (warning: END interval unbounded on a side),
+    [possibly-unbounded] (info: unbounded only because a relation atom is
+    opaque), [empty-end] (warning: END body unsatisfiable), [empty-sum]
+    (warning: guard constant-folds to false), [trivial-atom] (warning),
+    [dead-branch] (warning), [unsat-conjunction] (warning). *)

@@ -1,0 +1,237 @@
+open Cqa_logic
+open Cqa_core
+
+type report = {
+  quantifier_rank : int;
+  quantifier_count : int;
+  sum_depth : int;
+  sum_count : int;
+  binder_count : int;
+}
+
+let rec f_rank (f : Ast.formula) =
+  match f with
+  | Ast.True | Ast.False | Ast.Rel _ -> 0
+  | Ast.Cmp (_, a, b) -> max (t_rank a) (t_rank b)
+  | Ast.Not g -> f_rank g
+  | Ast.And (g, h) | Ast.Or (g, h) -> max (f_rank g) (f_rank h)
+  | Ast.Exists (_, g) | Ast.Forall (_, g) -> 1 + f_rank g
+
+and t_rank (t : Ast.term) =
+  match t with
+  | Ast.Const _ | Ast.TVar _ -> 0
+  | Ast.Add (a, b) | Ast.Mul (a, b) -> max (t_rank a) (t_rank b)
+  | Ast.Sum s ->
+      max (f_rank s.Ast.guard) (max (f_rank s.Ast.gamma) (f_rank s.Ast.end_body))
+
+let rec f_sum_depth (f : Ast.formula) =
+  match f with
+  | Ast.True | Ast.False | Ast.Rel _ -> 0
+  | Ast.Cmp (_, a, b) -> max (Ast.sum_depth a) (Ast.sum_depth b)
+  | Ast.Not g -> f_sum_depth g
+  | Ast.And (g, h) | Ast.Or (g, h) -> max (f_sum_depth g) (f_sum_depth h)
+  | Ast.Exists (_, g) | Ast.Forall (_, g) -> f_sum_depth g
+
+(* (quantifiers, sums, binders) *)
+let rec f_counts (f : Ast.formula) =
+  match f with
+  | Ast.True | Ast.False | Ast.Rel _ -> (0, 0, 0)
+  | Ast.Cmp (_, a, b) -> add3 (t_counts a) (t_counts b)
+  | Ast.Not g -> f_counts g
+  | Ast.And (g, h) | Ast.Or (g, h) -> add3 (f_counts g) (f_counts h)
+  | Ast.Exists (_, g) | Ast.Forall (_, g) ->
+      let q, s, b = f_counts g in
+      (q + 1, s, b + 1)
+
+and t_counts (t : Ast.term) =
+  match t with
+  | Ast.Const _ | Ast.TVar _ -> (0, 0, 0)
+  | Ast.Add (a, b) | Ast.Mul (a, b) -> add3 (t_counts a) (t_counts b)
+  | Ast.Sum s ->
+      let q, n, b =
+        add3 (f_counts s.Ast.guard)
+          (add3 (f_counts s.Ast.gamma) (f_counts s.Ast.end_body))
+      in
+      (q, n + 1, b + List.length s.Ast.w + 2)
+
+and add3 (a, b, c) (a', b', c') = (a + a', b + b', c + c')
+
+let report_formula f =
+  let quantifier_count, sum_count, binder_count = f_counts f in
+  {
+    quantifier_rank = f_rank f;
+    quantifier_count;
+    sum_depth = f_sum_depth f;
+    sum_count;
+    binder_count;
+  }
+
+let report_term t =
+  let quantifier_count, sum_count, binder_count = t_counts t in
+  {
+    quantifier_rank = t_rank t;
+    quantifier_count;
+    sum_depth = Ast.sum_depth t;
+    sum_count;
+    binder_count;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "quantifier rank %d (%d quantifiers), sum depth %d (%d summations), %d \
+     binders"
+    r.quantifier_rank r.quantifier_count r.sum_depth r.sum_count r.binder_count
+
+let report_to_json r =
+  Printf.sprintf
+    {|{"quantifier_rank":%d,"quantifier_count":%d,"sum_depth":%d,"sum_count":%d,"binder_count":%d}|}
+    r.quantifier_rank r.quantifier_count r.sum_depth r.sum_count r.binder_count
+
+let vname v = Format.asprintf "%a" Var.pp v
+
+let shadow diags path v where =
+  diags :=
+    Diagnostic.warning ~code:"shadowed-binder" ~path
+      "%s binder %s shadows an enclosing binding of %s" where (vname v)
+      (vname v)
+    :: !diags
+
+let rec walk_f diags bound path (f : Ast.formula) =
+  match f with
+  | Ast.True | Ast.False | Ast.Rel _ -> ()
+  | Ast.Cmp (_, a, b) ->
+      walk_t diags bound (path @ [ "cmp.l" ]) a;
+      walk_t diags bound (path @ [ "cmp.r" ]) b
+  | Ast.Not g -> walk_f diags bound (path @ [ "not" ]) g
+  | Ast.And (g, h) ->
+      walk_f diags bound (path @ [ "and.l" ]) g;
+      walk_f diags bound (path @ [ "and.r" ]) h
+  | Ast.Or (g, h) ->
+      walk_f diags bound (path @ [ "or.l" ]) g;
+      walk_f diags bound (path @ [ "or.r" ]) h
+  | Ast.Exists (x, g) | Ast.Forall (x, g) ->
+      let q = match f with Ast.Exists _ -> "exists" | _ -> "forall" in
+      let seg = Printf.sprintf "%s:%s" q (vname x) in
+      if Var.Set.mem x bound then shadow diags path x "quantifier";
+      if not (Var.Set.mem x (Ast.free_vars g)) then
+        diags :=
+          Diagnostic.warning ~code:"unused-binder" ~path
+            "quantified variable %s does not occur in its body" (vname x)
+          :: !diags;
+      walk_f diags (Var.Set.add x bound) (path @ [ seg ]) g
+
+and walk_t diags bound path (t : Ast.term) =
+  match t with
+  | Ast.Const _ | Ast.TVar _ -> ()
+  | Ast.Add (a, b) ->
+      walk_t diags bound (path @ [ "add.l" ]) a;
+      walk_t diags bound (path @ [ "add.r" ]) b
+  | Ast.Mul (a, b) ->
+      walk_t diags bound (path @ [ "mul.l" ]) a;
+      walk_t diags bound (path @ [ "mul.r" ]) b
+  | Ast.Sum s -> walk_sum diags bound (path @ [ "sum" ]) s
+
+and walk_sum diags bound path (s : Ast.sum_spec) =
+  let err code fmt = Format.kasprintf (fun m ->
+      diags := { Diagnostic.severity = Error; code; path; message = m } :: !diags)
+      fmt
+  and warn code fmt = Format.kasprintf (fun m ->
+      diags :=
+        { Diagnostic.severity = Warning; code; path; message = m } :: !diags)
+      fmt
+  in
+  (* tuple hygiene *)
+  let rec dups = function
+    | [] -> []
+    | v :: rest -> (if List.mem v rest then [ v ] else []) @ dups rest
+  in
+  List.iter
+    (fun v ->
+      err "duplicate-tuple-var" "tuple variable %s repeats in the SUM tuple"
+        (vname v))
+    (dups s.Ast.w);
+  List.iter
+    (fun v -> if Var.Set.mem v bound then shadow diags path v "tuple")
+    s.Ast.w;
+  if Var.Set.mem s.Ast.gamma_var bound || List.mem s.Ast.gamma_var s.Ast.w then
+    shadow diags path s.Ast.gamma_var "output";
+  if Var.Set.mem s.Ast.end_y bound then shadow diags path s.Ast.end_y "END";
+  let guard_free = Ast.free_vars s.Ast.guard in
+  let gamma_free = Ast.free_vars s.Ast.gamma in
+  let end_free = Ast.free_vars s.Ast.end_body in
+  let outer v = Var.Set.mem v bound in
+  (* section leaks: guard/gamma see the tuple only; end_body sees end_y only *)
+  if
+    Var.Set.mem s.Ast.gamma_var guard_free
+    && (not (outer s.Ast.gamma_var))
+    && not (List.mem s.Ast.gamma_var s.Ast.w)
+  then
+    err "gamma-var-leak"
+      "output variable %s occurs free in the guard; it is only bound inside \
+       gamma"
+      (vname s.Ast.gamma_var);
+  if
+    Var.Set.mem s.Ast.end_y guard_free
+    && (not (outer s.Ast.end_y))
+    && not (List.mem s.Ast.end_y s.Ast.w)
+  then
+    warn "end-var-leak"
+      "END variable %s occurs free in the guard; the END binder does not \
+       scope over the guard"
+      (vname s.Ast.end_y);
+  if
+    Var.Set.mem s.Ast.end_y gamma_free
+    && (not (outer s.Ast.end_y))
+    && (not (List.mem s.Ast.end_y s.Ast.w))
+    && not (Var.equal s.Ast.end_y s.Ast.gamma_var)
+  then
+    warn "end-var-leak"
+      "END variable %s occurs free in gamma; the END binder does not scope \
+       over gamma"
+      (vname s.Ast.end_y);
+  List.iter
+    (fun v ->
+      if Var.Set.mem v end_free && (not (outer v)) && not (Var.equal v s.Ast.end_y)
+      then
+        err "tuple-var-in-end"
+          "tuple variable %s occurs free in the END body, but END is \
+           evaluated before the tuple is bound"
+          (vname v))
+    s.Ast.w;
+  (* unused binders *)
+  List.iter
+    (fun v ->
+      if not (Var.Set.mem v guard_free || Var.Set.mem v gamma_free) then
+        warn "unused-binder"
+          "tuple variable %s is used in neither the guard nor gamma" (vname v))
+    s.Ast.w;
+  if not (Var.Set.mem s.Ast.gamma_var gamma_free) then
+    warn "unused-binder"
+      "output variable %s is not constrained by gamma (gamma cannot be \
+       deterministic)"
+      (vname s.Ast.gamma_var);
+  if not (Var.Set.mem s.Ast.end_y end_free) then
+    warn "unused-binder"
+      "END variable %s does not occur in the END body; the range restriction \
+       is vacuous"
+      (vname s.Ast.end_y);
+  let bound_w = List.fold_left (fun acc v -> Var.Set.add v acc) bound s.Ast.w in
+  walk_f diags bound_w (path @ [ "guard" ]) s.Ast.guard;
+  walk_f diags
+    (Var.Set.add s.Ast.gamma_var bound_w)
+    (path @ [ "gamma" ])
+    s.Ast.gamma;
+  walk_f diags
+    (Var.Set.add s.Ast.end_y bound)
+    (path @ [ "end" ])
+    s.Ast.end_body
+
+let check_formula f =
+  let diags = ref [] in
+  walk_f diags Var.Set.empty [] f;
+  List.rev !diags
+
+let check_term t =
+  let diags = ref [] in
+  walk_t diags Var.Set.empty [] t;
+  List.rev !diags

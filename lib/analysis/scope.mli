@@ -1,0 +1,29 @@
+(** Pass 1: scope and binding analysis.
+
+    Reports quantifier rank / count, summation depth / count and binder
+    count, and diagnoses binder hygiene: shadowed and unused binders,
+    duplicate summation tuples, and free-variable leaks between the three
+    sections of a [sum_spec] (the END binder does not scope over [guard] or
+    [gamma], the tuple does not scope over [end_body], and the output
+    variable is only bound inside [gamma]). *)
+
+open Cqa_core
+
+type report = {
+  quantifier_rank : int;
+  quantifier_count : int;
+  sum_depth : int;
+  sum_count : int;
+  binder_count : int;  (** quantifiers plus sum binders (tuple, output, END) *)
+}
+
+val report_formula : Ast.formula -> report
+val report_term : Ast.term -> report
+val pp_report : Format.formatter -> report -> unit
+val report_to_json : report -> string
+
+val check_formula : Ast.formula -> Diagnostic.t list
+val check_term : Ast.term -> Diagnostic.t list
+(** Codes: [shadowed-binder], [unused-binder], [duplicate-tuple-var]
+    (warnings); [gamma-var-leak], [tuple-var-in-end] (errors);
+    [end-var-leak] (warning). *)

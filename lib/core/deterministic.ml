@@ -7,19 +7,31 @@ type verdict =
   | Not_deterministic of Q.t Var.Map.t
   | Unknown
 
-let is_explicit_graph ~gamma_var f =
+(* Equality spellings: [x = t], [t = x], either under an even number of
+   negations, and the parser's [~(x <> t)] desugaring
+   [Not (Or (x < t, t < x))] (in either atom order). *)
+let rec is_explicit_graph ~gamma_var f =
   let is_x = function Ast.TVar x -> Var.equal x gamma_var | _ -> false in
   let avoids_x t = not (Var.Set.mem gamma_var (Ast.term_free_vars t)) in
+  let graph_eq a b = (is_x a && avoids_x b) || (is_x b && avoids_x a) in
   match f with
-  | Ast.Cmp (Ast.Ceq, a, b) ->
-      (is_x a && avoids_x b) || (is_x b && avoids_x a)
+  | Ast.Cmp (Ast.Ceq, a, b) -> graph_eq a b
+  | Ast.Not (Ast.Not g) -> is_explicit_graph ~gamma_var g
+  | Ast.Not (Ast.Or (Ast.Cmp (Ast.Clt, a, b), Ast.Cmp (Ast.Clt, b', a')))
+    when a = a' && b = b' ->
+      graph_eq a b
   | _ -> false
 
 let check db ~gamma_var ~w f =
   if is_explicit_graph ~gamma_var f then Deterministic
   else begin
     match Eval.reduce_linear db Var.Map.empty f with
-    | exception Eval.Unsupported _ -> Unknown
+    (* [Not_found]: a schema relation without an interpretation in [db];
+       [Invalid_argument]: an arity mismatch discovered while inlining.
+       Both leave determinism statically undecided (Safety reports the
+       schema problem separately; Eval enforces determinism at runtime). *)
+    | exception (Eval.Unsupported _ | Not_found | Invalid_argument _) ->
+        Unknown
     | lin ->
         (* two-output satisfiability: gamma(x, w) /\ gamma(x', w) /\ x < x' *)
         let x' = Var.fresh ~hint:(Var.name gamma_var) () in
@@ -43,3 +55,15 @@ let check db ~gamma_var ~w f =
         | None -> Deterministic
         | Some witness -> Not_deterministic witness)
   end
+
+let pp_verdict fmt = function
+  | Deterministic -> Format.pp_print_string fmt "deterministic"
+  | Unknown ->
+      Format.pp_print_string fmt
+        "unknown (not provably deterministic; enforced at runtime)"
+  | Not_deterministic witness ->
+      Format.fprintf fmt "not deterministic (two outputs at %a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.fprintf f ",@ ")
+           (fun f (v, q) -> Format.fprintf f "%a = %a" Var.pp v Q.pp q))
+        (Var.Map.bindings witness)

@@ -20,6 +20,14 @@ type verdict =
   | Unknown
 
 val check : Db.t -> gamma_var:Var.t -> w:Var.t list -> Ast.formula -> verdict
+(** Never raises: a gamma referencing an uninterpreted relation or an
+    ill-arity atom yields [Unknown] (the schema problem is {!Safety}'s to
+    report). *)
 
 val is_explicit_graph : gamma_var:Var.t -> Ast.formula -> bool
-(** Is the formula syntactically [x = t] (or [t = x]) with [x] not in [t]? *)
+(** Is the formula syntactically [x = t] (or [t = x]) with [x] not in [t]?
+    Also recognizes the spellings under an even number of negations and the
+    parser's [~(x <> t)] desugaring [Not (Or (x < t, t < x))]. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+(** Human rendering; [Not_deterministic] prints its two-output witness. *)

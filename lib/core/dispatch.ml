@@ -1,0 +1,8 @@
+type hint = Exact_semilinear | Pointwise_poly | Sum_eval
+
+let to_string = function
+  | Exact_semilinear -> "exact-semilinear"
+  | Pointwise_poly -> "pointwise-poly"
+  | Sum_eval -> "sum-eval"
+
+let pp fmt h = Format.pp_print_string fmt (to_string h)

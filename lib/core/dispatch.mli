@@ -1,0 +1,29 @@
+(** Static dispatch hints: the contract between the static analyzer
+    ({!Cqa_analysis.Fragment} in [lib/analysis]) and the evaluation engines.
+
+    The analyzer classifies a query's fragment once, before any evaluation;
+    the resulting hint tells {!Eval} and {!Volume_exact} which engine is
+    guaranteed to apply, so provably semi-linear queries go straight to the
+    Theorem 3 exact engine instead of discovering linear-reducibility by a
+    runtime probe (attempting the reduction and catching
+    [Eval.Unsupported]). *)
+
+type hint =
+  | Exact_semilinear
+      (** Provably linear-reducible after polynomial normalization: every
+          atom is FO + LIN modulo [Mpoly] normalization, every summation
+          sub-term is closed, and (when classified against a database) no
+          relation is semi-algebraic.  [Eval.eval_set] cannot raise
+          [Unsupported] and the Theorem 3 engine applies. *)
+  | Pointwise_poly
+      (** Genuinely polynomial atoms (or a semi-algebraic relation):
+          pointwise truth and the Theorem 4 sampling estimators apply, the
+          symbolic linear path does not. *)
+  | Sum_eval
+      (** Open summation terms: only the summation-aware term evaluator
+          applies. *)
+
+val to_string : hint -> string
+(** ["exact-semilinear"], ["pointwise-poly"], ["sum-eval"]. *)
+
+val pp : Format.formatter -> hint -> unit

@@ -335,6 +335,20 @@ let eval_set db coords (f : Ast.formula) =
   let lin = reduce_linear db Var.Map.empty f in
   Semilinear.of_formula coords lin
 
+(* The runtime linearity probe: discover whether a query is linear-reducible
+   by attempting the reduction and catching [Unsupported].  The static
+   analyzer's fragment pass makes this discovery ahead of time
+   (Dispatch.Exact_semilinear); the counter lets callers and tests observe
+   which path ran. *)
+let runtime_probe_count = ref 0
+let runtime_probes () = !runtime_probe_count
+
+let try_eval_set db coords (f : Ast.formula) =
+  incr runtime_probe_count;
+  match eval_set db coords f with
+  | s -> Some s
+  | exception Unsupported _ -> None
+
 (* ------------------------------------------------------------------ *)
 (* Semi-algebraic sections                                             *)
 (* ------------------------------------------------------------------ *)

@@ -61,6 +61,16 @@ val eval_set : Db.t -> Var.t array -> Ast.formula -> Semilinear.t
     property of Lemma 4 made effective.  Free variables of the formula must
     be among the given coordinates. *)
 
+val try_eval_set : Db.t -> Var.t array -> Ast.formula -> Semilinear.t option
+(** The runtime linearity probe: [eval_set] with [Unsupported] mapped to
+    [None].  Each call increments the {!runtime_probes} counter; queries
+    carrying a static {!Dispatch.Exact_semilinear} hint skip the probe
+    entirely (see [Volume_exact.volume_of_query]). *)
+
+val runtime_probes : unit -> int
+(** Number of runtime linearity probes performed so far (monotonic;
+    observability hook for the static-dispatch contract). *)
+
 val range_restricted_tuples :
   Db.t -> Q.t Var.Map.t -> Ast.sum_spec -> Q.t array list
 (** The finite set [rho (D, z)] a summation ranges over: tuples of END

@@ -41,22 +41,26 @@ and check_term db (t : Ast.term) =
   | Ast.Add (a, b) | Ast.Mul (a, b) -> check_term db a @ check_term db b
   | Ast.Sum s ->
       let tuple = if s.Ast.w = [] then [ Empty_sum_tuple ] else [] in
+      (* recurse into gamma first: its schema issues must be reported even
+         when the determinism decision cannot run (and the decision is only
+         meaningful on a schema-clean gamma) *)
+      let gamma_issues = check_formula db s.Ast.gamma in
       let det =
-        match
-          Deterministic.check db ~gamma_var:s.Ast.gamma_var ~w:s.Ast.w
-            s.Ast.gamma
-        with
-        | Deterministic.Deterministic -> []
-        | Deterministic.Not_deterministic _ ->
-            [ Nondeterministic_gamma s.Ast.gamma ]
-        | Deterministic.Unknown -> [ Undecided_gamma s.Ast.gamma ]
+        if gamma_issues <> [] then []
+        else
+          match
+            Deterministic.check db ~gamma_var:s.Ast.gamma_var ~w:s.Ast.w
+              s.Ast.gamma
+          with
+          | Deterministic.Deterministic -> []
+          | Deterministic.Not_deterministic _ ->
+              [ Nondeterministic_gamma s.Ast.gamma ]
+          | Deterministic.Unknown -> [ Undecided_gamma s.Ast.gamma ]
       in
-      tuple @ det
+      tuple @ det @ gamma_issues
       @ check_formula db s.Ast.guard
-      @ check_formula db s.Ast.gamma
       @ check_formula db s.Ast.end_body
 
-let is_safe db t =
-  List.for_all
-    (function Undecided_gamma _ -> true | _ -> false)
-    (check_term db t)
+let benign = function Undecided_gamma _ -> true | _ -> false
+let is_safe db t = List.for_all benign (check_term db t)
+let is_safe_formula db f = List.for_all benign (check_formula db f)

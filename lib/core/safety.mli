@@ -22,6 +22,19 @@ val pp_issue : Format.formatter -> issue -> unit
 
 val check_formula : Db.t -> Ast.formula -> issue list
 val check_term : Db.t -> Ast.term -> issue list
+(** Both traversals are total: they descend into [Sum] terms nested under
+    [Cmp] atoms anywhere (including inside a [sum_spec]'s [guard], [gamma]
+    and [end_body]), never raise, and report schema issues inside a gamma
+    even when they prevent the determinism decision from running.
+
+    These are the dependency-light well-formedness kernel; the full static
+    analyzer ([Cqa_analysis.Analyzer] in [lib/analysis]) runs these checks
+    as its safety pass and layers scope, fragment, range-restriction and
+    cost diagnostics on top. *)
 
 val is_safe : Db.t -> Ast.term -> bool
 (** No issues other than [Undecided_gamma]. *)
+
+val is_safe_formula : Db.t -> Ast.formula -> bool
+(** [is_safe] for formulas: no issues other than [Undecided_gamma] anywhere,
+    including inside summation terms under comparison atoms. *)

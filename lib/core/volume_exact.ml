@@ -214,3 +214,26 @@ let volume_incl_excl ?(domains = 1) s =
 let volume ?domains s = volume_sweep ?domains s
 
 let volume_clamped ?domains s = volume_sweep ?domains (Semilinear.clamp_unit s)
+
+(* ------------------------------------------------------------------ *)
+(* Query-level entry with static dispatch                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Not_semilinear of string
+
+let volume_of_query ?domains ?hint db coords f =
+  match (hint : Dispatch.hint option) with
+  | Some Dispatch.Exact_semilinear ->
+      (* the analyzer already proved linear-reducibility: evaluate directly,
+         without the runtime probe *)
+      volume_sweep ?domains (Eval.eval_set db coords f)
+  | Some (Dispatch.Pointwise_poly | Dispatch.Sum_eval) ->
+      raise
+        (Not_semilinear
+           "static dispatch hint excludes the exact engine (use the \
+            Theorem 4 sampling estimators)")
+  | None -> (
+      match Eval.try_eval_set db coords f with
+      | Some s -> volume_sweep ?domains s
+      | None ->
+          raise (Not_semilinear "query is not linear-reducible"))

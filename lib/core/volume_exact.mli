@@ -16,6 +16,7 @@
       recursion. *)
 
 open Cqa_arith
+open Cqa_logic
 open Cqa_linear
 
 exception Unbounded
@@ -36,6 +37,22 @@ val volume : ?domains:int -> Semilinear.t -> Q.t
 
 val volume_clamped : ?domains:int -> Semilinear.t -> Q.t
 (** [VOL_I]: volume of the intersection with the unit cube; always finite. *)
+
+exception Not_semilinear of string
+
+val volume_of_query :
+  ?domains:int -> ?hint:Dispatch.hint -> Db.t -> Var.t array -> Ast.formula -> Q.t
+(** Exact volume of the set defined by a query over a semi-linear database:
+    the Theorem 3 engine applied to [Eval.eval_set].
+
+    Without [?hint], linear-reducibility is discovered by the runtime probe
+    ([Eval.try_eval_set], observable through [Eval.runtime_probes]).  With
+    [?hint:Dispatch.Exact_semilinear] — produced by the static analyzer's
+    fragment pass — the probe is skipped and evaluation goes straight to the
+    exact engine; a hint of [Pointwise_poly] or [Sum_eval] rejects the query
+    immediately.
+    @raise Not_semilinear when the query is outside the exact fragment.
+    @raise Unbounded when the defined set has infinite measure. *)
 
 val arrangement_vertices : Semilinear.t -> Q.t array list
 (** All 0-dimensional intersections of [dim]-subsets of the constraint

@@ -93,3 +93,19 @@ let prop5_instance ~bits =
     done
   done;
   (!inst, "R")
+
+let analysis_corpus () =
+  let s3, _, _ = section3_query () in
+  let u_points = [ Q.of_ints 1 4; Q.of_ints 3 4 ] in
+  [
+    ("section3", `F s3, Some (section3_db u_points));
+    ( "triangle-area",
+      `T (Compile.polygon_area_term ~rel:"P"),
+      Some (triangle_db ()) );
+    ( "interval-measure",
+      `T (Compile.interval_measure_term ~rel:"U"),
+      Some (section3_db u_points) );
+    ("arctan-guard", `F (Compile.boundary_point_formula ~rel:"U"
+                           (Var.of_string "x")),
+     Some (section3_db u_points));
+  ]

@@ -40,3 +40,9 @@ val prop5_instance : bits:int -> Cqa_logic.Instance.t * string
     over a database of size about [2^bits] whose definable family shatters
     [bits] points, so [VCdim (F_phi (D)) >= log2 |D|].  Returns the instance
     and the relation name. *)
+
+val analysis_corpus :
+  unit ->
+  (string * [ `F of Ast.formula | `T of Ast.term ] * Db.t option) list
+(** The named queries the lint gate ([cqa analyze --corpus], [make lint])
+    keeps clean: every entry must analyze without error diagnostics. *)

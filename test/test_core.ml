@@ -65,6 +65,32 @@ let test_ast_subst () =
         Q.equal c Q.one && Var.equal v xx
     | _ -> false)
 
+let test_ast_subst_sum () =
+  let param = Var.of_string "param" in
+  let t = sum_endpoints Ast.(TVar w <=! TVar param) in
+  (* only the genuinely free variable is substituted *)
+  let t2 = Ast.subst_term (Var.Map.singleton param (q 9)) t in
+  check "param substituted" true (Var.Set.is_empty (Ast.term_free_vars t2));
+  (* every sum binder shadows the environment in its own section *)
+  check "tuple binder shadows" true
+    (Ast.subst_term (Var.Map.singleton w (q 9)) t = t);
+  check "gamma binder shadows" true
+    (Ast.subst_term (Var.Map.singleton xx (q 9)) t = t);
+  check "END binder shadows" true
+    (Ast.subst_term (Var.Map.singleton yy (q 9)) t = t);
+  (* end_y is bound in end_body only: the same name free in the guard is a
+     different variable and is substituted there *)
+  let leaky = sum_endpoints Ast.(TVar w <=! TVar yy) in
+  check "end_y free in guard" true
+    (Var.Set.mem yy (Ast.term_free_vars leaky));
+  let closed = Ast.subst_term (Var.Map.singleton yy (q 2)) leaky in
+  check "guard occurrence substituted" true
+    (Var.Set.is_empty (Ast.term_free_vars closed));
+  (match closed with
+  | Ast.Sum s ->
+      check "end_body untouched" true (s.Ast.end_body = Ast.Rel ("U", [ yy ]))
+  | _ -> Alcotest.fail "still a sum")
+
 let test_ast_conversions () =
   let p =
     Cqa_poly.Mpoly.add
@@ -209,6 +235,44 @@ let test_deterministic () =
   let unknown = Ast.(Cmp (Ast.Cle, Mul (TVar xx, TVar xx), TVar w)) in
   check "unknown" true
     (Deterministic.check db ~gamma_var:xx ~w:[ w ] unknown = Deterministic.Unknown)
+
+let test_deterministic_spellings () =
+  let t = Ast.((TVar w *! TVar w) +! int 1) in
+  (* t = x: the flipped spelling of an explicit graph *)
+  check "flipped graph" true
+    (Deterministic.is_explicit_graph ~gamma_var:xx Ast.(t =! TVar xx));
+  (* an even number of negations preserves the shape *)
+  check "double negation" true
+    (Deterministic.is_explicit_graph ~gamma_var:xx
+       (Ast.Not (Ast.Not Ast.(TVar xx =! t))));
+  check "single negation is not a graph" false
+    (Deterministic.is_explicit_graph ~gamma_var:xx
+       (Ast.Not Ast.(TVar xx =! t)));
+  (* the parser's ~(x <> t) desugars to Not (Or (x < t, t < x)) *)
+  let ne = Parser.formula_of_string "~(x <> w * w + 1)" in
+  check "negated disequality" true
+    (Deterministic.is_explicit_graph ~gamma_var:xx ne);
+  (* x must not occur in t *)
+  check "self-referential is not a graph" false
+    (Deterministic.is_explicit_graph ~gamma_var:xx
+       Ast.(TVar xx =! (TVar xx +! int 1)));
+  check "spelling accepted by check" true
+    (Deterministic.check db ~gamma_var:xx ~w:[ w ] ne
+    = Deterministic.Deterministic);
+  (* pp_verdict prints the two-output witness *)
+  let nondet =
+    Ast.(conj [ TVar xx >=! TVar w; TVar xx <=! (TVar w +! int 1) ])
+  in
+  let v = Deterministic.check db ~gamma_var:xx ~w:[ w ] nondet in
+  let s = Format.asprintf "%a" Deterministic.pp_verdict v in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check "witness printed" true
+    ((match v with Deterministic.Not_deterministic _ -> true | _ -> false)
+    && contains s "not deterministic")
 
 (* ------------------------------------------------------------------ *)
 (* Aggregates                                                          *)
@@ -729,6 +793,61 @@ let test_safety () =
        (function Safety.Undecided_gamma _ -> true | _ -> false)
        (Safety.check_term db undecided))
 
+(* Regression: issues inside Sum terms nested under Cmp atoms of a guard or
+   END body must be reported, and a gamma whose schema is broken must not
+   crash the determinism decision (Deterministic.check used to escape with
+   Not_found / Invalid_argument from the linear reducer). *)
+let test_safety_nested_sum () =
+  let has_missing issues =
+    List.exists
+      (function Safety.Unknown_relation "Missing" -> true | _ -> false)
+      issues
+  in
+  (* gamma references an uninterpreted relation: no exception, issue kept *)
+  let inner =
+    Ast.sum ~gamma_var:xx
+      ~gamma:(Ast.And (Ast.Rel ("Missing", [ xx ]), Ast.(TVar xx =! TVar w)))
+      ~w:[ w ] ~guard:Ast.True ~end_y:yy ~end_body:(Ast.Rel ("U", [ yy ]))
+  in
+  check "gamma schema issue reported" true
+    (has_missing (Safety.check_term db inner));
+  check "det check survives broken gamma" true
+    (Deterministic.check db ~gamma_var:xx
+       ~w:[ w ]
+       (Ast.And (Ast.Rel ("Missing", [ xx ]), Ast.(TVar xx =! TVar w)))
+    = Deterministic.Unknown);
+  (* ill-arity gamma likewise *)
+  check "det check survives ill arity" true
+    (Deterministic.check db ~gamma_var:xx ~w:[ w ]
+       (Ast.And (Ast.Rel ("U", [ xx; w ]), Ast.(TVar xx =! TVar w)))
+    = Deterministic.Unknown);
+  (* the bad sum nested under a Cmp atom inside another sum's guard *)
+  let z = Var.of_string "z" in
+  let nest_in_guard =
+    Ast.sum ~gamma_var:xx
+      ~gamma:Ast.(TVar xx =! TVar z)
+      ~w:[ z ]
+      ~guard:(Ast.Cmp (Ast.Cle, inner, Ast.TVar z))
+      ~end_y:yy ~end_body:(Ast.Rel ("U", [ yy ]))
+  in
+  check "issue surfaces from guard atom" true
+    (has_missing (Safety.check_term db nest_in_guard));
+  (* ... and inside the END body *)
+  let nest_in_end =
+    Ast.sum ~gamma_var:xx
+      ~gamma:Ast.(TVar xx =! TVar z)
+      ~w:[ z ] ~guard:Ast.True ~end_y:yy
+      ~end_body:(Ast.Cmp (Ast.Cle, inner, Ast.TVar yy))
+  in
+  check "issue surfaces from END atom" true
+    (has_missing (Safety.check_term db nest_in_end));
+  (* formula-level entry points *)
+  check "is_safe_formula flags nested issue" false
+    (Safety.is_safe_formula db (Ast.Cmp (Ast.Cle, inner, Ast.int 0)));
+  check "is_safe_formula accepts clean query" true
+    (Safety.is_safe_formula db
+       (Ast.Cmp (Ast.Cle, sum_endpoints Ast.True, Ast.int 5)))
+
 (* ------------------------------------------------------------------ *)
 (* Grouping                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -800,6 +919,7 @@ let () =
     [ ( "ast",
         [ Alcotest.test_case "free vars" `Quick test_ast_free_vars;
           Alcotest.test_case "subst" `Quick test_ast_subst;
+          Alcotest.test_case "subst sum binders" `Quick test_ast_subst_sum;
           Alcotest.test_case "conversions" `Quick test_ast_conversions ] );
       ("db", [ Alcotest.test_case "db" `Quick test_db ]);
       ( "eval",
@@ -811,7 +931,9 @@ let () =
           Alcotest.test_case "nondeterministic gamma" `Quick test_eval_nondeterministic_gamma_rejected;
           Alcotest.test_case "unsupported" `Quick test_eval_unsupported;
           Alcotest.test_case "section alg" `Quick test_eval_section_alg ] );
-      ("deterministic", [ Alcotest.test_case "verdicts" `Quick test_deterministic ]);
+      ( "deterministic",
+        [ Alcotest.test_case "verdicts" `Quick test_deterministic;
+          Alcotest.test_case "spellings" `Quick test_deterministic_spellings ] );
       ( "aggregates",
         [ Alcotest.test_case "classical" `Quick test_aggregates;
           Alcotest.test_case "gamma" `Quick test_aggregates_gamma ] );
@@ -843,6 +965,7 @@ let () =
           Alcotest.test_case "errors" `Quick test_parser_errors ] );
       ( "safety-grouping",
         [ Alcotest.test_case "safety" `Quick test_safety;
+          Alcotest.test_case "nested sums" `Quick test_safety_nested_sum;
           Alcotest.test_case "group by" `Quick test_group_by ] );
       ( "compile",
         [ Alcotest.test_case "interval measure" `Quick test_compile_interval_measure;
