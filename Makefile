@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke verify lint clean
+.PHONY: all build test bench bench-smoke bench-check verify lint clean
 
 all: build
 
@@ -8,33 +8,47 @@ build:
 test:
 	dune runtest
 
-# Full benchmark sweep; rewrites BENCH.json (slow).
+# Full benchmark sweep; rewrites BENCH.json (slow).  BENCH_JSON is pinned
+# so an inherited environment value can never make bench and bench-smoke
+# race each other onto the same output file.
 bench:
-	dune exec bench/main.exe
+	BENCH_SMOKE= BENCH_JSON=BENCH.json dune exec bench/main.exe
 
 # Fraction-of-a-second quota per benchmark: checks every benchmark still
 # runs and emits JSON, without disturbing the committed BENCH.json.
 bench-smoke:
 	BENCH_SMOKE=1 BENCH_JSON=BENCH_smoke.json dune exec bench/main.exe
 
+# Bench-regression gate: the fresh smoke run must cover every benchmark
+# key of the committed BENCH.json (fails on dropped/renamed benchmarks,
+# warns on new ones until `make bench` regenerates the baseline).
+bench-check: bench-smoke
+	dune build bin/bench_check.exe
+	./_build/default/bin/bench_check.exe BENCH.json BENCH_smoke.json
+
 # Static-analysis gate: the built-in workload corpus and every good_*.cq
 # example must analyze without errors; every bad_*.cq example must trip a
-# diagnostic under --deny-warnings (each seeds a distinct failure).
-lint: build
-	dune exec bin/cqa.exe -- analyze --corpus > /dev/null
+# diagnostic under --deny-warnings (each seeds a distinct failure).  The
+# binary is built once and invoked directly: `dune exec` per query file
+# re-entered the build system a dozen times for no work.
+CQA := ./_build/default/bin/cqa.exe
+
+lint:
+	dune build bin/cqa.exe
+	$(CQA) analyze --corpus > /dev/null
 	@set -e; for f in examples/queries/good_*.cq; do \
 	  echo "lint $$f"; \
-	  dune exec bin/cqa.exe -- analyze --file $$f > /dev/null; \
+	  $(CQA) analyze --file $$f > /dev/null; \
 	done
 	@set -e; for f in examples/queries/bad_*.cq; do \
 	  echo "lint $$f (expect diagnostics)"; \
-	  if dune exec bin/cqa.exe -- analyze --deny-warnings --file $$f > /dev/null 2>&1; \
+	  if $(CQA) analyze --deny-warnings --file $$f > /dev/null 2>&1; \
 	  then echo "FAIL: expected diagnostics in $$f"; exit 1; fi; \
 	done
 	@echo "lint OK"
 
-# The tier-1 gate: build, test suite, benchmark smoke run.
-verify: build test bench-smoke
+# The tier-1 gate: build, test suite, benchmark smoke run + key-set gate.
+verify: build test bench-check
 
 clean:
 	dune clean

@@ -414,6 +414,74 @@ let exact_volume_tests =
     Test.make ~name:"thm3_section_function_3d"
       (stage (fun () -> Volume_param.section_volume_function s3)) ]
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry counter deltas                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Telemetry = Cqa_telemetry.Telemetry
+
+(* The Section 3 blowup query (examples/queries/bad_qe_blowup.cq), inlined
+   so the harness does not depend on the working directory. *)
+let blowup_src =
+  "exists x1 . exists x2 . exists x3 . exists x4 . exists x5 . \
+   (u < x1 /\\ x1 < x2 /\\ x2 < x3 /\\ x3 < x4 /\\ x4 < x5 /\\ x5 < v \
+   /\\ 0 <= x1 /\\ x5 <= 1)"
+
+(* One untimed single-shot run per representative workload, with telemetry
+   enabled: the counter deltas land in BENCH.json next to the timings as
+   "ctr:<workload>:<counter>" keys (nonzero counters only).  Telemetry stays
+   disabled during the bechamel timed runs above so the instrumentation
+   never skews a timing; caches are cleared up front so the deltas are
+   independent of whatever the benchmark groups did before; only
+   single-domain workloads are used, so every delta is deterministic
+   (including the memo hit/miss splits). *)
+let cold_caches () =
+  Fourier_motzkin.clear_qe_cache ();
+  Semilinear.clear_bbox_cache ()
+
+let counter_workloads =
+  [ ("thm3_sweep_3d",
+     fun () ->
+       cold_caches ();
+       ignore (Volume_exact.volume_sweep s3));
+    ("qe_vertex",
+     fun () ->
+       cold_caches ();
+       ignore (Fourier_motzkin.qe ablation_formula));
+    ("e7_sample_1k",
+     fun () ->
+       ignore
+         (Approx_volume.fraction_in sample_1k (fun pt ->
+              Db.mem_tuple tri_db "P" pt)));
+    ("guarded_fallback",
+     fun () ->
+       cold_caches ();
+       let f = Parser.formula_of_string blowup_src in
+       let coords = Array.of_list (Var.Set.elements (Ast.free_vars f)) in
+       let db = Db.empty Schema.empty in
+       ignore (Volume_exact.volume_guarded ~budget:1e6 db coords f)) ]
+
+let run_counter_deltas () =
+  Printf.printf "\n== telemetry counter deltas ==\n%!";
+  Telemetry.enable ();
+  List.iter
+    (fun (wname, job) ->
+      Telemetry.reset ();
+      let before = Telemetry.snapshot () in
+      job ();
+      let d = Telemetry.diff ~before ~after:(Telemetry.snapshot ()) in
+      List.iter
+        (fun (cname, v) ->
+          if v <> 0 then begin
+            json_results :=
+              (Printf.sprintf "ctr:%s:%s" wname cname, float_of_int v)
+              :: !json_results;
+            Printf.printf "%-52s %10d\n%!" (wname ^ ":" ^ cname) v
+          end)
+        d.Telemetry.counters)
+    counter_workloads;
+  Telemetry.disable ()
+
 let () =
   Printf.printf "cqa benchmark harness (bechamel)\n";
   run_group "arithmetic kernels" arith_micro_tests;
@@ -422,4 +490,5 @@ let () =
   run_group "substrates" substrate_tests;
   run_group "exact volume engine (Theorem 3)" exact_volume_tests;
   run_group "ablations (QE design choices, cold cache)" ablation_tests;
+  run_counter_deltas ();
   emit_json ()

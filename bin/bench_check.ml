@@ -1,0 +1,58 @@
+(* Bench-regression gate: compare the key set of a fresh benchmark run
+   (BENCH_smoke.json from `make bench-smoke`) against the committed
+   baseline (BENCH.json).
+
+   A key present in the baseline but absent from the fresh run means a
+   benchmark was dropped or renamed without regenerating the baseline --
+   exactly the silent drift this gate exists to catch -- and fails the
+   check.  Keys only in the fresh run are new benchmarks; they warn until
+   the baseline is regenerated (`make bench`), so adding a benchmark never
+   blocks CI.  Values are not compared: smoke-run timings are noise by
+   design (fraction-of-a-second quotas), so only the key sets are held
+   stable.
+
+   Usage: bench_check BASELINE CANDIDATE   (defaults: BENCH.json
+   BENCH_smoke.json) *)
+
+module J = Cqa_telemetry.Tjson
+
+let keys_of path =
+  match J.of_file path with
+  | Error msg ->
+      Printf.eprintf "bench_check: %s: %s\n" path msg;
+      exit 2
+  | Ok (J.Obj _ as doc) -> J.keys doc
+  | Ok _ ->
+      Printf.eprintf "bench_check: %s: expected a top-level JSON object\n" path;
+      exit 2
+
+module S = Set.Make (String)
+
+let () =
+  let baseline, candidate =
+    match Sys.argv with
+    | [| _ |] -> ("BENCH.json", "BENCH_smoke.json")
+    | [| _; b; c |] -> (b, c)
+    | _ ->
+        Printf.eprintf "usage: %s [BASELINE CANDIDATE]\n" Sys.argv.(0);
+        exit 2
+  in
+  let base = S.of_list (keys_of baseline)
+  and cand = S.of_list (keys_of candidate) in
+  let missing = S.diff base cand and added = S.diff cand base in
+  S.iter
+    (fun k ->
+      Printf.printf "NEW      %s (not in %s; regenerate with `make bench`)\n" k
+        baseline)
+    added;
+  S.iter (fun k -> Printf.printf "MISSING  %s (in %s, absent from %s)\n" k baseline candidate) missing;
+  Printf.printf "bench_check: %d baseline keys, %d candidate keys, %d missing, %d new\n"
+    (S.cardinal base) (S.cardinal cand) (S.cardinal missing) (S.cardinal added);
+  if not (S.is_empty missing) then begin
+    Printf.printf
+      "bench_check: FAIL -- benchmarks dropped or renamed without \
+       regenerating %s\n"
+      baseline;
+    exit 1
+  end;
+  Printf.printf "bench_check: OK\n"

@@ -9,6 +9,39 @@ open Cqa_workload
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
+(* --stats: per-run pipeline telemetry                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Telemetry = Cqa_telemetry.Telemetry
+
+let stats_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some `Human)
+        (some (enum [ ("human", `Human); ("json", `Json) ]))
+        None
+    & info [ "stats" ] ~docv:"FMT"
+        ~doc:
+          "Print pipeline telemetry (counters, timers, dispatch events) \
+           gathered during the run: $(b,--stats) for a human summary, \
+           $(b,--stats=json) for the stable JSON schema.")
+
+let with_stats stats run =
+  match stats with
+  | None -> run ()
+  | Some fmt ->
+      Telemetry.enable ();
+      Telemetry.reset ();
+      let before = Telemetry.snapshot () in
+      let finish () =
+        let d = Telemetry.diff ~before ~after:(Telemetry.snapshot ()) in
+        match fmt with
+        | `Human -> Format.printf "@.-- telemetry --@.%a@." Telemetry.pp d
+        | `Json -> print_endline (Telemetry.to_json d)
+      in
+      Fun.protect ~finally:finish run
+
+(* ------------------------------------------------------------------ *)
 (* experiments                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -36,7 +69,8 @@ let volume_cmd =
     Arg.(value & opt int 2 & info [ "disjuncts" ] ~doc:"DNF disjunct count.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
-  let run dim disjuncts seed =
+  let run dim disjuncts seed stats =
+    with_stats stats @@ fun () ->
     let prng = Prng.create seed in
     let s = Generators.semilinear prng ~dim ~disjuncts in
     Format.printf "set:@.%a@." Semilinear.pp s;
@@ -49,7 +83,7 @@ let volume_cmd =
   Cmd.v
     (Cmd.info "volume"
        ~doc:"Exact volume of a random semi-linear database, two ways.")
-    Term.(const run $ dim $ disjuncts $ seed)
+    Term.(const run $ dim $ disjuncts $ seed $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* approx                                                              *)
@@ -61,7 +95,8 @@ let approx_cmd =
     Arg.(value & opt float 0.1 & info [ "delta" ] ~doc:"Failure probability.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
-  let run eps delta seed =
+  let run eps delta seed stats =
+    with_stats stats @@ fun () ->
     let prng = Prng.create seed in
     let disk = Generators.random_disk prng in
     let { Volume_approx.estimate; sample_size } =
@@ -76,7 +111,7 @@ let approx_cmd =
   Cmd.v
     (Cmd.info "approx"
        ~doc:"Theorem 4: sample-based volume approximation of a semi-algebraic set.")
-    Term.(const run $ eps $ delta $ seed)
+    Term.(const run $ eps $ delta $ seed $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* vcdim                                                               *)
@@ -110,7 +145,8 @@ let vcdim_cmd =
 
 let area_cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
-  let run seed =
+  let run seed stats =
+    with_stats stats @@ fun () ->
     let prng = Prng.create seed in
     let rec poly () =
       match Generators.convex_polygon prng ~points:5 with
@@ -133,7 +169,7 @@ let area_cmd =
   Cmd.v
     (Cmd.info "area"
        ~doc:"Section 5: polygon area computed by the FO + POLY + SUM program.")
-    Term.(const run $ seed)
+    Term.(const run $ seed $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* qe                                                                  *)
@@ -149,7 +185,8 @@ let qe_cmd =
             "FO + LIN formula, e.g. 'exists y . x < y /\\\\ y < 5'. Lowercase \
              identifiers are variables.")
   in
-  let run src =
+  let run src stats =
+    with_stats stats @@ fun () ->
     match Parser.formula_of_string src with
     | exception Parser.Parse_error msg ->
         Format.eprintf "parse error: %s@." msg;
@@ -168,7 +205,7 @@ let qe_cmd =
   Cmd.v
     (Cmd.info "qe"
        ~doc:"Quantifier elimination of an FO + LIN formula (Fourier-Motzkin).")
-    Term.(const run $ formula)
+    Term.(const run $ formula $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -348,13 +385,139 @@ let analyze_cmd =
       const run $ query $ file $ corpus $ schema $ format $ deny $ show_info
       $ endpoints $ threshold)
 
+(* ------------------------------------------------------------------ *)
+(* vol: cost-guarded query volume                                      *)
+(* ------------------------------------------------------------------ *)
+
+let vol_cmd =
+  let query =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:
+            "FO + POLY + SUM formula whose free variables span the \
+             integration coordinates (same syntax as $(b,analyze)).")
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:"Read the query from a .cq file (see $(b,analyze)).")
+  in
+  let schema =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schema" ] ~docv:"SPEC"
+          ~doc:"Relation arities, e.g. 'U:1,P:2' (overrides the file header).")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt float Dispatch.default_budget
+      & info [ "budget" ] ~docv:"X"
+          ~doc:
+            "Projected-cost budget: when the worst-case \
+             quantifier-elimination projection (Section 3 model, m -> \
+             m^2/4 per eliminated variable) exceeds $(docv), evaluation \
+             degrades to the Theorem 4 sampling estimator instead of \
+             running the exact engine.  Default: unguarded.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"K"
+          ~doc:"OCaml domains for the selected engine (default 1).")
+  in
+  let eps =
+    Arg.(value & opt float 0.1 & info [ "eps" ] ~doc:"Fallback accuracy.")
+  in
+  let delta =
+    Arg.(
+      value & opt float 0.1
+      & info [ "delta" ] ~doc:"Fallback failure probability.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Fallback sampling seed.")
+  in
+  let run query file schema budget domains eps delta seed stats =
+    with_stats stats @@ fun () ->
+    let src, schema_spec =
+      match (query, file) with
+      | Some q, None -> (q, schema)
+      | None, Some path ->
+          let src, file_schema = read_cq path in
+          (src, if schema <> None then schema else file_schema)
+      | Some _, Some _ ->
+          Format.eprintf "give either QUERY or --file, not both@.";
+          exit 2
+      | None, None ->
+          Format.eprintf "nothing to evaluate: give QUERY or --file@.";
+          exit 2
+    in
+    let db =
+      match schema_spec with
+      | None -> Db.empty Schema.empty
+      | Some spec -> (
+          match schema_of_spec spec with
+          | s -> Db.empty s
+          | exception Failure msg ->
+              Format.eprintf "schema error: %s@." msg;
+              exit 2)
+    in
+    match Parser.formula_of_string src with
+    | exception Parser.Parse_error msg ->
+        Format.eprintf "parse error: %s@." msg;
+        exit 2
+    | f -> (
+        let coords = Array.of_list (Var.Set.elements (Ast.free_vars f)) in
+        if Array.length coords = 0 then begin
+          Format.eprintf "query has no free variables: VOL_I is 0-dimensional@.";
+          exit 2
+        end;
+        let hint =
+          (Cqa_analysis.Analyzer.analyze ~db
+             (Cqa_analysis.Analyzer.Formula f))
+            .Cqa_analysis.Analyzer.hint
+        in
+        match
+          Volume_exact.volume_guarded ~domains ~hint ~budget ~eps ~delta ~seed
+            db coords f
+        with
+        | exception Volume_exact.Not_semilinear msg ->
+            Format.eprintf "not evaluable exactly: %s@." msg;
+            exit 1
+        | { Volume_exact.value; engine; projected; budget } ->
+            Format.printf "free variables:";
+            Array.iter (fun v -> Format.printf " %a" Var.pp v) coords;
+            Format.printf "@.";
+            Format.printf "static hint: %a@." Dispatch.pp hint;
+            if budget = infinity then
+              Format.printf "projected QE atoms: %.3g (unguarded)@." projected
+            else
+              Format.printf "projected QE atoms: %.3g (budget %.3g)@."
+                projected budget;
+            Format.printf "engine: %a@." Volume_exact.pp_engine engine;
+            Format.printf "VOL_I = %a (~%g)@." Q.pp value (Q.to_float value))
+  in
+  Cmd.v
+    (Cmd.info "vol"
+       ~doc:
+         "VOL_I of a query's section set, with cost-guarded dispatch: exact \
+          (Theorem 3) within $(b,--budget), Theorem 4 sampling beyond it.")
+    Term.(
+      const run $ query $ file $ schema $ budget $ domains $ eps $ delta
+      $ seed $ stats_arg)
+
 let main =
   Cmd.group
     (Cmd.info "cqa" ~version:"1.0"
        ~doc:"Exact and approximate aggregation in constraint query languages.")
     [
       experiments_cmd; volume_cmd; approx_cmd; vcdim_cmd; area_cmd; qe_cmd;
-      analyze_cmd;
+      analyze_cmd; vol_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -14,60 +14,27 @@ type estimate = {
   km : Bounds.km_size option;
 }
 
-(* (atoms, quantifiers, sums, tuple width) *)
-let rec f_stats (f : Ast.formula) =
-  match f with
-  | Ast.True | Ast.False -> (0, 0, 0, 0)
-  | Ast.Rel _ -> (1, 0, 0, 0)
-  | Ast.Cmp (_, a, b) ->
-      let x = add4 (t_stats a) (t_stats b) in
-      add4 (1, 0, 0, 0) x
-  | Ast.Not g -> f_stats g
-  | Ast.And (g, h) | Ast.Or (g, h) -> add4 (f_stats g) (f_stats h)
-  | Ast.Exists (_, g) | Ast.Forall (_, g) -> add4 (0, 1, 0, 0) (f_stats g)
-
-and t_stats (t : Ast.term) =
-  match t with
-  | Ast.Const _ | Ast.TVar _ -> (0, 0, 0, 0)
-  | Ast.Add (a, b) | Ast.Mul (a, b) -> add4 (t_stats a) (t_stats b)
-  | Ast.Sum s ->
-      add4
-        (0, 0, 1, List.length s.Ast.w)
-        (add4 (f_stats s.Ast.guard)
-           (add4 (f_stats s.Ast.gamma) (f_stats s.Ast.end_body)))
-
-and add4 (a, b, c, d) (a', b', c', d') = (a + a', b + b', c + c', d + d')
-
-(* Fourier-Motzkin worst case: eliminating one variable from m constraints
-   can leave floor(m/2)*ceil(m/2) <= m^2/4 of them. *)
-let qe_projection ~atoms ~quantifiers =
-  let m = ref (float_of_int (max 2 atoms)) in
-  for _ = 1 to quantifiers do
-    if !m < 1e150 then m := Float.max !m (!m *. !m /. 4.)
-  done;
-  !m
-
-let build ~endpoints ~free_var_count (atoms, quantifiers, sum_count, tuple_width)
-    =
-  let projected_qe_atoms = qe_projection ~atoms ~quantifiers in
-  let projected_sum_points =
-    if sum_count = 0 then 0.
-    else float_of_int endpoints ** float_of_int tuple_width
-  in
+(* The syntactic walk and the worst-case projections are shared with the
+   runtime guard (Volume_exact.volume_guarded) through Dispatch, so the
+   static diagnostics and the budget-guarded dispatch can never disagree on
+   a query's projected cost. *)
+let build ~endpoints ~free_var_count (p : Dispatch.cost_profile) =
+  let projected_qe_atoms = Dispatch.projected_qe_atoms p in
+  let projected_sum_points = Dispatch.projected_sum_points ~endpoints p in
   let km =
     if free_var_count = 0 then None
     else
       Some
         (Bounds.km_formula_size ~eps:0.1 ~delta:0.25
            ~vc_dim:(free_var_count + 2) ~m:free_var_count
-           ~atoms_in_phi:(max 1 atoms))
+           ~atoms_in_phi:(max 1 p.Dispatch.atoms))
   in
   {
-    atoms;
-    quantifiers;
+    atoms = p.Dispatch.atoms;
+    quantifiers = p.Dispatch.quantifiers;
     free_var_count;
-    sum_count;
-    tuple_width;
+    sum_count = p.Dispatch.sum_count;
+    tuple_width = p.Dispatch.tuple_width;
     endpoints_assumed = endpoints;
     projected_qe_atoms;
     projected_sum_points;
@@ -77,12 +44,12 @@ let build ~endpoints ~free_var_count (atoms, quantifiers, sum_count, tuple_width
 let estimate_formula ?(endpoints = 8) f =
   build ~endpoints
     ~free_var_count:(Var.Set.cardinal (Ast.free_vars f))
-    (f_stats f)
+    (Dispatch.profile_formula f)
 
 let estimate_term ?(endpoints = 8) t =
   build ~endpoints
     ~free_var_count:(Var.Set.cardinal (Ast.term_free_vars t))
-    (t_stats t)
+    (Dispatch.profile_term t)
 
 let check ?(threshold = 1e6) e =
   let diags = ref [] in

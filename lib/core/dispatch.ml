@@ -6,3 +6,78 @@ let to_string = function
   | Sum_eval -> "sum-eval"
 
 let pp fmt h = Format.pp_print_string fmt (to_string h)
+
+(* ------------------------------------------------------------------ *)
+(* Cost profile and budget-guarded engine decision                     *)
+(* ------------------------------------------------------------------ *)
+
+type cost_profile = {
+  atoms : int;
+  quantifiers : int;
+  sum_count : int;
+  tuple_width : int;
+}
+
+let zero_profile = { atoms = 0; quantifiers = 0; sum_count = 0; tuple_width = 0 }
+
+let add_profile a b =
+  {
+    atoms = a.atoms + b.atoms;
+    quantifiers = a.quantifiers + b.quantifiers;
+    sum_count = a.sum_count + b.sum_count;
+    tuple_width = a.tuple_width + b.tuple_width;
+  }
+
+let rec profile_formula (f : Ast.formula) =
+  match f with
+  | Ast.True | Ast.False -> zero_profile
+  | Ast.Rel _ -> { zero_profile with atoms = 1 }
+  | Ast.Cmp (_, a, b) ->
+      add_profile
+        { zero_profile with atoms = 1 }
+        (add_profile (profile_term a) (profile_term b))
+  | Ast.Not g -> profile_formula g
+  | Ast.And (g, h) | Ast.Or (g, h) ->
+      add_profile (profile_formula g) (profile_formula h)
+  | Ast.Exists (_, g) | Ast.Forall (_, g) ->
+      add_profile { zero_profile with quantifiers = 1 } (profile_formula g)
+
+and profile_term (t : Ast.term) =
+  match t with
+  | Ast.Const _ | Ast.TVar _ -> zero_profile
+  | Ast.Add (a, b) | Ast.Mul (a, b) ->
+      add_profile (profile_term a) (profile_term b)
+  | Ast.Sum s ->
+      add_profile
+        { zero_profile with sum_count = 1; tuple_width = List.length s.Ast.w }
+        (add_profile (profile_formula s.Ast.guard)
+           (add_profile (profile_formula s.Ast.gamma)
+              (profile_formula s.Ast.end_body)))
+
+(* Fourier-Motzkin worst case: eliminating one variable from m constraints
+   can leave floor(m/2)*ceil(m/2) <= m^2/4 of them (the Section 3 story:
+   repeated squaring).  Saturates well below [infinity] so the projection
+   stays comparable. *)
+let projected_qe_atoms p =
+  let m = ref (float_of_int (Stdlib.max 2 p.atoms)) in
+  for _ = 1 to p.quantifiers do
+    if !m < 1e150 then m := Float.max !m (!m *. !m /. 4.)
+  done;
+  !m
+
+let projected_sum_points ~endpoints p =
+  if p.sum_count = 0 then 0.
+  else float_of_int endpoints ** float_of_int p.tuple_width
+
+let default_budget = infinity
+
+type decision =
+  | Run_exact
+  | Fallback_approx of { projected : float; budget : float }
+
+let decide ?(endpoints = 8) ?(budget = default_budget) p =
+  let projected =
+    Float.max (projected_qe_atoms p) (projected_sum_points ~endpoints p)
+  in
+  if projected > budget then Fallback_approx { projected; budget }
+  else Run_exact

@@ -2,6 +2,34 @@ open Cqa_arith
 open Cqa_logic
 open Cqa_linear
 open Cqa_poly
+module T = Cqa_telemetry.Telemetry
+
+(* Telemetry probes (zero-cost while disabled): runtime linearity probes,
+   the quantified-subformula truth memo, section/QE entries, and
+   formula-size stats per set-valued evaluation. *)
+let tm_runtime_probes = T.counter "eval.runtime_probes"
+let tm_holds_memo_hit = T.counter "eval.holds_memo.hit"
+let tm_holds_memo_miss = T.counter "eval.holds_memo.miss"
+let tm_sections = T.counter "eval.sections"
+let tm_eval_set = T.counter "eval.eval_set.calls"
+let tm_nodes_total = T.counter "eval.formula_nodes_total"
+let tm_nodes_max = T.counter "eval.formula_nodes_max"
+
+let rec formula_nodes (f : Ast.formula) =
+  match f with
+  | Ast.True | Ast.False | Ast.Rel _ -> 1
+  | Ast.Cmp (_, a, b) -> 1 + term_nodes a + term_nodes b
+  | Ast.Not g -> 1 + formula_nodes g
+  | Ast.And (g, h) | Ast.Or (g, h) -> 1 + formula_nodes g + formula_nodes h
+  | Ast.Exists (_, g) | Ast.Forall (_, g) -> 1 + formula_nodes g
+
+and term_nodes (t : Ast.term) =
+  match t with
+  | Ast.Const _ | Ast.TVar _ -> 1
+  | Ast.Add (a, b) | Ast.Mul (a, b) -> 1 + term_nodes a + term_nodes b
+  | Ast.Sum s ->
+      1 + formula_nodes s.Ast.guard + formula_nodes s.Ast.gamma
+      + formula_nodes s.Ast.end_body
 
 exception Unsupported of string
 
@@ -242,8 +270,11 @@ and holds db env (f : Ast.formula) : bool =
             frees [] )
       in
       (match holds_memo_find key with
-      | Some b -> b
+      | Some b ->
+          T.incr tm_holds_memo_hit;
+          b
       | None ->
+          T.incr tm_holds_memo_miss;
           let b = Fourier_motzkin.sat (reduce_linear db env f) in
           holds_memo_add key b;
           b)
@@ -253,6 +284,7 @@ and holds db env (f : Ast.formula) : bool =
 (* ------------------------------------------------------------------ *)
 
 and section db env y (f : Ast.formula) : Cell1.t =
+  T.incr tm_sections;
   let env = Var.Map.remove y env in
   let lin = reduce_linear db env f in
   let d = Fourier_motzkin.qe lin in
@@ -332,6 +364,12 @@ and gamma_value db env (s : Ast.sum_spec) tup =
 (* ------------------------------------------------------------------ *)
 
 let eval_set db coords (f : Ast.formula) =
+  if T.enabled () then begin
+    T.incr tm_eval_set;
+    let n = formula_nodes f in
+    T.add tm_nodes_total n;
+    T.set_max tm_nodes_max n
+  end;
   let lin = reduce_linear db Var.Map.empty f in
   Semilinear.of_formula coords lin
 
@@ -345,6 +383,7 @@ let runtime_probes () = !runtime_probe_count
 
 let try_eval_set db coords (f : Ast.formula) =
   incr runtime_probe_count;
+  T.incr tm_runtime_probes;
   match eval_set db coords f with
   | s -> Some s
   | exception Unsupported _ -> None

@@ -25,22 +25,37 @@ let spawn_join jobs =
   let domains = Array.map Domain.spawn jobs in
   Array.map Domain.join domains
 
+module T = Cqa_telemetry.Telemetry
+
+(* Per-chunk wall-clock timings, recorded under [par.chunk:<label>].  The
+   chunk count and durations depend on the domain count and scheduling, so
+   this is a timer, never a counter (see the Telemetry determinism
+   contract).  The timer is registered on the spawning domain; worker
+   domains only record into it. *)
+let chunk_timer label =
+  if T.enabled () then Some (T.timer ("par.chunk:" ^ label)) else None
+
+let timed tmr job =
+  match tmr with None -> job () | Some t -> T.time t job
+
 (* Exceptions are captured per element and re-raised in index order only
    after every domain has been joined: no domain is ever abandoned, and the
    surfaced exception is the one the sequential run would have hit first. *)
-let map ~domains f arr =
+let map ?(label = "map") ~domains f arr =
   let n = Array.length arr in
   let k = clamp_domains ~n domains in
   if k <= 1 then Array.map f arr
   else begin
     let sizes = chunk_sizes ~n ~chunks:k in
     let starts = chunk_starts sizes in
+    let tmr = chunk_timer label in
     let jobs =
       Array.init k (fun d () ->
-          Array.init sizes.(d) (fun i ->
-              match f arr.(starts.(d) + i) with
-              | v -> Ok v
-              | exception e -> Error e))
+          timed tmr (fun () ->
+              Array.init sizes.(d) (fun i ->
+                  match f arr.(starts.(d) + i) with
+                  | v -> Ok v
+                  | exception e -> Error e)))
     in
     let chunks = spawn_join jobs in
     let results = Array.concat (Array.to_list chunks) in
@@ -51,7 +66,7 @@ let map ~domains f arr =
    folds a contiguous index range, partial results are combined in chunk
    order.  [combine] must be associative and commutative (exact rational
    addition here), so the re-association cannot change the value. *)
-let fold_ints ~domains ~combine ~init term lo hi =
+let fold_ints ?(label = "fold") ~domains ~combine ~init term lo hi =
   let n = hi - lo + 1 in
   if n <= 0 then init
   else begin
@@ -67,11 +82,13 @@ let fold_ints ~domains ~combine ~init term lo hi =
     else begin
       let sizes = chunk_sizes ~n ~chunks:k in
       let starts = chunk_starts sizes in
+      let tmr = chunk_timer label in
       let jobs =
         Array.init k (fun d () ->
-            let a = lo + starts.(d) in
-            let b = a + sizes.(d) - 1 in
-            match seq a b with v -> Ok v | exception e -> Error e)
+            timed tmr (fun () ->
+                let a = lo + starts.(d) in
+                let b = a + sizes.(d) - 1 in
+                match seq a b with v -> Ok v | exception e -> Error e))
       in
       let parts = spawn_join jobs in
       Array.fold_left

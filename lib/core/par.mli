@@ -17,12 +17,17 @@ val chunk_starts : int array -> int array
 
 val spawn_join : (unit -> 'a) array -> 'a array
 
-val map : domains:int -> ('a -> 'b) -> 'a array -> 'b array
+val map : ?label:string -> domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~domains f arr]: [Array.map f arr] evaluated on up to [domains]
-    domains.  [domains <= 1] is exactly [Array.map]. *)
+    domains.  [domains <= 1] is exactly [Array.map].  When telemetry is
+    enabled, each chunk's wall-clock duration is recorded under the timer
+    [par.chunk:<label>] (default label ["map"]). *)
 
 val fold_ints :
+  ?label:string ->
   domains:int -> combine:('a -> 'a -> 'a) -> init:'a -> (int -> 'a) -> int -> int -> 'a
 (** [fold_ints ~domains ~combine ~init term lo hi] combines
     [term lo, ..., term hi]; [combine] must be associative and commutative
-    with unit [init] for the result to be independent of [domains]. *)
+    with unit [init] for the result to be independent of [domains].  When
+    telemetry is enabled, chunk durations are recorded under
+    [par.chunk:<label>] (default label ["fold"]). *)

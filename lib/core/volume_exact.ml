@@ -2,6 +2,20 @@ open Cqa_arith
 open Cqa_linear
 open Cqa_poly
 open Cqa_geom
+module T = Cqa_telemetry.Telemetry
+
+(* Telemetry probes (zero-cost while disabled).  Counters are bumped from
+   worker domains during parallel sweeps; they are atomic, and their totals
+   for a fixed input are independent of the domain count (per-chunk wall
+   time lives in the [par.chunk:volume.*] timers instead). *)
+let tm_sweep_calls = T.counter "volume.sweep.calls"
+let tm_sweep_cells = T.counter "volume.sweep.cells"
+let tm_sweep_sections = T.counter "volume.sweep.sections"
+let tm_breakpoints = T.counter "volume.sweep.breakpoints"
+let tm_ie_calls = T.counter "volume.incl_excl.calls"
+let tm_ie_terms = T.counter "volume.incl_excl.terms"
+let tm_arr_pushes = T.counter "volume.arrangement.pushes"
+let tm_arr_vertices = T.counter "volume.arrangement.vertices"
 
 exception Unbounded
 
@@ -86,11 +100,15 @@ let arrangement_vertices s =
     in
     let elim = Qmat.elim_create n in
     let rec choose k start =
-      if k = n then verts := Qmat.elim_solution elim :: !verts
+      if k = n then begin
+        T.incr tm_arr_vertices;
+        verts := Qmat.elim_solution elim :: !verts
+      end
       else
         for i = start to m - 1 do
           let row, rhs = rows.(i) in
           if Qmat.elim_push elim row rhs then begin
+            T.incr tm_arr_pushes;
             choose (k + 1) (i + 1);
             Qmat.elim_pop elim
           end
@@ -133,7 +151,9 @@ let rec volume_sweep_pruned ?(domains = 1) s =
     | None -> raise Unbounded
   end
   else begin
+    T.incr tm_sweep_calls;
     let bps = breakpoints_pruned s in
+    if T.enabled () then T.add tm_breakpoints (List.length bps);
     (* the section measure is a polynomial of degree < n on each open piece
        (a, b): recover it by interpolation at n interior points *)
     let rec collect acc = function
@@ -154,8 +174,12 @@ let rec volume_sweep_pruned ?(domains = 1) s =
     let all_samples =
       Array.of_list (List.concat_map (fun (_, _, samples) -> samples) pieces)
     in
+    if T.enabled () then begin
+      T.add tm_sweep_cells (List.length pieces);
+      T.add tm_sweep_sections (Array.length all_samples)
+    end;
     let h t = volume_sweep_pruned (prune (Semilinear.section_last s t)) in
-    let values = Par.map ~domains h all_samples in
+    let values = Par.map ~label:"volume.sweep" ~domains h all_samples in
     let pos = ref 0 in
     List.fold_left
       (fun acc (a, b, samples) ->
@@ -203,12 +227,16 @@ let volume_incl_excl ?(domains = 1) s =
       match !inter with
       | None -> assert false
       | Some p ->
+          T.incr tm_ie_terms;
           let v = Lasserre.volume p in
           if !count mod 2 = 1 then v else Q.neg v
     in
+    T.incr tm_ie_calls;
     (* the signed terms are chunked over domains; exact rational addition is
        associative and commutative, so the re-association is value-exact *)
-    Par.fold_ints ~domains ~combine:Q.add ~init:Q.zero term 1 ((1 lsl d) - 1)
+    Par.fold_ints ~label:"volume.incl_excl" ~domains ~combine:Q.add ~init:Q.zero
+      term 1
+      ((1 lsl d) - 1)
   end
 
 let volume ?domains s = volume_sweep ?domains s
@@ -237,3 +265,65 @@ let volume_of_query ?domains ?hint db coords f =
       | Some s -> volume_sweep ?domains s
       | None ->
           raise (Not_semilinear "query is not linear-reducible"))
+
+(* ------------------------------------------------------------------ *)
+(* Cost-guarded entry: exact within budget, Theorem 4 beyond it        *)
+(* ------------------------------------------------------------------ *)
+
+let tm_guard_exact = T.counter "dispatch.guard.exact"
+let tm_guard_fallback = T.counter "dispatch.guard.fallback"
+
+type engine = Exact_engine | Approx_engine of { sample_size : int }
+
+type guarded = {
+  value : Q.t;
+  engine : engine;
+  projected : float;
+  budget : float;
+}
+
+let pp_engine fmt = function
+  | Exact_engine -> Format.pp_print_string fmt "exact (Theorem 3 sweep)"
+  | Approx_engine { sample_size } ->
+      Format.fprintf fmt "approx (Theorem 4 sampling, M = %d)" sample_size
+
+let volume_guarded ?(domains = 1) ?hint ?(budget = Dispatch.default_budget)
+    ?(eps = 0.1) ?(delta = 0.1) ?(seed = 1) db coords f =
+  let profile = Dispatch.profile_formula f in
+  let projected = Dispatch.projected_qe_atoms profile in
+  let fallback reason =
+    T.incr tm_guard_fallback;
+    if T.enabled () then
+      T.event "dispatch.fallback"
+        (Printf.sprintf "%s; projected=%.3g budget=%.3g eps=%g delta=%g"
+           reason projected budget eps delta);
+    let vc_dim = Array.length coords + 2 in
+    let m = Cqa_vc.Bounds.blumer_sample_size ~eps ~delta ~vc_dim in
+    let prng = Cqa_vc.Prng.create seed in
+    let value = Volume_approx.approx_query ~domains ~prng ~m db ~yvars:coords f in
+    { value; engine = Approx_engine { sample_size = m }; projected; budget }
+  in
+  match (hint : Dispatch.hint option) with
+  | Some (Dispatch.Pointwise_poly | Dispatch.Sum_eval) ->
+      (* outside the exact fragment: sampling is the only engine left, so
+         degrade rather than reject as [volume_of_query] would *)
+      fallback "static hint excludes the exact engine"
+  | (Some Dispatch.Exact_semilinear | None) as hint -> (
+      match Dispatch.decide ~budget profile with
+      | Dispatch.Fallback_approx _ -> fallback "projected cost exceeds budget"
+      | Dispatch.Run_exact ->
+          T.incr tm_guard_exact;
+          let s =
+            match hint with
+            | Some Dispatch.Exact_semilinear -> Eval.eval_set db coords f
+            | _ -> (
+                match Eval.try_eval_set db coords f with
+                | Some s -> s
+                | None -> raise (Not_semilinear "query is not linear-reducible"))
+          in
+          {
+            value = volume_sweep ~domains (Semilinear.clamp_unit s);
+            engine = Exact_engine;
+            projected;
+            budget;
+          })

@@ -54,6 +54,50 @@ val volume_of_query :
     @raise Not_semilinear when the query is outside the exact fragment.
     @raise Unbounded when the defined set has infinite measure. *)
 
+(** {1 Cost-guarded dispatch} *)
+
+type engine =
+  | Exact_engine  (** Theorem 3 sweep, exact rational result *)
+  | Approx_engine of { sample_size : int }
+      (** Theorem 4 sampling estimate from a Blumer-sized sample *)
+
+type guarded = {
+  value : Q.t;  (** [VOL_I] of the defined set, exact or estimated *)
+  engine : engine;
+  projected : float;  (** [Dispatch.projected_qe_atoms] of the query *)
+  budget : float;  (** the budget the projection was compared against *)
+}
+
+val pp_engine : Format.formatter -> engine -> unit
+
+val volume_guarded :
+  ?domains:int ->
+  ?hint:Dispatch.hint ->
+  ?budget:float ->
+  ?eps:float ->
+  ?delta:float ->
+  ?seed:int ->
+  Db.t ->
+  Var.t array ->
+  Ast.formula ->
+  guarded
+(** [VOL_I] of the query's section set, with the engine chosen by
+    {!Dispatch.decide}: within [budget] (default {!Dispatch.default_budget},
+    i.e. unguarded) the Theorem 3 exact engine runs on the clamped set;
+    when the projected quantifier-elimination cost exceeds the budget — or
+    a [Pointwise_poly] / [Sum_eval] hint excludes the exact engine outright
+    — evaluation degrades to the Theorem 4 sampling estimator with a
+    Blumer-sized sample for [eps]/[delta] (defaults [0.1]/[0.1], seeded by
+    [seed], default [1]).  Each fallback records a [dispatch.fallback]
+    telemetry event (when telemetry is enabled) carrying the projected cost
+    and budget; the [dispatch.guard.exact] / [dispatch.guard.fallback]
+    counters record the decisions themselves.
+
+    Both engines compute the same quantity ([VOL_I], the intersection with
+    the unit cube), so exact results and estimates are directly comparable.
+    @raise Not_semilinear when the exact engine was selected but the
+    runtime probe finds the query not linear-reducible. *)
+
 val arrangement_vertices : Semilinear.t -> Q.t array list
 (** All 0-dimensional intersections of [dim]-subsets of the constraint
     hyperplanes (no feasibility filtering): a superset of the vertices of

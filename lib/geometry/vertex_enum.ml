@@ -1,4 +1,13 @@
 open Cqa_arith
+module T = Cqa_telemetry.Telemetry
+
+(* Telemetry probes (zero-cost while disabled): basis subsets solved,
+   duplicate vertices dropped, and the backtracking depth high-water mark. *)
+let tm_calls = T.counter "geom.vertex_enum.calls"
+let tm_bases = T.counter "geom.vertex_enum.bases"
+let tm_dedup = T.counter "geom.vertex_enum.dedup_hits"
+let tm_vertices = T.counter "geom.vertex_enum.vertices"
+let tm_depth = T.counter "geom.vertex_enum.depth_max"
 
 let compare_pt a b =
   let rec go i =
@@ -11,6 +20,7 @@ let compare_pt a b =
   go 0
 
 let vertices p =
+  T.incr tm_calls;
   if not (Hpolytope.is_bounded p) then
     invalid_arg "Vertex_enum.vertices: unbounded polytope";
   let n = Hpolytope.dim p in
@@ -23,21 +33,28 @@ let vertices p =
     let idx = Array.make n 0 in
     let rec choose k start =
       if k = n then begin
+        T.incr tm_bases;
         let a =
           Array.init n (fun r -> Array.copy hs.(idx.(r)).Hpolytope.normal)
         in
         let b = Array.init n (fun r -> hs.(idx.(r)).Hpolytope.offset) in
         match Qmat.solve a b with
         | Some x when Hpolytope.contains p x ->
-            if not (List.exists (fun y -> compare_pt x y = 0) !found) then
+            if List.exists (fun y -> compare_pt x y = 0) !found then
+              T.incr tm_dedup
+            else begin
+              T.incr tm_vertices;
               found := x :: !found
+            end
         | Some _ | None -> ()
       end
-      else
+      else begin
+        T.set_max tm_depth (k + 1);
         for i = start to m - 1 do
           idx.(k) <- i;
           choose (k + 1) (i + 1)
         done
+      end
     in
     choose 0 0;
     List.sort compare_pt !found

@@ -1,5 +1,24 @@
 open Cqa_arith
 open Cqa_logic
+module T = Cqa_telemetry.Telemetry
+
+(* Telemetry probes (zero-cost while disabled): per-variable projections
+   with atom counts before/after, the Fkey QE memo and the shared
+   conjunction-satisfiability memo.  All fm.* counters measure work
+   actually performed, and elimination runs outside the memo locks: under
+   the domain-parallel volume engine two domains can both miss the same
+   cold key and eliminate it twice, so these counts (not just the
+   hit/miss splits) are scheduling-dependent; they are deterministic for
+   any single-domain run. *)
+let tm_qe_calls = T.counter "fm.qe.calls"
+let tm_projections = T.counter "fm.qe.projections"
+let tm_atoms_before = T.counter "fm.qe.atoms_before"
+let tm_atoms_after = T.counter "fm.qe.atoms_after"
+let tm_qe_memo_hit = T.counter "fm.qe_memo.hit"
+let tm_qe_memo_miss = T.counter "fm.qe_memo.miss"
+let tm_sat_queries = T.counter "fm.sat.queries"
+let tm_sat_memo_hit = T.counter "fm.sat_memo.hit"
+let tm_sat_memo_miss = T.counter "fm.sat_memo.miss"
 
 (* Cheap syntactic strengthening: among atoms sharing the same linear part
    (coefficients are kept primitive, so parallel constraints have equal
@@ -101,6 +120,10 @@ let prune_large : (Linformula.conjunction -> Linformula.conjunction) ref =
   ref (fun c -> c)
 
 let eliminate_var x conj =
+  if T.enabled () then begin
+    T.incr tm_projections;
+    T.add tm_atoms_before (List.length conj)
+  end;
   let eqs, lowers, uppers, frees = partition_on x conj in
   let result =
     match eqs with
@@ -120,7 +143,9 @@ let eliminate_var x conj =
   Option.map
     (fun c ->
       let c = if optimizations.tightening then tighten_parallel c else c in
-      if optimizations.elim_pruning then !prune_large c else c)
+      let c = if optimizations.elim_pruning then !prune_large c else c in
+      if T.enabled () then T.add tm_atoms_after (List.length c);
+      c)
     (Linformula.simplify_conjunction result)
 
 let eliminate_var_dnf x d = List.filter_map (eliminate_var x) d
@@ -206,12 +231,16 @@ let satisfiable_conj_memo oracle conj =
   | [] -> true
   | _ -> (
       let key = List.sort_uniq Int.compare (List.map Linconstr.tag conj) in
+      T.incr tm_sat_queries;
       Mutex.lock sat_lock;
       let cached = Hashtbl.find_opt sat_memo key in
       Mutex.unlock sat_lock;
       match cached with
-      | Some b -> b
+      | Some b ->
+          T.incr tm_sat_memo_hit;
+          b
       | None ->
+          T.incr tm_sat_memo_miss;
           let b = oracle conj in
           Mutex.lock sat_lock;
           if Hashtbl.length sat_memo >= sat_memo_cap then Hashtbl.reset sat_memo;
@@ -444,8 +473,11 @@ let rec qe_nnf (f : Linformula.t) : Linformula.dnf =
   | Formula.Not (Formula.Atom a) -> List.map (fun c -> [ c ]) (Linconstr.negate a)
   | _ -> (
       match memo_find f with
-      | Some d -> d
+      | Some d ->
+          T.incr tm_qe_memo_hit;
+          d
       | None ->
+          T.incr tm_qe_memo_miss;
           let d = qe_nnf_raw f in
           memo_add f d;
           d)
@@ -501,7 +533,9 @@ let clear_qe_cache () =
   Hashtbl.reset sat_memo;
   Mutex.unlock sat_lock
 
-let qe f = List.filter satisfiable_conj (qe_nnf (Linformula.nnf f))
+let qe f =
+  T.incr tm_qe_calls;
+  List.filter satisfiable_conj (qe_nnf (Linformula.nnf f))
 
 let sat f =
   let d = qe f in

@@ -225,6 +225,11 @@ let bbox_memo : (Var.t list * int list list, (Q.t * Q.t) array option) Hashtbl.t
 let bbox_lock = Mutex.create ()
 let bbox_memo_cap = 16384
 
+let clear_bbox_cache () =
+  Mutex.lock bbox_lock;
+  Hashtbl.reset bbox_memo;
+  Mutex.unlock bbox_lock
+
 let bounding_box a =
   if a.dnf = [] then None
   else begin

@@ -62,7 +62,15 @@ val last_axis_cell : t -> Q.t array -> Cell1.t
 
 val bounding_box : t -> (Q.t * Q.t) array option
 (** Exact ranges per axis of the non-strict relaxation; [None] when the set
-    is empty or unbounded in some direction. *)
+    is empty or unbounded in some direction.  Memoized on the interned
+    constraint tags (the volume sweep recomputes boxes for the same
+    sections at every level); the underlying LP work therefore only happens
+    on a cache miss, so the [simplex.*] telemetry counters depend on cache
+    state. *)
+
+val clear_bbox_cache : unit -> unit
+(** Drop the bounding-box memo (cold-cache benchmarking and deterministic
+    counter tests). *)
 
 val is_bounded : t -> bool
 

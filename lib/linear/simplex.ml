@@ -1,5 +1,16 @@
 open Cqa_arith
 open Cqa_logic
+module T = Cqa_telemetry.Telemetry
+
+(* Telemetry probes (zero-cost while disabled): every entry point funnels
+   through [maximize], so [simplex.solves] counts LP instances and
+   [simplex.pivots] the Bland-rule pivots across both phases.  Callers
+   (Semilinear.bounding_box) memoize around the solver, so these count work
+   actually performed: like the [.hit]/[.miss] splits, they depend on cache
+   state and are exempt from the cross-domain determinism contract. *)
+let tm_solves = T.counter "simplex.solves"
+let tm_pivots = T.counter "simplex.pivots"
+let tm_phase1 = T.counter "simplex.phase1_runs"
 
 type result =
   | Optimal of Q.t * Q.t Var.Map.t
@@ -46,6 +57,7 @@ let make_dict ~n ~rows_coeffs ~rows_rhs ~obj =
 
 (* Pivot: entering nonbasic variable e, leaving row l. *)
 let pivot d l e =
+  T.incr tm_pivots;
   let le = d.basic.(l) in
   let ale = d.a.(l).(e) in
   assert (not (Q.is_zero ale));
@@ -133,6 +145,7 @@ let initialize d =
   done;
   if d.rows = 0 || Q.geq d.b.(!min_i) Q.zero then true
   else begin
+    T.incr tm_phase1;
     (* auxiliary variable x0, with coefficient -1 in every row *)
     let x0 = d.nvars in
     let grow arr = Array.init (d.nvars + 1) (fun j -> if j < d.nvars then arr.(j) else Q.zero) in
@@ -245,6 +258,7 @@ let extract vars index sol =
     Var.Map.empty vars
 
 let maximize ~objective ~constraints =
+  T.incr tm_solves;
   let vars, index, n, rows = translate constraints in
   (* objective may mention variables absent from the constraints; bind them *)
   let extra =

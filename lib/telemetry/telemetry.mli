@@ -1,0 +1,106 @@
+(** Pipeline telemetry: monotonic counters, timers, nested spans and
+    discrete events behind one global switch.
+
+    Disabled (the default), every probe is a single load-and-branch — no
+    allocation, no clock read, no lock — so instrumented hot paths stay
+    within benchmark noise of their uninstrumented form.  Enabled, counters
+    are lock-free atomics safe to bump from any domain, timers take a
+    per-timer mutex on the record path only, and registries are guarded by
+    a global lock.
+
+    Counters must stay deterministic for a fixed workload whatever the
+    domain count; scheduling-dependent quantities (durations, per-chunk
+    work) belong in timers.  The deliberate exceptions are cache hit/miss
+    splits — two domains can both miss the same cold key, so they are named
+    with a [.hit]/[.miss] suffix so callers can filter them — and counters
+    of work performed inside a memoized computation (the [fm.*] counters
+    under the QE and satisfiability memos, the [simplex.*] LP-work counters
+    under the memoized bounding boxes): concurrent cold misses duplicate
+    exactly that work, so those counts inherit the same scheduling
+    dependence. *)
+
+val enable : unit -> unit
+(** Turn every probe on.  Not synchronized: call from the main domain
+    before spawning workers. *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Register (or fetch, if already registered) the counter named [name].
+    Call once at module initialization and keep the handle: registration
+    takes the registry lock. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val set_max : counter -> int -> unit
+(** Raise the counter to [n] if below: a high-water-mark gauge (stack
+    depths, table sizes).  Lock-free compare-and-set. *)
+
+(** {1 Timers} *)
+
+type timer
+
+val timer : string -> timer
+(** Register (or fetch) the timer named [name]. *)
+
+val record_ns : timer -> float -> unit
+(** Record one sample of [ns] nanoseconds. *)
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Time [f ()] and record the duration; when disabled, exactly [f ()].
+    A raising [f] records nothing. *)
+
+(** {1 Spans and events} *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Run [f] under a named nested span: records the duration in the timer
+    [span:name] and keeps the per-domain nesting high-water mark in the
+    counter [span.depth:name].  Exception-safe; when disabled, exactly
+    [f ()]. *)
+
+val event : string -> string -> unit
+(** [event name detail] appends a discrete event (e.g. a dispatch fallback
+    decision) to the snapshot's chronological event list. *)
+
+(** {1 Snapshots} *)
+
+type timer_stat = {
+  count : int;
+  total_ns : float;
+  min_ns : float;  (** 0 when [count = 0] *)
+  max_ns : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  timers : (string * timer_stat) list;  (** sorted by name *)
+  events : (string * string) list;  (** chronological (name, detail) *)
+}
+
+val snapshot : unit -> snapshot
+(** Consistent view of every registered probe (zero-valued ones
+    included). *)
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Counter and timer-count/total deltas of [after] relative to [before]
+    (a name unknown to [before] counts as zero); timer [min_ns]/[max_ns]
+    are high-water marks since the last {!reset} and carry over from
+    [after]; events are those recorded after [before] was taken. *)
+
+val reset : unit -> unit
+(** Zero every counter and timer and drop all events; registrations are
+    kept. *)
+
+val to_json : snapshot -> string
+(** Stable schema:
+    [{"counters":{name:int,...},"timers":{name:{"count":int,"total_ns":float,"min_ns":float,"max_ns":float},...},"events":[{"name":s,"detail":s},...]}]
+    with counters and timers sorted by name. *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Human rendering (omits empty sections). *)

@@ -1,11 +1,24 @@
 open Cqa_arith
+module T = Cqa_telemetry.Telemetry
+
+(* Telemetry probes (zero-cost while disabled): points drawn, membership
+   tests made and accepted (the acceptance rate is accepted/tests).  Under
+   domain-parallel estimation the counters are atomic; their totals for a
+   fixed (seed, n, domains) run are deterministic. *)
+let tm_drawn = T.counter "vc.samples.drawn"
+let tm_tests = T.counter "vc.membership_tests"
+let tm_accepted = T.counter "vc.samples.accepted"
+let tm_estimates = T.counter "vc.estimates"
 
 type sample = Q.t array list
 
 let random_sample ~prng ~dim ~n =
+  if T.enabled () then T.add tm_drawn n;
   List.init n (fun _ -> Array.init dim (fun _ -> Prng.q_unit prng))
 
-let halton_sample ~dim ~n = Halton.points ~dim n
+let halton_sample ~dim ~n =
+  if T.enabled () then T.add tm_drawn n;
+  Halton.points ~dim n
 
 let fraction_in sample mem =
   match sample with
@@ -16,6 +29,11 @@ let fraction_in sample mem =
           (fun (h, t) pt -> ((if mem pt then h + 1 else h), t + 1))
           (0, 0) sample
       in
+      if T.enabled () then begin
+        T.incr tm_estimates;
+        T.add tm_tests total;
+        T.add tm_accepted hits
+      end;
       Q.of_ints hits total
 
 let estimate ~sample ~mem = fraction_in sample mem
@@ -56,6 +74,11 @@ let count_hits_random ~prng ~dim ~n mem =
     let pt = Array.init dim (fun _ -> Prng.q_unit prng) in
     if mem pt then incr hits
   done;
+  if T.enabled () then begin
+    T.add tm_drawn n;
+    T.add tm_tests n;
+    T.add tm_accepted !hits
+  end;
   !hits
 
 let estimate_random ?(domains = 1) ~prng ~dim ~n mem =
@@ -70,6 +93,7 @@ let estimate_random ?(domains = 1) ~prng ~dim ~n mem =
         (Array.init domains (fun i () ->
              count_hits_random ~prng:prngs.(i) ~dim ~n:sizes.(i) mem))
     in
+    T.incr tm_estimates;
     Q.of_ints (Array.fold_left ( + ) 0 hits) n
   end
 
@@ -93,8 +117,14 @@ let estimate_halton ?(domains = 1) ~dim ~n mem =
              for j = starts.(i) to starts.(i) + sizes.(i) - 1 do
                if mem (Halton.point ~dim j) then incr h
              done;
+             if T.enabled () then begin
+               T.add tm_drawn sizes.(i);
+               T.add tm_tests sizes.(i);
+               T.add tm_accepted !h
+             end;
              !h))
     in
+    T.incr tm_estimates;
     Q.of_ints (Array.fold_left ( + ) 0 hits) n
   end
 
@@ -119,9 +149,16 @@ let estimate_family_random ?(domains = 1) ~prng ~dim ~n ~mem params =
              Array.map
                (fun a ->
                  let test = mem a in
-                 List.fold_left
-                   (fun h pt -> if test pt then h + 1 else h)
-                   0 chunk)
+                 let h =
+                   List.fold_left
+                     (fun h pt -> if test pt then h + 1 else h)
+                     0 chunk
+                 in
+                 if T.enabled () then begin
+                   T.add tm_tests sizes.(i);
+                   T.add tm_accepted h
+                 end;
+                 h)
                params_arr))
     in
     let totals = Array.make (Array.length params_arr) 0 in
