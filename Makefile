@@ -21,10 +21,13 @@ bench-smoke:
 
 # Bench-regression gate: the fresh smoke run must cover every benchmark
 # key of the committed BENCH.json (fails on dropped/renamed benchmarks,
-# warns on new ones until `make bench` regenerates the baseline).
+# warns on new ones until `make bench` regenerates the baseline) and the
+# per-key candidate/baseline ratio must stay under the fail threshold.
+# BENCH_ratio.txt holds the full per-key table for CI artifact upload.
 bench-check: bench-smoke
 	dune build bin/bench_check.exe
-	./_build/default/bin/bench_check.exe BENCH.json BENCH_smoke.json
+	./_build/default/bin/bench_check.exe BENCH.json BENCH_smoke.json \
+	  --report BENCH_ratio.txt
 
 # Static-analysis gate: the built-in workload corpus and every good_*.cq
 # example must analyze without errors; every bad_*.cq example must trip a
@@ -52,4 +55,4 @@ verify: build test bench-check
 
 clean:
 	dune clean
-	rm -f BENCH_smoke.json
+	rm -f BENCH_smoke.json BENCH_ratio.txt

@@ -26,6 +26,31 @@ let stats_arg =
            gathered during the run: $(b,--stats) for a human summary, \
            $(b,--stats=json) for the stable JSON schema.")
 
+(* Shared --domains flag for every command with ?domains plumbing.  The
+   default leaves one hardware thread to the submitting domain; the
+   persistent pool's adaptive cutoff still runs batches sequentially when
+   the fan-out cannot pay for itself, so a large default costs nothing on
+   small workloads. *)
+let default_domains = Stdlib.max 1 (Domain.recommended_domain_count () - 1)
+
+let domains_arg =
+  let env =
+    Cmd.Env.info "CQA_DOMAINS"
+      ~doc:"Default for $(b,--domains) on every command that takes it."
+  in
+  Arg.(
+    value
+    & opt int default_domains
+    & info [ "domains" ] ~docv:"K" ~env
+        ~doc:
+          (Printf.sprintf
+             "OCaml domains for the parallel engines (exact-volume section \
+              chunks, sampling chunks); results are reproducible per \
+              domain count.  Defaults to the machine's recommended domain \
+              count minus one (here %d); $(b,CQA_DOMAINS) overrides the \
+              default."
+             default_domains))
+
 let with_stats stats run =
   match stats with
   | None -> run ()
@@ -69,13 +94,13 @@ let volume_cmd =
     Arg.(value & opt int 2 & info [ "disjuncts" ] ~doc:"DNF disjunct count.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
-  let run dim disjuncts seed stats =
+  let run dim disjuncts seed domains stats =
     with_stats stats @@ fun () ->
     let prng = Prng.create seed in
     let s = Generators.semilinear prng ~dim ~disjuncts in
     Format.printf "set:@.%a@." Semilinear.pp s;
-    let sweep = Volume_exact.volume_sweep s in
-    let ie = Volume_exact.volume_incl_excl s in
+    let sweep = Volume_exact.volume_sweep ~domains s in
+    let ie = Volume_exact.volume_incl_excl ~domains s in
     Format.printf "volume (Theorem 3 sweep):      %a@." Q.pp sweep;
     Format.printf "volume (inclusion-exclusion):  %a@." Q.pp ie;
     Format.printf "volume (float):                %g@." (Q.to_float sweep)
@@ -83,7 +108,7 @@ let volume_cmd =
   Cmd.v
     (Cmd.info "volume"
        ~doc:"Exact volume of a random semi-linear database, two ways.")
-    Term.(const run $ dim $ disjuncts $ seed $ stats_arg)
+    Term.(const run $ dim $ disjuncts $ seed $ domains_arg $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* approx                                                              *)
@@ -95,12 +120,13 @@ let approx_cmd =
     Arg.(value & opt float 0.1 & info [ "delta" ] ~doc:"Failure probability.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
-  let run eps delta seed stats =
+  let run eps delta seed domains stats =
     with_stats stats @@ fun () ->
     let prng = Prng.create seed in
     let disk = Generators.random_disk prng in
     let { Volume_approx.estimate; sample_size } =
-      Volume_approx.approx_semialg_eps ~prng ~eps ~delta ~vc_dim:3 disk
+      Volume_approx.approx_semialg_eps ~domains ~prng ~eps ~delta ~vc_dim:3
+        disk
     in
     Format.printf
       "random disk in I^2; eps = %g, delta = %g -> sample size M = %d@." eps
@@ -111,7 +137,7 @@ let approx_cmd =
   Cmd.v
     (Cmd.info "approx"
        ~doc:"Theorem 4: sample-based volume approximation of a semi-algebraic set.")
-    Term.(const run $ eps $ delta $ seed $ stats_arg)
+    Term.(const run $ eps $ delta $ seed $ domains_arg $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* vcdim                                                               *)
@@ -425,12 +451,6 @@ let vol_cmd =
              degrades to the Theorem 4 sampling estimator instead of \
              running the exact engine.  Default: unguarded.")
   in
-  let domains =
-    Arg.(
-      value & opt int 1
-      & info [ "domains" ] ~docv:"K"
-          ~doc:"OCaml domains for the selected engine (default 1).")
-  in
   let eps =
     Arg.(value & opt float 0.1 & info [ "eps" ] ~doc:"Fallback accuracy.")
   in
@@ -508,7 +528,7 @@ let vol_cmd =
          "VOL_I of a query's section set, with cost-guarded dispatch: exact \
           (Theorem 3) within $(b,--budget), Theorem 4 sampling beyond it.")
     Term.(
-      const run $ query $ file $ schema $ budget $ domains $ eps $ delta
+      const run $ query $ file $ schema $ budget $ domains_arg $ eps $ delta
       $ seed $ stats_arg)
 
 let main =

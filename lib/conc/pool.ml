@@ -1,0 +1,303 @@
+(* Persistent work-stealing domain pool: one process-wide set of worker
+   domains behind a global mutex/condvar, per-worker deques, chunks dealt
+   round-robin to the lanes at submit time.  Coarse chunks (a handful per
+   batch, each microseconds-to-milliseconds of work) make a single global
+   lock the right trade: the lock is taken once per chunk transfer, not per
+   work item, and the simplicity buys an airtight shutdown and re-entrancy
+   story. *)
+
+module T = Cqa_telemetry.Telemetry
+
+let tm_spawned = T.counter "pool.domains.spawned"
+let tm_batches_parallel = T.counter "pool.batches.parallel"
+let tm_batches_sequential = T.counter "pool.batches.sequential"
+let tm_jobs_run = T.counter "pool.jobs.run"
+let tm_jobs_stolen = T.counter "pool.jobs.stolen"
+
+(* Two-list deque; owner takes the front, thieves take the back.  Always
+   accessed under the global pool lock. *)
+module Dq = struct
+  type 'a t = { mutable front : 'a list; mutable back : 'a list }
+
+  let create () = { front = []; back = [] }
+
+  let push_back d x = d.back <- x :: d.back
+
+  let pop_front d =
+    match d.front with
+    | x :: rest ->
+        d.front <- rest;
+        Some x
+    | [] -> (
+        match List.rev d.back with
+        | [] -> None
+        | x :: rest ->
+            d.back <- [];
+            d.front <- rest;
+            Some x)
+
+  let pop_back d =
+    match d.back with
+    | x :: rest ->
+        d.back <- rest;
+        Some x
+    | [] -> (
+        match List.rev d.front with
+        | [] -> None
+        | x :: rest ->
+            d.front <- [];
+            d.back <- rest;
+            Some x)
+end
+
+type job = { run : unit -> unit }
+
+let max_workers = 64
+let lock = Mutex.create ()
+let cond = Condition.create ()
+let deques : job Dq.t array ref = ref [||]
+let handles : unit Domain.t list ref = ref []
+let shutting_down = ref false
+let spawned_count = ref 0
+
+let worker_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+let is_worker () = Domain.DLS.get worker_key
+
+(* Take a job while holding [lock]: worker [w] drains its own lane from the
+   front, then steals from the back of the others ([w = -1] marks a helping
+   submitter, which only steals).  Returns [None] when every lane is
+   empty. *)
+let take w =
+  let ds = !deques in
+  let k = Array.length ds in
+  if k = 0 then None
+  else begin
+    let own =
+      if w >= 0 && w < k then Dq.pop_front ds.(w) else None
+    in
+    match own with
+    | Some j ->
+        T.incr tm_jobs_run;
+        Some j
+    | None ->
+        let rec steal i =
+          if i >= k then None
+          else
+            let v = (w + 1 + i + k) mod k in
+            match Dq.pop_back ds.(v) with
+            | Some j ->
+                if w >= 0 && v <> w then T.incr tm_jobs_stolen;
+                T.incr tm_jobs_run;
+                Some j
+            | None -> steal (i + 1)
+        in
+        steal 0
+  end
+
+let rec worker_loop w =
+  Mutex.lock lock;
+  let rec next () =
+    match take w with
+    | Some j -> Some j
+    | None ->
+        if !shutting_down then None
+        else begin
+          Condition.wait cond lock;
+          next ()
+        end
+  in
+  let j = next () in
+  Mutex.unlock lock;
+  match j with
+  | None -> ()
+  | Some j ->
+      (* Batch jobs capture their own exceptions; this is a belt against a
+         raise escaping and silently killing the worker. *)
+      (try j.run () with _ -> ());
+      worker_loop w
+
+(* OCaml waits for every spawned domain at process exit, so idle workers
+   blocked in [Condition.wait] would hang the process: tear the pool down
+   from [at_exit]. *)
+let teardown () =
+  Mutex.lock lock;
+  shutting_down := true;
+  Condition.broadcast cond;
+  let hs = !handles in
+  handles := [];
+  Mutex.unlock lock;
+  List.iter Domain.join hs
+
+let at_exit_registered = ref false
+
+let ensure_workers n =
+  let n = Stdlib.min (Stdlib.max n 0) max_workers in
+  Mutex.lock lock;
+  let cur = Array.length !deques in
+  if n > cur && not !shutting_down then begin
+    if not !at_exit_registered then begin
+      at_exit_registered := true;
+      Stdlib.at_exit teardown
+    end;
+    let grown =
+      Array.init n (fun i -> if i < cur then !deques.(i) else Dq.create ())
+    in
+    deques := grown;
+    for w = cur to n - 1 do
+      incr spawned_count;
+      T.incr tm_spawned;
+      let h =
+        Domain.spawn (fun () ->
+            Domain.DLS.set worker_key true;
+            worker_loop w)
+      in
+      handles := h :: !handles
+    done
+  end;
+  Mutex.unlock lock
+
+let size () =
+  Mutex.lock lock;
+  let n = Array.length !deques in
+  Mutex.unlock lock;
+  n
+
+let spawned () = !spawned_count
+let hw_parallelism () = Domain.recommended_domain_count ()
+
+(* --- adaptive cutoff ------------------------------------------------- *)
+
+type mode = Auto | Always | Never
+
+let mode_ref = ref Auto
+let set_mode m = mode_ref := m
+let mode () = !mode_ref
+let threshold_ns = ref 1e6
+
+let set_cutoff_threshold_ns v =
+  if not (v > 0.) then invalid_arg "Pool.set_cutoff_threshold_ns";
+  threshold_ns := v
+
+let cutoff_threshold_ns () = !threshold_ns
+
+(* Per-label EWMA of nanoseconds per work item, fed by the pool's own
+   timing of every batch (two clock reads per batch — noise next to the
+   fan-out it is calibrating). *)
+let cutoff_lock = Mutex.create ()
+let estimates : (string, float) Hashtbl.t = Hashtbl.create 32
+
+let observe ~label ~items ~ns =
+  if items > 0 && ns >= 0. then begin
+    let per = ns /. float_of_int items in
+    Mutex.lock cutoff_lock;
+    (match Hashtbl.find_opt estimates label with
+    | None -> Hashtbl.replace estimates label per
+    | Some e -> Hashtbl.replace estimates label ((0.7 *. e) +. (0.3 *. per)));
+    Mutex.unlock cutoff_lock
+  end
+
+let estimate_ns_per_item label =
+  Mutex.lock cutoff_lock;
+  let r = Hashtbl.find_opt estimates label in
+  Mutex.unlock cutoff_lock;
+  r
+
+(* A label never seen parallelises optimistically and gets calibrated by
+   its own first run. *)
+let should_parallelize ~label ~items =
+  (not (is_worker ()))
+  &&
+  match !mode_ref with
+  | Always -> true
+  | Never -> false
+  | Auto ->
+      hw_parallelism () > 1
+      && (match estimate_ns_per_item label with
+         | None -> true
+         | Some per -> per *. float_of_int items >= !threshold_ns)
+
+let would_parallelize = should_parallelize
+
+(* --- batches --------------------------------------------------------- *)
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+(* Sequential execution with the parallel path's error contract: every
+   chunk runs, the lowest-indexed failure is re-raised. *)
+let run_seq n chunk =
+  let first_err = ref None in
+  for i = 0 to n - 1 do
+    try chunk i
+    with e -> if !first_err = None then first_err := Some e
+  done;
+  match !first_err with Some e -> raise e | None -> ()
+
+let run_parallel ~label ~items n chunk =
+  T.incr tm_batches_parallel;
+  ensure_workers (n - 1);
+  let remaining = Atomic.make n in
+  let errs = Array.make n None in
+  let times = Array.make n 0. in
+  let wrap i =
+    {
+      run =
+        (fun () ->
+          let t0 = now_ns () in
+          (try chunk i with e -> errs.(i) <- Some e);
+          times.(i) <- now_ns () -. t0;
+          if Atomic.fetch_and_add remaining (-1) = 1 then begin
+            (* Last chunk of the batch: wake the submitter. *)
+            Mutex.lock lock;
+            Condition.broadcast cond;
+            Mutex.unlock lock
+          end);
+    }
+  in
+  Mutex.lock lock;
+  let lanes = Stdlib.max 1 (Array.length !deques) in
+  if Array.length !deques = 0 then
+    (* Shutdown raced us (or the cap is 0): run inline below via help. *)
+    deques := [| Dq.create () |];
+  (* chunk -> lane fixed here, before any worker can observe the batch *)
+  for i = 0 to n - 1 do
+    Dq.push_back !deques.(i mod lanes) (wrap i)
+  done;
+  Condition.broadcast cond;
+  (* The submitter helps drain the queues until its batch completes. *)
+  let rec help () =
+    if Atomic.get remaining > 0 then
+      match take (-1) with
+      | Some j ->
+          Mutex.unlock lock;
+          j.run ();
+          Mutex.lock lock;
+          help ()
+      | None ->
+          if Atomic.get remaining > 0 then begin
+            Condition.wait cond lock;
+            help ()
+          end
+  in
+  help ();
+  Mutex.unlock lock;
+  observe ~label ~items ~ns:(Array.fold_left ( +. ) 0. times);
+  Array.iter (function Some e -> raise e | None -> ()) errs
+
+let run_chunks ?(label = "pool") ~items n chunk =
+  if n > 0 then
+    if n > 1 && should_parallelize ~label ~items then
+      run_parallel ~label ~items n chunk
+    else begin
+      T.incr tm_batches_sequential;
+      (* Calibrating a sequential batch only matters where [Auto] could
+         ever pick the pool; on a single-core machine (and in the forced
+         modes) the estimate is never consulted, so skip the clock reads —
+         they are the last measurable per-batch cost of [~domains > 1]
+         there. *)
+      if !mode_ref = Auto && hw_parallelism () > 1 then begin
+        let t0 = now_ns () in
+        run_seq n chunk;
+        observe ~label ~items ~ns:(now_ns () -. t0)
+      end
+      else run_seq n chunk
+    end

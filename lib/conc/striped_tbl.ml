@@ -1,0 +1,134 @@
+(* Lock-striped hash tables: shard = hash mod N, one mutex per shard.
+   Replaces the single global mutex in front of the FM sat/QE memos, the
+   Eval holds-memo and the Semilinear bounding-box cache. *)
+
+module T = Cqa_telemetry.Telemetry
+
+type evict = Reset | Half
+
+module type S = sig
+  type key
+  type 'v t
+
+  val create : ?shards:int -> name:string -> cap:int -> evict:evict -> unit -> 'v t
+  val find_opt : 'v t -> key -> 'v option
+  val replace : 'v t -> key -> 'v -> unit
+  val length : 'v t -> int
+  val reset : 'v t -> unit
+  val set_capacity : 'v t -> int -> unit
+  val capacity : 'v t -> int
+  val shards : 'v t -> int
+end
+
+module Make (H : Hashtbl.HashedType) : S with type key = H.t = struct
+  module Tbl = Hashtbl.Make (H)
+
+  type key = H.t
+
+  type 'v shard = { lock : Mutex.t; tbl : 'v Tbl.t }
+
+  type 'v t = {
+    stripes : 'v shard array;
+    contention : T.counter;
+    evict : evict;
+    mutable cap_total : int;  (* written under stripe 0's lock *)
+  }
+
+  let create ?(shards = 16) ~name ~cap ~evict () =
+    if cap < 2 then invalid_arg "Striped_tbl.create: cap < 2";
+    let shards = Stdlib.min (Stdlib.max shards 1) 256 in
+    {
+      stripes =
+        Array.init shards (fun _ ->
+            { lock = Mutex.create (); tbl = Tbl.create 64 });
+      contention = T.counter (name ^ ".contention");
+      evict;
+      cap_total = cap;
+    }
+
+  let shards t = Array.length t.stripes
+
+  (* The global capacity is split exactly across the stripes (the first
+     [cap mod shards] get the extra slot), so the table as a whole never
+     exceeds [cap] — the bound the single-mutex tables promised.  A stripe
+     with a zero allotment simply never caches. *)
+  let shard_cap t i =
+    let k = Array.length t.stripes in
+    let q = t.cap_total / k and r = t.cap_total mod k in
+    if i < r then q + 1 else q
+
+  let stripe_index t k = (H.hash k land max_int) mod Array.length t.stripes
+  let stripe t k = t.stripes.(stripe_index t k)
+
+  (* The only blocking point: count the failed try_lock so shard contention
+     shows up in --stats without perturbing the uncontended path. *)
+  let lock_shard t s =
+    if T.enabled () then begin
+      if not (Mutex.try_lock s.lock) then begin
+        T.incr t.contention;
+        Mutex.lock s.lock
+      end
+    end
+    else Mutex.lock s.lock
+
+  let find_opt t k =
+    let s = stripe t k in
+    lock_shard t s;
+    let r = Tbl.find_opt s.tbl k in
+    Mutex.unlock s.lock;
+    r
+
+  (* Parity shed: keep every other binding, like the QE memo's evict_half. *)
+  let shed_half tbl =
+    let parity = ref false in
+    let doomed =
+      Tbl.fold
+        (fun k _ acc ->
+          parity := not !parity;
+          if !parity then k :: acc else acc)
+        tbl []
+    in
+    List.iter (Tbl.remove tbl) doomed
+
+  let replace t k v =
+    let i = stripe_index t k in
+    let s = t.stripes.(i) in
+    lock_shard t s;
+    let cap = shard_cap t i in
+    if Tbl.mem s.tbl k then Tbl.replace s.tbl k v
+    else if cap > 0 then begin
+      (* loop: after a capacity tightening a stale stripe may need more
+         than one half-shed to get back under its allotment *)
+      while Tbl.length s.tbl >= cap do
+        match t.evict with Reset -> Tbl.reset s.tbl | Half -> shed_half s.tbl
+      done;
+      Tbl.replace s.tbl k v
+    end;
+    Mutex.unlock s.lock
+
+  let length t =
+    Array.fold_left
+      (fun acc s ->
+        lock_shard t s;
+        let n = Tbl.length s.tbl in
+        Mutex.unlock s.lock;
+        acc + n)
+      0 t.stripes
+
+  let reset t =
+    Array.iter
+      (fun s ->
+        lock_shard t s;
+        Tbl.reset s.tbl;
+        Mutex.unlock s.lock)
+      t.stripes
+
+  let set_capacity t cap =
+    if cap < 2 then invalid_arg "Striped_tbl.set_capacity: cap < 2";
+    let s0 = t.stripes.(0) in
+    lock_shard t s0;
+    t.cap_total <- cap;
+    Mutex.unlock s0.lock
+
+  let capacity t = t.cap_total
+end

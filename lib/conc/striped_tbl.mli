@@ -1,0 +1,52 @@
+(** N-way lock-striped hash tables for the memo caches.
+
+    A striped table is [shards] independent [Hashtbl]s, each behind its own
+    mutex; a key lives in the shard selected by its hash, so lookups from
+    different domains contend only when they hash to the same stripe.  The
+    single-mutex tables these replace are the semantic model: for any
+    interleaving, [find_opt]/[replace] behave exactly as on one
+    [Hashtbl.t] with per-key atomicity (the memo pattern — compute outside
+    the lock, [replace] under it — tolerates the benign double-compute race
+    exactly as before).
+
+    The global capacity [cap] is distributed exactly across the shards, so
+    [length t <= cap] always holds — the same bound the single-mutex
+    tables enforced (a shard whose allotment is zero simply never caches).
+    A shard that fills evicts by its table's policy: with [Reset] the
+    shard is cleared outright (the old tables' behaviour); with [Half]
+    every other binding is shed, keeping the working set warm (the QE
+    memo's behaviour).
+
+    When telemetry is enabled, each failed [Mutex.try_lock] on a shard
+    bumps the table's [<name>.contention] counter.  Contention counts are
+    scheduling-dependent by nature and are exempt from the counter
+    determinism contract (see {!Cqa_telemetry.Telemetry}). *)
+
+type evict = Reset  (** drop the whole shard *) | Half  (** shed every other binding *)
+
+module type S = sig
+  type key
+  type 'v t
+
+  val create : ?shards:int -> name:string -> cap:int -> evict:evict -> unit -> 'v t
+  (** [shards] defaults to 16 and is clamped to [1 .. 256]; [name] labels
+      the [<name>.contention] telemetry counter; [cap] is the total
+      capacity, a hard bound on {!length} (raises [Invalid_argument] when
+      [< 2]). *)
+
+  val find_opt : 'v t -> key -> 'v option
+  val replace : 'v t -> key -> 'v -> unit
+  val length : 'v t -> int
+  (** Sum of the shard sizes (each read under its lock; the total is a
+      snapshot, exact whenever no writer is concurrent). *)
+
+  val reset : 'v t -> unit
+  val set_capacity : 'v t -> int -> unit
+  (** Raises [Invalid_argument] when [< 2].  Takes effect on subsequent
+      inserts; nothing is evicted eagerly. *)
+
+  val capacity : 'v t -> int
+  val shards : 'v t -> int
+end
+
+module Make (H : Hashtbl.HashedType) : S with type key = H.t

@@ -53,14 +53,18 @@ module Holds_key = struct
       i b
 end
 
-module Holds_tbl = Hashtbl.Make (Holds_key)
+module Holds_tbl = Cqa_conc.Striped_tbl.Make (Holds_key)
 
-let holds_memo : bool Holds_tbl.t = Holds_tbl.create 4096
+(* The memo is shared across domains (the Theorem-4 sampling estimators
+   test membership in parallel) and lock-striped on the binding hash:
+   samplers evaluating the same formula at different points land on
+   different stripes instead of one global mutex.  The formula-id registry
+   and database witness below stay behind [memo_lock] — they are touched
+   once per [holds] call and once per evaluation, not per sample. *)
+let holds_memo : bool Holds_tbl.t =
+  Holds_tbl.create ~name:"eval.holds_memo" ~cap:100_000
+    ~evict:Cqa_conc.Striped_tbl.Reset ()
 
-(* The memo state is shared across domains (the Theorem-4 sampling
-   estimators test membership in parallel); every access goes through
-   [memo_lock].  The linear-fragment elimination itself runs outside the
-   lock and is protected by Fourier_motzkin's own lock. *)
 let memo_lock = Mutex.create ()
 
 (* Physical-identity registry of memoized formula nodes.  A hashtable over
@@ -109,17 +113,8 @@ let refresh_memo db =
   end;
   Mutex.unlock memo_lock
 
-let holds_memo_find key =
-  Mutex.lock memo_lock;
-  let r = Holds_tbl.find_opt holds_memo key in
-  Mutex.unlock memo_lock;
-  r
-
-let holds_memo_add key b =
-  Mutex.lock memo_lock;
-  if Holds_tbl.length holds_memo > 100_000 then Holds_tbl.reset holds_memo;
-  Holds_tbl.add holds_memo key b;
-  Mutex.unlock memo_lock
+let holds_memo_find key = Holds_tbl.find_opt holds_memo key
+let holds_memo_add key b = Holds_tbl.replace holds_memo key b
 
 (* ------------------------------------------------------------------ *)
 (* Term evaluation and reduction of terms to polynomials               *)

@@ -1,8 +1,17 @@
-(** Deterministic fork/join over OCaml 5 domains for the exact-volume
-    engine: contiguous index chunks, slot-order reassembly, exceptions
-    re-raised in index order after all domains are joined.  With exact
-    rational arithmetic the chunked reductions are value-identical to their
-    sequential counterparts, whatever the domain count. *)
+(** Deterministic fork/join for the exact-volume engine: contiguous index
+    chunks, slot-order reassembly, exceptions re-raised in index order
+    after all chunks complete.  With exact rational arithmetic the chunked
+    reductions are value-identical to their sequential counterparts,
+    whatever the domain count.
+
+    Chunks execute on {!Pool}'s persistent workers — never a fresh
+    [Domain.spawn] per call — and when the pool's adaptive cutoff would
+    run the batch inline on the caller the chunked structure is skipped
+    entirely: the batch runs as the plain sequential map/fold (same value,
+    since these combinators are chunking-invariant; the surfaced exception
+    is still the first in index order, though elements after it are not
+    evaluated on the inline path).  Either way the value depends only on
+    [~domains]. *)
 
 val clamp_domains : n:int -> int -> int
 (** Usable domain count: at least 1, at most [n] (and [n = 0] still gives
@@ -15,13 +24,12 @@ val chunk_sizes : n:int -> chunks:int -> int array
 val chunk_starts : int array -> int array
 (** Prefix sums of the chunk sizes: the starting offset of each chunk. *)
 
-val spawn_join : (unit -> 'a) array -> 'a array
-
 val map : ?label:string -> domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~domains f arr]: [Array.map f arr] evaluated on up to [domains]
-    domains.  [domains <= 1] is exactly [Array.map].  When telemetry is
-    enabled, each chunk's wall-clock duration is recorded under the timer
-    [par.chunk:<label>] (default label ["map"]). *)
+    pool workers.  [domains <= 1] is exactly [Array.map].  When telemetry
+    is enabled, each chunk's wall-clock duration is recorded under the
+    timer [par.chunk:<label>] (default label ["map"]); the label also keys
+    the pool's per-label cutoff calibration. *)
 
 val fold_ints :
   ?label:string ->

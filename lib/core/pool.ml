@@ -1,0 +1,1 @@
+include Cqa_conc.Pool

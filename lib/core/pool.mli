@@ -1,0 +1,8 @@
+(** The persistent work-stealing domain pool, re-exported from the
+    bottom-layer [Cqa_conc] library (where [Cqa_vc] and [Cqa_linear] can
+    also reach it) under the name the rest of the engine uses.  See
+    {!Cqa_conc.Pool} for the full contract. *)
+
+include module type of struct
+  include Cqa_conc.Pool
+end

@@ -213,16 +213,20 @@ let satisfiable_conj_raw conj =
    stale entry for collected constraints can never be looked up again; and
    the answer is a property of the constraint set, independent of both atom
    order and the optimization toggles, so the table survives ablation runs.
-   Mutex-guarded for the domain-parallel volume engine. *)
-let sat_memo : (int list, bool) Hashtbl.t = Hashtbl.create 1024
-let sat_lock = Mutex.create ()
-let sat_memo_cap = 65536
+   Lock-striped for the domain-parallel volume engine: parallel sweeps used
+   to serialize on one global mutex here. *)
+module Sat_tbl = Cqa_conc.Striped_tbl.Make (struct
+  type t = int list
 
-let sat_cache_size () =
-  Mutex.lock sat_lock;
-  let n = Hashtbl.length sat_memo in
-  Mutex.unlock sat_lock;
-  n
+  let equal = List.equal Int.equal
+  let hash (k : int list) = Hashtbl.hash k
+end)
+
+let sat_memo : bool Sat_tbl.t =
+  Sat_tbl.create ~name:"fm.sat_memo" ~cap:65536
+    ~evict:Cqa_conc.Striped_tbl.Reset ()
+
+let sat_cache_size () = Sat_tbl.length sat_memo
 
 (* The verdict is a property of the constraint set, not of the deciding
    oracle, so every oracle shares the one table. *)
@@ -232,20 +236,14 @@ let satisfiable_conj_memo oracle conj =
   | _ -> (
       let key = List.sort_uniq Int.compare (List.map Linconstr.tag conj) in
       T.incr tm_sat_queries;
-      Mutex.lock sat_lock;
-      let cached = Hashtbl.find_opt sat_memo key in
-      Mutex.unlock sat_lock;
-      match cached with
+      match Sat_tbl.find_opt sat_memo key with
       | Some b ->
           T.incr tm_sat_memo_hit;
           b
       | None ->
           T.incr tm_sat_memo_miss;
           let b = oracle conj in
-          Mutex.lock sat_lock;
-          if Hashtbl.length sat_memo >= sat_memo_cap then Hashtbl.reset sat_memo;
-          Hashtbl.replace sat_memo key b;
-          Mutex.unlock sat_lock;
+          Sat_tbl.replace sat_memo key b;
           b)
 
 let satisfiable_conj conj = satisfiable_conj_memo satisfiable_conj_raw conj
@@ -419,51 +417,25 @@ module Fmemo = Hashtbl.Make (Fkey)
    quantified subformulas under many different outer instantiations.
 
    The table is shared across domains (the sampling estimators evaluate
-   membership in parallel), so every access is under [memo_lock]; the
-   elimination itself runs outside the lock, at worst duplicating work for
-   a formula two domains race on.  When the table outgrows its capacity it
-   sheds half of its entries instead of resetting, keeping the warm half of
-   the working set. *)
-let qe_memo : Linformula.dnf Fmemo.t = Fmemo.create 256
+   membership in parallel) and lock-striped on the Fkey hash, so domains
+   touching different subformulas no longer contend; the elimination itself
+   runs outside any lock, at worst duplicating work for a formula two
+   domains race on.  When a stripe outgrows its capacity it sheds half of
+   its entries instead of resetting, keeping the warm half of the working
+   set. *)
+module Qe_tbl = Cqa_conc.Striped_tbl.Make (Fkey)
 
-let memo_lock = Mutex.create ()
-let memo_cap = ref 65536
+let qe_memo : Linformula.dnf Qe_tbl.t =
+  Qe_tbl.create ~name:"fm.qe_memo" ~cap:65536
+    ~evict:Cqa_conc.Striped_tbl.Half ()
 
 let set_qe_cache_capacity n =
   if n < 2 then invalid_arg "Fourier_motzkin.set_qe_cache_capacity";
-  Mutex.lock memo_lock;
-  memo_cap := n;
-  Mutex.unlock memo_lock
+  Qe_tbl.set_capacity qe_memo n
 
-let qe_cache_size () =
-  Mutex.lock memo_lock;
-  let n = Fmemo.length qe_memo in
-  Mutex.unlock memo_lock;
-  n
-
-(* caller holds [memo_lock] *)
-let evict_half () =
-  let parity = ref false in
-  let victims =
-    Fmemo.fold
-      (fun k _ acc ->
-        parity := not !parity;
-        if !parity then k :: acc else acc)
-      qe_memo []
-  in
-  List.iter (Fmemo.remove qe_memo) victims
-
-let memo_find f =
-  Mutex.lock memo_lock;
-  let r = Fmemo.find_opt qe_memo f in
-  Mutex.unlock memo_lock;
-  r
-
-let memo_add f d =
-  Mutex.lock memo_lock;
-  if Fmemo.length qe_memo >= !memo_cap then evict_half ();
-  Fmemo.replace qe_memo f d;
-  Mutex.unlock memo_lock
+let qe_cache_size () = Qe_tbl.length qe_memo
+let memo_find f = Qe_tbl.find_opt qe_memo f
+let memo_add f d = Qe_tbl.replace qe_memo f d
 
 let rec qe_nnf (f : Linformula.t) : Linformula.dnf =
   match f with
@@ -526,12 +498,8 @@ and qe_nnf_raw (f : Linformula.t) : Linformula.dnf =
       invalid_arg "Fourier_motzkin.qe: active-domain quantifier"
 
 let clear_qe_cache () =
-  Mutex.lock memo_lock;
-  Fmemo.reset qe_memo;
-  Mutex.unlock memo_lock;
-  Mutex.lock sat_lock;
-  Hashtbl.reset sat_memo;
-  Mutex.unlock sat_lock
+  Qe_tbl.reset qe_memo;
+  Sat_tbl.reset sat_memo
 
 let qe f =
   T.incr tm_qe_calls;

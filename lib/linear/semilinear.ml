@@ -217,18 +217,21 @@ let bounding_box_raw a =
    recomputes them for the same sets at every level (breakpoints, then each
    recursive section).  Constraints are interned, and the box is invariant
    under both disjunct order and atom order (ranges merge by min/max), so
-   the canonical tag key is sound.  Mutex-guarded for the domain-parallel
-   volume engine; reset when it outgrows its capacity. *)
-let bbox_memo : (Var.t list * int list list, (Q.t * Q.t) array option) Hashtbl.t =
-  Hashtbl.create 256
+   the canonical tag key is sound.  Lock-striped for the domain-parallel
+   volume engine (same structural key semantics as the polymorphic Hashtbl
+   it replaces); a full stripe resets, as the whole table used to. *)
+module Bbox_tbl = Cqa_conc.Striped_tbl.Make (struct
+  type t = Var.t list * int list list
 
-let bbox_lock = Mutex.create ()
-let bbox_memo_cap = 16384
+  let equal (a : t) (b : t) = a = b
+  let hash (k : t) = Hashtbl.hash k
+end)
 
-let clear_bbox_cache () =
-  Mutex.lock bbox_lock;
-  Hashtbl.reset bbox_memo;
-  Mutex.unlock bbox_lock
+let bbox_memo : (Q.t * Q.t) array option Bbox_tbl.t =
+  Bbox_tbl.create ~name:"semilinear.bbox_memo" ~cap:16384
+    ~evict:Cqa_conc.Striped_tbl.Reset ()
+
+let clear_bbox_cache () = Bbox_tbl.reset bbox_memo
 
 let bounding_box a =
   if a.dnf = [] then None
@@ -240,17 +243,11 @@ let bounding_box a =
              (fun conj -> List.sort_uniq Int.compare (List.map Linconstr.tag conj))
              a.dnf) )
     in
-    Mutex.lock bbox_lock;
-    let cached = Hashtbl.find_opt bbox_memo key in
-    Mutex.unlock bbox_lock;
-    match cached with
+    match Bbox_tbl.find_opt bbox_memo key with
     | Some r -> r
     | None ->
         let r = bounding_box_raw a in
-        Mutex.lock bbox_lock;
-        if Hashtbl.length bbox_memo >= bbox_memo_cap then Hashtbl.reset bbox_memo;
-        Hashtbl.replace bbox_memo key r;
-        Mutex.unlock bbox_lock;
+        Bbox_tbl.replace bbox_memo key r;
         r
   end
 

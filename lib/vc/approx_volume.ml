@@ -49,11 +49,16 @@ let estimate_family ~sample ~mem params =
 
 (* The Blumer-sized sample sets of Theorem 4 run to tens of thousands of
    membership tests; they are embarrassingly parallel.  The sample of [n]
-   points is split into [domains] chunks, each generated and scored on its
-   own domain.  Chunk PRNGs are split deterministically from the caller's
-   generator in chunk order, so a run is reproducible for a fixed seed and
-   domain count; [domains = 1] (the default) takes exactly the sequential
-   path of [random_sample] + [fraction_in]. *)
+   points is split into [domains] chunks, each generated and scored as one
+   job on the persistent domain pool.  Chunk PRNGs are split
+   deterministically from the caller's generator in chunk order — before
+   anything is submitted — so a run is reproducible for a fixed seed and
+   domain count whatever the pool does (its adaptive cutoff may run the
+   same chunks inline; the decomposition, and hence the estimate, never
+   depends on that choice); [domains = 1] (the default) takes exactly the
+   sequential path of [random_sample] + [fraction_in]. *)
+
+module Pool = Cqa_conc.Pool
 
 let clamp_domains ~n domains =
   let d = Stdlib.max 1 domains in
@@ -63,10 +68,6 @@ let clamp_domains ~n domains =
 let chunk_sizes ~n ~chunks =
   let q = n / chunks and r = n mod chunks in
   Array.init chunks (fun i -> if i < r then q + 1 else q)
-
-let spawn_join jobs =
-  let domains = Array.map Domain.spawn jobs in
-  Array.map Domain.join domains
 
 let count_hits_random ~prng ~dim ~n mem =
   let hits = ref 0 in
@@ -88,11 +89,9 @@ let estimate_random ?(domains = 1) ~prng ~dim ~n mem =
   else begin
     let sizes = chunk_sizes ~n ~chunks:domains in
     let prngs = Array.init domains (fun _ -> Prng.split prng) in
-    let hits =
-      spawn_join
-        (Array.init domains (fun i () ->
-             count_hits_random ~prng:prngs.(i) ~dim ~n:sizes.(i) mem))
-    in
+    let hits = Array.make domains 0 in
+    Pool.run_chunks ~label:"vc.random" ~items:n domains (fun i ->
+        hits.(i) <- count_hits_random ~prng:prngs.(i) ~dim ~n:sizes.(i) mem);
     T.incr tm_estimates;
     Q.of_ints (Array.fold_left ( + ) 0 hits) n
   end
@@ -110,20 +109,18 @@ let estimate_halton ?(domains = 1) ~dim ~n mem =
     for i = 1 to domains - 1 do
       starts.(i) <- starts.(i - 1) + sizes.(i - 1)
     done;
-    let hits =
-      spawn_join
-        (Array.init domains (fun i () ->
-             let h = ref 0 in
-             for j = starts.(i) to starts.(i) + sizes.(i) - 1 do
-               if mem (Halton.point ~dim j) then incr h
-             done;
-             if T.enabled () then begin
-               T.add tm_drawn sizes.(i);
-               T.add tm_tests sizes.(i);
-               T.add tm_accepted !h
-             end;
-             !h))
-    in
+    let hits = Array.make domains 0 in
+    Pool.run_chunks ~label:"vc.halton" ~items:n domains (fun i ->
+        let h = ref 0 in
+        for j = starts.(i) to starts.(i) + sizes.(i) - 1 do
+          if mem (Halton.point ~dim j) then incr h
+        done;
+        if T.enabled () then begin
+          T.add tm_drawn sizes.(i);
+          T.add tm_tests sizes.(i);
+          T.add tm_accepted !h
+        end;
+        hits.(i) <- !h);
     T.incr tm_estimates;
     Q.of_ints (Array.fold_left ( + ) 0 hits) n
   end
@@ -142,25 +139,24 @@ let estimate_family_random ?(domains = 1) ~prng ~dim ~n ~mem params =
     let sizes = chunk_sizes ~n ~chunks:domains in
     let prngs = Array.init domains (fun _ -> Prng.split prng) in
     let params_arr = Array.of_list params in
-    let counts =
-      spawn_join
-        (Array.init domains (fun i () ->
-             let chunk = random_sample ~prng:prngs.(i) ~dim ~n:sizes.(i) in
-             Array.map
-               (fun a ->
-                 let test = mem a in
-                 let h =
-                   List.fold_left
-                     (fun h pt -> if test pt then h + 1 else h)
-                     0 chunk
-                 in
-                 if T.enabled () then begin
-                   T.add tm_tests sizes.(i);
-                   T.add tm_accepted h
-                 end;
-                 h)
-               params_arr))
-    in
+    let counts = Array.make domains [||] in
+    Pool.run_chunks ~label:"vc.family" ~items:n domains (fun i ->
+        let chunk = random_sample ~prng:prngs.(i) ~dim ~n:sizes.(i) in
+        counts.(i) <-
+          Array.map
+            (fun a ->
+              let test = mem a in
+              let h =
+                List.fold_left
+                  (fun h pt -> if test pt then h + 1 else h)
+                  0 chunk
+              in
+              if T.enabled () then begin
+                T.add tm_tests sizes.(i);
+                T.add tm_accepted h
+              end;
+              h)
+            params_arr);
     let totals = Array.make (Array.length params_arr) 0 in
     Array.iter
       (fun per_param ->

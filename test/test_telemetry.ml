@@ -8,6 +8,7 @@ open Cqa_vc
 open Cqa_core
 module T = Cqa_telemetry.Telemetry
 module J = Cqa_telemetry.Tjson
+module Pool = Cqa_core.Pool
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -93,10 +94,14 @@ let fixed_semilinear dim seed =
   Cqa_workload.Generators.semilinear prng ~dim ~disjuncts:2
 
 (* Scheduling-dependent names the contract explicitly exempts: memo
-   hit/miss splits (two domains can both miss a cold key), and work
-   performed inside memoized computations, which concurrent cold misses
-   duplicate -- the fm.* counters under the QE/satisfiability memos and
-   the simplex.* LP-work counters under the memoized bounding boxes. *)
+   hit/miss splits (two domains can both miss a cold key), work performed
+   inside memoized computations, which concurrent cold misses duplicate --
+   the fm.* counters under the QE/satisfiability memos and the simplex.*
+   LP-work counters under the memoized bounding boxes -- plus, since the
+   persistent pool, the pool.* scheduler counters (batches taken
+   parallel/sequential, jobs stolen: functions of the cutoff and the steal
+   schedule) and the *.contention shard counters of the striped memo
+   tables. *)
 let deterministic_counters snap =
   List.filter
     (fun (name, _) ->
@@ -110,7 +115,8 @@ let deterministic_counters snap =
       in
       not
         (has_suffix ".hit" || has_suffix ".miss" || has_prefix "simplex."
-        || has_prefix "fm."))
+        || has_prefix "fm." || has_prefix "pool."
+        || has_suffix ".contention"))
     snap.T.counters
 
 let counters_for_run job =
@@ -119,6 +125,9 @@ let counters_for_run job =
   job ();
   deterministic_counters (T.diff ~before ~after:(T.snapshot ()))
 
+(* Force the pool path (mode Always) so the multi-domain runs really
+   execute on pool workers even on single-core hardware where the adaptive
+   cutoff would run them inline. *)
 let test_counter_determinism_across_domains () =
   let s3 = fixed_semilinear 3 102 in
   let expected = ref [] in
@@ -126,6 +135,8 @@ let test_counter_determinism_across_domains () =
     Cqa_linear.Fourier_motzkin.clear_qe_cache ();
     Cqa_linear.Semilinear.clear_bbox_cache ()
   in
+  Pool.set_mode Pool.Always;
+  Fun.protect ~finally:(fun () -> Pool.set_mode Pool.Auto) @@ fun () ->
   List.iteri
     (fun i domains ->
       cold ();
