@@ -48,6 +48,11 @@ lint:
 	  if $(CQA) analyze --deny-warnings --file $$f > /dev/null 2>&1; \
 	  then echo "FAIL: expected diagnostics in $$f"; exit 1; fi; \
 	done
+	@set -e; for f in examples/queries/param_*.cq; do \
+	  echo "lint $$f"; \
+	  $(CQA) analyze --file $$f > /dev/null; \
+	  $(CQA) plan --file $$f > /dev/null; \
+	done
 	@echo "lint OK"
 
 # The tier-1 gate: build, test suite, benchmark smoke run + key-set gate.

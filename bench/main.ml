@@ -487,7 +487,56 @@ let blowup_src =
    (including the memo hit/miss splits). *)
 let cold_caches () =
   Fourier_motzkin.clear_qe_cache ();
-  Semilinear.clear_bbox_cache ()
+  Semilinear.clear_bbox_cache ();
+  Simplex.clear_basis_cache ();
+  Plan.clear_cache ()
+
+(* ------------------------------------------------------------------ *)
+(* Compiled plans: compile cost, cold vs warm re-execution             *)
+(* ------------------------------------------------------------------ *)
+
+(* The param_sweep.cq shape (inlined, like blowup_src): one parameter slot
+   u over coordinates (y1, y2); the section volume is the Lemma 5
+   piecewise polynomial (1 - u^2) / 2 on [0, 1]. *)
+let param_sweep_src = "0 <= u /\\ u < y1 /\\ y1 < 1 /\\ 0 <= y2 /\\ y2 <= y1"
+let plan_formula = Parser.formula_of_string param_sweep_src
+let plan_coords = [| Var.of_string "y1"; Var.of_string "y2" |]
+let plan_params = [| Var.of_string "u" |]
+let plan_db = Db.empty Schema.empty
+
+let plan_compile () =
+  Cqa_analysis.Planner.compile ~db:plan_db ~params:plan_params
+    ~coords:plan_coords plan_formula
+
+(* Interior, non-breakpoint parameter values (odd multiples of 1/37, all
+   strictly inside (0, 1)): the warm path stays on the compiled
+   piecewise-polynomial evaluation, never the breakpoint slow path. *)
+let plan_param_values = Array.init 16 (fun i -> [| qq ((2 * i) + 1) 37 |])
+
+let plan_warm_idx = ref 0
+
+let plan_tests =
+  (* warm fixture: plan compiled and first-executed outside the timed
+     region, so iterations measure cache-hit compile + memoized execution *)
+  let warm_plan = plan_compile () in
+  ignore (Exec.volume_at warm_plan plan_db plan_param_values.(0));
+  [ Test.make ~name:"plan_compile_sweep_cold"
+      (stage (fun () ->
+           Plan.clear_cache ();
+           plan_compile ()));
+    Test.make ~name:"plan_compile_sweep_hit"
+      (stage (fun () -> plan_compile ()));
+    Test.make ~name:"plan_exec_cold_sweep"
+      (stage (fun () ->
+           cold_caches ();
+           let p = plan_compile () in
+           Exec.volume_at p plan_db plan_param_values.(0)));
+    Test.make ~name:"plan_exec_warm_sweep"
+      (stage (fun () ->
+           let p = plan_compile () in
+           let i = !plan_warm_idx in
+           plan_warm_idx := (i + 1) mod Array.length plan_param_values;
+           Exec.volume_at p plan_db plan_param_values.(i))) ]
 
 let counter_workloads =
   [ ("thm3_sweep_3d",
@@ -509,7 +558,19 @@ let counter_workloads =
        let f = Parser.formula_of_string blowup_src in
        let coords = Array.of_list (Var.Set.elements (Ast.free_vars f)) in
        let db = Db.empty Schema.empty in
-       ignore (Volume_exact.volume_guarded ~budget:1e6 db coords f)) ]
+       ignore (Volume_exact.volume_guarded ~budget:1e6 db coords f));
+    ("plan",
+     fun () ->
+       cold_caches ();
+       (* one cold compile + execution, one warm re-execution: exercises
+          plan.cache.miss/hit, plan.state.*, plan.param.fast and the
+          compile probes in a single deterministic-shape run (the
+          plan.compile_ns value itself is wall-clock, hence allowlisted
+          in bench_check) *)
+       let p = plan_compile () in
+       ignore (Exec.volume_at p plan_db plan_param_values.(0));
+       let p' = plan_compile () in
+       ignore (Exec.volume_at p' plan_db plan_param_values.(1))) ]
 
 let run_counter_deltas () =
   Printf.printf "\n== telemetry counter deltas ==\n%!";
@@ -542,5 +603,6 @@ let () =
   Pool.ensure_workers 3;
   run_group "persistent pool (cutoff bypassed)" pool_tests;
   run_group "ablations (QE design choices, cold cache)" ablation_tests;
+  run_group "compiled plans (cache + batched re-execution)" plan_tests;
   run_counter_deltas ();
   emit_json ()

@@ -254,10 +254,13 @@ let schema_of_spec spec =
   Schema.of_list (List.map parse_one parts)
 
 (* .cq files: '#' lines are comments, a '# schema: U:1 P:2' line declares
-   relation arities, the remaining lines joined are the query text. *)
+   relation arities, a '# params: u v' line names the parameter slots of a
+   parameterized query, and the remaining lines joined are the query
+   text. *)
 let read_cq path =
   let ic = open_in path in
   let schema = ref None in
+  let params = ref None in
   let buf = Buffer.create 256 in
   (try
      while true do
@@ -266,15 +269,33 @@ let read_cq path =
        if String.length trimmed > 0 && trimmed.[0] = '#' then (
          let body = String.sub trimmed 1 (String.length trimmed - 1) in
          let body = String.trim body in
-         if String.length body >= 7 && String.sub body 0 7 = "schema:" then
-           schema :=
-             Some (String.sub body 7 (String.length body - 7) |> String.trim))
+         let header key =
+           let k = key ^ ":" in
+           let n = String.length k in
+           if String.length body >= n && String.sub body 0 n = k then
+             Some (String.sub body n (String.length body - n) |> String.trim)
+           else None
+         in
+         match header "schema" with
+         | Some v -> schema := Some v
+         | None -> (
+             match header "params" with
+             | Some v -> params := Some v
+             | None -> ()))
        else (
          Buffer.add_string buf line;
          Buffer.add_char buf ' ')
      done
    with End_of_file -> close_in ic);
-  (Buffer.contents buf, !schema)
+  (Buffer.contents buf, !schema, !params)
+
+let vars_of_spec spec =
+  String.split_on_char ',' spec
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.filter_map (fun s ->
+         let s = String.trim s in
+         if s = "" then None else Some (Var.of_string s))
+  |> Array.of_list
 
 let parse_target src =
   match Parser.formula_of_string src with
@@ -376,7 +397,7 @@ let analyze_cmd =
         match (query, file) with
         | Some q, None -> (q, schema)
         | None, Some path ->
-            let src, file_schema = read_cq path in
+            let src, file_schema, _params = read_cq path in
             (src, if schema <> None then schema else file_schema)
         | Some _, Some _ ->
             Format.eprintf "give either QUERY or --file, not both@.";
@@ -468,7 +489,7 @@ let vol_cmd =
       match (query, file) with
       | Some q, None -> (q, schema)
       | None, Some path ->
-          let src, file_schema = read_cq path in
+          let src, file_schema, _params = read_cq path in
           (src, if schema <> None then schema else file_schema)
       | Some _, Some _ ->
           Format.eprintf "give either QUERY or --file, not both@.";
@@ -497,15 +518,11 @@ let vol_cmd =
           Format.eprintf "query has no free variables: VOL_I is 0-dimensional@.";
           exit 2
         end;
-        let hint =
-          (Cqa_analysis.Analyzer.analyze ~db
-             (Cqa_analysis.Analyzer.Formula f))
-            .Cqa_analysis.Analyzer.hint
-        in
-        match
-          Volume_exact.volume_guarded ~domains ~hint ~budget ~eps ~delta ~seed
-            db coords f
-        with
+        (* compile (or fetch) the plan: on a cache miss the analyzer runs
+           once; repeated invocations of the same shape in one process go
+           straight to the compiled plan *)
+        let plan = Cqa_analysis.Planner.compile ~db ~budget ~coords f in
+        match Exec.volume_guarded ~domains ~budget ~eps ~delta ~seed plan db with
         | exception Volume_exact.Not_semilinear msg ->
             Format.eprintf "not evaluable exactly: %s@." msg;
             exit 1
@@ -513,7 +530,9 @@ let vol_cmd =
             Format.printf "free variables:";
             Array.iter (fun v -> Format.printf " %a" Var.pp v) coords;
             Format.printf "@.";
-            Format.printf "static hint: %a@." Dispatch.pp hint;
+            (match Plan.hint plan with
+            | Some hint -> Format.printf "static hint: %a@." Dispatch.pp hint
+            | None -> Format.printf "static hint: (runtime probe)@.");
             if budget = infinity then
               Format.printf "projected QE atoms: %.3g (unguarded)@." projected
             else
@@ -531,13 +550,184 @@ let vol_cmd =
       const run $ query $ file $ schema $ budget $ domains_arg $ eps $ delta
       $ seed $ stats_arg)
 
+(* ------------------------------------------------------------------ *)
+(* plan: compile a query to its plan IR and print it                   *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let plan_to_json plan =
+  let vars vs =
+    Array.to_list vs
+    |> List.map (fun v -> Printf.sprintf "\"%s\"" (json_escape (Var.name v)))
+    |> String.concat ","
+  in
+  let profile = Plan.profile plan in
+  let decision =
+    match Plan.decision plan with
+    | Dispatch.Run_exact -> "\"decision\":\"run-exact\""
+    | Dispatch.Fallback_approx { projected; budget } ->
+        Printf.sprintf
+          "\"decision\":\"fallback-approx\",\"decision_projected\":%.17g,\
+           \"decision_budget\":%.17g"
+          projected budget
+  in
+  Printf.sprintf
+    "{\"id\":%d,\"shape_hash\":%d,\"coords\":[%s],\"params\":[%s],\
+     \"hint\":%s,\"atoms\":%d,\"quantifiers\":%d,\"sums\":%d,\
+     \"tuple_width\":%d,\"projected_qe_atoms\":%.17g,%s,\"compile_ns\":%.0f,\
+     \"normal\":\"%s\"}"
+    (Plan.id plan) (Plan.shape_hash plan)
+    (vars (Plan.coords plan))
+    (vars (Plan.params plan))
+    (match Plan.hint plan with
+    | Some h -> Printf.sprintf "\"%s\"" (Dispatch.to_string h)
+    | None -> "null")
+    profile.Dispatch.atoms profile.Dispatch.quantifiers
+    profile.Dispatch.sum_count profile.Dispatch.tuple_width
+    (Plan.projected plan) decision (Plan.compile_ns plan)
+    (json_escape (Format.asprintf "%a" Ast.pp (Plan.normal plan)))
+
+let plan_cmd =
+  let query =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:"FO + POLY + SUM formula to compile (same syntax as $(b,vol)).")
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:
+            "Read the query from a .cq file; a '# params: u v' header \
+             declares parameter slots.")
+  in
+  let schema =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schema" ] ~docv:"SPEC"
+          ~doc:"Relation arities, e.g. 'U:1,P:2' (overrides the file header).")
+  in
+  let params =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "params" ] ~docv:"VARS"
+          ~doc:
+            "Free variables to treat as parameter slots, e.g. 'u v' \
+             (overrides the file header).  The remaining free variables \
+             are the plan's coordinates.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt float Dispatch.default_budget
+      & info [ "budget" ] ~docv:"X"
+          ~doc:"Projected-cost budget the engine decision is made against.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
+      & info [ "format" ] ~doc:"Output format: $(b,human) or $(b,json).")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Also print the source query and its alpha-normal form (the \
+             cache key's formula part).")
+  in
+  let cache_stats =
+    Arg.(
+      value & flag
+      & info [ "cache-stats" ]
+          ~doc:
+            "Print the plan cache's per-stripe accounting (size, hits, \
+             misses, evictions, lock contention).")
+  in
+  let run query file schema params budget format explain cache_stats stats =
+    with_stats stats @@ fun () ->
+    let src, schema_spec, params_spec =
+      match (query, file) with
+      | Some q, None -> (q, schema, params)
+      | None, Some path ->
+          let src, file_schema, file_params = read_cq path in
+          ( src,
+            (if schema <> None then schema else file_schema),
+            if params <> None then params else file_params )
+      | Some _, Some _ ->
+          Format.eprintf "give either QUERY or --file, not both@.";
+          exit 2
+      | None, None ->
+          Format.eprintf "nothing to compile: give QUERY or --file@.";
+          exit 2
+    in
+    let db =
+      match schema_spec with
+      | None -> None
+      | Some spec -> (
+          match schema_of_spec spec with
+          | s -> Some (Db.empty s)
+          | exception Failure msg ->
+              Format.eprintf "schema error: %s@." msg;
+              exit 2)
+    in
+    match Parser.formula_of_string src with
+    | exception Parser.Parse_error msg ->
+        Format.eprintf "parse error: %s@." msg;
+        exit 2
+    | f -> (
+        let params = Option.map vars_of_spec params_spec in
+        match Cqa_analysis.Planner.compile ?db ~budget ?params f with
+        | exception Invalid_argument msg ->
+            Format.eprintf "plan error: %s@." msg;
+            exit 2
+        | plan ->
+            (match format with
+            | `Json -> print_endline (plan_to_json plan)
+            | `Human ->
+                Format.printf "%a@." Plan.pp plan;
+                if explain then begin
+                  Format.printf "source: %a@." Ast.pp (Plan.source plan);
+                  Format.printf "normal: %a@." Ast.pp (Plan.normal plan)
+                end);
+            if cache_stats then Format.printf "%a@." Plan.pp_cache_stats ())
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "Compile a query to its plan IR (alpha-normal form, cost profile, \
+          engine decision) and print it; repeated shapes in one process hit \
+          the striped plan cache ($(b,CQA_PLAN_CACHE_CAP) bounds it).")
+    Term.(
+      const run $ query $ file $ schema $ params $ budget $ format $ explain
+      $ cache_stats $ stats_arg)
+
 let main =
   Cmd.group
     (Cmd.info "cqa" ~version:"1.0"
        ~doc:"Exact and approximate aggregation in constraint query languages.")
     [
       experiments_cmd; volume_cmd; approx_cmd; vcdim_cmd; area_cmd; qe_cmd;
-      analyze_cmd; vol_cmd;
+      analyze_cmd; vol_cmd; plan_cmd;
     ]
 
 let () = exit (Cmd.eval main)

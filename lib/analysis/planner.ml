@@ -1,0 +1,7 @@
+open Cqa_core
+
+let hint_of ?db ?options () f =
+  Some (Analyzer.analyze ?db ?options (Analyzer.Formula f)).Analyzer.hint
+
+let compile ?db ?options ?budget ?params ?coords f =
+  Plan.cached ~hint_of:(hint_of ?db ?options ()) ?budget ?params ?coords f

@@ -1,0 +1,25 @@
+(** Cache-first plan compilation with the static analyzer in the loop.
+
+    {!Cqa_core.Plan.cached} takes the dispatch hint as a callback so the
+    core library never depends on this one; this module closes the loop:
+    on a plan-cache miss the full analyzer runs once ([Fragment] gives the
+    engine hint; the cost pass is subsumed by the plan's own profile), and
+    on a hit the query goes straight to the compiled plan — no analysis,
+    no normalization beyond the shape key.  This is the entry point the
+    CLI and benchmarks use. *)
+
+open Cqa_core
+
+val compile :
+  ?db:Db.t ->
+  ?options:Analyzer.options ->
+  ?budget:float ->
+  ?params:Cqa_logic.Var.t array ->
+  ?coords:Cqa_logic.Var.t array ->
+  Ast.formula ->
+  Plan.t
+(** Fetch or compile the plan for this query shape.  [db]/[options] feed
+    the analyzer (classification against a database can differ — e.g.
+    semi-algebraic relations force the sampling engines) and are only
+    consulted on a cache miss; the other arguments are
+    {!Cqa_core.Plan.cached}'s. *)

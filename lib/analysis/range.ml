@@ -18,9 +18,22 @@ let pp_abs fmt = function
       in
       Format.fprintf fmt "[%a, %a]" (pb "-inf") lo (pb "+inf") hi
 
+(* The doubly-bounded cases delegate to Cqa_arith.Interval so the
+   analyzer's enclosures and the root-isolation intervals share one
+   endpoint discipline — Interval's documented outward rounding mode,
+   under which the lower and upper sides are treated symmetrically
+   (enclosures only ever grow).  Every [Itv (Some l, Some h)] built here
+   satisfies [l <= h]: atoms produce well-formed intervals and meet/join
+   preserve the invariant, so [Interval.make] cannot raise. *)
+let of_interval i = Itv (Some (Interval.lo i), Some (Interval.hi i))
+
 let meet a b =
   match (a, b) with
   | Empty, _ | _, Empty -> Empty
+  | Itv (Some l1, Some h1), Itv (Some l2, Some h2) -> (
+      match Interval.intersect (Interval.make l1 h1) (Interval.make l2 h2) with
+      | None -> Empty
+      | Some i -> of_interval i)
   | Itv (l1, h1), Itv (l2, h2) ->
       let lo =
         match (l1, l2) with
@@ -39,6 +52,8 @@ let meet a b =
 let join a b =
   match (a, b) with
   | Empty, x | x, Empty -> x
+  | Itv (Some l1, Some h1), Itv (Some l2, Some h2) ->
+      of_interval (Interval.hull (Interval.make l1 h1) (Interval.make l2 h2))
   | Itv (l1, h1), Itv (l2, h2) ->
       let lo =
         match (l1, l2) with

@@ -29,6 +29,24 @@ let scale i c =
   if Q.sign c < 0 then invalid_arg "Interval.scale: negative factor";
   { lo = Q.mul i.lo c; hi = Q.mul i.hi c }
 
+(* The library's single rounding mode is outward: whenever an endpoint must
+   move, the lower endpoint only ever moves down and the upper endpoint
+   only ever moves up, so the rounded interval always encloses the exact
+   one.  Both sides use the same grid, which keeps the lower/upper
+   treatment symmetric — the analyzer's range pass relies on the same
+   convention (closed over-approximating enclosures). *)
+let round_out ~den i =
+  if den <= 0 then invalid_arg "Interval.round_out: den <= 0";
+  let d = Q.of_int den in
+  {
+    lo = Q.make (Q.floor (Q.mul i.lo d)) (Bigint.of_int den);
+    hi = Q.make (Q.ceil (Q.mul i.hi d)) (Bigint.of_int den);
+  }
+
+let grow i eps =
+  if Q.sign eps < 0 then invalid_arg "Interval.grow: negative margin";
+  { lo = Q.sub i.lo eps; hi = Q.add i.hi eps }
+
 let equal a b = Q.equal a.lo b.lo && Q.equal a.hi b.hi
 
 let pp fmt i = Format.fprintf fmt "[%a, %a]" Q.pp i.lo Q.pp i.hi

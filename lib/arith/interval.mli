@@ -1,5 +1,13 @@
-(** Closed rational intervals [lo, hi], used for real-root isolation and for
-    rational approximation of algebraic numbers. *)
+(** Closed rational intervals [lo, hi], used for real-root isolation, for
+    rational approximation of algebraic numbers, and as the bounded core of
+    the analyzer's range abstraction.
+
+    The library's single rounding mode is {e outward}: every operation
+    that moves an endpoint ({!round_out}, {!grow}) moves the lower
+    endpoint down and the upper endpoint up by the same discipline, so the
+    result always encloses the exact interval and the two sides widen
+    symmetrically.  Clients that over-approximate (the range pass in
+    [lib/analysis]) must use these rather than rounding endpoints ad hoc. *)
 
 type t = private { lo : Q.t; hi : Q.t }
 
@@ -25,6 +33,17 @@ val translate : t -> Q.t -> t
 val scale : t -> Q.t -> t
 (** [scale i c] multiplies both endpoints by [c >= 0].
     @raise Invalid_argument on negative [c]. *)
+
+val round_out : den:int -> t -> t
+(** Snap the endpoints outward onto the grid of multiples of [1/den]:
+    [lo] rounds down, [hi] rounds up.  The result contains the argument;
+    a fixpoint when both endpoints already lie on the grid.
+    @raise Invalid_argument when [den <= 0]. *)
+
+val grow : t -> Q.t -> t
+(** [grow i eps] widens both endpoints outward by [eps >= 0] — the
+    symmetric enclosure [lo - eps, hi + eps].
+    @raise Invalid_argument on negative [eps]. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -6,6 +6,25 @@ module T = Cqa_telemetry.Telemetry
 
 type evict = Reset | Half
 
+type stat = {
+  size : int;
+  hits : int;
+  misses : int;
+  evicted : int;
+  contention : int;
+}
+
+let zero_stat = { size = 0; hits = 0; misses = 0; evicted = 0; contention = 0 }
+
+let add_stat a b =
+  {
+    size = a.size + b.size;
+    hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+    evicted = a.evicted + b.evicted;
+    contention = a.contention + b.contention;
+  }
+
 module type S = sig
   type key
   type 'v t
@@ -18,6 +37,7 @@ module type S = sig
   val set_capacity : 'v t -> int -> unit
   val capacity : 'v t -> int
   val shards : 'v t -> int
+  val stats : 'v t -> stat array
 end
 
 module Make (H : Hashtbl.HashedType) : S with type key = H.t = struct
@@ -25,11 +45,20 @@ module Make (H : Hashtbl.HashedType) : S with type key = H.t = struct
 
   type key = H.t
 
-  type 'v shard = { lock : Mutex.t; tbl : 'v Tbl.t }
+  type 'v shard = {
+    lock : Mutex.t;
+    tbl : 'v Tbl.t;
+    (* per-stripe accounting, written under [lock] *)
+    mutable hits : int;
+    mutable misses : int;
+    mutable evicted : int;
+    mutable contention : int;
+  }
 
   type 'v t = {
     stripes : 'v shard array;
-    contention : T.counter;
+    contention_ctr : T.counter;
+    evict_ctr : T.counter;
     evict : evict;
     mutable cap_total : int;  (* written under stripe 0's lock *)
   }
@@ -40,8 +69,16 @@ module Make (H : Hashtbl.HashedType) : S with type key = H.t = struct
     {
       stripes =
         Array.init shards (fun _ ->
-            { lock = Mutex.create (); tbl = Tbl.create 64 });
-      contention = T.counter (name ^ ".contention");
+            {
+              lock = Mutex.create ();
+              tbl = Tbl.create 64;
+              hits = 0;
+              misses = 0;
+              evicted = 0;
+              contention = 0;
+            });
+      contention_ctr = T.counter (name ^ ".contention");
+      evict_ctr = T.counter (name ^ ".evict");
       evict;
       cap_total = cap;
     }
@@ -60,21 +97,24 @@ module Make (H : Hashtbl.HashedType) : S with type key = H.t = struct
   let stripe_index t k = (H.hash k land max_int) mod Array.length t.stripes
   let stripe t k = t.stripes.(stripe_index t k)
 
-  (* The only blocking point: count the failed try_lock so shard contention
-     shows up in --stats without perturbing the uncontended path. *)
+  (* The only blocking point: every failed try_lock — read paths included —
+     is counted into the stripe's own tally (and mirrored to the
+     [<name>.contention] telemetry counter when enabled), so --stats sees
+     shard contention without perturbing the uncontended path. *)
   let lock_shard t s =
-    if T.enabled () then begin
-      if not (Mutex.try_lock s.lock) then begin
-        T.incr t.contention;
-        Mutex.lock s.lock
-      end
+    if not (Mutex.try_lock s.lock) then begin
+      Mutex.lock s.lock;
+      s.contention <- s.contention + 1;
+      if T.enabled () then T.incr t.contention_ctr
     end
-    else Mutex.lock s.lock
 
   let find_opt t k =
     let s = stripe t k in
     lock_shard t s;
     let r = Tbl.find_opt s.tbl k in
+    (match r with
+    | Some _ -> s.hits <- s.hits + 1
+    | None -> s.misses <- s.misses + 1);
     Mutex.unlock s.lock;
     r
 
@@ -100,7 +140,11 @@ module Make (H : Hashtbl.HashedType) : S with type key = H.t = struct
       (* loop: after a capacity tightening a stale stripe may need more
          than one half-shed to get back under its allotment *)
       while Tbl.length s.tbl >= cap do
-        match t.evict with Reset -> Tbl.reset s.tbl | Half -> shed_half s.tbl
+        let before = Tbl.length s.tbl in
+        (match t.evict with Reset -> Tbl.reset s.tbl | Half -> shed_half s.tbl);
+        let shed = before - Tbl.length s.tbl in
+        s.evicted <- s.evicted + shed;
+        if T.enabled () then T.add t.evict_ctr shed
       done;
       Tbl.replace s.tbl k v
     end;
@@ -131,4 +175,21 @@ module Make (H : Hashtbl.HashedType) : S with type key = H.t = struct
     Mutex.unlock s0.lock
 
   let capacity t = t.cap_total
+
+  let stats t =
+    Array.map
+      (fun s ->
+        lock_shard t s;
+        let st =
+          {
+            size = Tbl.length s.tbl;
+            hits = s.hits;
+            misses = s.misses;
+            evicted = s.evicted;
+            contention = s.contention;
+          }
+        in
+        Mutex.unlock s.lock;
+        st)
+      t.stripes
 end

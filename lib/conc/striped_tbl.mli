@@ -17,12 +17,30 @@
     every other binding is shed, keeping the working set warm (the QE
     memo's behaviour).
 
-    When telemetry is enabled, each failed [Mutex.try_lock] on a shard
-    bumps the table's [<name>.contention] counter.  Contention counts are
-    scheduling-dependent by nature and are exempt from the counter
-    determinism contract (see {!Cqa_telemetry.Telemetry}). *)
+    Every stripe keeps its own running tallies — size, lookup hits and
+    misses, evicted bindings, and failed [Mutex.try_lock]s on any path,
+    reads included — surfaced by {!S.stats}.  When telemetry is enabled
+    the same quantities are mirrored to the [<name>.contention] and
+    [<name>.evict] counters.  Contention and eviction counts are
+    scheduling- and cache-state-dependent by nature and are exempt from
+    the counter determinism contract (see {!Cqa_telemetry.Telemetry}). *)
 
 type evict = Reset  (** drop the whole shard *) | Half  (** shed every other binding *)
+
+type stat = {
+  size : int;  (** bindings currently in the stripe *)
+  hits : int;  (** [find_opt] calls that found their key *)
+  misses : int;  (** [find_opt] calls that did not *)
+  evicted : int;  (** bindings shed by capacity eviction *)
+  contention : int;  (** failed [try_lock]s, on read and write paths alike *)
+}
+(** One stripe's accounting.  Tallies are cumulative since [create] (they
+    survive {!S.reset}); [size] is a snapshot. *)
+
+val zero_stat : stat
+
+val add_stat : stat -> stat -> stat
+(** Componentwise sum — fold it over {!S.stats} for whole-table totals. *)
 
 module type S = sig
   type key
@@ -30,9 +48,9 @@ module type S = sig
 
   val create : ?shards:int -> name:string -> cap:int -> evict:evict -> unit -> 'v t
   (** [shards] defaults to 16 and is clamped to [1 .. 256]; [name] labels
-      the [<name>.contention] telemetry counter; [cap] is the total
-      capacity, a hard bound on {!length} (raises [Invalid_argument] when
-      [< 2]). *)
+      the [<name>.contention] and [<name>.evict] telemetry counters; [cap]
+      is the total capacity, a hard bound on {!length} (raises
+      [Invalid_argument] when [< 2]). *)
 
   val find_opt : 'v t -> key -> 'v option
   val replace : 'v t -> key -> 'v -> unit
@@ -47,6 +65,10 @@ module type S = sig
 
   val capacity : 'v t -> int
   val shards : 'v t -> int
+
+  val stats : 'v t -> stat array
+  (** Per-stripe accounting, one {!stat} per shard in shard order (each
+      read under its lock). *)
 end
 
 module Make (H : Hashtbl.HashedType) : S with type key = H.t

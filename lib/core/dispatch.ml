@@ -75,6 +75,12 @@ type decision =
   | Run_exact
   | Fallback_approx of { projected : float; budget : float }
 
+let pp_decision fmt = function
+  | Run_exact -> Format.pp_print_string fmt "run-exact"
+  | Fallback_approx { projected; budget } ->
+      Format.fprintf fmt "fallback-approx (projected %.3g > budget %.3g)"
+        projected budget
+
 let decide ?(endpoints = 8) ?(budget = default_budget) p =
   let projected =
     Float.max (projected_qe_atoms p) (projected_sum_points ~endpoints p)

@@ -74,6 +74,9 @@ type decision =
       (** the projected cost that tripped the guard, and the budget it was
           compared against *)
 
+val pp_decision : Format.formatter -> decision -> unit
+(** ["run-exact"], or ["fallback-approx (projected P > budget B)"]. *)
+
 val decide : ?endpoints:int -> ?budget:float -> cost_profile -> decision
 (** Compare [max (projected_qe_atoms p) (projected_sum_points p)] against
     [budget] (default {!default_budget}; [endpoints] defaults to [8],

@@ -1,0 +1,239 @@
+open Cqa_arith
+open Cqa_linear
+module T = Cqa_telemetry.Telemetry
+
+(* All plan.* counters depend on cache and per-database state, hence on
+   execution history; they are exempt from the determinism contract. *)
+let tm_state_hit = T.counter "plan.state.hit"
+let tm_state_miss = T.counter "plan.state.miss"
+let tm_exec_exact = T.counter "plan.exec.exact"
+let tm_exec_fallback = T.counter "plan.exec.fallback"
+let tm_param_fast = T.counter "plan.param.fast"
+let tm_param_slow = T.counter "plan.param.slow"
+
+(* ------------------------------------------------------------------ *)
+(* Per-database execution state                                        *)
+(* ------------------------------------------------------------------ *)
+
+type set_state = S_unknown | S_ok of Semilinear.t | S_no of string
+type fn_state = F_unknown | F_ok of Volume_param.t | F_no
+
+type st = {
+  mutable set : set_state;
+      (* the query evaluated over coords ++ params (params trailing) *)
+  mutable param_fn : fn_state;
+      (* Lemma 5 piecewise polynomial in the single parameter *)
+  mutable vol : Q.t option;
+  mutable vol_clamped : Q.t option;
+}
+
+type Plan.exec_state += St of st
+
+(* Memo discipline mirrors the striped memo tables: read the slot under
+   the plan lock, compute outside it, write back under it keeping any
+   value a concurrent domain installed first.  Duplicate computes are
+   benign (exact arithmetic, equal results). *)
+let state p db =
+  match Plan.lookup_state p db with
+  | Some (St st) ->
+      T.incr tm_state_hit;
+      st
+  | _ ->
+      T.incr tm_state_miss;
+      let st =
+        { set = S_unknown; param_fn = F_unknown; vol = None; vol_clamped = None }
+      in
+      Plan.store_state p db (St st);
+      st
+
+let layout p = Array.append (Plan.coords p) (Plan.params p)
+
+let compute_set p db =
+  match Plan.hint p with
+  | Some Dispatch.Exact_semilinear -> S_ok (Eval.eval_set db (layout p) (Plan.normal p))
+  | Some (Dispatch.Pointwise_poly | Dispatch.Sum_eval) ->
+      S_no
+        "static dispatch hint excludes the exact engine (use the Theorem 4 \
+         sampling estimators)"
+  | None -> (
+      match Eval.try_eval_set db (layout p) (Plan.normal p) with
+      | Some s -> S_ok s
+      | None -> S_no "query is not linear-reducible")
+
+let get_set p db =
+  let st = state p db in
+  match Plan.with_lock p (fun () -> st.set) with
+  | S_ok s -> Ok s
+  | S_no m -> Error m
+  | S_unknown -> (
+      let r = compute_set p db in
+      Plan.with_lock p (fun () ->
+          (match st.set with S_unknown -> st.set <- r | _ -> ());
+          match st.set with
+          | S_ok s -> Ok s
+          | S_no m -> Error m
+          | S_unknown -> assert false))
+
+let set_exn p db =
+  match get_set p db with
+  | Ok s -> s
+  | Error m -> raise (Volume_exact.Not_semilinear m)
+
+(* ------------------------------------------------------------------ *)
+(* Unparameterized volumes                                             *)
+(* ------------------------------------------------------------------ *)
+
+let no_params name p =
+  if Array.length (Plan.params p) > 0 then
+    invalid_arg
+      (Printf.sprintf "%s: plan has parameter slots (use volume_at)" name)
+
+let memo_q p slot_get slot_set compute =
+  match Plan.with_lock p slot_get with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      Plan.with_lock p (fun () ->
+          match slot_get () with
+          | Some v' -> v'
+          | None ->
+              slot_set v;
+              v)
+
+let volume ?(domains = 1) p db =
+  no_params "Exec.volume" p;
+  let st = state p db in
+  let s = set_exn p db in
+  memo_q p
+    (fun () -> st.vol)
+    (fun v -> st.vol <- Some v)
+    (fun () -> Volume_exact.volume ~domains s)
+
+let volume_clamped ?(domains = 1) p db =
+  no_params "Exec.volume_clamped" p;
+  let st = state p db in
+  let s = set_exn p db in
+  memo_q p
+    (fun () -> st.vol_clamped)
+    (fun v -> st.vol_clamped <- Some v)
+    (fun () -> Volume_exact.volume_clamped ~domains s)
+
+(* ------------------------------------------------------------------ *)
+(* Parameterized execution                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Parameters occupy the trailing coordinates of the layout, so binding
+   them is repeated sectioning on the last axis, innermost (last
+   parameter) first. *)
+let section_at s qs =
+  let s = ref s in
+  for i = Array.length qs - 1 downto 0 do
+    s := Semilinear.section_last !s qs.(i)
+  done;
+  !s
+
+let get_param_fn ~domains p db s =
+  let st = state p db in
+  match Plan.with_lock p (fun () -> st.param_fn) with
+  | F_ok fn -> Some fn
+  | F_no -> None
+  | F_unknown -> (
+      let r =
+        if Semilinear.dim s < 2 then F_no
+        else
+          match Volume_param.section_volume_function ~domains s with
+          | fn -> F_ok fn
+          | exception (Volume_exact.Unbounded | Invalid_argument _) -> F_no
+      in
+      Plan.with_lock p (fun () ->
+          (match st.param_fn with F_unknown -> st.param_fn <- r | _ -> ());
+          match st.param_fn with F_ok fn -> Some fn | _ -> None))
+
+(* The Lemma 5 fast path is only taken strictly inside a polynomial
+   piece, where [Volume_param.eval] provably equals the section's sweep
+   volume; at breakpoints (where eval's adjacent-piece convention is a
+   measure-zero choice) and outside the pieces, fall through to the
+   direct sweep so batched and one-shot execution agree everywhere. *)
+let eval_interior fn t =
+  if
+    List.exists
+      (fun (pc : Volume_param.piece) -> Q.lt pc.lo t && Q.lt t pc.hi)
+      fn
+  then Some (Volume_param.eval fn t)
+  else None
+
+let volume_at ?(domains = 1) p db qs =
+  let np = Array.length (Plan.params p) in
+  if Array.length qs <> np then
+    invalid_arg
+      (Printf.sprintf "Exec.volume_at: expected %d parameter values, got %d" np
+         (Array.length qs));
+  if np = 0 then volume ~domains p db
+  else begin
+    let s = set_exn p db in
+    let fast =
+      if np = 1 then
+        match get_param_fn ~domains p db s with
+        | Some fn -> eval_interior fn qs.(0)
+        | None -> None
+      else None
+    in
+    match fast with
+    | Some v ->
+        T.incr tm_param_fast;
+        v
+    | None ->
+        T.incr tm_param_slow;
+        Volume_exact.volume ~domains (section_at s qs)
+  end
+
+let batch ?domains p db bindings = List.map (volume_at ?domains p db) bindings
+
+(* ------------------------------------------------------------------ *)
+(* Guarded execution and the cached query entry point                  *)
+(* ------------------------------------------------------------------ *)
+
+let volume_guarded ?(domains = 1) ?budget ?(eps = 0.1) ?(delta = 0.1)
+    ?(seed = 1) p db =
+  no_params "Exec.volume_guarded" p;
+  let budget = Option.value budget ~default:(Plan.budget p) in
+  (* the verdict was computed at plan time; re-decide only when the caller
+     overrides the budget the plan was compiled against *)
+  let decision =
+    if budget = Plan.budget p then Plan.decision p
+    else Dispatch.decide ~budget (Plan.profile p)
+  in
+  let projected = Plan.projected p in
+  let fallback reason =
+    T.incr tm_exec_fallback;
+    if T.enabled () then
+      T.event "plan.fallback"
+        (Printf.sprintf "plan #%d: %s; projected=%.3g budget=%.3g eps=%g \
+                         delta=%g"
+           (Plan.id p) reason projected budget eps delta);
+    let value, m =
+      Volume_exact.sampler_estimate ~domains ~eps ~delta ~seed db
+        (Plan.coords p) (Plan.normal p)
+    in
+    {
+      Volume_exact.value;
+      engine = Volume_exact.Approx_engine { sample_size = m };
+      projected;
+      budget;
+    }
+  in
+  match Plan.hint p with
+  | Some (Dispatch.Pointwise_poly | Dispatch.Sum_eval) ->
+      fallback "static hint excludes the exact engine"
+  | Some Dispatch.Exact_semilinear | None -> (
+      match decision with
+      | Dispatch.Fallback_approx _ -> fallback "projected cost exceeds budget"
+      | Dispatch.Run_exact ->
+          T.incr tm_exec_exact;
+          let value = volume_clamped ~domains p db in
+          { Volume_exact.value; engine = Volume_exact.Exact_engine; projected;
+            budget })
+
+let volume_of_query ?domains ?hint db coords f =
+  let p = Plan.cached ~hint_of:(fun _ -> hint) ~coords f in
+  volume ?domains p db

@@ -1,0 +1,74 @@
+(** Plan execution: run a compiled {!Plan.t} many times against databases
+    and parameter bindings.
+
+    Everything database-dependent that the engines would otherwise
+    recompute per call — the evaluated semi-linear set, the Lemma 5
+    piecewise-polynomial section-volume function, the (clamped) total
+    volume — is memoized in per-database execution state attached to the
+    plan ({!Plan.exec_state}, keyed by the database's physical identity,
+    at most four databases per plan).  Memoized values are exact
+    rationals, so a warm re-execution returns byte-identical results to a
+    cold one; duplicate computes under concurrency are benign for the same
+    reason.
+
+    Traffic is visible on the [plan.state.hit]/[plan.state.miss],
+    [plan.exec.exact]/[plan.exec.fallback] and
+    [plan.param.fast]/[plan.param.slow] counters (all execution-history
+    dependent, hence determinism-exempt). *)
+
+open Cqa_arith
+
+val volume : ?domains:int -> Plan.t -> Db.t -> Q.t
+(** Exact volume of the plan's query over the database (the Theorem 3
+    sweep), memoized per database.
+    @raise Volume_exact.Not_semilinear outside the exact fragment.
+    @raise Volume_exact.Unbounded on infinite measure.
+    @raise Invalid_argument if the plan has parameter slots. *)
+
+val volume_clamped : ?domains:int -> Plan.t -> Db.t -> Q.t
+(** [VOL_I] (intersection with the unit cube), memoized per database.
+    @raise Invalid_argument if the plan has parameter slots. *)
+
+val volume_at : ?domains:int -> Plan.t -> Db.t -> Q.t array -> Q.t
+(** Volume of the query with the plan's parameter slots bound to the given
+    values (positionally).  With exactly one parameter the Lemma 5
+    piecewise polynomial is compiled once per database and evaluated per
+    binding when the value lies strictly inside a piece; otherwise (and
+    for several parameters) the bound set is sectioned and swept directly.
+    Both paths compute the same exact rational.
+    @raise Invalid_argument when the binding arity differs from the
+    plan's parameter count. *)
+
+val batch : ?domains:int -> Plan.t -> Db.t -> Q.t array list -> Q.t list
+(** [volume_at] over a list of bindings, sharing one warm state: the set
+    is evaluated and the parametric function compiled at most once. *)
+
+val volume_guarded :
+  ?domains:int ->
+  ?budget:float ->
+  ?eps:float ->
+  ?delta:float ->
+  ?seed:int ->
+  Plan.t ->
+  Db.t ->
+  Volume_exact.guarded
+(** {!Volume_exact.volume_guarded} driven by the plan: the engine verdict
+    is the one computed at plan time ([budget] overrides trigger a
+    re-decision, nothing else is re-analyzed), the exact path returns the
+    memoized clamped volume, and the fallback path is
+    {!Volume_exact.sampler_estimate} (never memoized — it depends on
+    [eps]/[delta]/[seed]).  Each fallback records a [plan.fallback]
+    telemetry event.
+    @raise Invalid_argument if the plan has parameter slots. *)
+
+val volume_of_query :
+  ?domains:int ->
+  ?hint:Dispatch.hint ->
+  Db.t ->
+  Cqa_logic.Var.t array ->
+  Ast.formula ->
+  Q.t
+(** Drop-in for {!Volume_exact.volume_of_query} routed through the plan
+    cache: repeated shapes skip normalization, analysis and set
+    evaluation entirely.  [hint] is consulted only when the shape misses
+    the cache. *)

@@ -287,6 +287,17 @@ let pp_engine fmt = function
   | Approx_engine { sample_size } ->
       Format.fprintf fmt "approx (Theorem 4 sampling, M = %d)" sample_size
 
+(* The Theorem 4 estimator as used by every guarded fallback path (here
+   and in [Exec]): a Blumer-sized sample for the section family's VC
+   dimension, drawn from a fresh seeded PRNG so a given seed always yields
+   the same estimate. *)
+let sampler_estimate ?(domains = 1) ~eps ~delta ~seed db coords f =
+  let vc_dim = Array.length coords + 2 in
+  let m = Cqa_vc.Bounds.blumer_sample_size ~eps ~delta ~vc_dim in
+  let prng = Cqa_vc.Prng.create seed in
+  let value = Volume_approx.approx_query ~domains ~prng ~m db ~yvars:coords f in
+  (value, m)
+
 let volume_guarded ?(domains = 1) ?hint ?(budget = Dispatch.default_budget)
     ?(eps = 0.1) ?(delta = 0.1) ?(seed = 1) db coords f =
   let profile = Dispatch.profile_formula f in
@@ -297,10 +308,7 @@ let volume_guarded ?(domains = 1) ?hint ?(budget = Dispatch.default_budget)
       T.event "dispatch.fallback"
         (Printf.sprintf "%s; projected=%.3g budget=%.3g eps=%g delta=%g"
            reason projected budget eps delta);
-    let vc_dim = Array.length coords + 2 in
-    let m = Cqa_vc.Bounds.blumer_sample_size ~eps ~delta ~vc_dim in
-    let prng = Cqa_vc.Prng.create seed in
-    let value = Volume_approx.approx_query ~domains ~prng ~m db ~yvars:coords f in
+    let value, m = sampler_estimate ~domains ~eps ~delta ~seed db coords f in
     { value; engine = Approx_engine { sample_size = m }; projected; budget }
   in
   match (hint : Dispatch.hint option) with

@@ -70,6 +70,22 @@ type guarded = {
 
 val pp_engine : Format.formatter -> engine -> unit
 
+val sampler_estimate :
+  ?domains:int ->
+  eps:float ->
+  delta:float ->
+  seed:int ->
+  Db.t ->
+  Var.t array ->
+  Ast.formula ->
+  Q.t * int
+(** The Theorem 4 sampling estimator behind every guarded fallback: a
+    Blumer-sized sample (for VC dimension [dim + 2]) of the clamped section
+    set, from a PRNG freshly seeded with [seed].  Returns the estimate and
+    the sample size used.  Shared by {!volume_guarded} and the plan
+    executor ({!Exec.volume_guarded}), so the two fallbacks are
+    bit-identical for equal seeds. *)
+
 val volume_guarded :
   ?domains:int ->
   ?hint:Dispatch.hint ->

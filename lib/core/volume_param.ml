@@ -30,7 +30,7 @@ let section_volume_function ?(domains = 1) s =
   let all_samples =
     Array.of_list (List.concat_map (fun (_, _, samples) -> samples) pieces)
   in
-  let values = Par.map ~domains h all_samples in
+  let values = Par.map ~label:"volume.param" ~domains h all_samples in
   let pos = ref 0 in
   List.map
     (fun (a, b, samples) ->

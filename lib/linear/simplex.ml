@@ -11,6 +11,8 @@ module T = Cqa_telemetry.Telemetry
 let tm_solves = T.counter "simplex.solves"
 let tm_pivots = T.counter "simplex.pivots"
 let tm_phase1 = T.counter "simplex.phase1_runs"
+let tm_basis_hit = T.counter "simplex.basis.hit"
+let tm_basis_miss = T.counter "simplex.basis.miss"
 
 type result =
   | Optimal of Q.t * Q.t Var.Map.t
@@ -257,7 +259,87 @@ let extract vars index sol =
       Var.Map.add v (Q.sub sol.(i) sol.(i + 1)) env)
     Var.Map.empty vars
 
-let maximize ~objective ~constraints =
+(* ------------------------------------------------------------------ *)
+(* Warm-basis cache                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-solving the same constraint system under a new objective — the
+   bounding-box pattern (2n objectives over one system) and plan-cache
+   re-execution — need not repeat phase 1: any optimal basis of a previous
+   solve is a feasible basis for every objective over the same system.
+   Keyed on the interned constraint tag list, so a hit guarantees the very
+   same [translate] image (same variables, same row layout).  Only the
+   value-returning [range] consults the cache: optimum *values* are unique
+   whatever the pivot path, whereas optimal *points* of a degenerate LP are
+   not, and [maximize]/[feasible] promise path-deterministic witnesses. *)
+let basis_lock = Mutex.create ()
+let basis_cache : (int list, int array) Hashtbl.t = Hashtbl.create 64
+let basis_cache_cap = 1024
+
+let clear_basis_cache () =
+  Mutex.lock basis_lock;
+  Hashtbl.reset basis_cache;
+  Mutex.unlock basis_lock
+
+let basis_find key =
+  Mutex.lock basis_lock;
+  let r = Option.map Array.copy (Hashtbl.find_opt basis_cache key) in
+  Mutex.unlock basis_lock;
+  r
+
+let basis_store key basic =
+  Mutex.lock basis_lock;
+  if Hashtbl.length basis_cache >= basis_cache_cap then Hashtbl.reset basis_cache;
+  Hashtbl.replace basis_cache key (Array.copy basic);
+  Mutex.unlock basis_lock
+
+(* Drive the dictionary to the stored basis by direct pivots.  Success
+   criterion is set equality of basic variables (row labels are immaterial:
+   a stuck row whose target is basic elsewhere already sits at the target
+   basis modulo row order) plus feasibility of the resulting b.  On failure
+   the dictionary has been mutated arbitrarily and must be rebuilt. *)
+let install_basis d target =
+  Array.length target = d.rows
+  && (not (Array.exists (fun v -> v < 0 || v >= d.nvars) target))
+  &&
+  let progress = ref true in
+  let done_ = Array.make d.rows false in
+  while !progress do
+    progress := false;
+    for i = 0 to d.rows - 1 do
+      if not done_.(i) then
+        if d.basic.(i) = target.(i) then begin
+          done_.(i) <- true;
+          progress := true
+        end
+        else if
+          (not d.in_basis.(target.(i)))
+          && not (Q.is_zero d.a.(i).(target.(i)))
+        then begin
+          pivot d i target.(i);
+          done_.(i) <- true;
+          progress := true
+        end
+    done
+  done;
+  let set_eq =
+    let a = Array.copy d.basic and b = Array.copy target in
+    Array.sort compare a;
+    Array.sort compare b;
+    a = b
+  in
+  set_eq
+  &&
+  let feasible = ref true in
+  for i = 0 to d.rows - 1 do
+    if Q.sign d.b.(i) < 0 then feasible := false
+  done;
+  !feasible
+
+(* Shared solver core.  With [warm_key], a cached basis is installed in
+   place of phase 1 when possible, and the final basis of a successful
+   solve is stored back under that key. *)
+let solve_core ?warm_key ~objective ~constraints () =
   T.incr tm_solves;
   let vars, index, n, rows = translate constraints in
   (* objective may mention variables absent from the constraints; bind them *)
@@ -277,21 +359,51 @@ let maximize ~objective ~constraints =
           [ (i, q); (i + 1, Q.neg q) ])
         (Linexpr.coeffs objective)
     in
-    let d =
+    let build () =
       make_dict ~n
         ~rows_coeffs:(List.map fst rows)
         ~rows_rhs:(List.map snd rows)
         ~obj
     in
-    if not (initialize d) then Infeasible
-    else begin
-      match optimize d with
-      | () ->
-          let sol = solution d n in
-          Optimal (Q.add d.v (Linexpr.constant objective), extract vars index sol)
-      | exception Unbounded_lp -> Unbounded
-    end
+    let warm_dict =
+      match warm_key with
+      | None -> None
+      | Some key -> (
+          match basis_find key with
+          | None ->
+              T.incr tm_basis_miss;
+              None
+          | Some basis ->
+              let d = build () in
+              if install_basis d basis then begin
+                T.incr tm_basis_hit;
+                Some d
+              end
+              else begin
+                T.incr tm_basis_miss;
+                None
+              end)
+    in
+    let feasible_dict =
+      match warm_dict with
+      | Some d -> Some d
+      | None ->
+          let d = build () in
+          if initialize d then Some d else None
+    in
+    match feasible_dict with
+    | None -> Infeasible
+    | Some d -> (
+        match optimize d with
+        | () ->
+            Option.iter (fun key -> basis_store key d.basic) warm_key;
+            let sol = solution d n in
+            Optimal
+              (Q.add d.v (Linexpr.constant objective), extract vars index sol)
+        | exception Unbounded_lp -> Unbounded)
   end
+
+let maximize ~objective ~constraints = solve_core ~objective ~constraints ()
 
 let minimize ~objective ~constraints =
   match maximize ~objective:(Linexpr.neg objective) ~constraints with
@@ -331,15 +443,25 @@ let strictly_feasible constraints =
       if Q.sign t > 0 then Some (Var.Map.remove margin_var pt) else None
 
 let range e constraints =
-  match minimize ~objective:e ~constraints with
+  (* Both solves (and any later [range] over the same system — the
+     bounding-box sweep, warm plan re-execution) share the warm-basis
+     cache: the maximize step starts from the minimize step's final basis
+     instead of running phase 1 again.  Values are unaffected: the optimum
+     value of an LP is unique whatever the starting basis. *)
+  let warm_key = List.map Linconstr.tag constraints in
+  let solve objective =
+    solve_core ~warm_key ~objective ~constraints ()
+  in
+  match solve (Linexpr.neg e) with
   | Infeasible -> None
   | Unbounded -> (
-      match maximize ~objective:e ~constraints with
+      match solve e with
       | Optimal (hi, _) -> Some (None, Some hi)
       | Unbounded -> Some (None, None)
       | Infeasible -> assert false)
-  | Optimal (lo, _) -> (
-      match maximize ~objective:e ~constraints with
+  | Optimal (neg_lo, _) -> (
+      let lo = Q.neg neg_lo in
+      match solve e with
       | Optimal (hi, _) -> Some (Some lo, Some hi)
       | Unbounded -> Some (Some lo, None)
       | Infeasible -> assert false)

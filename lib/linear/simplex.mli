@@ -32,7 +32,19 @@ val range : Linexpr.t -> Linconstr.t list -> (Q.t option * Q.t option) option
 (** [range e constrs] is [None] if the non-strict system is infeasible,
     otherwise [Some (lo, hi)] where [lo]/[hi] are the exact minimum/maximum
     of [e] over the solution set ([None] = unbounded on that side).
+
+    Re-solves over the same constraint system (keyed on the interned
+    constraint tags) warm-start from the previous solve's optimal basis,
+    skipping phase 1; the [simplex.basis.hit]/[.miss] counters track the
+    cache.  Optimum values are unique whatever the starting basis, so
+    results are byte-identical to cold solves — which is why only this
+    value-returning entry uses the cache ([maximize]'s witness points are
+    pivot-path-dependent on degenerate systems and stay cold).
     @raise Invalid_argument on a strict constraint. *)
+
+val clear_basis_cache : unit -> unit
+(** Drop the warm-basis cache (cold-cache benchmarking and deterministic
+    counter tests). *)
 
 val implied : Linconstr.t list -> Linconstr.t -> bool
 (** [implied context atom]: every real point satisfying [context] satisfies

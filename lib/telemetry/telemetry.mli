@@ -44,6 +44,12 @@ val set_max : counter -> int -> unit
 
 (** {1 Timers} *)
 
+val now_ns : unit -> float
+(** The wall clock used by timers, in nanoseconds.  Always live (not gated
+    on {!enabled}): clients that need a duration regardless of telemetry —
+    e.g. a compiled plan recording its own compile time — read it directly
+    and mirror the sample into a timer with {!record_ns}. *)
+
 type timer
 
 val timer : string -> timer

@@ -378,6 +378,36 @@ let test_interval () =
   Alcotest.check_raises "inverted" (Invalid_argument "Interval.make: lo > hi")
     (fun () -> ignore (Interval.make Q.one Q.zero))
 
+(* The single outward rounding mode: endpoints only ever move apart, both
+   sides by the same discipline, and the result always encloses the
+   argument. *)
+let test_interval_outward () =
+  let qi = Q.of_int and qq = Q.of_ints in
+  let i = Interval.make (qq 1 3) (qq 5 7) in
+  let r = Interval.round_out ~den:4 i in
+  check "lo rounds down" true (Q.equal (Interval.lo r) (qq 1 4));
+  check "hi rounds up" true (Q.equal (Interval.hi r) (qq 3 4));
+  check "encloses" true
+    (Q.leq (Interval.lo r) (Interval.lo i) && Q.leq (Interval.hi i) (Interval.hi r));
+  (* grid points are fixpoints *)
+  let g = Interval.make (qq 1 4) (qq 3 4) in
+  check "fixpoint" true (Interval.equal (Interval.round_out ~den:4 g) g);
+  (* negative endpoints: lower still moves down, not toward zero *)
+  let n = Interval.round_out ~den:4 (Interval.make (qq (-1) 3) (qq (-1) 7)) in
+  check "neg lo down" true (Q.equal (Interval.lo n) (qq (-1) 2));
+  check "neg hi up" true (Q.equal (Interval.hi n) Q.zero);
+  let w = Interval.grow i (qq 1 10) in
+  check "grow symmetric" true
+    (Q.equal (Q.sub (Interval.lo i) (Interval.lo w)) (qq 1 10)
+    && Q.equal (Q.sub (Interval.hi w) (Interval.hi i)) (qq 1 10));
+  check "grow zero" true (Interval.equal (Interval.grow i Q.zero) i);
+  Alcotest.check_raises "bad den"
+    (Invalid_argument "Interval.round_out: den <= 0") (fun () ->
+      ignore (Interval.round_out ~den:0 i));
+  Alcotest.check_raises "negative margin"
+    (Invalid_argument "Interval.grow: negative margin") (fun () ->
+      ignore (Interval.grow i (qi (-1))))
+
 (* ------------------------------------------------------------------ *)
 (* Qmat                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -472,7 +502,9 @@ let () =
       qsuite "q-props"
         [ prop_q_field; prop_q_compare_consistent; prop_q_floor_bound;
           prop_q_kernels_vs_naive; prop_q_mul_int_consistent ];
-      ("interval", [ Alcotest.test_case "interval" `Quick test_interval ]);
+      ( "interval",
+        [ Alcotest.test_case "interval" `Quick test_interval;
+          Alcotest.test_case "outward rounding" `Quick test_interval_outward ] );
       ( "qmat",
         [ Alcotest.test_case "det" `Quick test_qmat_det;
           Alcotest.test_case "solve" `Quick test_qmat_solve;

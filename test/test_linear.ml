@@ -345,6 +345,49 @@ let test_simplex_known () =
       check "range" true (Q.is_zero lo && Q.equal hi (q 3))
   | _ -> Alcotest.fail "expected bounded range")
 
+(* Warm-basis reuse: [range] re-solves from the basis cached for the same
+   constraint list; the optimum VALUES it returns must be byte-identical
+   to a cold solve (values are unique even when optimal points are not),
+   on handcrafted and random systems alike. *)
+let test_simplex_warm_basis () =
+  let sys =
+    [ Linconstr.le ex (Linexpr.const (q 3));
+      Linconstr.le ey (Linexpr.const (q 2));
+      Linconstr.le (Linexpr.add ex ey) (Linexpr.const (q 4));
+      Linconstr.ge ex Linexpr.zero;
+      Linconstr.ge ey Linexpr.zero ]
+  in
+  Simplex.clear_basis_cache ();
+  let cold_x = Simplex.range ex sys in
+  let cold_y = Simplex.range ey sys in
+  (* both ranges warm now: re-solve and cross-warm with a third objective *)
+  let warm_x = Simplex.range ex sys in
+  let warm_sum = Simplex.range (Linexpr.add ex ey) sys in
+  check "warm x = cold x" true (cold_x = warm_x);
+  check "warm y stable" true (cold_y = Simplex.range ey sys);
+  (match warm_sum with
+  | Some (Some lo, Some hi) ->
+      check "warm sum" true (Q.is_zero lo && Q.equal hi (q 4))
+  | _ -> Alcotest.fail "expected bounded range");
+  Simplex.clear_basis_cache ();
+  check "recold x = cold x" true (cold_x = Simplex.range ex sys);
+  (* random systems: warm range values always equal the cold values *)
+  for _ = 1 to 100 do
+    let conj =
+      List.map
+        (fun a ->
+          match Linconstr.op a with
+          | Linconstr.Lt -> Linconstr.make (Linconstr.expr a) Linconstr.Le
+          | _ -> a)
+        (rand_conj [ x; y; z ] (1 + Random.State.int rng 5))
+    in
+    let e = rand_expr [ x; y; z ] in
+    Simplex.clear_basis_cache ();
+    let cold = Simplex.range e conj in
+    let warm = Simplex.range e conj in
+    check "random warm = cold" true (cold = warm)
+  done
+
 let test_simplex_vs_fm_random () =
   for _ = 1 to 400 do
     let nonstrict =
@@ -704,6 +747,7 @@ let () =
           Alcotest.test_case "sat memo" `Quick test_sat_memo ] );
       ( "simplex",
         [ Alcotest.test_case "known LPs" `Quick test_simplex_known;
+          Alcotest.test_case "warm basis reuse" `Quick test_simplex_warm_basis;
           Alcotest.test_case "vs FM random" `Quick test_simplex_vs_fm_random ] );
       ( "cell1",
         [ Alcotest.test_case "boolean algebra" `Quick test_cell1_boolean_algebra;

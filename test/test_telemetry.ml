@@ -100,8 +100,10 @@ let fixed_semilinear dim seed =
    LP-work counters under the memoized bounding boxes -- plus, since the
    persistent pool, the pool.* scheduler counters (batches taken
    parallel/sequential, jobs stolen: functions of the cutoff and the steal
-   schedule) and the *.contention shard counters of the striped memo
-   tables. *)
+   schedule), the *.contention and *.evict shard counters of the striped
+   memo tables, and the plan.* counters (cache traffic, per-database
+   execution state and wall-clock compile time: all functions of execution
+   history). *)
 let deterministic_counters snap =
   List.filter
     (fun (name, _) ->
@@ -115,8 +117,8 @@ let deterministic_counters snap =
       in
       not
         (has_suffix ".hit" || has_suffix ".miss" || has_prefix "simplex."
-        || has_prefix "fm." || has_prefix "pool."
-        || has_suffix ".contention"))
+        || has_prefix "fm." || has_prefix "pool." || has_prefix "plan."
+        || has_suffix ".contention" || has_suffix ".evict"))
     snap.T.counters
 
 let counters_for_run job =
