@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-check verify lint clean
+.PHONY: all build test bench bench-smoke bench-check serve-smoke verify lint clean
 
 all: build
 
@@ -55,8 +55,41 @@ lint:
 	done
 	@echo "lint OK"
 
-# The tier-1 gate: build, test suite, benchmark smoke run + key-set gate.
-verify: build test bench-check
+# End-to-end service smoke: boot the daemon on a throwaway Unix socket,
+# drive a scripted client workload through it (ping, parameterized plan
+# compilation, text / parameterized / batched volumes, stats), stop it
+# with a shutdown request, then assert the server exited cleanly and its
+# --stats=json report actually counted the traffic (serve.req > 0).
+serve-smoke:
+	dune build bin/cqa.exe
+	@set -e; \
+	sock=/tmp/cqa-serve-smoke.$$$$.sock; out=/tmp/cqa-serve-smoke.$$$$.json; \
+	rm -f $$sock; \
+	$(CQA) serve --socket $$sock --stats=json > $$out & srv=$$!; \
+	$(CQA) client --socket $$sock --wait 5000 \
+	  '{"op":"ping","id":1}' \
+	  '{"op":"plan","id":2,"query":"u < y1 /\\ y1 < v /\\ 0 <= y2 /\\ y2 <= y1 /\\ 0 <= y1","params":["u","v"]}' \
+	  '{"op":"vol","id":3,"query":"0 <= y1 /\\ y1 <= 1 /\\ 0 <= y2 /\\ y2 <= y1"}' \
+	  '{"op":"vol","id":4,"query":"u < y1 /\\ y1 < v /\\ 0 <= y2 /\\ y2 <= y1 /\\ 0 <= y1","params":["u","v"],"args":["0","1"]}' \
+	  '{"op":"vol_batch","id":5,"query":"u < y1 /\\ y1 < v /\\ 0 <= y2 /\\ y2 <= y1 /\\ 0 <= y1","params":["u","v"],"bindings":[["0","1"],["1/8","1"]]}' \
+	  '{"op":"stats","id":6}' \
+	  '{"op":"shutdown","id":7}' \
+	  > /dev/null; \
+	status=0; wait $$srv || status=$$?; \
+	if [ $$status -ne 0 ]; then \
+	  echo "serve-smoke: server exited with status $$status"; cat $$out; exit 1; \
+	fi; \
+	reqs=$$(grep -o '"serve.req":[0-9]*' $$out | head -1 | cut -d: -f2); \
+	if [ -z "$$reqs" ] || [ "$$reqs" -eq 0 ]; then \
+	  echo "serve-smoke: serve.req missing or zero in server stats"; \
+	  cat $$out; exit 1; \
+	fi; \
+	echo "serve-smoke OK ($$reqs requests served)"; \
+	rm -f $$out $$sock
+
+# The tier-1 gate: build, test suite, benchmark smoke run + key-set
+# gate, and the end-to-end query-service smoke.
+verify: build test bench-check serve-smoke
 
 clean:
 	dune clean

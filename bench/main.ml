@@ -300,7 +300,7 @@ let smoke =
   | None | Some "" | Some "0" -> false
   | Some _ -> true
 
-let run_group name tests =
+let run_group ?(stabilize = true) name tests =
   Printf.printf "\n== %s ==\n%!" name;
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -309,10 +309,14 @@ let run_group name tests =
   (* The full run stabilizes the GC before each test: without it a test
      inherits the heap the previous tests grew, which biased e.g. the
      thm3_*_dom4 estimates a few percent above their dom1 counterparts
-     purely by run order.  The smoke run skips it to stay fast. *)
+     purely by run order.  The smoke run skips it to stay fast.
+     ~stabilize:false opts a group out even in the full run: the serve
+     benches keep a server domain alive in the background, so the live
+     word count never settles and stabilization aborts the whole run. *)
   let cfg =
     if smoke then Benchmark.cfg ~limit:50 ~quota:(Time.second 0.02) ~stabilize:false ()
-    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+    else
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize ()
   in
   let estimate test =
     let results = Benchmark.all cfg instances test in
@@ -538,6 +542,139 @@ let plan_tests =
            plan_warm_idx := (i + 1) mod Array.length plan_param_values;
            Exec.volume_at p plan_db plan_param_values.(i))) ]
 
+(* ------------------------------------------------------------------ *)
+(* Query service: sustained throughput, closed-loop clients            *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Cqa_serve.Server
+module Sclient = Cqa_serve.Client
+module Sproto = Cqa_serve.Protocol
+module Tj = Cqa_telemetry.Tjson
+
+(* The repeated-shape serving workload: one plan with two parameter
+   slots, per-binding work on the sectioning slow path (VOL over (y1, y2)
+   is (v^2 - u^2)/2), fresh bindings per flush cycle so every cycle does
+   real engine work instead of replaying a memo. *)
+let serve_q = "u < y1 /\\ y1 < v /\\ 0 <= y2 /\\ y2 <= y1 /\\ 0 <= y1"
+
+let serve_plan_req =
+  Printf.sprintf {|{"op":"plan","query":%s,"params":["u","v"]}|}
+    (Sproto.json_string serve_q)
+
+let serve_binding_ctr = ref 0
+
+let serve_binding () =
+  let k = 1 + (!serve_binding_ctr mod 499) in
+  incr serve_binding_ctr;
+  (Printf.sprintf "%d/1009" k, Printf.sprintf "%d/1009" (k + 500))
+
+let serve_sock_ctr = ref 0
+
+let serve_sock () =
+  incr serve_sock_ctr;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "cqa-bench-serve-%d-%d.sock" (Unix.getpid ())
+       !serve_sock_ctr)
+
+let serve_handles : Server.handle list ref = ref []
+
+let stop_serve_fixtures () =
+  List.iter Server.stop_background !serve_handles;
+  serve_handles := []
+
+let serve_plan_id_of resp =
+  match
+    Result.to_option (Tj.parse resp)
+    |> Fun.flip Option.bind (Tj.member "plan")
+    |> Fun.flip Option.bind Tj.to_float
+  with
+  | Some f -> int_of_float f
+  | None -> failwith ("serve bench: plan registration failed: " ^ resp)
+
+(* One server + a lockstep client population, started outside the timed
+   region.  Every bench run serves the same TOTAL number of requests (8),
+   split as [conns] concurrent clients x [cycles] rounds, so the ns/run
+   numbers of dom1/dom2/dom4 are directly comparable per-request
+   throughputs.  Within a cycle all clients request the same binding —
+   the thundering-herd shape — so the batcher coalesces each cycle to one
+   engine computation; across cycles bindings advance. *)
+let serve_total_requests = 8
+
+let serve_fixture ~domains ~conns =
+  let cfg =
+    {
+      (Server.default_config (Server.Unix_path (serve_sock ()))) with
+      Server.domains;
+      window_us = 2000.;
+    }
+  in
+  let h = Server.start_background cfg in
+  serve_handles := h :: !serve_handles;
+  let c0 = Sclient.connect (Server.addr_of h) in
+  let pid = serve_plan_id_of (Sclient.request c0 serve_plan_req) in
+  Sclient.close c0;
+  let cs = Array.init conns (fun _ -> Sclient.connect (Server.addr_of h)) in
+  (cs, pid)
+
+let serve_closed_loop cs pid =
+  let conns = Array.length cs in
+  let cycles = serve_total_requests / conns in
+  let bindings = Array.init cycles (fun _ -> serve_binding ()) in
+  let out =
+    Sclient.closed_loop ~conns:cs ~cycles (fun ~cycle ~conn:_ ->
+        let u, v = bindings.(cycle) in
+        Printf.sprintf {|{"op":"vol","plan":%d,"args":["%s","%s"]}|} pid u v)
+  in
+  (* a failed response would silently turn the bench into an error loop *)
+  Array.iter
+    (fun r ->
+      if not (String.length r >= 10 && String.sub r 0 10 = {|{"ok":true|})
+      then failwith ("serve bench: request failed: " ^ r))
+    out
+
+let serve_warm_test ~domains ~conns =
+  let cs, pid = serve_fixture ~domains ~conns in
+  Test.make ~name:(Printf.sprintf "serve_qps_warm_dom%d" domains)
+    (stage (fun () -> serve_closed_loop cs pid))
+
+let serve_tests () =
+  let warm1 = serve_warm_test ~domains:1 ~conns:1 in
+  let warm2 = serve_warm_test ~domains:2 ~conns:2 in
+  let warm4 = serve_warm_test ~domains:4 ~conns:4 in
+  (* cold: one client, plan cache and engine memos dropped server-side
+     before each run, requests by query text — the first request of every
+     run recompiles the plan, the remaining seven hit the refilled
+     cache. *)
+  let cold_cs, _ = serve_fixture ~domains:1 ~conns:1 in
+  let cold_req () =
+    let u, v = serve_binding () in
+    Printf.sprintf
+      {|{"op":"vol","query":%s,"params":["u","v"],"args":["%s","%s"]}|}
+      (Sproto.json_string serve_q) u v
+  in
+  let cold =
+    Test.make ~name:"serve_qps_cold_dom1"
+      (stage (fun () ->
+           let c = cold_cs.(0) in
+           ignore (Sclient.request c {|{"op":"reset"}|});
+           for _ = 1 to serve_total_requests do
+             let r = Sclient.request c (cold_req ()) in
+             if not (String.length r >= 10 && String.sub r 0 10 = {|{"ok":true|})
+             then failwith ("serve bench: request failed: " ^ r)
+           done))
+  in
+  (* protocol floor: ping round trips, no engine work *)
+  let ping_cs, _ = serve_fixture ~domains:1 ~conns:1 in
+  let ping =
+    Test.make ~name:"serve_ping_dom1"
+      (stage (fun () ->
+           for _ = 1 to serve_total_requests do
+             ignore (Sclient.request ping_cs.(0) {|{"op":"ping"}|})
+           done))
+  in
+  [ warm1; warm2; warm4; cold; ping ]
+
 let counter_workloads =
   [ ("thm3_sweep_3d",
      fun () ->
@@ -559,6 +696,34 @@ let counter_workloads =
        let coords = Array.of_list (Var.Set.elements (Ast.free_vars f)) in
        let db = Db.empty Schema.empty in
        ignore (Volume_exact.volume_guarded ~budget:1e6 db coords f));
+    ("serve",
+     fun () ->
+       (* one deterministic single-client session against a fresh server:
+          plan registration, cold and warm parameterized volumes, a
+          vol_batch, a ping, then shutdown — every serve.* delta is a pure
+          function of this scripted traffic *)
+       cold_caches ();
+       let cfg = Server.default_config (Server.Unix_path (serve_sock ())) in
+       let h = Server.start_background cfg in
+       Fun.protect ~finally:(fun () -> Server.stop_background h) @@ fun () ->
+       let c = Sclient.connect (Server.addr_of h) in
+       Fun.protect ~finally:(fun () -> Sclient.close c) @@ fun () ->
+       let pid = serve_plan_id_of (Sclient.request c serve_plan_req) in
+       let vol u v =
+         ignore
+           (Sclient.request c
+              (Printf.sprintf
+                 {|{"op":"vol","plan":%d,"args":["%s","%s"]}|} pid u v))
+       in
+       vol "1/8" "7/8";
+       vol "1/8" "7/8";
+       vol "1/4" "3/4";
+       ignore
+         (Sclient.request c
+            (Printf.sprintf
+               {|{"op":"vol_batch","plan":%d,"bindings":[["0","1"],["1/8","1"]]}|}
+               pid));
+       ignore (Sclient.request c {|{"op":"ping"}|}));
     ("plan",
      fun () ->
        cold_caches ();
@@ -604,5 +769,8 @@ let () =
   run_group "persistent pool (cutoff bypassed)" pool_tests;
   run_group "ablations (QE design choices, cold cache)" ablation_tests;
   run_group "compiled plans (cache + batched re-execution)" plan_tests;
+  run_group ~stabilize:false "query service (closed-loop clients)"
+    (serve_tests ());
+  stop_serve_fixtures ();
   run_counter_deltas ();
   emit_json ()

@@ -48,11 +48,27 @@ module S = Set.Make (String)
    pentagon program is cold-start-dominated there: its holds-memo never
    warms in the fraction-of-a-second window, so the smoke estimate sits
    ~40x above the amortized full-run number by construction. *)
+(* An allowlist entry ending in '*' is a prefix glob: "serve_qps_*"
+   matches every key starting "serve_qps_". *)
 let builtin_allow =
   [ "sturm_isolate_deg5"; "lasserre_cube_dim4"; "e6_polygon_program_pentagon";
     (* wall-clock compile time mirrored into a counter: a real quantity,
        but inherently noisy across runs *)
-    "ctr:plan:plan.compile_ns" ]
+    "ctr:plan:plan.compile_ns";
+    (* socket round trips under the smoke quota: dominated by scheduler
+       wake-ups, not engine work, so the estimates swing with machine
+       load; the serve counter deltas include wall-clock compile_ns too *)
+    "serve_qps_*"; "ctr:serve:*" ]
+
+let allow_matches allow k =
+  S.exists
+    (fun entry ->
+      let n = String.length entry in
+      if n > 0 && entry.[n - 1] = '*' then
+        let pre = String.sub entry 0 (n - 1) in
+        String.length k >= n - 1 && String.sub k 0 (n - 1) = pre
+      else entry = k)
+    allow
 
 let () =
   let baseline = ref None
@@ -124,7 +140,7 @@ let () =
             incr compared;
             let ratio = c /. b in
             let verdict =
-              if ratio > !fail_ratio && not (S.mem k !allow) then begin
+              if ratio > !fail_ratio && not (allow_matches !allow k) then begin
                 incr failed;
                 Printf.printf "FAIL     %s: %.1f -> %.1f (%.2fx > %.1fx)\n" k b
                   c ratio !fail_ratio;
@@ -134,7 +150,7 @@ let () =
                 incr warned;
                 Printf.printf "WARN     %s: %.1f -> %.1f (%.2fx > %.1fx)%s\n" k
                   b c ratio !warn_ratio
-                  (if S.mem k !allow then " [allowlisted]" else "");
+                  (if allow_matches !allow k then " [allowlisted]" else "");
                 "WARN"
               end
               else "ok"

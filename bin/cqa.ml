@@ -51,7 +51,11 @@ let domains_arg =
               default."
              default_domains))
 
-let with_stats stats run =
+(* [plan_cache] additionally reports the plan cache's per-stripe
+   accounting: spliced into the JSON object as a "plan_cache" member (the
+   telemetry schema is a flat object, so appending a sibling member keeps
+   it valid), appended as a table in human mode. *)
+let with_stats ?(plan_cache = false) stats run =
   match stats with
   | None -> run ()
   | Some fmt ->
@@ -61,8 +65,19 @@ let with_stats stats run =
       let finish () =
         let d = Telemetry.diff ~before ~after:(Telemetry.snapshot ()) in
         match fmt with
-        | `Human -> Format.printf "@.-- telemetry --@.%a@." Telemetry.pp d
-        | `Json -> print_endline (Telemetry.to_json d)
+        | `Human ->
+            Format.printf "@.-- telemetry --@.%a@." Telemetry.pp d;
+            if plan_cache then
+              Format.printf "@.-- plan cache --@.%a@." Plan.pp_cache_stats ()
+        | `Json ->
+            let j = Telemetry.to_json d in
+            if plan_cache then
+              print_endline
+                (String.sub j 0 (String.length j - 1)
+                ^ ",\"plan_cache\":"
+                ^ Cqa_serve.Server.plan_cache_json ()
+                ^ "}")
+            else print_endline j
       in
       Fun.protect ~finally:finish run
 
@@ -484,7 +499,7 @@ let vol_cmd =
     Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Fallback sampling seed.")
   in
   let run query file schema budget domains eps delta seed stats =
-    with_stats stats @@ fun () ->
+    with_stats ~plan_cache:true stats @@ fun () ->
     let src, schema_spec =
       match (query, file) with
       | Some q, None -> (q, schema)
@@ -721,13 +736,243 @@ let plan_cmd =
       const run $ query $ file $ schema $ params $ budget $ format $ explain
       $ cache_stats $ stats_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / client: the concurrent query service                        *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Cqa_serve.Server
+module Client = Cqa_serve.Client
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"Listen on (or connect to) TCP 127.0.0.1:$(docv).")
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Listen on (or connect to) the Unix-domain socket $(docv).")
+
+let addr_of_flags port socket =
+  match (port, socket) with
+  | Some p, None -> Server.Tcp ("127.0.0.1", p)
+  | None, Some path -> Server.Unix_path path
+  | Some _, Some _ ->
+      Format.eprintf "give either --port or --socket, not both@.";
+      exit 2
+  | None, None ->
+      Format.eprintf "give --port or --socket@.";
+      exit 2
+
+let serve_cmd =
+  let budget =
+    Arg.(
+      value
+      & opt float Dispatch.default_budget
+      & info [ "budget" ] ~docv:"X"
+          ~doc:
+            "Default admission budget: requests whose plan projects over \
+             $(docv) QE atoms are rejected or degraded per \
+             $(b,--admission).  Default: unguarded.")
+  in
+  let max_clients =
+    Arg.(
+      value & opt int 64
+      & info [ "max-clients" ] ~docv:"N"
+          ~doc:"Turn connections away (with a server-busy error) beyond \
+                $(docv) concurrent clients.")
+  in
+  let window_us =
+    Arg.(
+      value & opt float 500.
+      & info [ "window-us" ] ~docv:"US"
+          ~doc:
+            "Micro-batching window in microseconds: a queued volume \
+             request waits at most this long to be coalesced with \
+             same-plan requests (a lone client is flushed immediately).")
+  in
+  let max_batch =
+    Arg.(
+      value & opt int 256
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:"Flush the request queue at $(docv) pending requests even \
+                within the window.")
+  in
+  let admission =
+    Arg.(
+      value
+      & opt (enum [ ("degrade", Cqa_serve.Protocol.Degrade);
+                    ("reject", Cqa_serve.Protocol.Reject) ])
+          Cqa_serve.Protocol.Degrade
+      & info [ "admission" ] ~docv:"MODE"
+          ~doc:
+            "What to do with an over-budget request: $(b,degrade) to the \
+             Theorem 4 sampler, or $(b,reject) with a structured error.")
+  in
+  let run port socket domains budget max_clients window_us max_batch admission
+      stats =
+    with_stats ~plan_cache:true stats @@ fun () ->
+    let addr = addr_of_flags port socket in
+    let cfg =
+      {
+        Server.addr;
+        domains;
+        budget;
+        max_clients;
+        window_us;
+        max_batch;
+        admission;
+      }
+    in
+    let stop = Atomic.make false in
+    let flip _ = Atomic.set stop true in
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle flip)
+     with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle flip)
+     with Invalid_argument _ -> ());
+    (match addr with
+    | Server.Tcp (h, p) -> Format.eprintf "cqa serve: listening on %s:%d@." h p
+    | Server.Unix_path path ->
+        Format.eprintf "cqa serve: listening on %s@." path);
+    Server.serve ~stop cfg
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Concurrent query service: newline-delimited JSON over TCP or a \
+          Unix socket, with per-request admission control and micro-batched \
+          execution through the compiled-plan cache.  Stops on a \
+          $(b,shutdown) request, SIGINT or SIGTERM.")
+    Term.(
+      const run $ port_arg $ socket_arg $ domains_arg $ budget $ max_clients
+      $ window_us $ max_batch $ admission $ stats_arg)
+
+let client_cmd =
+  let requests =
+    Arg.(
+      value
+      & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "Request lines (JSON objects) to send, one round trip each; \
+             with none, request lines are read from stdin.")
+  in
+  let wait =
+    Arg.(
+      value & opt int 0
+      & info [ "wait" ] ~docv:"MS"
+          ~doc:
+            "Retry the initial connection (and a ping) for up to $(docv) \
+             milliseconds before giving up — for scripts racing a server \
+             start.")
+  in
+  let bench =
+    Arg.(
+      value & flag
+      & info [ "bench" ]
+          ~doc:
+            "Closed-loop throughput mode: drive $(b,--conns) lockstep \
+             connections for $(b,--cycles) rounds, each sending the (one) \
+             REQUEST line, and report wall-clock requests/second instead \
+             of response bodies.")
+  in
+  let conns =
+    Arg.(
+      value & opt int 4
+      & info [ "conns" ] ~docv:"K" ~doc:"Bench mode: concurrent connections.")
+  in
+  let cycles =
+    Arg.(
+      value & opt int 100
+      & info [ "cycles" ] ~docv:"N"
+          ~doc:"Bench mode: lockstep rounds per connection.")
+  in
+  let connect_retry addr wait_ms =
+    let deadline = Unix.gettimeofday () +. (float_of_int wait_ms /. 1e3) in
+    let rec go () =
+      match Client.connect addr with
+      | c -> c
+      | exception Unix.Unix_error _ when Unix.gettimeofday () < deadline ->
+          Unix.sleepf 0.02;
+          go ()
+    in
+    go ()
+  in
+  let run port socket requests wait bench conns cycles =
+    let addr = addr_of_flags port socket in
+    if bench then begin
+      let line =
+        match requests with
+        | [ l ] -> l
+        | _ ->
+            Format.eprintf "--bench takes exactly one REQUEST line@.";
+            exit 2
+      in
+      let cs =
+        Array.init conns (fun _ -> connect_retry addr wait)
+      in
+      let t0 = Unix.gettimeofday () in
+      let out = Client.closed_loop ~conns:cs ~cycles (fun ~cycle:_ ~conn:_ -> line) in
+      let dt = Unix.gettimeofday () -. t0 in
+      Array.iter Client.close cs;
+      let n = Array.length out in
+      let failed =
+        Array.fold_left
+          (fun acc r ->
+            if String.length r >= 11 && String.sub r 0 11 = {|{"ok":false|}
+            then acc + 1
+            else acc)
+          0 out
+      in
+      Format.printf "requests: %d (conns %d x cycles %d), errors: %d@." n
+        conns cycles failed;
+      Format.printf "elapsed: %.3f s, throughput: %.0f req/s@." dt
+        (float_of_int n /. dt);
+      if failed > 0 then exit 1
+    end
+    else begin
+      let c = connect_retry addr wait in
+      let ok = ref true in
+      let round_trip line =
+        let resp = Client.request c line in
+        print_endline resp;
+        if String.length resp >= 11 && String.sub resp 0 11 = {|{"ok":false|}
+        then ok := false
+      in
+      (match requests with
+      | [] -> (
+          try
+            while true do
+              let line = input_line stdin in
+              if String.trim line <> "" then round_trip line
+            done
+          with End_of_file -> ())
+      | rs -> List.iter round_trip rs);
+      Client.close c;
+      if not !ok then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send wire-protocol requests to a running $(b,cqa serve) and print \
+          the responses; $(b,--bench) turns it into a closed-loop \
+          throughput driver.")
+    Term.(
+      const run $ port_arg $ socket_arg $ requests $ wait $ bench $ conns
+      $ cycles)
+
 let main =
   Cmd.group
     (Cmd.info "cqa" ~version:"1.0"
        ~doc:"Exact and approximate aggregation in constraint query languages.")
     [
       experiments_cmd; volume_cmd; approx_cmd; vcdim_cmd; area_cmd; qe_cmd;
-      analyze_cmd; vol_cmd; plan_cmd;
+      analyze_cmd; vol_cmd; plan_cmd; serve_cmd; client_cmd;
     ]
 
 let () = exit (Cmd.eval main)

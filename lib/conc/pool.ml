@@ -118,15 +118,23 @@ let rec worker_loop w =
 
 (* OCaml waits for every spawned domain at process exit, so idle workers
    blocked in [Condition.wait] would hang the process: tear the pool down
-   from [at_exit]. *)
-let teardown () =
+   from [at_exit] — and let a long-lived server do the same explicitly to
+   resize.  Workers drain every queued job before exiting ([take] keeps
+   returning jobs while lanes are non-empty even under [shutting_down]),
+   then the state is reset so a later [ensure_workers] restarts cleanly:
+   shutdown is a fence, not a one-way door. *)
+let shutdown () =
   Mutex.lock lock;
   shutting_down := true;
   Condition.broadcast cond;
   let hs = !handles in
   handles := [];
   Mutex.unlock lock;
-  List.iter Domain.join hs
+  List.iter Domain.join hs;
+  Mutex.lock lock;
+  deques := [||];
+  shutting_down := false;
+  Mutex.unlock lock
 
 let at_exit_registered = ref false
 
@@ -137,7 +145,7 @@ let ensure_workers n =
   if n > cur && not !shutting_down then begin
     if not !at_exit_registered then begin
       at_exit_registered := true;
-      Stdlib.at_exit teardown
+      Stdlib.at_exit shutdown
     end;
     let grown =
       Array.init n (fun i -> if i < cur then !deques.(i) else Dq.create ())
@@ -155,6 +163,8 @@ let ensure_workers n =
     done
   end;
   Mutex.unlock lock
+
+let ensure = ensure_workers
 
 let size () =
   Mutex.lock lock;

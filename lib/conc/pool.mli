@@ -79,7 +79,22 @@ val run_chunks : ?label:string -> items:int -> int -> (int -> unit) -> unit
 val ensure_workers : int -> unit
 (** Grow the pool to at least [n] workers (capped at {!max_workers}).
     Normally implicit in [run_chunks]; exposed so benchmarks can warm the
-    pool outside the timed region. *)
+    pool outside the timed region, and so a long-lived server can re-grow
+    the pool after a {!shutdown}. *)
+
+val ensure : int -> unit
+(** Alias for {!ensure_workers}: the [shutdown]/[ensure] pair is the
+    explicit lifecycle a long-lived process drives. *)
+
+val shutdown : unit -> unit
+(** Join every worker domain and reset the pool to its cold state.  Queued
+    jobs are drained before the workers exit, so a batch already submitted
+    completes; the caller must not have a batch {e in flight on another
+    domain} during the call.  Idempotent — a second call (or a call on a
+    never-started pool) is a no-op — and not final: a later
+    {!ensure_workers} (or any parallel batch) restarts the pool with fresh
+    workers.  Registered [at_exit] on first spawn, so plain process exit
+    needs no explicit call. *)
 
 val size : unit -> int
 (** Number of worker domains currently alive. *)

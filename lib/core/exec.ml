@@ -189,6 +189,34 @@ let volume_at ?(domains = 1) p db qs =
 
 let batch ?domains p db bindings = List.map (volume_at ?domains p db) bindings
 
+(* Batched execution with the parallelism turned sideways: one binding per
+   work item across the pool, each evaluated sequentially, instead of one
+   binding at a time with parallel internals.  The shared state (set,
+   Lemma 5 polynomial) is warmed once before the fan-out so the workers
+   only read it; values are the same exact rationals [volume_at] computes,
+   and the chunk decomposition derives from [~domains] alone, so results
+   are byte-identical to the sequential [batch] whatever the pool does. *)
+let volume_batch ?(domains = 1) p db bindings =
+  match bindings with
+  | [] -> []
+  | _ :: _ ->
+      let np = Array.length (Plan.params p) in
+      List.iter
+        (fun qs ->
+          if Array.length qs <> np then
+            invalid_arg
+              (Printf.sprintf
+                 "Exec.volume_batch: expected %d parameter values, got %d" np
+                 (Array.length qs)))
+        bindings;
+      let s = set_exn p db in
+      if np = 1 then ignore (get_param_fn ~domains:1 p db s);
+      let arr = Array.of_list bindings in
+      Par.map ~label:"exec.volume_batch" ~domains
+        (fun qs -> volume_at ~domains:1 p db qs)
+        arr
+      |> Array.to_list
+
 (* ------------------------------------------------------------------ *)
 (* Guarded execution and the cached query entry point                  *)
 (* ------------------------------------------------------------------ *)

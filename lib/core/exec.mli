@@ -41,7 +41,18 @@ val volume_at : ?domains:int -> Plan.t -> Db.t -> Q.t array -> Q.t
 
 val batch : ?domains:int -> Plan.t -> Db.t -> Q.t array list -> Q.t list
 (** [volume_at] over a list of bindings, sharing one warm state: the set
-    is evaluated and the parametric function compiled at most once. *)
+    is evaluated and the parametric function compiled at most once.
+    [domains] parallelizes {e inside} each binding's evaluation. *)
+
+val volume_batch : ?domains:int -> Plan.t -> Db.t -> Q.t array list -> Q.t list
+(** Like {!batch} but parallel {e across} bindings: the shared per-database
+    state is warmed once, then the bindings are dealt to the pool as one
+    submission ([domains] chunks, each binding evaluated sequentially) with
+    slot-order reassembly.  This is the shape a serving layer wants — many
+    small same-plan requests coalesced into one pool batch — and it returns
+    exactly {!batch}'s values (exact rationals, chunking-invariant).
+    @raise Volume_exact.Not_semilinear outside the exact fragment.
+    @raise Invalid_argument on a binding arity mismatch. *)
 
 val volume_guarded :
   ?domains:int ->

@@ -1,0 +1,92 @@
+type t = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;  (* received bytes not yet consumed as lines *)
+  chunk : Bytes.t;
+  mutable open_ : bool;
+}
+
+let sockaddr_of = function
+  | Server.Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> Unix.inet_addr_loopback)
+      in
+      Unix.ADDR_INET (ip, port)
+  | Server.Unix_path path -> Unix.ADDR_UNIX path
+
+let connect addr =
+  let sa = sockaddr_of addr in
+  let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd sa with
+  | () -> ()
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e);
+  { fd; rbuf = Buffer.create 1024; chunk = Bytes.create 65536; open_ = true }
+
+let close c =
+  if c.open_ then begin
+    c.open_ <- false;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let send_raw c s =
+  let n = String.length s in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write_substring c.fd s !sent (n - !sent)
+  done
+
+let send_line c line = send_raw c (line ^ "\n")
+
+(* Pull a line out of the buffer, reading more as needed.  The buffer is
+   rebuilt from the leftover tail — lines are short and this keeps the
+   code obvious. *)
+let recv_line c =
+  let take_line () =
+    let data = Buffer.contents c.rbuf in
+    match String.index_opt data '\n' with
+    | None -> None
+    | Some i ->
+        Buffer.clear c.rbuf;
+        Buffer.add_substring c.rbuf data (i + 1)
+          (String.length data - i - 1);
+        Some (String.sub data 0 i)
+  in
+  let rec go () =
+    match take_line () with
+    | Some line -> line
+    | None -> (
+        match Unix.read c.fd c.chunk 0 (Bytes.length c.chunk) with
+        | 0 -> raise End_of_file
+        | n ->
+            Buffer.add_subbytes c.rbuf c.chunk 0 n;
+            go ())
+  in
+  go ()
+
+let request c line =
+  send_line c line;
+  recv_line c
+
+let ping c =
+  match request c {|{"op":"ping"}|} with
+  | resp ->
+      (* cheap containment check; the tests parse responses properly *)
+      String.length resp >= 11 && String.sub resp 0 11 = {|{"ok":true,|}
+  | exception _ -> false
+
+let closed_loop ~conns ~cycles make =
+  let k = Array.length conns in
+  let out = Array.make (cycles * k) "" in
+  for cycle = 0 to cycles - 1 do
+    for conn = 0 to k - 1 do
+      send_line conns.(conn) (make ~cycle ~conn)
+    done;
+    for conn = 0 to k - 1 do
+      out.((cycle * k) + conn) <- recv_line conns.(conn)
+    done
+  done;
+  out

@@ -1,0 +1,47 @@
+(** Blocking client for the [cqa serve] wire protocol, plus the lockstep
+    closed-loop driver the sustained-throughput benches and the
+    concurrency tests share.
+
+    A {!t} is one connection: a socket with a read buffer, so
+    {!recv_line} returns exactly one response line however the kernel
+    chunks the stream.  All calls block; concurrency comes from holding
+    several connections and multiplexing them in lockstep
+    ({!closed_loop}), which needs no extra domains on the client side. *)
+
+type t
+
+val connect : Server.addr -> t
+(** @raise Unix.Unix_error when the server is not there. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val send_line : t -> string -> unit
+(** Write one request line ([line] must not contain ['\n']; the newline
+    terminator is appended here). *)
+
+val send_raw : t -> string -> unit
+(** Write bytes with no terminator — for tests exercising partial lines
+    and mid-request disconnects. *)
+
+val recv_line : t -> string
+(** Next response line, without the terminator.
+    @raise End_of_file on a server-side close. *)
+
+val request : t -> string -> string
+(** [send_line] then [recv_line]: one synchronous round trip. *)
+
+val ping : t -> bool
+(** One [ping] round trip; [false] on any error. *)
+
+(** {1 Closed-loop driving} *)
+
+val closed_loop :
+  conns:t array -> cycles:int -> (cycle:int -> conn:int -> string) -> string array
+(** Drive [conns] in lockstep for [cycles] rounds: each round writes one
+    request per connection (produced by the callback), then reads one
+    response per connection, in connection order.  With K connections the
+    server sees K requests land together — the closed-loop population the
+    micro-batcher coalesces — while the client needs only this one domain.
+    Returns all [cycles * length conns] response lines in send order
+    (cycle-major, connection-minor). *)

@@ -1,0 +1,82 @@
+(** The [cqa serve] daemon: a long-lived concurrent query service
+    multiplexing many clients onto the compiled-plan engine and the
+    persistent domain pool.
+
+    One event-loop domain owns every socket ([Unix.select]); requests are
+    parsed as they arrive and volume work is enqueued rather than executed
+    inline.  A micro-batching window then coalesces same-plan requests
+    into a single {!Cqa_core.Exec.volume_batch} pool submission:
+
+    - all requests for one plan and database share the plan's memoized
+      execution state (set evaluation, Lemma 5 polynomial) with a single
+      warm-up instead of racing on it;
+    - duplicate in-window requests (same plan, same parameter binding)
+      are computed {e once} and fanned out to every requester
+      ([serve.coalesced]) — the thundering-herd shape of "millions of
+      users, a few hundred query shapes";
+    - distinct bindings travel as one pool batch ([serve.batched]),
+      parallel across bindings at the configured domain count.
+
+    The batch is flushed as soon as every connected client has a request
+    queued (a closed-loop client population can produce nothing more until
+    it gets answers), when it reaches [max_batch], or when the oldest
+    queued request has waited [window_us] — so a lone client never pays
+    the window as latency.
+
+    Admission control runs per request against the plan's cost verdict
+    ({!Cqa_core.Dispatch.decide} on the compiled profile, against the
+    request's or the server's budget): over-budget (or statically
+    non-exact) requests are either rejected with a structured error or
+    degraded to the Theorem 4 sampler ([serve.fallback] event), per the
+    request's or server's [admission] setting.  Parameterized requests
+    never degrade — the sampler has no parameter story yet (Ratschan's
+    anytime interval bounds are the planned middle rung).
+
+    Responses are byte-identical to single-client sequential execution:
+    every value is an exact rational computed by the same [Exec] entry
+    points, and batching changes scheduling only. *)
+
+type addr = Tcp of string * int | Unix_path of string
+
+type config = {
+  addr : addr;
+  domains : int;  (** domain count for pool-parallel execution *)
+  budget : float;  (** default admission budget ([infinity] = unguarded) *)
+  max_clients : int;  (** connections beyond this are turned away *)
+  window_us : float;  (** micro-batching window, microseconds *)
+  max_batch : int;  (** flush when this many requests are queued *)
+  admission : Protocol.admission;  (** default over-budget behaviour *)
+}
+
+val default_config : addr -> config
+(** [domains = 1], [budget = infinity], [max_clients = 64],
+    [window_us = 500.], [max_batch = 256], [admission = Degrade]. *)
+
+val serve :
+  ?stop:bool Atomic.t -> ?ready:bool Atomic.t -> config -> unit
+(** Run the daemon until a [shutdown] request arrives or [stop] is set
+    (checked between select rounds, so a signal handler flipping [stop]
+    stops the server promptly).  [ready] is set to [true] once the
+    listening socket is bound — the handshake {!start_background} uses.
+    Queued work is flushed and answered before the listener closes. *)
+
+(** {1 Embedded servers} (tests, benchmarks, smoke jobs) *)
+
+type handle
+
+val start_background : config -> handle
+(** Spawn the server on its own domain and return once it is accepting
+    connections. *)
+
+val stop_background : handle -> unit
+(** Send a [shutdown] request and join the server domain.  Idempotent. *)
+
+val addr_of : handle -> addr
+
+(** {1 Shared stats rendering} *)
+
+val plan_cache_json : unit -> string
+(** Per-stripe accounting of the global plan cache
+    ({!Cqa_core.Plan.cache_stats}) as a JSON array — one object per stripe
+    with [size], [hits], [misses], [evicted], [contention].  Used by the
+    [stats] protocol response and by [cqa vol --stats=json]. *)

@@ -304,12 +304,55 @@ let test_qe_vertex_sharded_memo () =
         = Fourier_motzkin.satisfiable_conj_simplex conj))
     cold
 
+(* ------------------------------------------------------------------ *)
+(* Explicit lifecycle: shutdown is a fence, not a one-way door          *)
+(* ------------------------------------------------------------------ *)
+
+let test_shutdown_idempotent_and_restart () =
+  with_forced @@ fun () ->
+  let arr = Array.init 128 Fun.id in
+  let expect = Array.map (fun x -> (x * 7) + 1) arr in
+  let run () = Par.map ~domains:4 (fun x -> (x * 7) + 1) arr in
+  check "warm pool computes" true (run () = expect);
+  check "workers running before shutdown" true (Pool.size () >= 1);
+  Pool.shutdown ();
+  check_int "no workers after shutdown" 0 (Pool.size ());
+  Pool.shutdown ();
+  Pool.shutdown ();
+  check_int "repeated shutdown is a no-op" 0 (Pool.size ());
+  (* a batch submitted after shutdown restarts the pool transparently *)
+  check "pool restarts on the next batch" true (run () = expect);
+  check "workers respawned" true (Pool.size () >= 1)
+
+let test_ensure_explicit_restart () =
+  with_forced @@ fun () ->
+  Pool.shutdown ();
+  check_int "fenced" 0 (Pool.size ());
+  Pool.ensure 2;
+  check_int "ensure respawns exactly the asked width" 2 (Pool.size ());
+  Pool.ensure 2;
+  check_int "ensure is idempotent at the same width" 2 (Pool.size ());
+  Pool.ensure 1;
+  check_int "ensure never shrinks" 2 (Pool.size ());
+  let spawned_before = Pool.spawned () in
+  let arr = Array.init 64 Fun.id in
+  let out = Par.map ~domains:2 (fun x -> x * x) arr in
+  check "work after explicit ensure" true
+    (out = Array.map (fun x -> x * x) arr);
+  check_int "batch at the ensured width spawns nothing" spawned_before
+    (Pool.spawned ())
+
 let () =
   Alcotest.run "cqa_pool"
     [
       ( "reuse",
         [ Alcotest.test_case "workers spawn once and persist" `Quick
             test_domain_reuse ] );
+      ( "lifecycle",
+        [ Alcotest.test_case "shutdown idempotent, restart transparent"
+            `Quick test_shutdown_idempotent_and_restart;
+          Alcotest.test_case "ensure respawns after shutdown" `Quick
+            test_ensure_explicit_restart ] );
       ( "determinism",
         [ Alcotest.test_case "map across pool sizes" `Quick
             test_map_determinism;

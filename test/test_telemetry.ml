@@ -101,9 +101,10 @@ let fixed_semilinear dim seed =
    persistent pool, the pool.* scheduler counters (batches taken
    parallel/sequential, jobs stolen: functions of the cutoff and the steal
    schedule), the *.contention and *.evict shard counters of the striped
-   memo tables, and the plan.* counters (cache traffic, per-database
+   memo tables, the plan.* counters (cache traffic, per-database
    execution state and wall-clock compile time: all functions of execution
-   history). *)
+   history), and the serve.* counters (pure traffic tallies of whatever
+   clients sent). *)
 let deterministic_counters snap =
   List.filter
     (fun (name, _) ->
@@ -118,6 +119,7 @@ let deterministic_counters snap =
       not
         (has_suffix ".hit" || has_suffix ".miss" || has_prefix "simplex."
         || has_prefix "fm." || has_prefix "pool." || has_prefix "plan."
+        || has_prefix "serve."
         || has_suffix ".contention" || has_suffix ".evict"))
     snap.T.counters
 
