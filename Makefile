@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-check serve-smoke verify lint clean
+.PHONY: all build test bench bench-smoke bench-check serve-smoke verify lint fuzz clean
 
 all: build
 
@@ -7,6 +7,16 @@ build:
 
 test:
 	dune runtest
+
+# Long metamorphic fuzz run (the nightly CI job): random FO+LIN queries
+# cross-checking the certified rewriter against the Equiv decision
+# procedure and the volume engines against each other.  `dune runtest`
+# runs the same properties at the fast default count.
+FUZZ_COUNT ?= 2000
+
+fuzz:
+	dune build test/test_fuzz.exe
+	CQA_FUZZ_COUNT=$(FUZZ_COUNT) ./_build/default/test/test_fuzz.exe
 
 # Full benchmark sweep; rewrites BENCH.json (slow).  BENCH_JSON is pinned
 # so an inherited environment value can never make bench and bench-smoke
@@ -38,10 +48,10 @@ CQA := ./_build/default/bin/cqa.exe
 
 lint:
 	dune build bin/cqa.exe
-	$(CQA) analyze --corpus > /dev/null
+	$(CQA) analyze --corpus --verify-rewrites > /dev/null
 	@set -e; for f in examples/queries/good_*.cq; do \
 	  echo "lint $$f"; \
-	  $(CQA) analyze --file $$f > /dev/null; \
+	  $(CQA) analyze --file $$f --verify-rewrites > /dev/null; \
 	done
 	@set -e; for f in examples/queries/bad_*.cq; do \
 	  echo "lint $$f (expect diagnostics)"; \
@@ -50,7 +60,7 @@ lint:
 	done
 	@set -e; for f in examples/queries/param_*.cq; do \
 	  echo "lint $$f"; \
-	  $(CQA) analyze --file $$f > /dev/null; \
+	  $(CQA) analyze --file $$f --verify-rewrites > /dev/null; \
 	  $(CQA) plan --file $$f > /dev/null; \
 	done
 	@echo "lint OK"

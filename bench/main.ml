@@ -493,7 +493,8 @@ let cold_caches () =
   Fourier_motzkin.clear_qe_cache ();
   Semilinear.clear_bbox_cache ();
   Simplex.clear_basis_cache ();
-  Plan.clear_cache ()
+  Plan.clear_cache ();
+  Cqa_analysis.Rewrite.clear_memo ()
 
 (* ------------------------------------------------------------------ *)
 (* Compiled plans: compile cost, cold vs warm re-execution             *)
@@ -527,6 +528,7 @@ let plan_tests =
   [ Test.make ~name:"plan_compile_sweep_cold"
       (stage (fun () ->
            Plan.clear_cache ();
+           Cqa_analysis.Rewrite.clear_memo ();
            plan_compile ()));
     Test.make ~name:"plan_compile_sweep_hit"
       (stage (fun () -> plan_compile ()));
@@ -541,6 +543,106 @@ let plan_tests =
            let i = !plan_warm_idx in
            plan_warm_idx := (i + 1) mod Array.length plan_param_values;
            Exec.volume_at p plan_db plan_param_values.(i))) ]
+
+(* ------------------------------------------------------------------ *)
+(* Certified rewriting: rule fixpoint, memo, equivalence, cache wins   *)
+(* ------------------------------------------------------------------ *)
+
+module Rw = Cqa_analysis.Rewrite
+module Eqv = Cqa_analysis.Equiv
+
+(* A respelled param_sweep_src: conjuncts reordered, one atom scaled, a
+   tautological conjunct appended.  The rewriter must send it to the same
+   normal form as param_sweep_src — asserted at fixture time below — so
+   compiling it against a warm plan cache is a pure cache hit. *)
+let spelled_src =
+  "y2 <= y1 /\\ 0 <= 2 * y2 /\\ u < y1 /\\ 0 <= u /\\ y1 < 1 /\\ 1 < 2"
+
+let spelled_formula = Parser.formula_of_string spelled_src
+
+(* A padded unit square: a tautological disjunct ([1 < 2] folds to true)
+   shields a quantified order chain that is pure dead weight — but a raw
+   compile cannot know that, so the engine pays three Fourier-Motzkin
+   eliminations and a doubled sweep for it.  Rewriting strips the query to
+   the bare square, so the raw-vs-rewritten execution pair below isolates
+   what dead structure costs the exact engine. *)
+let padded_src =
+  "0 <= y1 /\\ y1 <= 1 /\\ 0 <= y2 /\\ y2 <= 1 /\\ \
+   (1 < 2 \\/ exists x1 . exists x2 . exists x3 . exists x4 . exists x5 . \
+   exists x6 . exists x7 . exists x8 . exists x9 . \
+   (y1 < x1 /\\ x1 < x2 /\\ x2 < x3 /\\ x3 < x4 /\\ x4 < x5 /\\ x5 < x6 \
+   /\\ x6 < x7 /\\ x7 < x8 /\\ x8 < x9 /\\ x9 < y2 /\\ 0 <= x1 \
+   /\\ x9 <= 1))"
+
+let padded_formula = Parser.formula_of_string padded_src
+
+(* A perturbed sweep (upper bound moved): semantically distinct from
+   param_sweep_src, so Equiv must produce a separating witness. *)
+let perturbed_src = "0 <= u /\\ u < y1 /\\ y1 < 2 /\\ 0 <= y2 /\\ y2 <= y1"
+let perturbed_formula = Parser.formula_of_string perturbed_src
+
+let plan_compile_spelled () =
+  Cqa_analysis.Planner.compile ~db:plan_db ~params:plan_params
+    ~coords:plan_coords spelled_formula
+
+let rewrite_tests () =
+  (* fixture sanity: the spelling really does share the sweep's plan, and
+     the padded square really does collapse — otherwise the "hit" and
+     "win" rows below would silently measure something else *)
+  cold_caches ();
+  let p1 = plan_compile () in
+  let p2 = plan_compile_spelled () in
+  if Plan.id p1 <> Plan.id p2 then
+    failwith "rewrite bench fixture: spellings do not share a plan";
+  (let r = Rw.rewrite padded_formula in
+   if r.Rw.atoms_after >= r.Rw.atoms_before then
+     failwith "rewrite bench fixture: padded query did not shrink");
+  ignore (Rw.formula plan_formula);
+  [ (* the full rule fixpoint, no memo: the price of one cache-miss
+       normalization *)
+    Test.make ~name:"rewrite_fixpoint_sweep"
+      (stage (fun () -> Rw.rewrite plan_formula));
+    Test.make ~name:"rewrite_fixpoint_padded"
+      (stage (fun () -> Rw.rewrite padded_formula));
+    (* the certified mode: every fired rule re-checked by Equiv *)
+    Test.make ~name:"rewrite_verified_sweep"
+      (stage (fun () ->
+           Fourier_motzkin.clear_qe_cache ();
+           Rw.rewrite ~verify:true plan_formula));
+    (* the per-lookup price a warm plan-cache hit actually pays *)
+    Test.make ~name:"rewrite_memo_hit"
+      (stage (fun () -> Rw.formula plan_formula));
+    (* equivalence decision, cold QE cache each round *)
+    Test.make ~name:"equiv_spellings_equal"
+      (stage (fun () ->
+           Fourier_motzkin.clear_qe_cache ();
+           match Eqv.check plan_formula spelled_formula with
+           | Eqv.Equal -> ()
+           | _ -> failwith "equiv bench: spellings not Equal"));
+    Test.make ~name:"equiv_perturbed_distinct"
+      (stage (fun () ->
+           Fourier_motzkin.clear_qe_cache ();
+           match Eqv.check plan_formula perturbed_formula with
+           | Eqv.Distinct _ -> ()
+           | _ -> failwith "equiv bench: perturbation not Distinct"));
+    (* win #1: a respelled query against a warm cache is a hit (compare
+       plan_compile_sweep_cold — without the rewrite pass this spelling
+       would miss and recompile) *)
+    Test.make ~name:"plan_compile_spelled_hit"
+      (stage (fun () -> plan_compile_spelled ()));
+    (* win #2: executing the padded square raw (plan compiled without the
+       rewrite pass, quantifiers and dead atoms reach the engine) vs
+       through the planner's rewritten plan *)
+    Test.make ~name:"plan_exec_padded_raw_cold"
+      (stage (fun () ->
+           cold_caches ();
+           let p = Plan.compile padded_formula in
+           Exec.volume p plan_db));
+    Test.make ~name:"plan_exec_padded_rw_cold"
+      (stage (fun () ->
+           cold_caches ();
+           let p = Cqa_analysis.Planner.compile ~db:plan_db padded_formula in
+           Exec.volume p plan_db)) ]
 
 (* ------------------------------------------------------------------ *)
 (* Query service: sustained throughput, closed-loop clients            *)
@@ -724,6 +826,17 @@ let counter_workloads =
                {|{"op":"vol_batch","plan":%d,"bindings":[["0","1"],["1/8","1"]]}|}
                pid));
        ignore (Sclient.request c {|{"op":"ping"}|}));
+    ("rewrite",
+     fun () ->
+       (* deterministic rewrite traffic: a cold padded compile (rules fire,
+          atoms eliminated), the sweep and its respelling sharing one plan
+          (one miss + one hit), and a certified run whose Equiv checks tick
+          the plan.equiv.* counters *)
+       cold_caches ();
+       ignore (Cqa_analysis.Planner.compile ~db:plan_db padded_formula);
+       ignore (plan_compile ());
+       ignore (plan_compile_spelled ());
+       ignore (Rw.rewrite ~verify:true ~db:plan_db spelled_formula));
     ("plan",
      fun () ->
        cold_caches ();
@@ -769,6 +882,8 @@ let () =
   run_group "persistent pool (cutoff bypassed)" pool_tests;
   run_group "ablations (QE design choices, cold cache)" ablation_tests;
   run_group "compiled plans (cache + batched re-execution)" plan_tests;
+  run_group "certified rewriting (rules, equivalence, cache wins)"
+    (rewrite_tests ());
   run_group ~stabilize:false "query service (closed-loop clients)"
     (serve_tests ());
   stop_serve_fixtures ();

@@ -54,7 +54,7 @@ let builtin_allow =
   [ "sturm_isolate_deg5"; "lasserre_cube_dim4"; "e6_polygon_program_pentagon";
     (* wall-clock compile time mirrored into a counter: a real quantity,
        but inherently noisy across runs *)
-    "ctr:plan:plan.compile_ns";
+    "ctr:plan:plan.compile_ns"; "ctr:rewrite:plan.compile_ns";
     (* socket round trips under the smoke quota: dominated by scheduler
        wake-ups, not engine work, so the estimates swing with machine
        load; the serve counter deltas include wall-clock compile_ns too *)

@@ -382,8 +382,65 @@ let analyze_cmd =
       & info [ "threshold" ] ~docv:"X"
           ~doc:"Projected-blowup warning threshold.")
   in
-  let run query file corpus schema format deny show_info endpoints threshold =
+  let explain_rewrites =
+    Arg.(
+      value & flag
+      & info [ "explain-rewrites" ]
+          ~doc:
+            "Run the certified rewrite pass and print one diagnostic per \
+             applied rule (code, AST path, before/after) plus the rewritten \
+             normal form.")
+  in
+  let verify_rewrites =
+    Arg.(
+      value & flag
+      & info [ "verify-rewrites" ]
+          ~doc:
+            "Re-check every applied rewrite with the $(b,equiv) decision \
+             procedure; a refuted rule is an error and the exit status is \
+             nonzero.  This is the $(b,make lint) mode.")
+  in
+  let run query file corpus schema format deny show_info endpoints threshold
+      explain_rewrites verify_rewrites =
     let options = { Analyzer.endpoints; threshold } in
+    (* the rewriter works on formulas; a term target is checked through the
+       formula [t = 0], which exercises exactly the same subterm rules *)
+    let rewrite_target = function
+      | Analyzer.Formula f -> f
+      | Analyzer.Term t -> Ast.Cmp (Ast.Ceq, t, Ast.Const Q.zero)
+    in
+    let rewrite_one ?db target =
+      if not (explain_rewrites || verify_rewrites) then true
+      else begin
+        let r =
+          Rewrite.rewrite ?db ~verify:verify_rewrites ~trace:true
+            (rewrite_target target)
+        in
+        let ds = Rewrite.diagnostics r in
+        let shown =
+          if explain_rewrites then ds
+          else List.filter (fun d -> d.Diagnostic.severity = Diagnostic.Error) ds
+        in
+        (match format with
+        | `Human ->
+            List.iter (Format.printf "%a@." Diagnostic.pp) shown;
+            if explain_rewrites then
+              Format.printf
+                "rewrite: %d rule(s) fired in %d pass(es); atoms %d -> %d@.rewritten: %a@."
+                r.Rewrite.fired r.Rewrite.passes r.Rewrite.atoms_before
+                r.Rewrite.atoms_after Ast.pp r.Rewrite.rewritten
+        | `Json ->
+            Printf.printf
+              "{\"rewritten\":\"%s\",\"fired\":%d,\"passes\":%d,\"atoms_before\":%d,\"atoms_after\":%d,\"refuted\":%d,\"diagnostics\":%s}\n"
+              (Diagnostic.json_escape
+                 (Format.asprintf "%a" Ast.pp r.Rewrite.rewritten))
+              r.Rewrite.fired r.Rewrite.passes r.Rewrite.atoms_before
+              r.Rewrite.atoms_after
+              (List.length r.Rewrite.refuted)
+              (Diagnostic.list_to_json shown));
+        r.Rewrite.refuted = []
+      end
+    in
     let analyze_one ?db name target =
       let r = Analyzer.analyze ?db ~options target in
       (match format with
@@ -391,7 +448,8 @@ let analyze_cmd =
           if name <> "" then Format.printf "== %s ==@." name;
           Format.printf "%a@." (fun fmt -> Analyzer.pp_result ~show_info fmt) r
       | `Json -> print_endline (Analyzer.result_to_json r));
-      Analyzer.ok ~deny_warnings:deny r
+      let rewrites_ok = rewrite_one ?db target in
+      Analyzer.ok ~deny_warnings:deny r && rewrites_ok
     in
     if corpus then (
       let all_ok =
@@ -445,7 +503,81 @@ let analyze_cmd =
           range-restriction diagnostics, QE cost projection, dispatch hint.")
     Term.(
       const run $ query $ file $ corpus $ schema $ format $ deny $ show_info
-      $ endpoints $ threshold)
+      $ endpoints $ threshold $ explain_rewrites $ verify_rewrites)
+
+(* ------------------------------------------------------------------ *)
+(* equiv: semantic equivalence of two queries                          *)
+(* ------------------------------------------------------------------ *)
+
+let equiv_cmd =
+  let open Cqa_analysis in
+  let q1 =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY1" ~doc:"First query (an FO + POLY + SUM formula).")
+  in
+  let q2 =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"QUERY2" ~doc:"Second query.")
+  in
+  let budget =
+    Arg.(
+      value & opt float infinity
+      & info [ "budget" ] ~docv:"X"
+          ~doc:
+            "Cost cap on the symmetric-difference elimination; past it the \
+             verdict is $(b,unknown) rather than a potentially exponential \
+             computation.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
+      & info [ "format" ] ~doc:"Output format: $(b,human) or $(b,json).")
+  in
+  let run q1 q2 budget format =
+    let parse which s =
+      match Parser.formula_of_string s with
+      | f -> f
+      | exception Parser.Parse_error e ->
+          Format.eprintf "parse error in %s: %s@." which e;
+          exit 2
+    in
+    let f1 = parse "QUERY1" q1 and f2 = parse "QUERY2" q2 in
+    let v = Equiv.check ~budget f1 f2 in
+    (match format with
+    | `Human -> Format.printf "%a@." Equiv.pp_verdict v
+    | `Json ->
+        print_endline
+          (match v with
+          | Equiv.Equal -> {|{"verdict":"equal"}|}
+          | Equiv.Distinct w ->
+              let pt =
+                Var.Map.bindings w
+                |> List.map (fun (x, c) ->
+                       Printf.sprintf "\"%s\":\"%s\""
+                         (Diagnostic.json_escape (Var.name x))
+                         (Q.to_string c))
+                |> String.concat ","
+              in
+              Printf.sprintf {|{"verdict":"distinct","witness":{%s}}|} pt
+          | Equiv.Unknown r ->
+              Printf.sprintf {|{"verdict":"unknown","reason":"%s"}|}
+                (Diagnostic.json_escape r)));
+    match v with
+    | Equiv.Equal -> ()
+    | Equiv.Distinct _ -> exit 1
+    | Equiv.Unknown _ -> exit 3
+  in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:
+         "Decide whether two FO + LIN queries define the same set (exit 0: \
+          equal, 1: distinct with a witness point, 3: unknown).")
+    Term.(const run $ q1 $ q2 $ budget $ format)
 
 (* ------------------------------------------------------------------ *)
 (* vol: cost-guarded query volume                                      *)
@@ -972,7 +1104,7 @@ let main =
        ~doc:"Exact and approximate aggregation in constraint query languages.")
     [
       experiments_cmd; volume_cmd; approx_cmd; vcdim_cmd; area_cmd; qe_cmd;
-      analyze_cmd; vol_cmd; plan_cmd; serve_cmd; client_cmd;
+      analyze_cmd; equiv_cmd; vol_cmd; plan_cmd; serve_cmd; client_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,88 @@
+open Cqa_arith
+open Cqa_logic
+open Cqa_linear
+open Cqa_core
+module T = Cqa_telemetry.Telemetry
+
+(* Counters follow the plan.* convention: verdict mix depends on what the
+   caller chose to compare, not on engine internals, but the checker sits
+   on the plan-compilation path (verify mode), so it reports under the
+   same exempt namespace. *)
+let tm_equal = T.counter "plan.equiv.equal"
+let tm_distinct = T.counter "plan.equiv.distinct"
+let tm_unknown = T.counter "plan.equiv.unknown"
+
+type verdict = Equal | Distinct of Q.t Var.Map.t | Unknown of string
+
+let default_db = Db.empty Schema.empty
+
+(* Reduce to pure FO + LIN or say why we cannot.  [reduce_linear] raises
+   [Unsupported] on nonlinear atoms and semi-algebraic relations and
+   [Not_found] on relations the database does not carry at all; both are
+   fragment verdicts here, not errors. *)
+let reduce db f =
+  match Eval.reduce_linear db Var.Map.empty f with
+  | l -> Ok l
+  | exception Eval.Unsupported m -> Error m
+  | exception Not_found ->
+      Error "schema atom over a relation the database does not define"
+  | exception Invalid_argument m -> Error m
+
+let check ?(db = default_db) ?(budget = infinity) q1 q2 =
+  match (reduce db q1, reduce db q2) with
+  | Error m, _ | _, Error m ->
+      T.incr tm_unknown;
+      Unknown m
+  | Ok l1, Ok l2 -> (
+      (* Both directions of the symmetric difference go through full QE;
+         guard the worst case with the same projection the dispatch layer
+         uses, over the combined atom count. *)
+      let projected =
+        Dispatch.projected_qe_atoms
+          (Dispatch.add_profile
+             (Dispatch.profile_formula q1)
+             (Dispatch.profile_formula q2))
+      in
+      if projected > budget then begin
+        T.incr tm_unknown;
+        Unknown
+          (Printf.sprintf
+             "projected QE cost %.3g exceeds the equivalence budget %.3g"
+             projected budget)
+      end
+      else
+        match Fourier_motzkin.equivalence_witness l1 l2 with
+        | None ->
+            T.incr tm_equal;
+            Equal
+        | Some pt ->
+            T.incr tm_distinct;
+            (* make the witness total over both queries' free variables so
+               it can be plugged into either side as-is *)
+            let pt =
+              Var.Set.fold
+                (fun v env ->
+                  if Var.Map.mem v env then env else Var.Map.add v Q.zero env)
+                (Var.Set.union (Ast.free_vars q1) (Ast.free_vars q2))
+                pt
+            in
+            Distinct pt)
+
+let equal ?db ?budget q1 q2 =
+  match check ?db ?budget q1 q2 with
+  | Equal -> true
+  | Distinct _ | Unknown _ -> false
+
+let verdict_to_string = function
+  | Equal -> "equal"
+  | Distinct _ -> "distinct"
+  | Unknown _ -> "unknown"
+
+let pp_verdict fmt = function
+  | Equal -> Format.pp_print_string fmt "equal"
+  | Distinct pt ->
+      Format.fprintf fmt "distinct at";
+      Var.Map.iter
+        (fun v q -> Format.fprintf fmt " %s=%a" (Var.name v) Q.pp q)
+        pt
+  | Unknown m -> Format.fprintf fmt "unknown: %s" m

@@ -1,0 +1,45 @@
+(** Semantic equivalence of FO + LIN queries on the exact-semilinear
+    fragment.
+
+    Two queries are equivalent when they define the same set over the union
+    of their free variables.  On the fragment the paper's Theorem 3 engine
+    handles exactly — atoms linear in the live variables, schema atoms
+    inlined from a semi-linear database, closed summations evaluated away —
+    this is decidable: reduce both sides to pure FO + LIN
+    ({!Cqa_core.Eval.reduce_linear}), eliminate quantifiers from both
+    directions of the symmetric difference, and test emptiness with the
+    {!Cqa_linear.Fourier_motzkin} oracle.  A nonempty difference yields a
+    rational witness point ({!Cqa_linear.Fourier_motzkin.witness}); inputs
+    outside the fragment (nonlinear atoms, semi-algebraic relations, open
+    summations) or past the cost cap return [Unknown] with the reason — the
+    procedure never guesses. *)
+
+open Cqa_arith
+open Cqa_logic
+open Cqa_core
+
+type verdict =
+  | Equal  (** the two queries define the same set *)
+  | Distinct of Q.t Var.Map.t
+      (** a rational point in the symmetric difference: it satisfies
+          exactly one of the two queries *)
+  | Unknown of string
+      (** out of the decidable fragment, or past the cost cap *)
+
+val check : ?db:Db.t -> ?budget:float -> Ast.formula -> Ast.formula -> verdict
+(** Decide [q1 == q2] over the union of their free variables.  [db]
+    (default: the empty database over the empty schema) supplies the
+    semi-linear interpretations of schema atoms; a relation the database
+    does not carry makes the verdict [Unknown].  [budget] (default
+    [infinity]) caps {!Cqa_core.Dispatch.projected_qe_atoms} of the
+    symmetric difference: past it the verdict is [Unknown] rather than a
+    potentially exponential elimination. *)
+
+val equal : ?db:Db.t -> ?budget:float -> Ast.formula -> Ast.formula -> bool
+(** [check] collapsed to a boolean: [true] only on [Equal]. *)
+
+val verdict_to_string : verdict -> string
+(** ["equal"], ["distinct"] or ["unknown"] (the JSON discriminants). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+(** Human rendering, witness point or reason included. *)

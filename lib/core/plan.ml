@@ -236,9 +236,15 @@ let cache : t Cache.t =
 
 let next_id = Atomic.make 0
 
-let shape_key ?(params = [||]) ?coords f =
-  let normal = alpha_normalize f in
-  let frees = Ast.free_vars normal in
+(* [normalized] is the semantically-equal spelling (the analysis layer's
+   rewrite normal form) the key is actually hashed on; the coordinate and
+   parameter contract is validated against [f] as written, because
+   rewriting may shrink the free-variable set (a dead branch can carry the
+   only occurrence of a coordinate) and the plan's geometry must stay that
+   of the source query. *)
+let shape_key ?(params = [||]) ?coords ?normalized f =
+  let normal = alpha_normalize (Option.value normalized ~default:f) in
+  let frees = Ast.free_vars f in
   Array.iter
     (fun p ->
       if not (Var.Set.mem p frees) then
@@ -302,14 +308,22 @@ let build ~source ~hint ~budget (key : Shape.t) ~t0 =
     states = [];
   }
 
-let compile ?hint ?(budget = Dispatch.default_budget) ?params ?coords f =
+let compile ?normalize ?hint ?(budget = Dispatch.default_budget) ?params
+    ?coords f =
   let t0 = T.now_ns () in
-  build ~source:f ~hint ~budget (shape_key ?params ?coords f) ~t0
+  let normalized = Option.map (fun n -> n f) normalize in
+  build ~source:f ~hint ~budget (shape_key ?params ?coords ?normalized f) ~t0
 
-let cached ?(hint_of = fun _ -> None) ?(budget = Dispatch.default_budget)
-    ?params ?coords f =
+(* [normalize] runs on every lookup, hit or miss — the cache is keyed on
+   the rewritten normal form, so the rewrite has to happen before the
+   probe (unlike [hint_of], which only pays on a miss).  The closure must
+   therefore be cheap relative to compilation; the analysis layer's
+   rewriter is a static fixpoint pass with no QE in it. *)
+let cached ?normalize ?(hint_of = fun _ -> None)
+    ?(budget = Dispatch.default_budget) ?params ?coords f =
   let t0 = T.now_ns () in
-  let key = shape_key ?params ?coords f in
+  let normalized = Option.map (fun n -> n f) normalize in
+  let key = shape_key ?params ?coords ?normalized f in
   match Cache.find_opt cache key with
   | Some p ->
       T.incr tm_cache_hit;
@@ -319,12 +333,24 @@ let cached ?(hint_of = fun _ -> None) ?(budget = Dispatch.default_budget)
       p
   | None ->
       T.incr tm_cache_miss;
-      let hint = hint_of f in
+      (* the analyzer sees the rewritten spelling: its fragment verdict —
+         and hence the engine hint — should reflect what will actually be
+         executed (a nonlinear dead branch may just have been cut away) *)
+      let hint = hint_of (Option.value normalized ~default:f) in
       let p = build ~source:f ~hint ~budget key ~t0 in
       Cache.replace cache key p;
       p
 
-let clear_cache () = Cache.reset cache
+(* Bumped on every [clear_cache] so outer cache levels (the planner's
+   whole-plan memo) can invalidate without a dependency cycle: an entry
+   stamped with an older generation is dead, whatever table it sits in. *)
+let generation = Atomic.make 0
+
+let clear_cache () =
+  Atomic.incr generation;
+  Cache.reset cache
+
+let cache_generation () = Atomic.get generation
 let cache_length () = Cache.length cache
 let cache_capacity () = Cache.capacity cache
 let set_cache_capacity n = Cache.set_capacity cache n

@@ -32,20 +32,26 @@ type exec_state = ..
 (** {1 Compilation} *)
 
 val compile :
+  ?normalize:(Ast.formula -> Ast.formula) ->
   ?hint:Dispatch.hint ->
   ?budget:float ->
   ?params:Var.t array ->
   ?coords:Var.t array ->
   Ast.formula ->
   t
-(** Compile [f] unconditionally (no cache).  [coords] defaults to the
-    sorted free variables of [f] minus [params]; [params] defaults to
-    none; [budget] to {!Dispatch.default_budget}.
+(** Compile [f] unconditionally (no cache).  [normalize] (identity by
+    default) is a semantics-preserving rewriter applied before
+    normalization: the plan's shape, cost profile and engine decision are
+    those of the {e rewritten} formula, while [source], the coordinate
+    defaults and the free-variable contract stay those of [f] as written.
+    [coords] defaults to the sorted free variables of [f] minus [params];
+    [params] defaults to none; [budget] to {!Dispatch.default_budget}.
     @raise Invalid_argument if a parameter is not free in [f], a variable
     is both coordinate and parameter, or the coordinates and parameters
     together do not cover the free variables. *)
 
 val cached :
+  ?normalize:(Ast.formula -> Ast.formula) ->
   ?hint_of:(Ast.formula -> Dispatch.hint option) ->
   ?budget:float ->
   ?params:Var.t array ->
@@ -54,10 +60,13 @@ val cached :
   t
 (** Like {!compile} but through the striped plan cache: a query whose
     shape was compiled before returns the existing plan without any
-    analysis or normalization beyond computing the shape key.  [hint_of]
-    is consulted {e only on a cache miss} — this is how the analysis
-    layer's fragment classifier is threaded in without a dependency from
-    [cqa_core] on [cqa_analysis] (see [Cqa_analysis.Planner]). *)
+    analysis or normalization beyond computing the shape key.  [normalize]
+    runs on {e every} lookup (the cache is keyed on the rewritten normal
+    form, so semantically-equal spellings hit one plan) and must be cheap;
+    [hint_of] is consulted {e only on a cache miss}, on the rewritten
+    spelling — this is how the analysis layer's rewriter and fragment
+    classifier are threaded in without a dependency from [cqa_core] on
+    [cqa_analysis] (see [Cqa_analysis.Planner]). *)
 
 (** {1 Accessors} *)
 
@@ -99,6 +108,13 @@ val equal_formula : Ast.formula -> Ast.formula -> bool
 (** {1 Cache control} *)
 
 val clear_cache : unit -> unit
+
+val cache_generation : unit -> int
+(** Bumped by every {!clear_cache}.  Outer cache levels (the planner's
+    whole-plan memo) stamp entries with the generation they were filled
+    under and treat a stamp mismatch as invalid, so one [clear_cache]
+    empties every level at once. *)
+
 val cache_length : unit -> int
 val cache_capacity : unit -> int
 val set_cache_capacity : int -> unit

@@ -599,3 +599,27 @@ let sample_point_dnf d =
   List.fold_left
     (fun acc conj -> match acc with Some _ -> acc | None -> sample_point conj)
     None d
+
+(* ------------------------------------------------------------------ *)
+(* Emptiness witnesses and semantic equivalence                        *)
+(* ------------------------------------------------------------------ *)
+
+let witness f =
+  match sample_point_dnf (qe f) with
+  | None -> None
+  | Some pt ->
+      (* a disjunct need not mention every free variable of [f]; the ones it
+         leaves out are unconstrained there, so pin them to zero to return a
+         total point *)
+      Some
+        (Var.Set.fold
+           (fun v env ->
+             if Var.Map.mem v env then env else Var.Map.add v Q.zero env)
+           (Linformula.free_vars f) pt)
+
+let difference_witness f g = witness (Formula.And (f, Formula.Not g))
+
+let equivalence_witness f g =
+  match difference_witness f g with
+  | Some _ as w -> w
+  | None -> difference_witness g f

@@ -99,3 +99,18 @@ val sample_point : Linformula.conjunction -> Q.t Var.Map.t option
     eliminating variables back to front and propagating midpoints. *)
 
 val sample_point_dnf : Linformula.dnf -> Q.t Var.Map.t option
+
+val witness : Linformula.t -> Q.t Var.Map.t option
+(** Emptiness oracle with evidence: a rational point over the free
+    variables satisfying the (schema-free FO + LIN) formula, [None] when
+    the defined set is empty.  Free variables a sampled disjunct leaves
+    unconstrained are pinned to zero, so the point is total.
+    @raise Invalid_argument like {!qe}. *)
+
+val difference_witness : Linformula.t -> Linformula.t -> Q.t Var.Map.t option
+(** A point in [f] but not in [g] ([f /\ not g]), when one exists. *)
+
+val equivalence_witness : Linformula.t -> Linformula.t -> Q.t Var.Map.t option
+(** [None] iff the two formulas define the same set over their free
+    variables; otherwise a point of the symmetric difference — the
+    refutation evidence behind [Cqa_analysis.Equiv]. *)

@@ -151,6 +151,57 @@ let test_range_bounds () =
   check "opaque without db" true (no_db = Range.Itv (None, None) && opaque');
   check "truth fold" true (Range.truth (fof "1 < 2 /\\ ~(3 < 2)") = Some true)
 
+(* Edge cases the certified rewriter leans on: enclosures stay outward
+   (unbounded sides survive meets, joins never split), only a provable gap
+   is Empty, and the verdicts are stable under rewriting. *)
+let test_range_edges () =
+  let itv a b = Range.Itv (a, b) in
+  let b f = fst (Range.bounds_of yy (fof f)) in
+  let q13 = Q.of_ints 1 3 and q17 = Q.of_ints 1 7 in
+  (* meets with an unbounded side keep the exact rational endpoints and
+     leave the unbounded side unbounded *)
+  check "two one-sided meet" true
+    (b "y <= 1/3 /\\ 1/7 <= y" = itv (Some q17) (Some q13));
+  check "same-side meet tightens" true
+    (b "y <= 1/3 /\\ y <= 1/2" = itv None (Some q13));
+  check "unbounded side survives" true
+    (b "1/7 <= y /\\ 1/3 <= y" = itv (Some q13) None);
+  (* a join across a gap widens outward to one enclosure, never a union *)
+  check "join of opposite rays is full" true (b "y <= 1/3 \\/ 2 <= y" = itv None None);
+  (* bounds are closed over-approximations: a strict contradiction meeting
+     at a single point is a point enclosure, not Empty — so Empty is always
+     a sound unsat certificate for the rewriter *)
+  check "point meet stays sound" true
+    (b "y < 1 /\\ 1 <= y" = itv (Some Q.one) (Some Q.one));
+  check "gap meet is empty" true (b "y < 1 /\\ 2 <= y" = Range.Empty);
+  (* verdict stability: constant-folding verdicts agree with the rewriter *)
+  let dead = fof "x < 1 /\\ 1 < 0" in
+  check "dead verdict" true (Range.truth dead = Some false);
+  let dead' = Rewrite.formula dead in
+  check "dead verdict stable" true
+    (Plan.equal_formula dead' Ast.False && Range.truth dead' = Some false);
+  (* the empty-sum diagnostic and the rw-empty-sum rule agree *)
+  let empty_guard =
+    tof "SUM { w | w < 0 /\\ 1 < w | END(y . U(y)) } (x . x = w)"
+  in
+  check "empty-sum diagnosed" true
+    (has_code "empty-sum" (Range.check_term ~db empty_guard));
+  check "empty-sum rewritten away" true
+    (Plan.equal_formula
+       (Rewrite.formula ~db (Ast.Cmp (Ast.Ceq, empty_guard, Ast.Const Q.zero)))
+       Ast.True);
+  (* canonical atoms leave the enclosure unchanged *)
+  List.iter
+    (fun s ->
+      let f = fof s in
+      check ("bounds stable: " ^ s) true
+        (fst (Range.bounds_of yy f)
+        = fst (Range.bounds_of yy (Rewrite.formula f))))
+    [
+      "0 <= y /\\ y <= 1"; "~(y < 0)"; "2 * y <= 6";
+      "(0 <= y /\\ y <= 1) \\/ (2 <= y /\\ y <= 3)";
+    ]
+
 let test_range_diags () =
   (* unbounded END: hard warning when the atoms are pure arithmetic *)
   let t = tof "SUM { w | U(w) | END(y . 0 <= y) } (x . x = w)" in
@@ -292,6 +343,7 @@ let () =
       ("fragment", [ Alcotest.test_case "classify" `Quick test_fragment ]);
       ( "range",
         [ Alcotest.test_case "bounds" `Quick test_range_bounds;
+          Alcotest.test_case "edge cases" `Quick test_range_edges;
           Alcotest.test_case "diagnostics" `Quick test_range_diags ] );
       ("cost", [ Alcotest.test_case "projection" `Quick test_cost ]);
       ( "analyzer",

@@ -1,0 +1,383 @@
+open Cqa_arith
+open Cqa_logic
+open Cqa_linear
+open Cqa_core
+open Cqa_analysis
+module T = Cqa_telemetry.Telemetry
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let fof = Parser.formula_of_string
+let db0 = Db.empty Schema.empty
+
+(* the one-column semilinear relation U = [0,1] u [2,3] from test_analysis *)
+let x0 = (Semilinear.default_vars 1).(0)
+
+let u_set =
+  let iv a b =
+    [ Linconstr.ge (Linexpr.var x0) (Linexpr.const a);
+      Linconstr.le (Linexpr.var x0) (Linexpr.const b) ]
+  in
+  Semilinear.make [| x0 |]
+    [ iv Q.zero Q.one; iv (Q.of_int 2) (Q.of_int 3) ]
+
+let schema = Schema.of_list [ ("U", 1) ]
+let db = Db.of_list schema [ ("U", Db.Semilin u_set) ]
+let xx = Var.of_string "x"
+let norm s = Rewrite.formula (fof s)
+let same a b = Plan.equal_formula (norm a) (norm b)
+
+let fired_codes ?db f =
+  let r = Rewrite.rewrite ?db ~trace:true f in
+  List.map (fun s -> s.Rewrite.rule) r.Rewrite.steps
+
+let has_rule code codes = List.mem code codes
+
+(* term fixtures for the summation rules *)
+let ww = Var.of_string "w"
+let zz = Var.of_string "z"
+
+let sum_term guard =
+  Ast.sum ~gamma_var:xx
+    ~gamma:Ast.(TVar xx =! TVar ww)
+    ~w:[ ww ] ~guard ~end_y:(Var.of_string "y")
+    ~end_body:(fof "0 <= y /\\ y <= 1")
+
+(* ------------------------------------------------------------------ *)
+(* Atom canonicalization: spellings meet in one normal form            *)
+(* ------------------------------------------------------------------ *)
+
+let test_canon () =
+  check "commuted conjuncts" true (same "0 <= x /\\ x <= 1" "x <= 1 /\\ 0 <= x");
+  check "scaled coefficients" true (same "0 <= 2 * x /\\ x <= 1" "0 <= x /\\ x <= 1");
+  check "collected terms" true (same "x + x <= 2" "x <= 1");
+  check "additive zero" true (same "x + 0 <= 1" "x <= 1");
+  check "multiplicative one" true (same "1 * x <= 1" "x <= 1");
+  check "canon traced" true
+    (has_rule "rw-atom-canon" (fired_codes (fof "x + x <= 2")));
+  (* canonicalization is idempotent: a second run is the identity *)
+  let f = norm "x + x <= 2 /\\ 0 <= 3 * x" in
+  check "idempotent normal form" true (Plan.equal_formula f (Rewrite.formula f));
+  let r = Rewrite.rewrite f in
+  check_int "no rules refire" 0 r.Rewrite.fired
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding and connective units                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_fold () =
+  check "true conjunct dropped" true (same "1 < 2 /\\ 0 <= x" "0 <= x");
+  check "false conjunct collapses" true
+    (Plan.equal_formula (norm "1 < 0 /\\ 0 <= x") Ast.False);
+  check "false disjunct dropped" true (same "(1 < 0) \\/ (0 <= x)" "0 <= x");
+  check "true disjunct collapses" true
+    (Plan.equal_formula (norm "1 < 2 \\/ x < 5") Ast.True);
+  check "not true" true (Plan.equal_formula (norm "~(1 < 2)") Ast.False);
+  let codes = fired_codes (fof "1 < 2 /\\ 0 <= x") in
+  check "const-fold traced" true (has_rule "rw-const-fold" codes);
+  check "and-unit traced" true (has_rule "rw-and-unit" codes)
+
+(* ------------------------------------------------------------------ *)
+(* Interval refutation: unsat conjunctions and dead branches           *)
+(* ------------------------------------------------------------------ *)
+
+let test_unsat_dead () =
+  check "interval-unsat conjunction" true
+    (Plan.equal_formula (norm "x < 0 /\\ 1 < x /\\ y <= 5") Ast.False);
+  check "unsat-conj traced" true
+    (has_rule "rw-unsat-conj" (fired_codes (fof "x < 0 /\\ 1 < x")));
+  (* a negated tautology is only refutable through the interval pass *)
+  let dead = "(x < 1) \\/ ~(y <= 5 \\/ 4 <= y)" in
+  check "dead branch dropped" true (same dead "x < 1");
+  check "dead-branch traced" true (has_rule "rw-dead-branch" (fired_codes (fof dead)));
+  (* the database's bounding box feeds the refutation: U <= [0,3] *)
+  check "db-backed unsat" true
+    (Plan.equal_formula (Rewrite.formula ~db (fof "U(x) /\\ 5 < x")) Ast.False);
+  (* without the box the same conjunction must survive *)
+  check "opaque without db" false
+    (Plan.equal_formula (norm "U(x) /\\ 5 < x") Ast.False)
+
+(* ------------------------------------------------------------------ *)
+(* Negation, idempotence, absorption                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_bool () =
+  check "double negation" true (same "~(~(x < 1))" "x < 1");
+  check "negated atom complements" true (same "~(x <= 1)" "1 < x");
+  check "negated strict complements" true (same "~(x < 1)" "1 <= x");
+  check "equality negation kept" true
+    (match norm "~(x = 1)" with Ast.Not _ -> true | _ -> false);
+  check "and idempotent" true (same "x < 1 /\\ x < 1" "x < 1");
+  check "or idempotent" true (same "x < 1 \\/ x < 1" "x < 1");
+  check "and absorption" true (same "x < 1 /\\ (x < 1 \\/ x < 5)" "x < 1");
+  check "or absorption" true (same "x < 1 \\/ (x < 1 /\\ x < 5)" "x < 1");
+  check "neg-atom traced" true (has_rule "rw-neg-atom" (fired_codes (fof "~(x <= 1)")));
+  (* a doubly-negated atom is eliminated by two complement steps; rw-not
+     itself needs a non-atomic operand *)
+  check "not traced" true
+    (has_rule "rw-not" (fired_codes (fof "~(~(x < 1 /\\ x < 5))")))
+
+(* ------------------------------------------------------------------ *)
+(* Quantifier rules                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_quant () =
+  check "unused binder dropped" true (same "exists z . 0 <= x" "0 <= x");
+  check "unused forall dropped" true (same "forall z . 0 <= x" "0 <= x");
+  let r = Rewrite.rewrite ~trace:true (fof "exists z . (0 <= x /\\ x < z)") in
+  check "shrink traced" true
+    (has_rule "rw-quant-shrink" (List.map (fun s -> s.Rewrite.rule) r.Rewrite.steps));
+  check "quantifier pushed inside" true
+    (match r.Rewrite.rewritten with
+    | Ast.And (Ast.Cmp _, Ast.Exists _) -> true
+    | _ -> false);
+  (* forall over a disjunction shrinks the same way *)
+  check "forall shrinks over or" true
+    (match Rewrite.formula (fof "forall z . (x < 1 \\/ z < x)") with
+    | Ast.Or (Ast.Cmp _, Ast.Forall _) -> true
+    | _ -> false);
+  (* the shrunk form is stable *)
+  let f = Rewrite.formula (fof "exists z . (0 <= x /\\ x < z)") in
+  check "shrink stable" true (Plan.equal_formula f (Rewrite.formula f))
+
+(* ------------------------------------------------------------------ *)
+(* Summation rules                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_sum () =
+  (* trivially-false guard: the whole summation folds to 0 *)
+  let f = Ast.(Cmp (Ceq, sum_term (fof "1 < 0"), int 0)) in
+  check "const-empty guard" true (Plan.equal_formula (Rewrite.formula f) Ast.True);
+  (* interval-empty guard *)
+  let f2 = Ast.(Cmp (Ceq, sum_term (fof "w < 0 /\\ 1 < w"), int 0)) in
+  check "interval-empty guard" true (Plan.equal_formula (Rewrite.formula f2) Ast.True);
+  (* empty END body *)
+  let empty_end =
+    Ast.sum ~gamma_var:xx
+      ~gamma:Ast.(TVar xx =! TVar ww)
+      ~w:[ ww ]
+      ~guard:(fof "0 <= w /\\ w <= 1")
+      ~end_y:(Var.of_string "y")
+      ~end_body:(fof "y < 0 /\\ 1 < y")
+  in
+  let f3 = Ast.(Cmp (Ceq, empty_end, int 0)) in
+  check "empty END folds" true (Plan.equal_formula (Rewrite.formula f3) Ast.True);
+  check "empty-sum traced" true (has_rule "rw-empty-sum" (fired_codes f));
+  (* guard hoist: the w-independent conjunct moves ahead of the dependent one *)
+  let hoist = Ast.(Cmp (Cle, sum_term (fof "w <= 1 /\\ 0 <= z"), TVar zz)) in
+  let r = Rewrite.rewrite ~trace:true hoist in
+  check "hoist traced" true
+    (has_rule "rw-guard-hoist" (List.map (fun s -> s.Rewrite.rule) r.Rewrite.steps));
+  (match r.Rewrite.rewritten with
+  | Ast.Cmp (_, Ast.Sum s, _) -> (
+      match s.Ast.guard with
+      | Ast.And (g1, _) ->
+          check "independent conjunct first" false
+            (Var.Set.mem ww (Ast.free_vars g1))
+      | _ -> Alcotest.fail "guard no longer a conjunction")
+  | _ -> Alcotest.fail "summation gone");
+  (* the hoisted form is stable *)
+  let h = Rewrite.formula hoist in
+  check "hoist stable" true (Plan.equal_formula h (Rewrite.formula h))
+
+(* ------------------------------------------------------------------ *)
+(* Equiv: the decision procedure behind verification                   *)
+(* ------------------------------------------------------------------ *)
+
+let is_equal = function Equiv.Equal -> true | _ -> false
+let is_distinct = function Equiv.Distinct _ -> true | _ -> false
+let is_unknown = function Equiv.Unknown _ -> true | _ -> false
+
+let test_equiv () =
+  check "commuted equal" true
+    (is_equal (Equiv.check (fof "0 <= x /\\ x <= 1") (fof "x <= 1 /\\ 0 <= x")));
+  check "scaled equal" true (is_equal (Equiv.check (fof "0 <= 2 * x") (fof "0 <= x")));
+  check "quantified equal" true
+    (is_equal (Equiv.check (fof "exists z . (x < z /\\ z < 1)") (fof "x < 1")));
+  (* distinct with a checkable witness: x <= 1 vs x < 1 differ exactly at 1 *)
+  (match Equiv.check (fof "x <= 1") (fof "x < 1") with
+  | Equiv.Distinct w ->
+      let holds f = Range.truth (Ast.subst w f) = Some true in
+      check "witness separates" true (holds (fof "x <= 1") <> holds (fof "x < 1"));
+      check "witness is the boundary" true (Q.equal (Var.Map.find xx w) Q.one)
+  | v -> Alcotest.failf "expected distinct, got %s" (Equiv.verdict_to_string v));
+  (* schema atoms inline through the database *)
+  check "relation equal its definition" true
+    (is_equal
+       (Equiv.check ~db (fof "U(x)")
+          (fof "(0 <= x /\\ x <= 1) \\/ (2 <= x /\\ x <= 3)")));
+  check "relation distinct from a piece" true
+    (is_distinct (Equiv.check ~db (fof "U(x)") (fof "0 <= x /\\ x <= 1")));
+  (* outside the fragment: never guesses *)
+  check "nonlinear unknown" true
+    (is_unknown (Equiv.check (fof "x * x <= 1") (fof "0 <= x")));
+  check "unknown relation unknown" true
+    (is_unknown (Equiv.check (fof "R(x)") (fof "0 <= x")));
+  (* past the cost cap *)
+  let blowup =
+    fof
+      "exists x1 . exists x2 . exists x3 . exists x4 . exists x5 . (u < x1 \
+       /\\ x1 < x2 /\\ x2 < x3 /\\ x3 < x4 /\\ x4 < x5 /\\ x5 < v /\\ 0 <= \
+       x1 /\\ x5 <= 1)"
+  in
+  check "budget capped" true (is_unknown (Equiv.check ~budget:1e3 blowup blowup));
+  check "equal collapses to bool" true (Equiv.equal (fof "x < 1") (fof "x < 1"));
+  check "distinct is not equal" false (Equiv.equal (fof "x <= 1") (fof "x < 1"));
+  check "verdict strings" true
+    (Equiv.verdict_to_string Equiv.Equal = "equal"
+    && Equiv.verdict_to_string (Equiv.Unknown "r") = "unknown")
+
+(* ------------------------------------------------------------------ *)
+(* Verification mode: every applied rewrite survives Equiv             *)
+(* ------------------------------------------------------------------ *)
+
+let battery () =
+  [
+    fof "x + x <= 2";
+    fof "1 < 2 /\\ 0 <= x";
+    fof "x < 1 /\\ x < 1";
+    fof "x < 1 /\\ (x < 1 \\/ x < 5)";
+    fof "x <= 1 /\\ 0 <= x";
+    fof "0 <= x /\\ x <= 1";
+    fof "y < 0 /\\ 1 < y";
+    fof "(x < 1) \\/ ~(y <= 5 \\/ 4 <= y)";
+    fof "1 < 0 \\/ x < 1";
+    fof "~(~(x < 1 /\\ x < 5))";
+    fof "~(x <= 1)";
+    fof "exists z . x < 1";
+    fof "exists z . (x < 1 /\\ x < z)";
+    fof "x < 1 \\/ (x < 1 /\\ x < 5)";
+    Ast.(Cmp (Ceq, sum_term (fof "1 < 0"), int 0));
+    Ast.(Cmp (Cle, sum_term (fof "w <= 1 /\\ 0 <= z"), TVar zz));
+  ]
+
+let test_verify () =
+  List.iter
+    (fun f ->
+      let r = Rewrite.rewrite ~verify:true f in
+      check "no refutation" true (r.Rewrite.refuted = []);
+      check "atoms never grow" true (r.Rewrite.atoms_after <= r.Rewrite.atoms_before))
+    (battery ());
+  (* with the database in the loop, too *)
+  List.iter
+    (fun s ->
+      let r = Rewrite.rewrite ~db ~verify:true (fof s) in
+      check "no refutation with db" true (r.Rewrite.refuted = []))
+    [ "U(x) /\\ 5 < x"; "U(x) /\\ x <= 1"; "(U(x) /\\ 5 < x) \\/ 0 <= x" ]
+
+(* ------------------------------------------------------------------ *)
+(* Golden: the rule-code inventory is pinned, and the battery covers it *)
+(* ------------------------------------------------------------------ *)
+
+let test_golden_codes () =
+  Alcotest.(check (list string))
+    "rule codes pinned"
+    [
+      "rw-absorption"; "rw-and-unit"; "rw-atom-canon"; "rw-comm-sort";
+      "rw-const-fold"; "rw-dead-branch"; "rw-empty-sum"; "rw-guard-hoist";
+      "rw-idempotent"; "rw-neg-atom"; "rw-not"; "rw-or-unit";
+      "rw-quant-shrink"; "rw-quant-unused"; "rw-unsat-conj";
+    ]
+    Rewrite.rule_codes;
+  let exercised =
+    List.concat_map (fun f -> fired_codes f) (battery ())
+    |> List.sort_uniq String.compare
+  in
+  List.iter
+    (fun c -> check (Printf.sprintf "only known codes (%s)" c) true
+        (List.mem c Rewrite.rule_codes))
+    exercised;
+  Alcotest.(check (list string)) "every rule exercised" Rewrite.rule_codes exercised;
+  (* diagnostics render one info per step, no errors when sound *)
+  let r = Rewrite.rewrite ~trace:true ~verify:true (fof "1 < 2 /\\ 0 <= x") in
+  let ds = Rewrite.diagnostics r in
+  check_int "one diagnostic per step" (List.length r.Rewrite.steps) (List.length ds);
+  check "all info" true
+    (List.for_all (fun d -> d.Diagnostic.severity = Diagnostic.Info) ds)
+
+(* ------------------------------------------------------------------ *)
+(* The plan cache keyed on the rewritten normal form                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_sharing () =
+  Plan.clear_cache ();
+  T.enable ();
+  T.reset ();
+  let before = T.snapshot () in
+  let p1 = Planner.compile ~db:db0 (fof "0 <= x /\\ x <= 1") in
+  (* three syntactically distinct spellings of the same set *)
+  let p2 = Planner.compile ~db:db0 (fof "x <= 1 /\\ 0 <= 2 * x") in
+  let p3 = Planner.compile ~db:db0 (fof "0 <= x /\\ x <= 1 /\\ 1 < 2") in
+  let d = T.diff ~before ~after:(T.snapshot ()) in
+  T.disable ();
+  check_int "second spelling shares the plan" (Plan.id p1) (Plan.id p2);
+  check_int "third spelling shares the plan" (Plan.id p1) (Plan.id p3);
+  check "hits tallied on the plan" true (Plan.hit_count p1 >= 2);
+  check "plan.cache.hit counted" true
+    (match List.assoc_opt "plan.cache.hit" d.T.counters with
+    | Some n -> n >= 2
+    | None -> false);
+  check "rewrite traffic counted" true
+    (match List.assoc_opt "plan.rewrite.fired" d.T.counters with
+    | Some n -> n > 0
+    | None -> false);
+  (* a genuinely different query gets its own plan *)
+  let q = Planner.compile ~db:db0 (fof "0 <= x /\\ x <= 2") in
+  check "distinct set distinct plan" true (Plan.id q <> Plan.id p1)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch decided on the post-rewrite cost profile                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_dispatch_post_rewrite () =
+  Plan.clear_cache ();
+  (* 8 atoms under 5 quantifiers: projected QE cost far past the budget —
+     but 6 atoms are constant padding and every binder is unused *)
+  let padded =
+    fof
+      "exists x1 . exists x2 . exists x3 . exists x4 . exists x5 . (0 <= 1 \
+       /\\ 1 <= 2 /\\ 2 <= 3 /\\ 3 <= 4 /\\ 4 <= 5 /\\ 5 <= 6 /\\ 0 <= y1 \
+       /\\ y1 <= 1)"
+  in
+  let raw = Plan.compile ~budget:1e6 padded in
+  check "over budget as spelled" true
+    (match Plan.decision raw with
+    | Dispatch.Fallback_approx _ -> true
+    | Dispatch.Run_exact -> false);
+  let planned = Planner.compile ~db:db0 ~budget:1e6 padded in
+  check "exact after rewriting" true
+    (match Plan.decision planned with
+    | Dispatch.Run_exact -> true
+    | Dispatch.Fallback_approx _ -> false);
+  check "projected cost collapsed" true (Plan.projected planned < 10.);
+  (* the plan still answers for the original spelling's geometry *)
+  check "coords preserved" true
+    (Array.to_list (Plan.coords planned) = [ Var.of_string "y1" ]);
+  let v = Exec.volume planned db0 in
+  check "volume right" true (Q.equal v Q.one)
+
+let () =
+  Alcotest.run "cqa_rewrite"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "atom canonicalization" `Quick test_canon;
+          Alcotest.test_case "constant folding" `Quick test_fold;
+          Alcotest.test_case "interval refutation" `Quick test_unsat_dead;
+          Alcotest.test_case "boolean laws" `Quick test_bool;
+          Alcotest.test_case "quantifiers" `Quick test_quant;
+          Alcotest.test_case "summations" `Quick test_sum;
+        ] );
+      ( "equiv",
+        [ Alcotest.test_case "decision procedure" `Quick test_equiv ] );
+      ( "certified",
+        [
+          Alcotest.test_case "verify mode" `Quick test_verify;
+          Alcotest.test_case "golden codes" `Quick test_golden_codes;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "spellings share a plan" `Quick test_plan_sharing;
+          Alcotest.test_case "post-rewrite dispatch" `Quick test_dispatch_post_rewrite;
+        ] );
+    ]

@@ -132,6 +132,25 @@ let test_vol_roundtrip () =
   in
   check_str "By_id volume identical" "1/2" (str_field "vol" by_id)
 
+(* The planner rewrites before keying the cache, so syntactically distinct
+   but semantically equal spellings resolve to one server-side plan id. *)
+let test_rewritten_plan_sharing () =
+  with_server @@ fun addr ->
+  with_client addr @@ fun c ->
+  let plan_of q =
+    let resp =
+      Client.request c (Printf.sprintf {|{"op":"plan","query":"%s"}|} q)
+    in
+    check "plan ok" true (is_ok resp);
+    int_field "plan" resp
+  in
+  let a = plan_of {|0 <= x /\\ x <= 1 /\\ 0 <= y /\\ y <= x|} in
+  (* reordered conjuncts, a scaled atom, and constant padding *)
+  let b = plan_of {|y <= x /\\ 0 <= 2 * y /\\ 1 < 2 /\\ x <= 1 /\\ 0 <= x|} in
+  check_int "spellings share one server-side plan" a b;
+  let v = Client.request c (Printf.sprintf {|{"op":"vol","plan":%d}|} a) in
+  check_str "shared plan answers for both" "1/2" (str_field "vol" v)
+
 let test_parameterized_vol_batch_reset () =
   with_server @@ fun addr ->
   with_client addr @@ fun c ->
@@ -304,6 +323,8 @@ let () =
       ( "volumes",
         [ Alcotest.test_case "vol by query and plan id" `Quick
             test_vol_roundtrip;
+          Alcotest.test_case "rewritten spellings share a plan" `Quick
+            test_rewritten_plan_sharing;
           Alcotest.test_case "parameterized vol, vol_batch, reset" `Quick
             test_parameterized_vol_batch_reset ] );
       ( "admission",
