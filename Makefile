@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-check serve-smoke verify lint fuzz clean
+.PHONY: all build test bench bench-smoke bench-check serve-smoke verify lint fuzz fmt fmt-check clean
 
 all: build
 
@@ -7,6 +7,15 @@ build:
 
 test:
 	dune runtest
+
+# Formatting: the style is pinned by .ocamlformat; `fmt` rewrites the
+# tree in place, `fmt-check` only diffs (the advisory CI job).  Both need
+# the pinned ocamlformat binary on PATH.
+fmt:
+	dune build @fmt --auto-promote
+
+fmt-check:
+	dune build @fmt
 
 # Long metamorphic fuzz run (the nightly CI job): random FO+LIN queries
 # cross-checking the certified rewriter against the Equiv decision
@@ -70,11 +79,14 @@ lint:
 # compilation, text / parameterized / batched volumes, stats), stop it
 # with a shutdown request, then assert the server exited cleanly and its
 # --stats=json report actually counted the traffic (serve.req > 0).
+# The server's --stats=json report goes to serve_smoke.log, which is
+# kept on failure (CI uploads it as an artifact and tails it into the
+# job summary) and removed on success.
 serve-smoke:
 	dune build bin/cqa.exe
 	@set -e; \
-	sock=/tmp/cqa-serve-smoke.$$$$.sock; out=/tmp/cqa-serve-smoke.$$$$.json; \
-	rm -f $$sock; \
+	sock=/tmp/cqa-serve-smoke.$$$$.sock; out=serve_smoke.log; \
+	rm -f $$sock $$out; \
 	$(CQA) serve --socket $$sock --stats=json > $$out & srv=$$!; \
 	$(CQA) client --socket $$sock --wait 5000 \
 	  '{"op":"ping","id":1}' \
@@ -103,4 +115,4 @@ verify: build test bench-check serve-smoke
 
 clean:
 	dune clean
-	rm -f BENCH_smoke.json BENCH_ratio.txt
+	rm -f BENCH_smoke.json BENCH_ratio.txt serve_smoke.log

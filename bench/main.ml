@@ -545,6 +545,70 @@ let plan_tests =
            Exec.volume_at p plan_db plan_param_values.(i))) ]
 
 (* ------------------------------------------------------------------ *)
+(* Incremental maintenance: small-delta updates vs full recompute      *)
+(* ------------------------------------------------------------------ *)
+
+(* One "update session" per iteration, always from the same initial
+   state: a fresh database seeded with a fixed 3-d semilinear relation
+   (three generated polytopes in [-5, 5]^3), one warming query, then four
+   small corner-box inserts each followed by a query.  The incremental
+   rows answer the post-update queries through the executor's delta-slab
+   refresh (only pieces meeting the delta's last-axis slab recompute —
+   each box dirties a 1/16-wide slab of a 10-wide parameter range); the
+   recompute row resets the plan's execution states before each query,
+   forcing the full Theorem 3 sweep the maintenance machinery exists to
+   avoid.  The unclamped volume is queried so the maintained piece list
+   is the base set's own (clamping to the unit cube would empty the
+   generated base and leave nothing to maintain).  Fresh-database
+   sessions keep iterations identical — repeated in-place edits on one
+   database would grow its DNF across iterations and skew the
+   estimates. *)
+let update_schema = Schema.of_list [ ("R", 3) ]
+
+let update_base =
+  let prng = Prng.create 103 in
+  Generators.semilinear prng ~dim:3 ~disjuncts:3
+
+let update_boxes =
+  Array.init 4 (fun k ->
+      let lo = qq k 16 and hi = qq (k + 1) 16 in
+      Semilinear.box [| (lo, hi); (lo, hi); (lo, hi) |])
+
+let update_plan =
+  let vx = Var.of_string "x" and vy = Var.of_string "y" in
+  let vz = Var.of_string "z" in
+  Cqa_analysis.Planner.compile
+    ~db:(Db.empty update_schema)
+    ~coords:[| vx; vy; vz |]
+    (Ast.Rel ("R", [ vx; vy; vz ]))
+
+let update_session ~domains ~recompute =
+  let db = Db.empty update_schema in
+  ignore (Db.apply_update db (Db.Insert ("R", update_base)));
+  let v = ref (Exec.volume ~domains update_plan db) in
+  Array.iter
+    (fun b ->
+      ignore (Db.apply_update db (Db.Insert ("R", b)));
+      if recompute then Plan.reset_states update_plan;
+      v := Exec.volume ~domains update_plan db)
+    update_boxes;
+  !v
+
+let update_tests () =
+  (* fixture sanity: the incremental session and the recompute session
+     must end on the same exact answer, or the ratio below is vacuous *)
+  let vi = update_session ~domains:1 ~recompute:false in
+  let vr = update_session ~domains:1 ~recompute:true in
+  if not (Q.equal vi vr) then
+    failwith "update bench fixture: incremental and recompute answers differ";
+  [ Test.make ~name:"update_small_delta_dom1"
+      (stage (fun () -> update_session ~domains:1 ~recompute:false));
+    Test.make ~name:"update_small_delta_dom4"
+      (stage (fun () -> update_session ~domains:4 ~recompute:false));
+    Test.make ~name:"update_vs_recompute"
+      (stage (fun () -> update_session ~domains:1 ~recompute:true)) ]
+
+(* ------------------------------------------------------------------ *)
 (* Certified rewriting: rule fixpoint, memo, equivalence, cache wins   *)
 (* ------------------------------------------------------------------ *)
 
@@ -837,6 +901,25 @@ let counter_workloads =
        ignore (plan_compile ());
        ignore (plan_compile_spelled ());
        ignore (Rw.rewrite ~verify:true ~db:plan_db spelled_formula));
+    ("update",
+     fun () ->
+       (* deterministic update traffic against a fresh database: seed
+          insert, warm query, a localized insert and a localized remove
+          each followed by a query, an untouched-region no-op, and a
+          stale-free requery — ticks db.update.* and the executor's
+          exec.invalidate.* / exec.reuse.* maintenance counters *)
+       cold_caches ();
+       let db = Db.empty update_schema in
+       ignore (Db.apply_update db (Db.Insert ("R", update_base)));
+       ignore (Exec.volume update_plan db);
+       ignore (Db.apply_update db (Db.Insert ("R", update_boxes.(0))));
+       ignore (Exec.volume update_plan db);
+       ignore (Db.apply_update db (Db.Remove ("R", update_boxes.(1))));
+       ignore (Exec.volume update_plan db);
+       ignore
+         (Db.apply_update db
+            (Db.Remove ("R", Semilinear.empty 3)));
+       ignore (Exec.volume update_plan db));
     ("plan",
      fun () ->
        cold_caches ();
@@ -882,6 +965,7 @@ let () =
   run_group "persistent pool (cutoff bypassed)" pool_tests;
   run_group "ablations (QE design choices, cold cache)" ablation_tests;
   run_group "compiled plans (cache + batched re-execution)" plan_tests;
+  run_group "incremental maintenance (small-delta updates)" (update_tests ());
   run_group "certified rewriting (rules, equivalence, cache wins)"
     (rewrite_tests ());
   run_group ~stabilize:false "query service (closed-loop clients)"

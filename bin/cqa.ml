@@ -875,6 +875,191 @@ let plan_cmd =
 module Server = Cqa_serve.Server
 module Client = Cqa_serve.Client
 
+(* ------------------------------------------------------------------ *)
+(* update: incremental aggregate maintenance under database updates    *)
+(* ------------------------------------------------------------------ *)
+
+let update_cmd =
+  let schema =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "schema" ] ~docv:"SPEC"
+          ~doc:"Relation arities, e.g. 'R:3' (required: updates edit relations).")
+  in
+  let query =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "query" ] ~docv:"QUERY"
+          ~doc:
+            "FO + LIN formula whose $(b,VOL_I) is maintained across the \
+             update sequence (free variables are the coordinates).")
+  in
+  let ops =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"OP"
+          ~doc:
+            "Update, e.g. 'insert R x0 >= 0 and x0 <= 1/2': a verb \
+             ($(b,insert) or $(b,remove)), a relation name, and a \
+             relation-free FO + LIN region over the relation's canonical \
+             coordinates x0, x1, ...")
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:"Read updates from a script, one OP per line ('#' comments).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "After every update, recompute the volume cold on the updated \
+             database and fail (exit 1) unless the incremental answer is \
+             identical.")
+  in
+  let parse_op line =
+    match
+      String.split_on_char ' ' (String.trim line)
+      |> List.filter (fun s -> s <> "")
+    with
+    | verb :: rel :: (_ :: _ as rest) when verb = "insert" || verb = "remove"
+      ->
+        Ok (verb = "insert", rel, String.concat " " rest)
+    | _ -> Error "expected: insert|remove REL FORMULA"
+  in
+  let run schema query ops file domains check stats =
+    with_stats ~plan_cache:true stats @@ fun () ->
+    let sch =
+      match schema_of_spec schema with
+      | s -> s
+      | exception Failure msg ->
+          Format.eprintf "schema error: %s@." msg;
+          exit 2
+    in
+    let db = Db.empty sch in
+    let f =
+      match Parser.formula_of_string query with
+      | exception Parser.Parse_error msg ->
+          Format.eprintf "parse error: %s@." msg;
+          exit 2
+      | f -> f
+    in
+    let coords = Array.of_list (Var.Set.elements (Ast.free_vars f)) in
+    if Array.length coords = 0 then begin
+      Format.eprintf "query has no free variables: VOL_I is 0-dimensional@.";
+      exit 2
+    end;
+    let ops =
+      ops
+      @
+      match file with
+      | None -> []
+      | Some path ->
+          let ic = open_in path in
+          let lines = ref [] in
+          (try
+             while true do
+               lines := input_line ic :: !lines
+             done
+           with End_of_file -> close_in ic);
+          List.rev !lines
+          |> List.filter (fun l ->
+                 let l = String.trim l in
+                 l <> "" && l.[0] <> '#')
+    in
+    let plan = Cqa_analysis.Planner.compile ~db ~budget:infinity ~coords f in
+    let failed = ref false in
+    let report label =
+      match Exec.volume_clamped ~domains plan db with
+      | exception Volume_exact.Not_semilinear msg ->
+          Format.eprintf "not evaluable exactly: %s@." msg;
+          exit 1
+      | v ->
+          Format.printf "%s: VOL_I = %a (~%g)@." label Q.pp v (Q.to_float v);
+          if check then begin
+            let cold =
+              Volume_exact.volume_clamped (Eval.eval_set db coords f)
+            in
+            if Q.equal v cold then Format.printf "  check: cold recompute agrees@."
+            else begin
+              failed := true;
+              Format.printf "  check: MISMATCH, cold recompute = %a (~%g)@."
+                Q.pp cold (Q.to_float cold)
+            end
+          end
+    in
+    report "initial";
+    List.iteri
+      (fun i op ->
+        match parse_op op with
+        | Error msg ->
+            Format.eprintf "update %d: %s@." (i + 1) msg;
+            exit 2
+        | Ok (inserted, rel, region) -> (
+            let arity =
+              match Schema.arity sch rel with
+              | Some a -> a
+              | None ->
+                  Format.eprintf "update %d: unknown relation %S@." (i + 1) rel;
+                  exit 2
+            in
+            let r =
+              match Parser.formula_of_string region with
+              | exception Parser.Parse_error msg ->
+                  Format.eprintf "update %d: parse error: %s@." (i + 1) msg;
+                  exit 2
+              | rf ->
+                  if Ast.relations rf <> [] then begin
+                    Format.eprintf
+                      "update %d: region must be relation-free@." (i + 1);
+                    exit 2
+                  end;
+                  (match
+                     Eval.eval_set (Db.empty Schema.empty)
+                       (Semilinear.default_vars arity) rf
+                   with
+                  | s -> s
+                  | exception Invalid_argument msg ->
+                      Format.eprintf "update %d: region: %s@." (i + 1) msg;
+                      exit 2)
+            in
+            let u = if inserted then Db.Insert (rel, r) else Db.Remove (rel, r) in
+            match Db.apply_update db u with
+            | exception Invalid_argument msg ->
+                Format.eprintf "update %d: %s@." (i + 1) msg;
+                exit 2
+            | ch ->
+                Format.printf "update %d: %s %s -> version %d%s@." (i + 1)
+                  (if inserted then "insert" else "remove")
+                  rel ch.Db.version
+                  (match ch.Db.delta_box with
+                  | _ when ch.Db.delta_empty -> " (empty region: no-op)"
+                  | None -> " (unbounded delta)"
+                  | Some bb ->
+                      ", delta box "
+                      ^ String.concat " x "
+                          (Array.to_list bb
+                          |> List.map (fun (lo, hi) ->
+                                 Format.asprintf "[%a, %a]" Q.pp lo Q.pp hi)));
+                report (Printf.sprintf "after %d" (i + 1))))
+      ops;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:
+         "Maintain a query's VOL_I incrementally across database updates: \
+          apply insert/remove region edits, re-answering after each one \
+          from the delta-refreshed plan state ($(b,--check) verifies each \
+          answer against a cold recompute).")
+    Term.(
+      const run $ schema $ query $ ops $ file $ domains_arg $ check $ stats_arg)
+
 let port_arg =
   Arg.(
     value
@@ -1104,7 +1289,8 @@ let main =
        ~doc:"Exact and approximate aggregation in constraint query languages.")
     [
       experiments_cmd; volume_cmd; approx_cmd; vcdim_cmd; area_cmd; qe_cmd;
-      analyze_cmd; equiv_cmd; vol_cmd; plan_cmd; serve_cmd; client_cmd;
+      analyze_cmd; equiv_cmd; vol_cmd; plan_cmd; update_cmd; serve_cmd;
+      client_cmd;
     ]
 
 let () = exit (Cmd.eval main)

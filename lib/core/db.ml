@@ -2,6 +2,14 @@ open Cqa_arith
 open Cqa_logic
 open Cqa_linear
 open Cqa_poly
+module T = Cqa_telemetry.Telemetry
+
+(* db.update.* counters depend on the caller's update traffic, hence are
+   exempt from the cross-domain determinism contract like plan.*. *)
+let tm_upd_insert = T.counter "db.update.insert"
+let tm_upd_remove = T.counter "db.update.remove"
+let tm_upd_noop = T.counter "db.update.noop"
+let tm_upd_truncated = T.counter "db.update.log_truncated"
 
 type relation =
   | Finite of Q.t array list
@@ -10,10 +18,37 @@ type relation =
 
 module M = Map.Make (String)
 
-type t = { schema : Schema.t; rels : relation M.t }
+type change = {
+  version : int;
+  rel : string;
+  inserted : bool;
+  region : Semilinear.t;
+  delta_box : (Q.t * Q.t) array option;
+  delta_empty : bool;
+}
 
-let empty schema = { schema; rels = M.empty }
+(* Mutable in place: [apply_update] bumps [version] and prepends to [log],
+   so per-database caches keyed on the value's physical identity (the plan
+   executor's MRU states) survive updates and detect staleness by version.
+   The log is capped; [log_floor] is the oldest version the retained
+   suffix can replay from. *)
+type t = {
+  schema : Schema.t;
+  mutable rels : relation M.t;
+  mutable version : int;
+  mutable log : change list;  (* newest first *)
+  mutable log_floor : int;
+  lock : Mutex.t;
+}
+
+let log_cap = 64
+
+let empty schema =
+  { schema; rels = M.empty; version = 0; log = []; log_floor = 0;
+    lock = Mutex.create () }
+
 let schema t = t.schema
+let version t = t.version
 
 let relation_arity = function
   | Finite [] -> None
@@ -36,7 +71,9 @@ let add name rel t =
           match relation_arity rel with
           | Some a' when a' <> a -> invalid_arg ("Db.add: arity mismatch in " ^ name)
           | _ -> ()));
-      { t with rels = M.add name rel t.rels })
+      (* functional: a fresh database value with its own version history *)
+      { schema = t.schema; rels = M.add name rel t.rels; version = 0;
+        log = []; log_floor = 0; lock = Mutex.create () })
 
 let of_list schema l = List.fold_left (fun t (n, r) -> add n r t) (empty schema) l
 
@@ -63,9 +100,17 @@ let points_to_semilinear arity tuples =
   in
   Semilinear.make vars dnf
 
+(* A schema relation with no interpretation is the empty relation: this is
+   what lets an update sequence start from [Db.empty] (inserting into a
+   declared-but-absent name grows it from nothing). *)
+let declared_empty t name =
+  match Schema.arity t.schema name with
+  | Some a -> Semilinear.empty a
+  | None -> raise Not_found
+
 let as_semilinear t name =
   match M.find_opt name t.rels with
-  | None -> raise Not_found
+  | None -> Some (declared_empty t name)
   | Some (Semilin s) -> Some s
   | Some (Finite tuples) ->
       let arity = Schema.arity_exn t.schema name in
@@ -74,7 +119,7 @@ let as_semilinear t name =
 
 let as_semialg t name =
   match M.find_opt name t.rels with
-  | None -> raise Not_found
+  | None -> Semialg.of_semilinear (declared_empty t name)
   | Some (Semialgebraic s) -> s
   | Some (Semilin s) -> Semialg.of_semilinear s
   | Some (Finite tuples) ->
@@ -82,10 +127,11 @@ let as_semialg t name =
       Semialg.of_semilinear (points_to_semilinear arity tuples)
 
 let mem_tuple t name tup =
-  match find t name with
-  | Finite tuples -> List.exists (fun x -> x = tup) tuples
-  | Semilin s -> Semilinear.mem s tup
-  | Semialgebraic s -> Semialg.mem s tup
+  match M.find_opt name t.rels with
+  | None -> ignore (declared_empty t name); false
+  | Some (Finite tuples) -> List.exists (fun x -> x = tup) tuples
+  | Some (Semilin s) -> Semilinear.mem s tup
+  | Some (Semialgebraic s) -> Semialg.mem s tup
 
 let is_linear t =
   M.for_all (fun _ r -> match r with Semialgebraic _ -> false | _ -> true) t.rels
@@ -142,3 +188,79 @@ let pp fmt t =
       | Semilin s -> Format.fprintf fmt "@[%s = %a@]@ " name Semilinear.pp s
       | Semialgebraic s -> Format.fprintf fmt "@[%s = %a@]@ " name Semialg.pp s)
     t.rels
+
+(* ------------------------------------------------------------------ *)
+(* Updates: in-place mutation with a version and a bounded change log  *)
+(* ------------------------------------------------------------------ *)
+
+type update = Insert of string * Semilinear.t | Remove of string * Semilinear.t
+
+let apply_update t u =
+  let name, region, inserted =
+    match u with
+    | Insert (n, r) -> (n, r, true)
+    | Remove (n, r) -> (n, r, false)
+  in
+  let arity =
+    match Schema.arity t.schema name with
+    | None -> invalid_arg ("Db.apply_update: unknown relation " ^ name)
+    | Some a -> a
+  in
+  if Semilinear.dim region <> arity then
+    invalid_arg ("Db.apply_update: arity mismatch in " ^ name);
+  let current =
+    match M.find_opt name t.rels with
+    | None | Some (Finite []) -> Semilinear.empty arity
+    | Some (Semilin s) -> s
+    | Some (Finite tuples) -> points_to_semilinear arity tuples
+    | Some (Semialgebraic _) ->
+        invalid_arg ("Db.apply_update: " ^ name ^ " is semi-algebraic")
+  in
+  let d =
+    if inserted then Semilinear.insert_region current region
+    else Semilinear.remove_region current region
+  in
+  T.incr (if inserted then tm_upd_insert else tm_upd_remove);
+  if d.Semilinear.delta_empty then T.incr tm_upd_noop;
+  Mutex.lock t.lock;
+  let ch =
+    {
+      version = t.version + 1;
+      rel = name;
+      inserted;
+      region;
+      delta_box = d.Semilinear.delta_box;
+      delta_empty = d.Semilinear.delta_empty;
+    }
+  in
+  t.rels <- M.add name (Semilin d.Semilinear.updated) t.rels;
+  t.version <- ch.version;
+  t.log <- ch :: t.log;
+  (* cap the log: drop the oldest entries and raise the replay floor *)
+  if t.version - t.log_floor > log_cap then begin
+    let keep = ref [] and n = ref 0 in
+    List.iter
+      (fun c ->
+        if !n < log_cap then begin
+          keep := c :: !keep;
+          incr n
+        end)
+      t.log;
+    t.log <- List.rev !keep;
+    t.log_floor <- t.version - !n;
+    T.incr tm_upd_truncated
+  end;
+  Mutex.unlock t.lock;
+  ch
+
+let changes_since t v =
+  Mutex.lock t.lock;
+  let r =
+    if v > t.version then None
+    else if v < t.log_floor then None
+    else
+      Some
+        (List.rev (List.filter (fun (c : change) -> c.version > v) t.log))
+  in
+  Mutex.unlock t.lock;
+  r

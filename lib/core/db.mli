@@ -28,13 +28,18 @@ val find : t -> string -> relation
 val of_instance : Instance.t -> t
 
 val mem_tuple : t -> string -> Q.t array -> bool
+(** Schema relations with no interpretation are empty.
+    @raise Not_found on names outside the schema. *)
 
 val as_semilinear : t -> string -> Semilinear.t option
 (** Finite relations are converted to point sets; semi-algebraic relations
-    yield [None]. *)
+    yield [None]; schema relations with no interpretation are empty.
+    @raise Not_found on names outside the schema. *)
 
 val as_semialg : t -> string -> Semialg.t
-(** Every relation kind embeds into the semi-algebraic model. *)
+(** Every relation kind embeds into the semi-algebraic model; schema
+    relations with no interpretation are empty.
+    @raise Not_found on names outside the schema. *)
 
 val is_linear : t -> bool
 (** No semi-algebraic relation present. *)
@@ -44,3 +49,51 @@ val active_domain : t -> Q.t list
     relations (the usual finite-representation active domain). *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Updates}
+
+    Databases are mutable: {!apply_update} edits a relation {e in place}
+    and bumps the database version, so caches keyed on the database
+    value's physical identity (the plan executor's per-database states)
+    survive the update and detect staleness by comparing versions.  Every
+    update is logged with its delta bounding box; {!changes_since} replays
+    the log so a stale cache can invalidate only what the deltas touch.
+    The log is bounded ([log_cap] entries): a reader too far behind gets
+    [None] and must rebuild from scratch.
+
+    Counters: [db.update.insert], [db.update.remove], [db.update.noop]
+    (empty-region edits), [db.update.log_truncated]. *)
+
+type update =
+  | Insert of string * Semilinear.t  (** union the region into the relation *)
+  | Remove of string * Semilinear.t  (** subtract the region *)
+
+type change = {
+  version : int;  (** the database version {e after} this update *)
+  rel : string;
+  inserted : bool;
+  region : Semilinear.t;
+  delta_box : (Q.t * Q.t) array option;
+      (** bounding box of the edited region; [None] = empty (see
+          [delta_empty]) or unbounded (invalidate everything) *)
+  delta_empty : bool;
+}
+
+val version : t -> int
+(** Monotone update counter; [0] for a freshly built database.  Functional
+    constructors ({!add}, {!of_list}) return fresh values at version 0. *)
+
+val apply_update : t -> update -> change
+(** Apply the update in place and return its change record.  Finite
+    relations are promoted to their semi-linear point sets first; a name
+    absent from the instance starts empty.
+    @raise Invalid_argument on unknown relations, arity mismatches, or
+    semi-algebraic relations. *)
+
+val changes_since : t -> int -> change list option
+(** The changes after version [v] in chronological order ([Some []] when
+    up to date); [None] when [v] is ahead of the database or the bounded
+    log no longer reaches back to it. *)
+
+val log_cap : int
+(** Maximum number of retained change records. *)

@@ -11,10 +11,26 @@
     cold one; duplicate computes under concurrency are benign for the same
     reason.
 
+    {b Incremental maintenance.}  The per-database state is stamped with
+    the database version; every entry point first settles it against
+    {!Db.changes_since}.  Updates whose delta bounding boxes cannot reach
+    any [Rel] occurrence of the query are ignored outright; otherwise the
+    deltas' last-axis slab drives {!Volume_param.refresh}, so only the
+    Lemma 5 breakpoint intervals the slab touches are re-interpolated,
+    and retained Theorem 4 samples ({!volume_guarded}'s fallback) only
+    re-test the points inside the delta boxes.  Every value is an exact
+    rational recomputed from reused facts that provably still hold, so
+    after any update sequence the answers are byte-identical to a cold
+    recompute on the updated database.  A reader that falls behind the
+    database's bounded change log rebuilds from scratch.
+
     Traffic is visible on the [plan.state.hit]/[plan.state.miss],
     [plan.exec.exact]/[plan.exec.fallback] and
-    [plan.param.fast]/[plan.param.slow] counters (all execution-history
-    dependent, hence determinism-exempt). *)
+    [plan.param.fast]/[plan.param.slow] counters, and invalidation on
+    [exec.invalidate.full], [exec.invalidate.cells]/[exec.reuse.cells]
+    (piece intervals) and [exec.invalidate.samples]/[exec.reuse.samples]
+    (retained sample points) -- all execution-history dependent, hence
+    determinism-exempt. *)
 
 open Cqa_arith
 

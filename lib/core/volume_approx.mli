@@ -64,3 +64,7 @@ val halton_approx_query :
   ?domains:int -> m:int -> Db.t -> yvars:Var.t array -> Ast.formula -> Q.t
 (** Deterministic low-discrepancy variant (the derandomized stand-in); the
     exact result is independent of the domain count. *)
+
+val member : Db.t -> Var.t array -> Ast.formula -> Q.t array -> bool
+(** The pointwise membership oracle every estimator scores with:
+    [Eval.holds] of the formula with [yvars] bound to the point. *)

@@ -29,7 +29,7 @@ let prune s =
 (* Constraints are hash-consed, so first-occurrence dedup is a tag-set
    membership test instead of the former quadratic scan over accumulated
    atoms. *)
-let hyperplane_exprs s =
+let hyperplane_constrs s =
   let all =
     List.concat_map
       (fun conj -> List.map (fun a -> Linconstr.make (Linconstr.expr a) Linconstr.Eq) conj)
@@ -46,7 +46,9 @@ let hyperplane_exprs s =
           uniq (c :: acc) rest
         end
   in
-  List.map Linconstr.expr (uniq [] all)
+  uniq [] all
+
+let hyperplane_exprs s = List.map Linconstr.expr (hyperplane_constrs s)
 
 (* Guard for the combinatorial core below: warn (once per call) before
    enumerating an unreasonable number of n-subsets, but still proceed --
@@ -134,6 +136,99 @@ let breakpoints s =
   let s = prune s in
   if Semilinear.dnf s = [] then []
   else breakpoints_pruned s
+
+(* Vertices of exactly the n-subsets whose least index is below [n_fresh].
+   With the fresh hyperplanes placed first, a subset contains a fresh
+   hyperplane iff its least index is fresh, so the enumeration is complete
+   and duplicate-free over "subsets meeting a fresh hyperplane". *)
+let vertices_meeting_fresh ~n ~vars ~n_fresh exprs =
+  let m = Array.length exprs in
+  let verts = ref [] in
+  if n >= 1 && m >= n then begin
+    let rows =
+      Array.map
+        (fun e ->
+          (Array.map (fun v -> Linexpr.coeff e v) vars, Q.neg (Linexpr.constant e)))
+        exprs
+    in
+    let elim = Qmat.elim_create n in
+    let rec choose k start =
+      if k = n then begin
+        T.incr tm_arr_vertices;
+        verts := Qmat.elim_solution elim :: !verts
+      end
+      else
+        for i = start to m - 1 do
+          let row, rhs = rows.(i) in
+          if Qmat.elim_push elim row rhs then begin
+            T.incr tm_arr_pushes;
+            choose (k + 1) (i + 1);
+            Qmat.elim_pop elim
+          end
+        done
+    in
+    for i = 0 to Stdlib.min n_fresh m - 1 do
+      let row, rhs = rows.(i) in
+      if Qmat.elim_push elim row rhs then begin
+        T.incr tm_arr_pushes;
+        choose 1 (i + 1);
+        Qmat.elim_pop elim
+      end
+    done
+  end;
+  !verts
+
+(* [breakpoints s] computed against a predecessor set: when the last-axis
+   bounding interval is unchanged and every hyperplane of [old_set]
+   survives into [s]'s pool, the subsets drawn solely from old hyperplanes
+   already contributed their vertices to [old_bps], so only subsets
+   meeting a fresh hyperplane are enumerated and their filtered last
+   coordinates merged into [old_bps].  [sort_uniq] of the merge equals the
+   full recomputation's value exactly, so downstream interpolation stays
+   byte-identical.  Any failed precondition falls back to the full
+   enumeration. *)
+let breakpoints_since ~old_set ~old_bps s =
+  let s = prune s in
+  if Semilinear.dnf s = [] then []
+  else
+    let full () = breakpoints_pruned s in
+
+    let os = prune old_set in
+    if Semilinear.dnf os = [] || old_bps = [] then full () 
+    else
+      match (Semilinear.bounding_box s, Semilinear.bounding_box os) with
+      | None, _ -> raise Unbounded
+      | _, None -> full () 
+      | Some bb, Some obb ->
+          let n = Semilinear.dim s in
+          let lo, hi = bb.(n - 1) and olo, ohi = obb.(n - 1) in
+          if not (Q.equal lo olo && Q.equal hi ohi) then full ()
+          else begin
+            let old_tags = Hashtbl.create 64 in
+            List.iter
+              (fun c -> Hashtbl.replace old_tags (Linconstr.tag c) ())
+              (hyperplane_constrs os);
+            let pool = hyperplane_constrs s in
+            let fresh, kept =
+              List.partition
+                (fun c -> not (Hashtbl.mem old_tags (Linconstr.tag c)))
+                pool
+            in
+            if List.length kept <> Hashtbl.length old_tags then full ()
+            else if fresh = [] then old_bps
+            else begin
+              let exprs =
+                Array.of_list (List.map Linconstr.expr (fresh @ kept))
+              in
+              let vertex_ts =
+                vertices_meeting_fresh ~n ~vars:(Semilinear.vars s)
+                  ~n_fresh:(List.length fresh) exprs
+                |> List.map (fun v -> v.(n - 1))
+                |> List.filter (fun t -> Q.leq lo t && Q.leq t hi)
+              in
+              List.sort_uniq Q.compare (old_bps @ vertex_ts)
+            end
+          end
 
 (* The sweep of the paper's Theorem 3 proof.  [?domains] parallelizes the
    interpolation-sample sections of the top-level sweep only (recursive

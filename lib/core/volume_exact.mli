@@ -132,3 +132,14 @@ val breakpoints : Semilinear.t -> Q.t list
 (** The candidate breakpoints used by the sweep on the last coordinate:
     last coordinates of all vertices of the constraint-hyperplane
     arrangement, plus the bounding interval's endpoints. *)
+
+val breakpoints_since :
+  old_set:Semilinear.t -> old_bps:Q.t list -> Semilinear.t -> Q.t list
+(** [breakpoints s], computed incrementally against a predecessor:
+    [old_bps] must be [breakpoints old_set].  When [s]'s last-axis
+    bounding interval matches [old_set]'s and every hyperplane of
+    [old_set] survives into [s]'s pool, only arrangement subsets meeting
+    a fresh hyperplane are enumerated and merged into [old_bps]; the
+    result equals [breakpoints s] exactly.  Falls back to the full
+    enumeration when a precondition fails.
+    @raise Unbounded like [breakpoints]. *)

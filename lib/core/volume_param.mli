@@ -32,6 +32,27 @@ val section_volume_function : ?domains:int -> Semilinear.t -> t
     @raise Volume_exact.Unbounded on unbounded sets.
     @raise Invalid_argument in dimension < 2. *)
 
+val refresh :
+  ?domains:int ->
+  ?old_set:Semilinear.t ->
+  old:t ->
+  dirty:(Q.t -> Q.t -> bool) ->
+  Semilinear.t ->
+  t * int * int
+(** Rebuild the piece list for the {e updated} set [s], re-interpolating
+    only pieces whose open interval [(a, b)] satisfies [dirty a b] (the
+    delta slab test) or lies outside the coverage of [old].  When
+    [old_set] (the set [old] was computed from) is supplied, the
+    breakpoint list itself is maintained incrementally through
+    {!Volume_exact.breakpoints_since}.  Every other
+    piece reuses the old polynomial overlapping its interval.  Returns
+    [(pieces, recomputed, reused)].  Because the section volumes outside
+    the delta slab are unchanged and polynomials of degree below [n]
+    agreeing on an interval are equal, the result is byte-identical to a
+    cold {!section_volume_function} on [s].
+    @raise Volume_exact.Unbounded on unbounded sets.
+    @raise Invalid_argument in dimension < 2. *)
+
 val eval : t -> Q.t -> Q.t
 (** Evaluate the function (0 outside all pieces; breakpoints take the value
     of an adjacent piece -- a measure-zero convention). *)

@@ -267,3 +267,34 @@ let pp fmt a =
   Format.fprintf fmt "@[<v>dim %d over (%a):@ %a@]" (dim a)
     (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") Var.pp)
     (Array.to_list a.vars) Linformula.pp_dnf a.dnf
+
+(* ------------------------------------------------------------------ *)
+(* Deltas: localized edits with a change summary                       *)
+(* ------------------------------------------------------------------ *)
+
+type delta = {
+  inserted : bool;
+  updated : t;
+  delta_box : (Q.t * Q.t) array option;
+  delta_empty : bool;
+}
+
+let delta_of ~inserted ~updated r =
+  let delta_empty = is_empty r in
+  {
+    inserted;
+    updated;
+    delta_box = (if delta_empty then None else bounding_box r);
+    delta_empty;
+  }
+
+let insert_region s r =
+  if is_empty r then { inserted = true; updated = s; delta_box = None; delta_empty = true }
+  else delta_of ~inserted:true ~updated:(union s r) r
+
+let remove_region s r =
+  if is_empty r then { inserted = false; updated = s; delta_box = None; delta_empty = true }
+  else delta_of ~inserted:false ~updated:(diff s r) r
+
+let insert_polytope s conj = insert_region s (of_conjunction s.vars conj)
+let remove_polytope s conj = remove_region s (of_conjunction s.vars conj)

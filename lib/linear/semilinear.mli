@@ -81,3 +81,38 @@ val rename_vars : Var.t array -> t -> t
 val disjunct_count : t -> int
 val atom_count : t -> int
 val pp : Format.formatter -> t -> unit
+
+(** {1 Deltas}
+
+    Localized edits for incremental aggregate maintenance: inserting or
+    removing a region produces the updated set together with a change
+    summary carrying the delta's bounding box, so downstream caches
+    (volume sweeps, section polynomials, samplers) can invalidate only
+    what the box touches.  The summary describes the {e edited region},
+    not the symmetric difference: membership can only change at points
+    where the region itself changes the constraint data, so any point
+    outside [delta_box] keeps its membership verbatim for both insert and
+    remove. *)
+
+type delta = {
+  inserted : bool;  (** [true] for insert, [false] for remove *)
+  updated : t;  (** the set after the edit *)
+  delta_box : (Q.t * Q.t) array option;
+      (** {!bounding_box} of the edited region; [None] when the region is
+          empty or unbounded — pair with [delta_empty] to tell which *)
+  delta_empty : bool;  (** the edited region is empty: the edit is a no-op *)
+}
+
+val insert_region : t -> t -> delta
+(** [insert_region s r] is the union [s ∪ r] with [r]'s change summary.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val remove_region : t -> t -> delta
+(** [remove_region s r] is the difference [s ∖ r] with [r]'s change
+    summary.  @raise Invalid_argument on dimension mismatch. *)
+
+val insert_polytope : t -> Linformula.conjunction -> delta
+(** [insert_region] of the single polytope [conj] over the set's own
+    coordinates.  @raise Invalid_argument on foreign variables. *)
+
+val remove_polytope : t -> Linformula.conjunction -> delta

@@ -35,6 +35,8 @@ type request =
   | Plan_req of { target : target; budget : float option }
   | Vol of { target : target; args : Q.t array; opts : vol_opts }
   | Vol_batch of { target : target; bindings : Q.t array list; opts : vol_opts }
+  | Update of { schema : string; rel : string; region : string; inserted : bool }
+  | Db_version of { schema : string }
   | Stats
   | Reset
   | Shutdown
@@ -261,5 +263,22 @@ let parse line =
           let* target = target_of obj in
           let* bindings = bindings_of obj in
           finish (Vol_batch { target; bindings; opts = opts_of obj })
+      | Some (("insert" | "remove") as op) -> (
+          match
+            ( member_string "schema" obj,
+              member_string "rel" obj,
+              member_string "region" obj )
+          with
+          | Some schema, Some rel, Some region ->
+              finish (Update { schema; rel; region; inserted = op = "insert" })
+          | _ ->
+              Error
+                ( "bad-request",
+                  Printf.sprintf
+                    "%S needs \"schema\", \"rel\" and \"region\" strings" op ))
+      | Some "db_version" -> (
+          match member_string "schema" obj with
+          | Some schema -> finish (Db_version { schema })
+          | None -> Error ("bad-request", "\"db_version\" needs a \"schema\" string"))
       | Some op -> Error ("unknown-op", Printf.sprintf "unknown op %S" op))
   | Ok _ -> Error ("bad-request", "request must be a JSON object")

@@ -13,6 +13,17 @@
       plan id, with optional parameter bindings in ["args"].
     - [{"op":"vol_batch",...,"bindings":[[...],...]}] — many bindings of
       one plan in a single request.
+    - [{"op":"insert","schema":S,"rel":R,"region":F}] /
+      [{"op":"remove",...}] — update the schema's shared database in
+      place: union ([insert]) or subtract ([remove]) the semi-linear
+      region defined by the relation-free FO + LIN formula [F] (over the
+      relation's canonical coordinates [x0, x1, ...]) into relation [R].
+      The write is {e linearized} against in-flight volume requests: the
+      batch queue is flushed before the update applies, so every earlier
+      request sees the old database and every later one the new.  The
+      response carries the new ["version"] and the delta's bounding box.
+    - [{"op":"db_version","schema":S}] — current version of the schema's
+      shared database (0 until the first update).
     - [{"op":"stats"}] — server counters, plan-cache stripe accounting and
       the current telemetry snapshot.
     - [{"op":"reset"}] — clear the plan cache, the registered-plan table
@@ -63,6 +74,8 @@ type request =
   | Plan_req of { target : target; budget : float option }
   | Vol of { target : target; args : Q.t array; opts : vol_opts }
   | Vol_batch of { target : target; bindings : Q.t array list; opts : vol_opts }
+  | Update of { schema : string; rel : string; region : string; inserted : bool }
+  | Db_version of { schema : string }
   | Stats
   | Reset
   | Shutdown

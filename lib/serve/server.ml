@@ -22,6 +22,7 @@ let tm_batched = T.counter "serve.batched"
 let tm_coalesced = T.counter "serve.coalesced"
 let tm_fallback = T.counter "serve.fallback"
 let tm_reject = T.counter "serve.reject"
+let tm_update = T.counter "serve.update"
 let tm_queue_ns = T.timer "serve.queue_ns"
 let tm_exec_ns = T.timer "serve.exec_ns"
 
@@ -417,6 +418,67 @@ let admit st conn rid ~op p db ~args_arity opts k_exact =
                   arrival_ns = T.now_ns ();
                 }
 
+(* ------------------------------------------------------------------ *)
+(* Database updates                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A region travels as a relation-free FO + LIN formula over the edited
+   relation's canonical coordinates [x0 .. x(arity-1)]; it is evaluated
+   against an empty database, so any [Rel] atom is rejected up front. *)
+let region_of_formula ~arity text =
+  match Parser.formula_of_string text with
+  | exception Parser.Parse_error m -> Error ("parse-error", "region: " ^ m)
+  | f -> (
+      if Ast.relations f <> [] then
+        Error
+          ( "bad-request",
+            "region must be a relation-free FO+LIN formula over x0, x1, ..." )
+      else
+        match
+          Eval.eval_set
+            (Db.empty Cqa_logic.Schema.empty)
+            (Cqa_linear.Semilinear.default_vars arity)
+            f
+        with
+        | s -> Ok s
+        | exception Invalid_argument m -> Error ("bad-request", "region: " ^ m))
+
+let delta_box_json = function
+  | None -> "null"
+  | Some bb ->
+      "["
+      ^ String.concat ","
+          (Array.to_list bb
+          |> List.map (fun (lo, hi) ->
+                 "[" ^ P.json_q lo ^ "," ^ P.json_q hi ^ "]"))
+      ^ "]"
+
+let apply_update reg ~schema ~rel ~region ~inserted =
+  match db_for reg (Some schema) with
+  | Error e -> Error e
+  | Ok db -> (
+      match Cqa_logic.Schema.arity (Db.schema db) rel with
+      | None ->
+          Error
+            ("bad-request", Printf.sprintf "unknown relation %S in schema" rel)
+      | Some arity -> (
+          match region_of_formula ~arity region with
+          | Error e -> Error e
+          | Ok r -> (
+              let u = if inserted then Db.Insert (rel, r) else Db.Remove (rel, r) in
+              match Db.apply_update db u with
+              | exception Invalid_argument m -> Error ("bad-request", m)
+              | ch ->
+                  T.incr tm_update;
+                  Ok
+                    [
+                      ("rel", P.json_string rel);
+                      ("version", string_of_int ch.Db.version);
+                      ("delta_box", delta_box_json ch.Db.delta_box);
+                      ( "delta_empty",
+                        if ch.Db.delta_empty then "true" else "false" );
+                    ])))
+
 let clear_engine_caches () =
   Plan.clear_cache ();
   Cqa_linear.Fourier_motzkin.clear_qe_cache ();
@@ -446,6 +508,23 @@ let handle_request st conn line =
                  ("telemetry_enabled", if T.enabled () then "true" else "false");
                  ("telemetry", telemetry);
                ])
+      | P.Update { schema; rel; region; inserted } -> (
+          (* serialize the write against in-flight work: everything queued
+             before it executes against the pre-update database, so
+             update-then-query sequences are linearizable *)
+          if !(st.queue) <> [] then flush ~domains:st.cfg.domains st.queue;
+          let op = if inserted then "insert" else "remove" in
+          match apply_update st.reg ~schema ~rel ~region ~inserted with
+          | Error (code, msg) -> respond_err conn (P.error ?rid ~op ~code msg)
+          | Ok fields -> respond_ok conn (P.ok ?rid ~op fields))
+      | P.Db_version { schema } -> (
+          match db_for st.reg (Some schema) with
+          | Error (code, msg) ->
+              respond_err conn (P.error ?rid ~op:"db_version" ~code msg)
+          | Ok db ->
+              respond_ok conn
+                (P.ok ?rid ~op:"db_version"
+                   [ ("version", string_of_int (Db.version db)) ]))
       | P.Reset ->
           clear_engine_caches ();
           Hashtbl.reset st.reg.plans;

@@ -164,3 +164,60 @@ let estimate_family_random ?(domains = 1) ~prng ~dim ~n ~mem params =
       counts;
     List.mapi (fun j a -> (a, Q.of_ints totals.(j) n)) params
   end
+
+(* ------------------------------------------------------------------ *)
+(* Retained samples (incremental re-scoring)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The exact points [estimate_random] would draw for the same prng, size
+   and domain count: the [domains = 1] branch is [random_sample] itself,
+   and the chunked branch replays [estimate_random]'s decomposition (split
+   the prngs in chunk order, draw each chunk with the generation loop of
+   the chunk scorer).  Callers retain the points and a membership bitmap
+   so a database update can re-score only the points a delta touches;
+   [fraction_of_bits] then reproduces [estimate_random]'s rational. *)
+let sample_points ?(domains = 1) ~prng ~dim n =
+  if n <= 0 then invalid_arg "Approx_volume.sample_points: empty sample";
+  let domains = clamp_domains ~n domains in
+  if domains = 1 then Array.of_list (random_sample ~prng ~dim ~n)
+  else begin
+    let sizes = chunk_sizes ~n ~chunks:domains in
+    let prngs = Array.init domains (fun _ -> Prng.split prng) in
+    let out = Array.make n [||] in
+    let pos = ref 0 in
+    for i = 0 to domains - 1 do
+      let prng = prngs.(i) in
+      for _ = 1 to sizes.(i) do
+        out.(!pos) <- Array.init dim (fun _ -> Prng.q_unit prng);
+        incr pos
+      done
+    done;
+    if T.enabled () then T.add tm_drawn n;
+    out
+  end
+
+let score_sample mem pts =
+  let n = Array.length pts in
+  if n = 0 then invalid_arg "Approx_volume.score_sample: empty sample";
+  let bits = Bytes.make n '\000' in
+  let hits = ref 0 in
+  Array.iteri
+    (fun i pt ->
+      if mem pt then begin
+        Bytes.set bits i '\001';
+        incr hits
+      end)
+    pts;
+  if T.enabled () then begin
+    T.incr tm_estimates;
+    T.add tm_tests n;
+    T.add tm_accepted !hits
+  end;
+  bits
+
+let fraction_of_bits bits =
+  let n = Bytes.length bits in
+  if n = 0 then invalid_arg "Approx_volume.fraction_of_bits: empty sample";
+  let hits = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr hits) bits;
+  Q.of_ints !hits n

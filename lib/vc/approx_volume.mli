@@ -59,3 +59,23 @@ val estimate_family_random :
   ('a * Q.t) list
 (** [estimate_family] over a freshly drawn sample of [n] points, scored
     against every parameter, chunk-parallel across [domains]. *)
+
+(** {1 Retained samples}
+
+    For incremental re-scoring under database updates: draw the sample
+    once, keep the points and a membership bitmap, and after an update
+    re-test only the points the delta's bounding box touches. *)
+
+val sample_points :
+  ?domains:int -> prng:Prng.t -> dim:int -> int -> Q.t array array
+(** [sample_points ~prng ~dim n]: exactly the points {!estimate_random}
+    draws for the same [prng], [n] and [domains] (chunk PRNGs split in
+    chunk order, points in chunk order), so a retained sample reproduces
+    the one-shot estimate bit-for-bit. *)
+
+val score_sample : (Q.t array -> bool) -> Q.t array array -> Bytes.t
+(** Membership bitmap of the points ([\001] = inside); ticks the same
+    test/acceptance counters as a one-shot estimate. *)
+
+val fraction_of_bits : Bytes.t -> Q.t
+(** Hits over sample size: the estimate the bitmap encodes. *)

@@ -12,6 +12,7 @@
 
 open Cqa_arith
 open Cqa_logic
+open Cqa_linear
 open Cqa_core
 open Cqa_analysis
 
@@ -174,6 +175,56 @@ let prop_guarded_agreement =
       | Volume_exact.Exact_engine -> Q.equal g.Volume_exact.value v
       | Volume_exact.Approx_engine _ -> true (* only past the budget *))
 
+(* ------------------------------------------------------------------ *)
+(* Incremental maintenance under random update sequences               *)
+(* ------------------------------------------------------------------ *)
+
+(* random ordered rational interval within [-1, 2] *)
+let gen_interval =
+  Gen.map2
+    (fun a b -> if Q.leq a b then (a, b) else (b, a))
+    gen_const gen_const
+
+(* one update: insert or remove a random box region into R *)
+let gen_update =
+  let open Gen in
+  let* inserted = bool in
+  let* ix = gen_interval in
+  let* iy = gen_interval in
+  return (inserted, Semilinear.box [| ix; iy |])
+
+let gen_update_seq = Gen.list_size (Gen.int_range 1 5) gen_update
+
+let update_schema = Schema.of_list [ ("R", 2) ]
+
+let print_updates us =
+  us
+  |> List.map (fun (ins, r) ->
+         Format.asprintf "%s %a" (if ins then "insert" else "remove")
+           Semilinear.pp r)
+  |> String.concat "; "
+
+(* the tentpole invariant: after every prefix of a random insert/remove
+   sequence, the incrementally maintained answer is byte-identical to a
+   cold recompute on the updated database *)
+let prop_incremental_matches_recompute =
+  Test.make ~name:"incremental update answers = cold recompute" ~count
+    ~print:print_updates gen_update_seq (fun updates ->
+      let f = Ast.Rel ("R", [ xx; yy ]) in
+      let db = Db.empty update_schema in
+      let p = Planner.compile ~db ~coords f in
+      List.for_all
+        (fun (inserted, r) ->
+          let u = if inserted then Db.Insert ("R", r) else Db.Remove ("R", r) in
+          ignore (Db.apply_update db u);
+          let inc = Exec.volume_clamped p db in
+          let cold = Volume_exact.volume_clamped (Eval.eval_set db coords f) in
+          if Q.equal inc cold then true
+          else
+            Test.fail_reportf "at version %d: incremental %s <> cold %s"
+              (Db.version db) (Q.to_string inc) (Q.to_string cold))
+        updates)
+
 let prop_sampler_within_eps =
   (* the sampler is probabilistic: eps 0.1 holds with probability
      1 - delta per query, so the gate uses a 3x slack — failures at that
@@ -198,4 +249,5 @@ let () =
         ];
       qsuite "volume"
         [ prop_volume_agreement; prop_guarded_agreement; prop_sampler_within_eps ];
+      qsuite "updates" [ prop_incremental_matches_recompute ];
     ]

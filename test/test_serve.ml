@@ -294,6 +294,77 @@ let test_concurrent_byte_identical () =
     (counter_value "serve.coalesced" - coalesced0 > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Database updates: insert / remove / db_version                      *)
+(* ------------------------------------------------------------------ *)
+
+let db_version_req sch = Printf.sprintf {|{"op":"db_version","schema":"%s"}|} sch
+
+let test_update_roundtrip () =
+  with_server @@ fun addr ->
+  with_client addr @@ fun c ->
+  let sch = "R:2" in
+  let v0 = Client.request c (db_version_req sch) in
+  check "db_version ok" true (is_ok v0);
+  check_int "fresh schema db at version 0" 0 (int_field "version" v0);
+  (* one spelling, resolved once: every vol below hits the same plan and
+     the same physical database, so answers move only through updates *)
+  let vol () =
+    str_field "vol"
+      (Client.request c
+         (Printf.sprintf {|{"op":"vol","query":"R(x, y)","schema":"%s"}|} sch))
+  in
+  check_str "empty relation has volume 0" "0" (vol ());
+  let update op region =
+    Client.request c
+      (Printf.sprintf {|{"op":"%s","schema":"%s","rel":"R","region":"%s"}|} op
+         sch region)
+  in
+  let ins =
+    update "insert" {|0 <= x0 /\\ x0 <= 1/2 /\\ 0 <= x1 /\\ x1 <= 1/2|}
+  in
+  check "insert ok" true (is_ok ins);
+  check_str "insert echoes op" "insert" (str_field "op" ins);
+  check_int "insert bumps the version" 1 (int_field "version" ins);
+  (match member "delta_box" ins with
+  | Some (J.Arr [ J.Arr _; J.Arr _ ]) -> ()
+  | _ -> Alcotest.failf "insert carries no 2-d delta box: %s" ins);
+  check_str "insert reflected in queries" "1/4" (vol ());
+  let rem =
+    update "remove" {|1/4 <= x0 /\\ x0 <= 1/2 /\\ 0 <= x1 /\\ x1 <= 1/2|}
+  in
+  check_int "remove bumps the version" 2 (int_field "version" rem);
+  check_str "removal reflected in queries" "1/8" (vol ());
+  (* an empty-region edit is a flagged no-op but still versions *)
+  let noop = update "remove" {|x0 <= -5 /\\ 5 <= x0|} in
+  check "no-op delta flagged" true
+    (match member "delta_empty" noop with Some (J.Bool b) -> b | _ -> false);
+  check "no-op delta box is null" true (member "delta_box" noop = Some J.Null);
+  check_str "no-op leaves the answer alone" "1/8" (vol ());
+  check_int "db_version tracks every update" 3
+    (int_field "version" (Client.request c (db_version_req sch)))
+
+let test_update_errors () =
+  with_server @@ fun addr ->
+  with_client addr @@ fun c ->
+  let code line = error_code (Client.request c line) in
+  check_str "insert missing rel" "bad-request"
+    (code {|{"op":"insert","schema":"R:2","region":"0 <= x0"}|});
+  check_str "remove missing region" "bad-request"
+    (code {|{"op":"remove","schema":"R:2","rel":"R"}|});
+  check_str "db_version missing schema" "bad-request"
+    (code {|{"op":"db_version"}|});
+  check_str "malformed schema spec" "bad-request"
+    (code {|{"op":"insert","schema":"R:zig","rel":"R","region":"0 <= x0"}|});
+  check_str "unknown relation" "bad-request"
+    (code {|{"op":"insert","schema":"R:2","rel":"S","region":"0 <= x0"}|});
+  check_str "region must be relation-free" "bad-request"
+    (code {|{"op":"insert","schema":"R:2","rel":"R","region":"R(x0, x1)"}|});
+  check_str "unparseable region" "parse-error"
+    (code {|{"op":"insert","schema":"R:2","rel":"R","region":"<<<"}|});
+  check "still serving after update errors" true
+    (is_ok (Client.request c {|{"op":"ping"}|}))
+
+(* ------------------------------------------------------------------ *)
 (* Disconnects                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -335,6 +406,10 @@ let () =
       ( "concurrency",
         [ Alcotest.test_case "batched responses byte-identical" `Quick
             test_concurrent_byte_identical ] );
+      ( "updates",
+        [ Alcotest.test_case "insert, remove, db_version round trip" `Quick
+            test_update_roundtrip;
+          Alcotest.test_case "update error codes" `Quick test_update_errors ] );
       ( "disconnects",
         [ Alcotest.test_case "mid-request disconnects tolerated" `Quick
             test_disconnect_mid_request ] );
