@@ -62,7 +62,11 @@ let builtin_allow =
     (* whole update sessions (seed + warm sweep + four maintained
        queries): end-to-end shapes that get few iterations under the
        smoke quota, like the pentagon program above *)
-    "update_*"; "ctr:update:plan.compile_ns" ]
+    "update_*"; "ctr:update:plan.compile_ns";
+    (* cold multi-millisecond kernel-ablation rows: few iterations under
+       the smoke quota (the microsecond-scale kernel_fm_sat_* /
+       kernel_qe_density_* rows stay gated) *)
+    "kernel_qe_vertex_*"; "kernel_polygon_cold_*"; "kernel_sweep_3d_*" ]
 
 let allow_matches allow k =
   S.exists

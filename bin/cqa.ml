@@ -66,7 +66,8 @@ let with_stats ?(plan_cache = false) stats run =
         let d = Telemetry.diff ~before ~after:(Telemetry.snapshot ()) in
         match fmt with
         | `Human ->
-            Format.printf "@.-- telemetry --@.%a@." Telemetry.pp d;
+            Format.printf "@.-- telemetry (kernel: %s) --@.%a@."
+              (Dispatch.kernel_name ()) Telemetry.pp d;
             if plan_cache then
               Format.printf "@.-- plan cache --@.%a@." Plan.pp_cache_stats ()
         | `Json ->

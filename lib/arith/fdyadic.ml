@@ -1,0 +1,197 @@
+(* Outward-rounded double-precision enclosures of exact rationals: the
+   scalar layer of the float-filtered kernel (DESIGN.md, "The
+   float-filtered numeric kernel").
+
+   An enclosure [{lo; hi}] asserts lo <= v <= hi for the exact value v it
+   stands for, where lo and hi are IEEE-754 doubles (infinities allowed,
+   never NaN).  Every operation here preserves that invariant, so any
+   predicate decided from enclosures alone — a comparison whose intervals
+   do not overlap — agrees with the exact rational answer.  Overlapping
+   intervals yield [Unknown] and the caller re-runs the exact path: the
+   filter is a conservative abstraction, never an approximation.
+
+   Two properties make the filter decisive on this codebase's inputs
+   rather than merely sound:
+
+   - {!Linconstr.make} scales every constraint to primitive *integer*
+     coefficients, so rows enter the kernel as width-zero (point)
+     enclosures whenever the integers fit in 53 bits — the common case
+     by far.
+
+   - The directed additions below detect exactness instead of blindly
+     nudging one ulp: TwoSum recovers the exact rounding error of a +. b,
+     and the bound is widened only when that error is nonzero in the
+     unsafe direction.  Likewise a product of integer-valued doubles with
+     |a *. b| < 2^53 is provably exact.  Sums and small products of
+     integer points therefore stay points, and boundary cases (a combined
+     constant that is exactly zero) are decided, not punted. *)
+
+type t = { lo : float; hi : float }
+
+let top = { lo = neg_infinity; hi = infinity }
+let zero = { lo = 0.0; hi = 0.0 }
+let point f = { lo = f; hi = f }
+let is_point x = x.lo = x.hi
+
+(* Directed neighbors.  [Float.succ]/[Float.pred] step through subnormals
+   and from/to infinities correctly; we only need to pin the infinite
+   endpoints (succ infinity = infinity already holds). *)
+let next_up f = if f = infinity then infinity else Float.succ f
+let next_down f = if f = neg_infinity then neg_infinity else Float.pred f
+
+(* Round-to-nearest gives +infinity only when the exact sum/product
+   exceeds max_float (in fact exceeds the midpoint max_float + 2^969), so
+   max_float is a sound finite lower bound for an overflowed result, and
+   symmetrically for -infinity.  NaN arises only from inf - inf or
+   0 * inf on already-infinite (i.e. already-top) inputs; the directed
+   result degrades to the unbounded endpoint, keeping enclosures NaN-free. *)
+
+let add_down a b =
+  let s = a +. b in
+  if s = infinity then max_float
+  else if s = neg_infinity then neg_infinity
+  else if Float.is_nan s then neg_infinity
+  else begin
+    (* TwoSum: err is the exact value of (a + b) - s, provided no
+       intermediate overflows; |s| is finite here and the correction
+       terms are bounded by |a| and |b|, so they cannot overflow unless
+       |s| is within one ulp of max_float — nudge unconditionally in that
+       regime rather than trust the error term. *)
+    if Float.abs s >= 0x1.fp1023 then next_down s
+    else
+      let b' = s -. a in
+      let err = (a -. (s -. b')) +. (b -. b') in
+      if err >= 0.0 then s else next_down s
+  end
+
+let add_up a b =
+  let s = a +. b in
+  if s = neg_infinity then -.max_float
+  else if s = infinity then infinity
+  else if Float.is_nan s then infinity
+  else if Float.abs s >= 0x1.fp1023 then next_up s
+  else
+    let b' = s -. a in
+    let err = (a -. (s -. b')) +. (b -. b') in
+    if err <= 0.0 then s else next_up s
+
+(* A product of integer-valued doubles whose rounded result lies strictly
+   below 2^53 is exact: the true product is an integer, and if it were
+   >= 2^53 the rounded result (off by < one ulp = 1 at that magnitude,
+   and itself an integer multiple of the ulp) could not come out below
+   2^53.  Every representable integer below 2^53 is exact. *)
+let exact_mul a b p =
+  a = 0.0 || b = 0.0
+  || (Float.abs p < 0x1p53 && Float.is_integer a && Float.is_integer b)
+
+let mul_down a b =
+  let p = a *. b in
+  if p = infinity then max_float
+  else if p = neg_infinity then neg_infinity
+  else if Float.is_nan p then neg_infinity
+  else if exact_mul a b p then p
+  else next_down p
+
+let mul_up a b =
+  let p = a *. b in
+  if p = neg_infinity then -.max_float
+  else if p = infinity then infinity
+  else if Float.is_nan p then infinity
+  else if exact_mul a b p then p
+  else next_up p
+
+let neg x = { lo = -.x.hi; hi = -.x.lo }
+let add x y = { lo = add_down x.lo y.lo; hi = add_up x.hi y.hi }
+
+(* General interval product: directed min/max over the four endpoint
+   products.  The helpers never return NaN, so Float.min/max are safe. *)
+let mul_lo4 xlo xhi ylo yhi =
+  Float.min
+    (Float.min (mul_down xlo ylo) (mul_down xlo yhi))
+    (Float.min (mul_down xhi ylo) (mul_down xhi yhi))
+
+let mul_hi4 xlo xhi ylo yhi =
+  Float.max
+    (Float.max (mul_up xlo ylo) (mul_up xlo yhi))
+    (Float.max (mul_up xhi ylo) (mul_up xhi yhi))
+
+let mul x y =
+  { lo = mul_lo4 x.lo x.hi y.lo y.hi; hi = mul_hi4 x.lo x.hi y.lo y.hi }
+
+(* combine a b x y encloses a*x + b*y — the FM pair-combination step. *)
+let combine a x b y = add (mul a x) (mul b y)
+
+type cmp = Sure_lt | Sure_ge | Unknown
+
+let cmp x y =
+  if x.hi < y.lo then Sure_lt else if x.lo >= y.hi then Sure_ge else Unknown
+
+let cmp0 x = if x.hi < 0.0 then Sure_lt else if x.lo >= 0.0 then Sure_ge else Unknown
+
+let compare_opt x y =
+  if x.hi < y.lo then Some (-1)
+  else if y.hi < x.lo then Some 1
+  else if is_point x && is_point y && x.lo = y.lo then Some 0
+  else None
+
+(* Exact-point conversion when the rational is an integer that the double
+   format represents exactly: Q.to_float rounds, and a rounded |result|
+   strictly below 2^53 certifies the integer was representable (integers
+   of magnitude >= 2^53 round to >= 2^53). *)
+let of_q_point q =
+  if Q.is_integer q then begin
+    let f = Q.to_float q in
+    if Float.abs f < 0x1p53 then Some f else None
+  end
+  else None
+
+(* Verified enclosure: start from the to_float approximation and walk each
+   endpoint outward until Q.of_float_dyadic certifies it bounds q.
+   Q.to_float is within a few ulp of the true value (two correctly-rounded
+   Bigint conversions and one division), so the walk terminates in a
+   handful of steps; it is only used on cached, per-constraint paths. *)
+let of_q q =
+  match of_q_point q with
+  | Some f -> point f
+  | None ->
+      let f = Q.to_float q in
+      if Float.is_nan f then top
+      else begin
+        let f =
+          if f = infinity then max_float
+          else if f = neg_infinity then -.max_float
+          else f
+        in
+        let rec down g =
+          if g = neg_infinity || Q.leq (Q.of_float_dyadic g) q then g
+          else down (next_down g)
+        in
+        let rec up g =
+          if g = infinity || Q.leq q (Q.of_float_dyadic g) then g
+          else up (next_up g)
+        in
+        { lo = down f; hi = up f }
+      end
+
+(* Cheap enclosure for per-iteration use (the simplex ratio filter), with
+   no Bigint round-trips.  Q.to_float computes to_float(num) /.
+   to_float(den); Bigint.to_float truncates below its top four limbs
+   (relative error < 2^-180) and float division rounds correctly, so the
+   combined relative error is far below 2^-40 — a 2^-40 outward margin is
+   a sound enclosure with room to spare.  Zero and non-finite
+   approximations get conservative absolute bounds: a quotient rounds to
+   0 only when |q| < 2^-1000, and to infinity only when q > 2^1000. *)
+let of_q_fast q =
+  match of_q_point q with
+  | Some f -> point f
+  | None ->
+      let f = Q.to_float q in
+      if Float.is_nan f then top
+      else if f = 0.0 then { lo = -0x1p-1000; hi = 0x1p-1000 }
+      else if f = infinity then { lo = 0x1p1000; hi = infinity }
+      else if f = neg_infinity then { lo = neg_infinity; hi = -0x1p1000 }
+      else
+        let m = Float.abs f *. 0x1p-40 in
+        { lo = next_down (f -. m); hi = next_up (f +. m) }
+
+let pp ppf x = Format.fprintf ppf "[%h, %h]" x.lo x.hi

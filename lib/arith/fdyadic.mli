@@ -1,0 +1,83 @@
+(** Outward-rounded double-precision enclosures of exact rationals: the
+    scalar layer of the float-filtered kernel.
+
+    A value [{lo; hi}] encloses the exact rational it stands for:
+    [lo <= v <= hi], with IEEE doubles as endpoints (infinities allowed,
+    never NaN).  All operations preserve the enclosure, so comparisons
+    decided from non-overlapping intervals agree with exact arithmetic;
+    overlapping intervals answer {!Unknown} and the caller falls back to
+    the exact rational path.  Directed rounding detects exactness (TwoSum
+    error terms for sums, 53-bit integer products) instead of widening
+    unconditionally, so the integer-coefficient rows produced by
+    {!Linconstr} stay width-zero through Fourier-Motzkin combination and
+    boundary cases are decided, not punted. *)
+
+type t = private { lo : float; hi : float }
+
+val top : t
+val zero : t
+
+val point : float -> t
+(** The width-zero enclosure of an exactly-represented value. *)
+
+val is_point : t -> bool
+
+(** {1 Directed scalar primitives}
+
+    Raw-float helpers used by the flat-row kernel on unboxed arrays.
+    [add_down a b <= a + b <= add_up a b] and likewise for [mul_*], for
+    the {e exact} sum/product of the float operands; results are never
+    NaN (unbounded directions degrade to the matching infinity). *)
+
+val next_up : float -> float
+val next_down : float -> float
+val add_down : float -> float -> float
+val add_up : float -> float -> float
+val mul_down : float -> float -> float
+val mul_up : float -> float -> float
+
+val mul_lo4 : float -> float -> float -> float -> float
+(** [mul_lo4 xlo xhi ylo yhi] is a lower bound of [x * y] for any
+    [x] in [[xlo, xhi]] and [y] in [[ylo, yhi]]. *)
+
+val mul_hi4 : float -> float -> float -> float -> float
+
+(** {1 Interval operations} *)
+
+val neg : t -> t
+val add : t -> t -> t
+val mul : t -> t -> t
+
+val combine : t -> t -> t -> t -> t
+(** [combine a x b y] encloses [a*x + b*y] — the Fourier-Motzkin pair
+    combination step. *)
+
+(** {1 Comparisons} *)
+
+type cmp =
+  | Sure_lt  (** every value of the left is < every value of the right *)
+  | Sure_ge  (** every value of the left is >= every value of the right *)
+  | Unknown  (** the enclosures overlap: fall back to exact arithmetic *)
+
+val cmp : t -> t -> cmp
+val cmp0 : t -> cmp
+
+val compare_opt : t -> t -> int option
+(** Three-way comparison when the enclosures decide it: [Some 0] only for
+    equal width-zero points, [None] whenever exact arithmetic is needed. *)
+
+(** {1 Conversions} *)
+
+val of_q : Q.t -> t
+(** Verified tight enclosure: endpoints are checked against the exact
+    rational via {!Q.of_float_dyadic} round-trips.  Exact integers below
+    2{^53} become width-zero points.  Meant for cached, per-constraint
+    conversions. *)
+
+val of_q_fast : Q.t -> t
+(** Cheap enclosure with a relative 2{^-40} outward margin around
+    {!Q.to_float} (whose relative error is far smaller); no Bigint
+    round-trips beyond the conversion itself.  Meant for per-iteration
+    use in the simplex ratio filter. *)
+
+val pp : Format.formatter -> t -> unit

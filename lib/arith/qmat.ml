@@ -221,6 +221,13 @@ let elim_pop e =
   if e.depth = 0 then invalid_arg "Qmat.elim_pop: empty";
   e.depth <- e.depth - 1
 
+(* Stale rationals stay in the stack after a reset, but every push starts
+   by blitting the full row and writing the rhs, so a reset state is
+   indistinguishable from a fresh one — which is what lets the volume
+   engine keep one elim per dimension in domain-local scratch arenas. *)
+let elim_reset e = e.depth <- 0
+let elim_cols e = e.cols
+
 let elim_solution e =
   if e.depth <> e.cols then invalid_arg "Qmat.elim_solution: not full rank";
   let x = Array.make e.cols Q.zero in

@@ -61,6 +61,14 @@ val elim_push : elim -> vec -> Q.t -> bool
 val elim_pop : elim -> unit
 (** Remove the most recently pushed row. @raise Invalid_argument if empty. *)
 
+val elim_reset : elim -> unit
+(** Forget all pushed rows, leaving the state as fresh as
+    [elim_create]'s: pushes overwrite their row storage completely, so a
+    reset [elim] may be reused across independent enumerations (the
+    scratch-arena path in the volume engine). *)
+
+val elim_cols : elim -> int
+
 val elim_solution : elim -> vec
 (** The unique solution of the current square system.
     @raise Invalid_argument unless exactly [cols] rows are in. *)

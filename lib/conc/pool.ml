@@ -63,6 +63,16 @@ let spawned_count = ref 0
 let worker_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 let is_worker () = Domain.DLS.get worker_key
 
+(* Per-domain scratch slots: each domain (the main one and every pool
+   worker) lazily builds its own value and reuses it across jobs with no
+   synchronization.  The kernel layers hang their scratch arenas
+   (flat-row tableaus, reusable Qmat elimination states) off these; the
+   values must therefore be self-resetting — safe to reuse after any
+   previous job on the same domain, including one that raised. *)
+let dls_slot ~init =
+  let key = Domain.DLS.new_key init in
+  fun () -> Domain.DLS.get key
+
 (* Take a job while holding [lock]: worker [w] drains its own lane from the
    front, then steals from the back of the others ([w = -1] marks a helping
    submitter, which only steals).  Returns [None] when every lane is

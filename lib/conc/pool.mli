@@ -113,3 +113,14 @@ val hw_parallelism : unit -> int
 
 val is_worker : unit -> bool
 (** True when called from inside a pool worker (the re-entrancy flag). *)
+
+val dls_slot : init:(unit -> 'a) -> unit -> 'a
+(** [dls_slot ~init] allocates a domain-local scratch slot and returns its
+    accessor: every domain (main or pool worker) lazily builds its own
+    value with [init] and then reuses it across calls on that domain, with
+    no synchronization.  The kernel layers hang scratch arenas off these
+    slots (flat-row tableaus, reusable {!Cqa_arith.Qmat.elim} states).
+    Values must be self-resetting: a slot may be observed again after a
+    job that raised.  The [arena.reuse]/[arena.grow] counters such arenas
+    tick depend on which domain work lands on, and are exempt from the
+    cross-domain determinism contract. *)

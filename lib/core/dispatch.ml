@@ -87,3 +87,9 @@ let decide ?(endpoints = 8) ?(budget = default_budget) p =
   in
   if projected > budget then Fallback_approx { projected; budget }
   else Run_exact
+
+(* The numeric-kernel label for stats lines and bench ablation rows.
+   Deliberately label-only: the filtered kernel is certified to produce
+   byte-identical results, so it must never influence [decide] — the
+   same query takes the same engine under either kernel. *)
+let kernel_name () = Cqa_linear.Flatrow.kernel_name ()

@@ -81,3 +81,9 @@ val decide : ?endpoints:int -> ?budget:float -> cost_profile -> decision
 (** Compare [max (projected_qe_atoms p) (projected_sum_points p)] against
     [budget] (default {!default_budget}; [endpoints] defaults to [8],
     matching the cost pass).  Strictly over budget means fall back. *)
+
+val kernel_name : unit -> string
+(** ["filtered"] or ["exact"] — the active numeric kernel
+    ({!Cqa_linear.Flatrow}), for stats lines and bench ablation labels.
+    Label-only by design: the filtered kernel produces byte-identical
+    results, so it never influences {!decide}. *)

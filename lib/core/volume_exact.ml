@@ -16,6 +16,33 @@ let tm_ie_calls = T.counter "volume.incl_excl.calls"
 let tm_ie_terms = T.counter "volume.incl_excl.terms"
 let tm_arr_pushes = T.counter "volume.arrangement.pushes"
 let tm_arr_vertices = T.counter "volume.arrangement.vertices"
+let tm_arena_reuse = T.counter "arena.reuse"
+let tm_arena_grow = T.counter "arena.grow"
+
+(* Per-domain reuse of the Qmat elimination state: vertex enumeration
+   allocates an n-row rational tableau per call, and parallel sweeps make
+   that call per cell.  One reset-and-reused [elim] per dimension per
+   domain removes the churn.  Sound because [Qmat.elim_push] overwrites
+   its row storage completely (a reset state is indistinguishable from a
+   fresh one) and each enumeration finishes before its caller returns —
+   the arrangement walks never nest.  [arena.reuse]/[arena.grow] depend
+   on which domain work lands on and are exempt from the cross-domain
+   determinism contract. *)
+let elim_slot : unit -> (int, Qmat.elim) Hashtbl.t =
+  Cqa_conc.Pool.dls_slot ~init:(fun () -> Hashtbl.create 4)
+
+let borrow_elim n =
+  let tbl = elim_slot () in
+  match Hashtbl.find_opt tbl n with
+  | Some e ->
+      T.incr tm_arena_reuse;
+      Qmat.elim_reset e;
+      e
+  | None ->
+      T.incr tm_arena_grow;
+      let e = Qmat.elim_create n in
+      Hashtbl.replace tbl n e;
+      e
 
 exception Unbounded
 
@@ -100,7 +127,7 @@ let arrangement_vertices s =
           (Array.map (fun v -> Linexpr.coeff e v) vars, Q.neg (Linexpr.constant e)))
         exprs
     in
-    let elim = Qmat.elim_create n in
+    let elim = borrow_elim n in
     let rec choose k start =
       if k = n then begin
         T.incr tm_arr_vertices;
@@ -151,7 +178,7 @@ let vertices_meeting_fresh ~n ~vars ~n_fresh exprs =
           (Array.map (fun v -> Linexpr.coeff e v) vars, Q.neg (Linexpr.constant e)))
         exprs
     in
-    let elim = Qmat.elim_create n in
+    let elim = borrow_elim n in
     let rec choose k start =
       if k = n then begin
         T.incr tm_arr_vertices;

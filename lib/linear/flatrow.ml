@@ -1,0 +1,454 @@
+(* Flat, unboxed constraint rows and the float Fourier-Motzkin filter:
+   the hot-loop side of the float-filtered kernel (DESIGN.md, "The
+   float-filtered numeric kernel").
+
+   A constraint's row is its primitive linear expression flattened into
+   parallel [float array] enclosure pairs (one {!Fdyadic}-style [lo]/[hi]
+   per coefficient, plus the constant), built once per interned
+   {!Linconstr} and cached on its hash-cons tag.  {!sat_conj} then runs
+   whole Fourier-Motzkin eliminations on an unboxed scratch tableau in
+   domain-local arenas — no [Q.t] allocation at all — and answers
+   [Sat]/[Unsat] only when every comparison on the way was sure, [Unknown]
+   otherwise.  Callers treat [Unknown] as "run the exact path": the filter
+   is a conservative abstraction of exact Fourier-Motzkin, so a sure
+   verdict always equals the exact verdict (soundness argument in
+   DESIGN.md).
+
+   Because {!Linconstr.make} scales constraints to primitive integer
+   coefficients, rows enter as width-zero points, and {!Fdyadic}'s
+   exactness-detecting directed ops keep them points through combination
+   in the common case — boundary cases (a combined constant of exactly
+   zero) are decided, not punted. *)
+
+open Cqa_arith
+open Cqa_logic
+module T = Cqa_telemetry.Telemetry
+module Pool = Cqa_conc.Pool
+
+(* ------------------------------------------------------------------ *)
+(* Kernel toggle                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* CQA_KERNEL=exact turns the filter off process-wide (every consult
+   degrades to the exact path); any other value, or none, leaves it on.
+   A plain ref: the flag is read-mostly, toggled only by benchmarks and
+   tests between runs, and a racy read merely routes one probe to the
+   other (equally correct) path. *)
+let filter_on =
+  ref (match Sys.getenv_opt "CQA_KERNEL" with Some "exact" -> false | _ -> true)
+
+let set_kernel b = filter_on := b
+let enabled () = !filter_on
+let kernel_name () = if !filter_on then "filtered" else "exact"
+
+(* Sure verdicts vs. exact fallbacks: the filter's hit rate.  Both depend
+   only on the probed conjunctions, but are ticked from cache-miss paths,
+   so they sit with the other fm.* counters outside the cross-domain
+   determinism contract. *)
+let tm_sure = T.counter "fm.filter.sure"
+let tm_fallback = T.counter "fm.filter.fallback"
+let tm_arena_reuse = T.counter "arena.reuse"
+let tm_arena_grow = T.counter "arena.grow"
+
+(* ------------------------------------------------------------------ *)
+(* Per-constraint cached rows                                          *)
+(* ------------------------------------------------------------------ *)
+
+type row = {
+  rvars : Var.t array; (* nonzero-coefficient variables, coeffs order *)
+  clo : float array; (* per-variable coefficient enclosures *)
+  chi : float array;
+  klo : float; (* constant-term enclosure *)
+  khi : float;
+}
+
+module Row_tbl = Cqa_conc.Striped_tbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash t = t
+end)
+
+let row_cache : row Row_tbl.t =
+  Row_tbl.create ~name:"fm.flatrow" ~cap:65536 ~evict:Cqa_conc.Striped_tbl.Reset
+    ()
+
+let row_of c =
+  let tag = Linconstr.tag c in
+  match Row_tbl.find_opt row_cache tag with
+  | Some r -> r
+  | None ->
+      let e = Linconstr.expr c in
+      let cs = Linexpr.coeffs e in
+      let n = List.length cs in
+      let rvars = Array.make n "" in
+      let clo = Array.make n 0.0 and chi = Array.make n 0.0 in
+      List.iteri
+        (fun i (v, q) ->
+          let enc = Fdyadic.of_q q in
+          rvars.(i) <- v;
+          clo.(i) <- enc.Fdyadic.lo;
+          chi.(i) <- enc.Fdyadic.hi)
+        cs;
+      let k = Fdyadic.of_q (Linexpr.constant e) in
+      let r = { rvars; clo; chi; klo = k.Fdyadic.lo; khi = k.Fdyadic.hi } in
+      Row_tbl.replace row_cache tag r;
+      r
+
+(* Three-way constant comparison for tighten_parallel: the cached
+   enclosures decide it whenever they are disjoint or equal points —
+   always, for the sub-2^53 integer constants primitive scaling
+   produces. *)
+let compare_constants a b =
+  let ra = row_of a and rb = row_of b in
+  if ra.khi < rb.klo then Some (-1)
+  else if rb.khi < ra.klo then Some 1
+  else if ra.klo = ra.khi && rb.klo = rb.khi && ra.klo = rb.klo then Some 0
+  else None
+
+let cache_size () = Row_tbl.length row_cache
+let clear_cache () = Row_tbl.reset row_cache
+
+(* ------------------------------------------------------------------ *)
+(* Domain-local scratch arenas                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The elimination tableau: two ping-pong buffers of interleaved rows.
+   A row block is [2 * (nv + 1)] floats — [lo; hi] per column, the last
+   column being the constant — plus one strictness byte per row.  Sized
+   once for the caps below (~70 KB per buffer), so each domain allocates
+   on first use and reuses forever after. *)
+
+let max_vars = 16
+let max_rows = 256
+let floats_cap = max_rows * 2 * (max_vars + 1)
+
+type arena = {
+  mutable ta : float array;
+  mutable tb : float array;
+  mutable sa : Bytes.t;
+  mutable sb : Bytes.t;
+}
+
+let arena_slot =
+  Pool.dls_slot ~init:(fun () ->
+      { ta = [||]; tb = [||]; sa = Bytes.empty; sb = Bytes.empty })
+
+let get_arena () =
+  let ar = arena_slot () in
+  if Array.length ar.ta < floats_cap then begin
+    T.incr tm_arena_grow;
+    ar.ta <- Array.make floats_cap 0.0;
+    ar.tb <- Array.make floats_cap 0.0;
+    ar.sa <- Bytes.make max_rows '\000';
+    ar.sb <- Bytes.make max_rows '\000'
+  end
+  else T.incr tm_arena_reuse;
+  ar
+
+(* ------------------------------------------------------------------ *)
+(* The float Fourier-Motzkin satisfiability filter                     *)
+(* ------------------------------------------------------------------ *)
+
+type verdict = Sat | Unsat | Unknown
+
+exception Bail (* some comparison was unsure, or a cap was hit *)
+exception Sure_unsat (* a ground row is surely violated *)
+
+(* [sat_conj conj] runs the whole elimination in floats.  Invariants:
+
+   - every tableau entry [lo, hi] encloses the exact rational the exact
+     elimination would compute at the same position;
+   - rows are Le (strict byte 0) or Lt (strict byte 1); equalities are
+     materialized as two opposite Le rows (float negation is exact);
+   - ground rows never enter the tableau: at creation they are checked —
+     surely violated terminates with Unsat, surely satisfied is dropped,
+     undecidable sets [saw_unknown] (the final verdict can then still be
+     Unsat, but never Sat).
+
+   Soundness of the verdicts: Fourier-Motzkin is a complete decision
+   procedure, and each step here either mirrors an exact step on
+   enclosures (combination, one-sided drops) or bails to [Unknown];
+   so a run that never bailed has decided exactly the questions the
+   exact run would, with the same answers. *)
+let sat_conj conj =
+  let v =
+    match conj with
+    | [] -> Sat
+    | _ -> (
+        try
+          (* -------- variable universe -------- *)
+          let module VS = Var.Set in
+          let vset =
+            List.fold_left
+              (fun s c -> List.fold_left (fun s v -> VS.add v s) s (Linconstr.vars c))
+              VS.empty conj
+          in
+          let nv = VS.cardinal vset in
+          if nv > max_vars then raise Bail;
+          let vars = Array.make (max nv 1) "" in
+          let _ = VS.fold (fun v i -> vars.(i) <- v; i + 1) vset 0 in
+          let col_of v =
+            let rec go i = if Var.equal vars.(i) v then i else go (i + 1) in
+            go 0
+          in
+          let stride = 2 * (nv + 1) in
+          let kcol = nv in
+          let ar = get_arena () in
+          let cur = ref ar.ta and nxt = ref ar.tb in
+          let scur = ref ar.sa and snxt = ref ar.sb in
+          let m = ref 0 in
+          let saw_unknown = ref false in
+
+          (* -------- ground-row triage -------- *)
+          (* row [e <= 0] (or [< 0]) with constant enclosure [klo, khi] *)
+          let ground_verdict ~strict klo khi =
+            if (if strict then klo >= 0.0 else klo > 0.0) then raise Sure_unsat
+            else if (if strict then khi < 0.0 else khi <= 0.0) then ()
+            else saw_unknown := true
+          in
+
+          (* -------- materialization -------- *)
+          let emit_row r ~negated ~strict =
+            let n = Array.length r.rvars in
+            if n = 0 then
+              if negated then ground_verdict ~strict (-.r.khi) (-.r.klo)
+              else ground_verdict ~strict r.klo r.khi
+            else begin
+              if !m >= max_rows then raise Bail;
+              let buf = !cur in
+              let off = !m * stride in
+              Array.fill buf off stride 0.0;
+              for i = 0 to n - 1 do
+                let j = col_of r.rvars.(i) in
+                if negated then begin
+                  buf.(off + (2 * j)) <- -.r.chi.(i);
+                  buf.(off + (2 * j) + 1) <- -.r.clo.(i)
+                end
+                else begin
+                  buf.(off + (2 * j)) <- r.clo.(i);
+                  buf.(off + (2 * j) + 1) <- r.chi.(i)
+                end
+              done;
+              if negated then begin
+                buf.(off + (2 * kcol)) <- -.r.khi;
+                buf.(off + (2 * kcol) + 1) <- -.r.klo
+              end
+              else begin
+                buf.(off + (2 * kcol)) <- r.klo;
+                buf.(off + (2 * kcol) + 1) <- r.khi
+              end;
+              Bytes.set !scur !m (if strict then '\001' else '\000');
+              incr m
+            end
+          in
+          List.iter
+            (fun c ->
+              let r = row_of c in
+              match Linconstr.op c with
+              | Linconstr.Le -> emit_row r ~negated:false ~strict:false
+              | Linconstr.Lt -> emit_row r ~negated:false ~strict:true
+              | Linconstr.Eq ->
+                  emit_row r ~negated:false ~strict:false;
+                  emit_row r ~negated:true ~strict:false)
+            conj;
+
+          (* -------- elimination -------- *)
+          (* Directed products with a surely-positive multiplier
+             [plo, phi] (plo > 0). *)
+          let pmul_down plo phi xlo =
+            if xlo >= 0.0 then Fdyadic.mul_down plo xlo
+            else Fdyadic.mul_down phi xlo
+          and pmul_up plo phi xhi =
+            if xhi <= 0.0 then Fdyadic.mul_up plo xhi
+            else Fdyadic.mul_up phi xhi
+          in
+
+          (* Parallel-row tightening on point rows: among rows whose
+             coefficient columns are identical width-zero points, only
+             the largest constant (ties: strict beats non-strict)
+             matters; merging mirrors exact tighten_parallel and is what
+             keeps elimination from squaring away.  Only worth the scan
+             once the tableau has grown. *)
+          let tighten () =
+            if !m > 24 then begin
+              let buf = !cur and sb = !scur in
+              let dead = Array.make !m false in
+              let point_row i =
+                let off = i * stride in
+                let rec go j =
+                  j >= nv
+                  || (buf.(off + (2 * j)) = buf.(off + (2 * j) + 1) && go (j + 1))
+                in
+                go 0
+              in
+              let same_coeffs i i' =
+                let o = i * stride and o' = i' * stride in
+                let rec go j =
+                  j >= nv
+                  || (buf.(o + (2 * j)) = buf.(o' + (2 * j)) && go (j + 1))
+                in
+                go 0
+              in
+              for i = 0 to !m - 1 do
+                if (not dead.(i)) && point_row i then
+                  for i' = i + 1 to !m - 1 do
+                    if (not dead.(i')) && point_row i' && same_coeffs i i' then begin
+                      (* keep the tighter: larger constant, strict on ties *)
+                      let ki = buf.((i * stride) + (2 * kcol))
+                      and ki_hi = buf.((i * stride) + (2 * kcol) + 1)
+                      and ki' = buf.((i' * stride) + (2 * kcol))
+                      and ki'_hi = buf.((i' * stride) + (2 * kcol) + 1) in
+                      if ki_hi < ki' then dead.(i) <- true
+                      else if ki'_hi < ki then dead.(i') <- true
+                      else if ki = ki_hi && ki' = ki'_hi && ki = ki' then
+                        if Bytes.get sb i' = '\001' then dead.(i) <- true
+                        else dead.(i') <- true
+                      (* incomparable constants: keep both (sound) *)
+                    end
+                  done
+              done;
+              (* compact in place *)
+              let w = ref 0 in
+              for i = 0 to !m - 1 do
+                if not dead.(i) then begin
+                  if !w < i then begin
+                    Array.blit buf (i * stride) buf (!w * stride) stride;
+                    Bytes.set sb !w (Bytes.get sb i)
+                  end;
+                  incr w
+                end
+              done;
+              m := !w
+            end
+          in
+
+          let pos = Array.make (max nv 1) 0 and neg = Array.make (max nv 1) 0 in
+          while !m > 0 do
+            tighten ();
+            if !m > 0 then begin
+              (* classify every (row, var) coefficient; any unsure sign
+                 bails the whole filter *)
+              Array.fill pos 0 nv 0;
+              Array.fill neg 0 nv 0;
+              let buf = !cur in
+              for i = 0 to !m - 1 do
+                let off = i * stride in
+                for j = 0 to nv - 1 do
+                  let lo = buf.(off + (2 * j)) and hi = buf.(off + (2 * j) + 1) in
+                  if lo > 0.0 then pos.(j) <- pos.(j) + 1
+                  else if hi < 0.0 then neg.(j) <- neg.(j) + 1
+                  else if not (lo = 0.0 && hi = 0.0) then raise Bail
+                done
+              done;
+              (* pick the variable minimizing the pairing blow-up *)
+              let best = ref (-1) and best_cost = ref max_int in
+              for j = 0 to nv - 1 do
+                if pos.(j) + neg.(j) > 0 then begin
+                  let cost = pos.(j) * neg.(j) in
+                  if cost < !best_cost then begin
+                    best := j;
+                    best_cost := cost
+                  end
+                end
+              done;
+              (* every remaining row mentions some variable (ground rows
+                 never enter the tableau), so a pick always exists *)
+              if !best < 0 then raise Bail;
+              let j = !best in
+              if !m - pos.(j) - neg.(j) + (pos.(j) * neg.(j)) > max_rows then
+                raise Bail;
+              let nb = !nxt and nsb = !snxt in
+              let nm = ref 0 in
+              let copy_kept i =
+                Array.blit buf (i * stride) nb (!nm * stride) stride;
+                Bytes.set nsb !nm (Bytes.get !scur i);
+                incr nm
+              in
+              (* emit a combined row; returns without emitting when the
+                 row is ground (after triage) *)
+              let combine il iu =
+                if !nm >= max_rows then raise Bail;
+                let ol = il * stride and ou = iu * stride in
+                (* multipliers: c_u (positive) and -c_l (positive) *)
+                let pu_lo = buf.(ou + (2 * j)) and pu_hi = buf.(ou + (2 * j) + 1) in
+                let nl_lo = -.buf.(ol + (2 * j) + 1)
+                and nl_hi = -.buf.(ol + (2 * j)) in
+                let strict =
+                  Bytes.get !scur il = '\001' || Bytes.get !scur iu = '\001'
+                in
+                let on = !nm * stride in
+                let ground = ref true in
+                for k = 0 to nv - 1 do
+                  if k = j then begin
+                    nb.(on + (2 * k)) <- 0.0;
+                    nb.(on + (2 * k) + 1) <- 0.0
+                  end
+                  else begin
+                    let lo =
+                      Fdyadic.add_down
+                        (pmul_down pu_lo pu_hi buf.(ol + (2 * k)))
+                        (pmul_down nl_lo nl_hi buf.(ou + (2 * k)))
+                    and hi =
+                      Fdyadic.add_up
+                        (pmul_up pu_lo pu_hi buf.(ol + (2 * k) + 1))
+                        (pmul_up nl_lo nl_hi buf.(ou + (2 * k) + 1))
+                    in
+                    nb.(on + (2 * k)) <- lo;
+                    nb.(on + (2 * k) + 1) <- hi;
+                    if not (lo = 0.0 && hi = 0.0) then ground := false
+                  end
+                done;
+                let klo =
+                  Fdyadic.add_down
+                    (pmul_down pu_lo pu_hi buf.(ol + (2 * kcol)))
+                    (pmul_down nl_lo nl_hi buf.(ou + (2 * kcol)))
+                and khi =
+                  Fdyadic.add_up
+                    (pmul_up pu_lo pu_hi buf.(ol + (2 * kcol) + 1))
+                    (pmul_up nl_lo nl_hi buf.(ou + (2 * kcol) + 1))
+                in
+                if !ground then ground_verdict ~strict klo khi
+                else begin
+                  nb.(on + (2 * kcol)) <- klo;
+                  nb.(on + (2 * kcol) + 1) <- khi;
+                  Bytes.set nsb !nm (if strict then '\001' else '\000');
+                  incr nm
+                end
+              in
+              if pos.(j) = 0 || neg.(j) = 0 then
+                (* one-sided: rows mentioning j project away entirely *)
+                for i = 0 to !m - 1 do
+                  let off = i * stride in
+                  if
+                    buf.(off + (2 * j)) = 0.0 && buf.(off + (2 * j) + 1) = 0.0
+                  then copy_kept i
+                done
+              else
+                for i = 0 to !m - 1 do
+                  let off = i * stride in
+                  let lo = buf.(off + (2 * j)) and hi = buf.(off + (2 * j) + 1) in
+                  if lo = 0.0 && hi = 0.0 then copy_kept i
+                  else if lo > 0.0 then
+                    (* upper bound on j: pair with every lower *)
+                    for i' = 0 to !m - 1 do
+                      if buf.((i' * stride) + (2 * j) + 1) < 0.0 then
+                        combine i' i
+                    done
+                done;
+              m := !nm;
+              let t = !cur in
+              cur := !nxt;
+              nxt := t;
+              let st = !scur in
+              scur := !snxt;
+              snxt := st
+            end
+          done;
+          if !saw_unknown then Unknown else Sat
+        with
+        | Sure_unsat -> Unsat
+        | Bail -> Unknown)
+  in
+  (match v with Unknown -> T.incr tm_fallback | Sat | Unsat -> T.incr tm_sure);
+  v

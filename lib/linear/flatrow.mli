@@ -1,0 +1,49 @@
+(** Flat, unboxed constraint rows and the float Fourier-Motzkin filter.
+
+    Each interned {!Linconstr} gets a flat row — its primitive integer
+    coefficients as [float] enclosure pairs — cached on the hash-cons tag.
+    {!sat_conj} runs complete Fourier-Motzkin eliminations over these rows
+    on domain-local unboxed scratch tableaus and answers [Sat]/[Unsat]
+    only when every comparison along the way was decided by
+    non-overlapping enclosures; otherwise [Unknown], and the caller runs
+    the exact rational path.  A sure verdict always equals the exact one
+    (soundness argument in DESIGN.md, "The float-filtered numeric
+    kernel"). *)
+
+(** {1 Kernel toggle}
+
+    [CQA_KERNEL=exact] in the environment starts the process with the
+    filter off; anything else (or nothing) leaves it on.  This module is
+    the single source of truth for the flag: both the Fourier-Motzkin and
+    simplex filters consult it. *)
+
+val enabled : unit -> bool
+val set_kernel : bool -> unit
+(** [set_kernel true] turns the filtered kernel on; [false] routes every
+    consult to the exact path.  For benchmarks and tests (the ablation
+    rows); results are identical either way, only speed changes. *)
+
+val kernel_name : unit -> string
+(** ["filtered"] or ["exact"] — the ablation label. *)
+
+(** {1 The satisfiability filter} *)
+
+type verdict = Sat | Unsat | Unknown
+
+val sat_conj : Linconstr.t list -> verdict
+(** Float-filtered feasibility over the reals.  [Sat]/[Unsat] are
+    certified (they equal the exact verdict); [Unknown] means a
+    comparison was undecidable at double precision or the conjunction
+    exceeded the kernel's row/variable caps — fall back to exact
+    elimination or simplex.  Ticks [fm.filter.sure]/[fm.filter.fallback].
+    Callable regardless of {!enabled} (callers gate on it). *)
+
+val compare_constants : Linconstr.t -> Linconstr.t -> int option
+(** Three-way comparison of two constraints' constant terms from the
+    cached enclosures; [None] when exact arithmetic is needed.  Backs the
+    tighten_parallel fast path. *)
+
+val cache_size : unit -> int
+(** Cached flat rows (diagnostic). *)
+
+val clear_cache : unit -> unit

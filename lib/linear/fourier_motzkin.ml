@@ -31,10 +31,20 @@ let tighten_parallel conj =
     (Linconstr.op a = Linconstr.Eq, Linexpr.coeffs e)
   in
   let tighter a b =
-    (* same linear part: larger constant means a stronger <=/< constraint *)
-    let ca = Linexpr.constant (Linconstr.expr a) in
-    let cb = Linexpr.constant (Linconstr.expr b) in
-    let c = Q.compare ca cb in
+    (* same linear part: larger constant means a stronger <=/< constraint.
+       The cached float enclosures decide the comparison whenever they are
+       disjoint or equal points (always, for sub-2^53 integer constants);
+       exact Q.compare only on the residue. *)
+    let c =
+      match
+        if Flatrow.enabled () then Flatrow.compare_constants a b else None
+      with
+      | Some c -> c
+      | None ->
+          let ca = Linexpr.constant (Linconstr.expr a) in
+          let cb = Linexpr.constant (Linconstr.expr b) in
+          Q.compare ca cb
+    in
     if c > 0 then a
     else if c < 0 then b
     else if Linconstr.op a = Linconstr.Lt then a
@@ -172,7 +182,16 @@ let pick_var conj candidates =
       in
       Option.map fst best
 
-let eliminate_all vs d =
+(* [prefilter] gates the float kernel's early-unsat probe on each input
+   disjunct.  A surely-unsatisfiable conjunction projects to an
+   unsatisfiable conjunction (Fourier-Motzkin computes exact
+   projections), which every downstream consumer — satisfiability,
+   sample_point_dnf, the qe satisfiability sweep — treats exactly like an
+   absent disjunct, so dropping it early changes no result, only the work
+   done.  The satisfiability entry points pass [prefilter:false]: they
+   have already consulted the filter on the same conjunction and got
+   Unknown, so re-probing could only repeat that answer. *)
+let eliminate_all_gen ~prefilter vs d =
   let target = Var.Set.of_list vs in
   let rec elim_conj conj =
     let present = Var.Set.inter target (Linformula.conj_vars conj) in
@@ -183,30 +202,48 @@ let eliminate_all vs d =
         | None -> None
         | Some conj' -> elim_conj conj')
   in
+  let elim_conj conj =
+    if prefilter && Flatrow.enabled () && Flatrow.sat_conj conj = Flatrow.Unsat
+    then None
+    else elim_conj conj
+  in
   List.filter_map elim_conj d
+
+let eliminate_all vs d = eliminate_all_gen ~prefilter:true vs d
 
 let satisfiable_conj_fm conj =
   match Linformula.simplify_conjunction conj with
   | None -> false
   | Some conj -> (
       let vs = Var.Set.elements (Linformula.conj_vars conj) in
-      match eliminate_all vs [ conj ] with [] -> false | _ -> true)
+      match eliminate_all_gen ~prefilter:false vs [ conj ] with
+      | [] -> false
+      | _ -> true)
 
 (* Conjunction feasibility by the exact simplex: polynomial, but with a
    higher constant than elimination on the small conjunctions that dominate
    here.  Exported as an independent oracle; [satisfiable_conj] below uses
-   elimination. *)
+   elimination.  The warm-keyed [feasible_strict] reuses the last optimal
+   basis for a structurally identical system — the filtered kernel's
+   fallback re-solves hit the same conjunctions repeatedly. *)
 let satisfiable_conj_simplex conj =
   match Linformula.simplify_conjunction conj with
   | None -> false
-  | Some conj -> Simplex.strictly_feasible conj <> None
+  | Some conj -> Simplex.feasible_strict conj
 
 (* Elimination-based satisfiability is fastest on the small conjunctions
    that dominate, but degrades combinatorially; large systems go to the
-   polynomial simplex. *)
+   polynomial simplex.  The float kernel is consulted first: a sure
+   verdict is certified equal to the exact one, and only Unknown (filter
+   off, caps exceeded, or genuinely borderline arithmetic) pays for the
+   exact path. *)
 let satisfiable_conj_raw conj =
-  if List.length conj <= 12 then satisfiable_conj_fm conj
-  else satisfiable_conj_simplex conj
+  match if Flatrow.enabled () then Flatrow.sat_conj conj else Flatrow.Unknown with
+  | Flatrow.Sat -> true
+  | Flatrow.Unsat -> false
+  | Flatrow.Unknown ->
+      if List.length conj <= 12 then satisfiable_conj_fm conj
+      else satisfiable_conj_simplex conj
 
 (* Satisfiability memo, keyed on the sorted interned-constraint tags of the
    conjunction.  Tags are never reused (the intern counter only grows), so a

@@ -1,5 +1,6 @@
 open Cqa_arith
 open Cqa_logic
+module T = Cqa_telemetry.Telemetry
 
 type t = { vars : Var.t array; dnf : Linformula.dnf }
 
@@ -269,6 +270,82 @@ let pp fmt a =
     (Array.to_list a.vars) Linformula.pp_dnf a.dnf
 
 (* ------------------------------------------------------------------ *)
+(* Coalescing exactly-adjacent DNF pieces                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Removals are computed as [inter s (compl r)], which tiles what is left
+   of each disjunct with one piece per atom of [r]; repeated updates made
+   the disjunct list grow without bound (ROADMAP item 3's leftover).
+   Pieces cut by the same hyperplane glue back together exactly:
+
+     R /\ (e <= 0)  \/  R /\ (-e OP 0)  =  R
+
+   whenever the two sides cover the whole line, i.e. unless both atoms
+   are strict (Lt/Lt misses the boundary e = 0 itself; Eq atoms never
+   cover).  Constraints are interned with primitive coefficients, so the
+   complementary-atom test is a pointer comparison of [expr b] against
+   the interned negation of [expr a] — no arithmetic. *)
+
+let tm_coalesced = T.counter "db.update.coalesced"
+
+let complementary a b =
+  (match (Linconstr.op a, Linconstr.op b) with
+  | Linconstr.Eq, _ | _, Linconstr.Eq -> false
+  | Linconstr.Lt, Linconstr.Lt -> false
+  | _ -> true)
+  && Linexpr.equal (Linconstr.expr b) (Linexpr.neg (Linconstr.expr a))
+
+let coalesce_dnf d =
+  let canon = List.map (List.sort_uniq Linconstr.compare) d in
+  (* merge two disjuncts when they agree on every atom but one
+     complementary pair; both inputs are sorted, so a single merge walk
+     finds the symmetric difference *)
+  let try_merge c1 c2 =
+    let rec walk shared o1 o2 l1 l2 =
+      match (l1, l2) with
+      | [], [] -> Some (shared, o1, o2)
+      | x :: r1, [] -> walk shared (x :: o1) o2 r1 []
+      | [], y :: r2 -> walk shared o1 (y :: o2) [] r2
+      | x :: r1, y :: r2 ->
+          let c = Linconstr.compare x y in
+          if c = 0 then walk (x :: shared) o1 o2 r1 r2
+          else if c < 0 then walk shared (x :: o1) o2 r1 l2
+          else walk shared o1 (y :: o2) l1 r2
+    in
+    match walk [] [] [] c1 c2 with
+    | Some (shared, [ a ], [ b ]) when complementary a b || complementary b a
+      ->
+        Some (List.rev shared)
+    | _ -> None
+  in
+  let merged_any = ref false in
+  let rec pass acc = function
+    | [] -> List.rev acc
+    | c :: rest -> (
+        let rec find before = function
+          | [] -> None
+          | c' :: after -> (
+              match try_merge c c' with
+              | Some m -> Some (m, List.rev_append before after)
+              | None -> find (c' :: before) after)
+        in
+        match find [] rest with
+        | Some (m, rest') ->
+            merged_any := true;
+            T.incr tm_coalesced;
+            (* the merged piece may glue onto yet another piece: keep it
+               in play within the same pass *)
+            pass acc (m :: rest')
+        | None -> pass (c :: acc) rest)
+  in
+  let rec fix d =
+    merged_any := false;
+    let d' = pass [] d in
+    if !merged_any then fix d' else d'
+  in
+  fix canon |> List.sort_uniq (List.compare Linconstr.compare)
+
+(* ------------------------------------------------------------------ *)
 (* Deltas: localized edits with a change summary                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -294,7 +371,9 @@ let insert_region s r =
 
 let remove_region s r =
   if is_empty r then { inserted = false; updated = s; delta_box = None; delta_empty = true }
-  else delta_of ~inserted:false ~updated:(diff s r) r
+  else
+    let base = diff s r in
+    delta_of ~inserted:false ~updated:{ base with dnf = coalesce_dnf base.dnf } r
 
 let insert_polytope s conj = insert_region s (of_conjunction s.vars conj)
 let remove_polytope s conj = remove_region s (of_conjunction s.vars conj)

@@ -82,6 +82,14 @@ val disjunct_count : t -> int
 val atom_count : t -> int
 val pp : Format.formatter -> t -> unit
 
+val coalesce_dnf : Linformula.dnf -> Linformula.dnf
+(** Glue exactly-adjacent disjuncts back together: two conjunctions equal
+    up to one complementary atom pair ([e <= 0] against the interned
+    [-e <= 0] or [-e < 0], at least one side non-strict) merge into their
+    shared rest, to fixpoint.  Semantics-preserving; used by
+    {!remove_region} so repeated removals stop growing the disjunct list
+    (each merge ticks [db.update.coalesced]). *)
+
 (** {1 Deltas}
 
     Localized edits for incremental aggregate maintenance: inserting or

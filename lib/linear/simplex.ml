@@ -14,6 +14,14 @@ let tm_phase1 = T.counter "simplex.phase1_runs"
 let tm_basis_hit = T.counter "simplex.basis.hit"
 let tm_basis_miss = T.counter "simplex.basis.miss"
 
+(* The float-filtered ratio test: ratio comparisons decided by outward-
+   rounded enclosures vs. those that fell back to exact cross-multiplied
+   Q comparison, and warm-basis installs on the filtered kernel's
+   fallback re-solves ([feasible_strict]). *)
+let tm_filter_sure = T.counter "simplex.filter.sure"
+let tm_filter_fallback = T.counter "simplex.filter.fallback"
+let tm_basis_reuse = T.counter "simplex.basis.reuse"
+
 type result =
   | Optimal of Q.t * Q.t Var.Map.t
   | Unbounded
@@ -102,7 +110,25 @@ let pivot d l e =
 
 exception Unbounded_lp
 
-(* Bland's rule main loop; raises Unbounded_lp. *)
+(* Domain-local scratch for the filtered ratio test: lazy per-iteration
+   float enclosures of b and of the entering column, NaN-sentineled.
+   Grown to the row count on demand and reused across solves on the same
+   domain (b and the column change on every pivot, so entries are
+   invalidated per iteration). *)
+type rt_scratch = { mutable fb : float array; mutable fa : float array }
+
+let rt_slot =
+  Cqa_conc.Pool.dls_slot ~init:(fun () -> { fb = [||]; fa = [||] })
+
+(* Bland's rule main loop; raises Unbounded_lp.
+
+   The leaving-row selection compares ratios by exact cross-multiplication
+   (b_i * a_je vs b_j * a_ie — both pivot-column entries are positive, so
+   the comparison is equivalent to b_i/a_ie vs b_j/a_je and needs no
+   division), filtered through outward-rounded float enclosures first: a
+   comparison the enclosures decide is certified equal to the exact one,
+   so the selected pivot row — and hence every subsequent dictionary —
+   is identical whether the filter is on or off. *)
 let optimize d =
   let continue_loop = ref true in
   while !continue_loop do
@@ -119,23 +145,85 @@ let optimize d =
     if !e < 0 then continue_loop := false
     else begin
       let e = !e in
+      let sc =
+        if Flatrow.enabled () then begin
+          let s = rt_slot () in
+          let need = 2 * d.rows in
+          if Array.length s.fb < need then begin
+            s.fb <- Array.make need nan;
+            s.fa <- Array.make need nan
+          end
+          else
+            for i = 0 to d.rows - 1 do
+              s.fb.(2 * i) <- nan;
+              s.fa.(2 * i) <- nan
+            done;
+          Some s
+        end
+        else None
+      in
+      let enc arr src i =
+        if Float.is_nan arr.(2 * i) then begin
+          let x = Fdyadic.of_q_fast src in
+          arr.(2 * i) <- x.Fdyadic.lo;
+          arr.((2 * i) + 1) <- x.Fdyadic.hi
+        end
+      in
+      (* compare b_i/a_ie vs b_j/a_je as b_i * a_je vs b_j * a_ie *)
+      let cmp_ratio i j =
+        let exact () =
+          Q.compare (Q.mul d.b.(i) d.a.(j).(e)) (Q.mul d.b.(j) d.a.(i).(e))
+        in
+        match sc with
+        | None -> exact ()
+        | Some s ->
+            enc s.fb d.b.(i) i;
+            enc s.fb d.b.(j) j;
+            enc s.fa d.a.(i).(e) i;
+            enc s.fa d.a.(j).(e) j;
+            let l_lo =
+              Fdyadic.mul_lo4 s.fb.(2 * i) s.fb.((2 * i) + 1) s.fa.(2 * j)
+                s.fa.((2 * j) + 1)
+            and l_hi =
+              Fdyadic.mul_hi4 s.fb.(2 * i) s.fb.((2 * i) + 1) s.fa.(2 * j)
+                s.fa.((2 * j) + 1)
+            and r_lo =
+              Fdyadic.mul_lo4 s.fb.(2 * j) s.fb.((2 * j) + 1) s.fa.(2 * i)
+                s.fa.((2 * i) + 1)
+            and r_hi =
+              Fdyadic.mul_hi4 s.fb.(2 * j) s.fb.((2 * j) + 1) s.fa.(2 * i)
+                s.fa.((2 * i) + 1)
+            in
+            if l_hi < r_lo then begin
+              T.incr tm_filter_sure;
+              -1
+            end
+            else if r_hi < l_lo then begin
+              T.incr tm_filter_sure;
+              1
+            end
+            else if l_lo = l_hi && r_lo = r_hi && l_lo = r_lo then begin
+              T.incr tm_filter_sure;
+              0
+            end
+            else begin
+              T.incr tm_filter_fallback;
+              exact ()
+            end
+      in
       (* leaving: min ratio b_i / a_ie over a_ie > 0; Bland tie-break on the
          basic variable index *)
-      let best = ref None in
+      let best = ref (-1) in
       for i = 0 to d.rows - 1 do
-        if Q.sign d.a.(i).(e) > 0 then begin
-          let ratio = Q.div d.b.(i) d.a.(i).(e) in
-          match !best with
-          | None -> best := Some (ratio, i)
-          | Some (r, i') ->
-              let cmp = Q.compare ratio r in
-              if cmp < 0 || (cmp = 0 && d.basic.(i) < d.basic.(i')) then
-                best := Some (ratio, i)
-        end
+        if Q.sign d.a.(i).(e) > 0 then
+          if !best < 0 then best := i
+          else begin
+            let cmp = cmp_ratio i !best in
+            if cmp < 0 || (cmp = 0 && d.basic.(i) < d.basic.(!best)) then
+              best := i
+          end
       done;
-      match !best with
-      | None -> raise Unbounded_lp
-      | Some (_, l) -> pivot d l e
+      if !best < 0 then raise Unbounded_lp else pivot d !best e
     end
   done
 
@@ -338,8 +426,9 @@ let install_basis d target =
 
 (* Shared solver core.  With [warm_key], a cached basis is installed in
    place of phase 1 when possible, and the final basis of a successful
-   solve is stored back under that key. *)
-let solve_core ?warm_key ~objective ~constraints () =
+   solve is stored back under that key; [on_warm] fires on each
+   successful install (the [simplex.basis.reuse] probe). *)
+let solve_core ?warm_key ?on_warm ~objective ~constraints () =
   T.incr tm_solves;
   let vars, index, n, rows = translate constraints in
   (* objective may mention variables absent from the constraints; bind them *)
@@ -377,6 +466,7 @@ let solve_core ?warm_key ~objective ~constraints () =
               let d = build () in
               if install_basis d basis then begin
                 T.incr tm_basis_hit;
+                (match on_warm with Some f -> f () | None -> ());
                 Some d
               end
               else begin
@@ -418,7 +508,7 @@ let feasible constraints =
 
 let margin_var = Var.of_string "simplex#margin"
 
-let strictly_feasible constraints =
+let strictly_feasible_gen ?warm_key ?on_warm constraints =
   let relaxed =
     List.map
       (fun c ->
@@ -436,11 +526,33 @@ let strictly_feasible constraints =
   let floor0 =
     Linconstr.make (Linexpr.neg (Linexpr.var margin_var)) Linconstr.Le
   in
-  match maximize ~objective:(Linexpr.var margin_var) ~constraints:(cap :: floor0 :: relaxed) with
+  match
+    solve_core ?warm_key ?on_warm ~objective:(Linexpr.var margin_var)
+      ~constraints:(cap :: floor0 :: relaxed) ()
+  with
   | Infeasible -> None
   | Unbounded -> assert false
   | Optimal (t, pt) ->
       if Q.sign t > 0 then Some (Var.Map.remove margin_var pt) else None
+
+let strictly_feasible constraints = strictly_feasible_gen constraints
+
+(* Verdict-only strict feasibility with warm-basis reuse.  The optimum of
+   the margin LP is unique whatever basis the solve starts from, so the
+   verdict (its sign) is basis-independent and warm starts are safe here
+   even though the witness point is not path-deterministic —
+   [strictly_feasible] stays cold for exactly that reason.  The key is
+   the sorted constraint-tag set prefixed with -1, so it can never
+   collide with [range]'s raw tag-list keys over the same constraints
+   (which describe a different LP). *)
+let feasible_strict constraints =
+  let warm_key =
+    -1 :: List.sort_uniq Int.compare (List.map Linconstr.tag constraints)
+  in
+  strictly_feasible_gen ~warm_key
+    ~on_warm:(fun () -> T.incr tm_basis_reuse)
+    constraints
+  <> None
 
 let range e constraints =
   (* Both solves (and any later [range] over the same system — the
@@ -466,7 +578,10 @@ let range e constraints =
       | Unbounded -> Some (Some lo, None)
       | Infeasible -> assert false)
 
+(* Entailment needs only verdicts, so it rides the warm-keyed variant:
+   the rewriter and redundancy sweeps probe the same contexts with
+   different negated atoms, and the shared basis survives across them. *)
 let implied context atom =
   List.for_all
-    (fun n -> Option.is_none (strictly_feasible (n :: context)))
+    (fun n -> not (feasible_strict (n :: context)))
     (Linconstr.negate atom)

@@ -28,6 +28,15 @@ val strictly_feasible : Linconstr.t list -> Q.t Var.Map.t option
     maximizing a margin variable.  Complete: returns [Some] iff the system
     has a real solution. *)
 
+val feasible_strict : Linconstr.t list -> bool
+(** Verdict-only strict feasibility with warm-basis reuse: repeated
+    probes of the same constraint set (the filtered kernel's fallback
+    re-solves, the rewriter's entailment sweeps) install the previous
+    optimal basis instead of running phase 1.  The optimum of the margin
+    LP is unique whatever the starting basis, so the verdict equals
+    [strictly_feasible <> None]; only the (unreturned) witness point may
+    differ.  Successful warm installs tick [simplex.basis.reuse]. *)
+
 val range : Linexpr.t -> Linconstr.t list -> (Q.t option * Q.t option) option
 (** [range e constrs] is [None] if the non-strict system is infeasible,
     otherwise [Some (lo, hi)] where [lo]/[hi] are the exact minimum/maximum

@@ -409,6 +409,135 @@ let test_interval_outward () =
       ignore (Interval.grow i (qi (-1))))
 
 (* ------------------------------------------------------------------ *)
+(* Fdyadic: outward-rounded float enclosures                           *)
+(* ------------------------------------------------------------------ *)
+
+(* exact rational containment: lo <= v <= hi, endpoints read back as
+   dyadic rationals (infinite endpoints are vacuously sound) *)
+let encloses (e : Fdyadic.t) v =
+  (Float.is_finite e.Fdyadic.lo = false
+  || Q.leq (Q.of_float_dyadic e.Fdyadic.lo) v)
+  && (Float.is_finite e.Fdyadic.hi = false
+     || Q.leq v (Q.of_float_dyadic e.Fdyadic.hi))
+
+let test_fdyadic_of_q_points () =
+  (* exactly representable rationals become width-zero points *)
+  List.iter
+    (fun q ->
+      let e = Fdyadic.of_q q in
+      check (Q.to_string q ^ " is a point") true (Fdyadic.is_point e);
+      check (Q.to_string q ^ " exact") true
+        (Q.equal (Q.of_float_dyadic e.Fdyadic.lo) q))
+    [ Q.zero; Q.one; Q.of_int (-7); Q.of_ints 1 2; Q.of_ints (-3) 4;
+      Q.of_string "9007199254740992" (* 2^53 *); Q.of_string "-4503599627370496" ]
+
+let test_fdyadic_of_q_ulp_boundary () =
+  (* 2^53 + 1 is the first unrepresentable integer: the enclosure must be
+     the adjacent pair [2^53, 2^53 + 2], not a punt and not a point *)
+  let e = Fdyadic.of_q (Q.of_string "9007199254740993") in
+  check "2^53+1 lo" true (e.Fdyadic.lo = 0x1p53);
+  check "2^53+1 hi" true (e.Fdyadic.hi = 0x1p53 +. 2.);
+  check "2^53+1 not a point" false (Fdyadic.is_point e);
+  (* 1/3 gets the two adjacent doubles around it *)
+  let t = Fdyadic.of_q (Q.of_ints 1 3) in
+  check "1/3 tight" true (Fdyadic.next_up t.Fdyadic.lo = t.Fdyadic.hi);
+  check "1/3 encloses" true (encloses t (Q.of_ints 1 3));
+  check "1/3 positive" true (t.Fdyadic.lo > 0.)
+
+let test_fdyadic_directed_add () =
+  (* exact sums stay width-zero: TwoSum reports a zero error term *)
+  check "1+2 exact" true
+    (Fdyadic.add_down 1.0 2.0 = 3.0 && Fdyadic.add_up 1.0 2.0 = 3.0);
+  (* 0.1 + 0.2 is inexact: directed bounds straddle by exactly one ulp *)
+  let d = Fdyadic.add_down 0.1 0.2 and u = Fdyadic.add_up 0.1 0.2 in
+  check "inexact add straddles" true (d < u && Fdyadic.next_up d = u);
+  let exact = Q.add (Q.of_float_dyadic 0.1) (Q.of_float_dyadic 0.2) in
+  check "add bounds sound" true
+    (Q.leq (Q.of_float_dyadic d) exact && Q.leq exact (Q.of_float_dyadic u));
+  (* 2^53 + 1 in float addition: round-to-even lands on 2^53, so the true
+     sum sits strictly between the directed bounds *)
+  check "2^53+1 add down" true (Fdyadic.add_down 0x1p53 1.0 = 0x1p53);
+  check "2^53+1 add up" true (Fdyadic.add_up 0x1p53 1.0 = 0x1p53 +. 2.)
+
+let test_fdyadic_directed_mul () =
+  (* small integer products are exact in both directions *)
+  check "3*7 exact" true
+    (Fdyadic.mul_down 3.0 7.0 = 21.0 && Fdyadic.mul_up 3.0 7.0 = 21.0);
+  (* a zero factor is exact regardless of the partner's magnitude *)
+  check "0 * huge exact" true
+    (Fdyadic.mul_down 0.0 1e308 = 0.0 && Fdyadic.mul_up 0.0 1e308 = 0.0);
+  (* inexact product: without an FMA the rounding direction is unknown,
+     so both sides nudge — a two-ulp straddle around the rounded value *)
+  let d = Fdyadic.mul_down 0.1 0.1 and u = Fdyadic.mul_up 0.1 0.1 in
+  let exact = Q.mul (Q.of_float_dyadic 0.1) (Q.of_float_dyadic 0.1) in
+  check "inexact mul straddles" true
+    (d < u && Fdyadic.next_up d = 0.1 *. 0.1 && Fdyadic.next_up (0.1 *. 0.1) = u);
+  check "mul bounds sound" true
+    (Q.leq (Q.of_float_dyadic d) exact && Q.leq exact (Q.of_float_dyadic u));
+  (* overflow degrades to a sound finite bound on the inner side and the
+     matching infinity on the outer side *)
+  check "overflow down" true (Fdyadic.mul_down 1e308 10.0 = Float.max_float);
+  check "overflow up" true (Fdyadic.mul_up 1e308 10.0 = Float.infinity);
+  check "neg overflow up" true
+    (Fdyadic.mul_up (-1e308) 10.0 = -.Float.max_float);
+  check "neg overflow down" true
+    (Fdyadic.mul_down (-1e308) 10.0 = Float.neg_infinity)
+
+let test_fdyadic_compare () =
+  let third = Fdyadic.of_q (Q.of_ints 1 3) in
+  let p1 = Fdyadic.point 1.0 in
+  check "third < 1 sure" true (Fdyadic.cmp third p1 = Fdyadic.Sure_lt);
+  check "1 >= third sure" true (Fdyadic.cmp p1 third = Fdyadic.Sure_ge);
+  check "third vs third unknown" true
+    (Fdyadic.cmp third third = Fdyadic.Unknown);
+  check "third > 0" true (Fdyadic.cmp0 third = Fdyadic.Sure_ge);
+  check "-third < 0" true
+    (Fdyadic.cmp0 (Fdyadic.of_q (Q.of_ints (-1) 3)) = Fdyadic.Sure_lt);
+  check "point zero >= 0" true (Fdyadic.cmp0 Fdyadic.zero = Fdyadic.Sure_ge);
+  (* compare_opt: Some 0 only for equal width-zero points *)
+  check "points equal" true (Fdyadic.compare_opt p1 (Fdyadic.point 1.0) = Some 0);
+  check "points ordered" true
+    (Fdyadic.compare_opt (Fdyadic.point 2.0) p1 = Some 1);
+  check "overlap undecided" true (Fdyadic.compare_opt third third = None)
+
+(* of_q, of_q_fast, and interval add/mul/combine always enclose the exact
+   rational result, on ulp-hostile inputs included *)
+let gen_hostile_q =
+  QCheck2.Gen.(
+    frequency
+      [
+        (4, map2 Q.of_ints (int_range (-999) 999) (oneofl [ 1; 2; 3; 7; 64 ]));
+        ( 1,
+          map
+            (fun n -> Q.mul (Q.of_int n) (Q.of_string "9007199254740993"))
+            (int_range (-3) 3) );
+        (1, map (fun n -> Q.of_ints n 1000000007) (int_range (-5) 5));
+      ])
+
+let prop_fdyadic_encloses =
+  QCheck2.Test.make ~name:"of_q / of_q_fast enclose, ops preserve enclosure"
+    ~count:500
+    QCheck2.Gen.(pair gen_hostile_q gen_hostile_q)
+    (fun (a, b) ->
+      let ea = Fdyadic.of_q a and eb = Fdyadic.of_q b in
+      encloses ea a && encloses (Fdyadic.of_q_fast a) a
+      && encloses (Fdyadic.add ea eb) (Q.add a b)
+      && encloses (Fdyadic.mul ea eb) (Q.mul a b)
+      && encloses (Fdyadic.neg ea) (Q.neg a)
+      && encloses
+           (Fdyadic.combine ea eb eb ea)
+           (Q.add (Q.mul a b) (Q.mul b a)))
+
+let prop_fdyadic_cmp_sound =
+  QCheck2.Test.make ~name:"sure comparisons agree with exact order" ~count:500
+    QCheck2.Gen.(pair gen_hostile_q gen_hostile_q)
+    (fun (a, b) ->
+      match Fdyadic.cmp (Fdyadic.of_q a) (Fdyadic.of_q b) with
+      | Fdyadic.Sure_lt -> Q.lt a b
+      | Fdyadic.Sure_ge -> Q.geq a b
+      | Fdyadic.Unknown -> true)
+
+(* ------------------------------------------------------------------ *)
 (* Qmat                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -505,6 +634,13 @@ let () =
       ( "interval",
         [ Alcotest.test_case "interval" `Quick test_interval;
           Alcotest.test_case "outward rounding" `Quick test_interval_outward ] );
+      ( "fdyadic",
+        [ Alcotest.test_case "of_q points" `Quick test_fdyadic_of_q_points;
+          Alcotest.test_case "ulp boundary" `Quick test_fdyadic_of_q_ulp_boundary;
+          Alcotest.test_case "directed add" `Quick test_fdyadic_directed_add;
+          Alcotest.test_case "directed mul" `Quick test_fdyadic_directed_mul;
+          Alcotest.test_case "comparisons" `Quick test_fdyadic_compare ] );
+      qsuite "fdyadic-props" [ prop_fdyadic_encloses; prop_fdyadic_cmp_sound ];
       ( "qmat",
         [ Alcotest.test_case "det" `Quick test_qmat_det;
           Alcotest.test_case "solve" `Quick test_qmat_solve;

@@ -442,6 +442,35 @@ let test_volume_approx_domains () =
     fa
 
 
+let test_volume_kernel_ablation () =
+  (* the float-filtered kernel must be byte-identical to the exact one:
+     same rationals, same printed form, at every domain count.  Caches are
+     cleared around each switch so both kernels genuinely run. *)
+  let was = Flatrow.enabled () in
+  let vol kernel s domains =
+    Flatrow.set_kernel kernel;
+    Fourier_motzkin.clear_qe_cache ();
+    Semilinear.clear_bbox_cache ();
+    Volume_exact.volume_sweep ~domains s
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Flatrow.set_kernel was;
+      Fourier_motzkin.clear_qe_cache ())
+    (fun () ->
+      for _ = 1 to 10 do
+        let s = rand_union () in
+        let reference = vol false s 1 in
+        List.iter
+          (fun domains ->
+            let filtered = vol true s domains in
+            check "kernel ablation Q.equal" true (Q.equal reference filtered);
+            Alcotest.(check string)
+              "kernel ablation bytes" (Q.to_string reference)
+              (Q.to_string filtered))
+          [ 1; 2; 4 ]
+      done)
+
 let test_volume_domains () =
   (* the parallel exact-volume engine must be value-identical to the
      sequential one for every domain count *)
@@ -946,6 +975,8 @@ let () =
           Alcotest.test_case "approx query" `Quick test_volume_approx_query;
           Alcotest.test_case "approx domains" `Quick test_volume_approx_domains;
           Alcotest.test_case "exact volume domains" `Quick test_volume_domains;
+          Alcotest.test_case "kernel ablation byte-identical" `Quick
+            test_volume_kernel_ablation;
           Alcotest.test_case "arrangement vertices" `Quick test_arrangement_vertices;
           Alcotest.test_case "trivial approx" `Quick test_trivial_approx;
           Alcotest.test_case "mu" `Quick test_mu;

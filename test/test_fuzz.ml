@@ -237,6 +237,66 @@ let prop_sampler_within_eps =
       in
       n > 0 && Float.abs (Q.to_float est -. Q.to_float v) <= 0.3)
 
+(* ------------------------------------------------------------------ *)
+(* Float-filter soundness against the exact oracle                     *)
+(* ------------------------------------------------------------------ *)
+
+(* ulp-hostile rationals: thirds / sevenths / elevenths (scaled to
+   primitive integer rows by [Linconstr.make]), plus magnitudes around
+   2^53 + 1 where float rounding actually bites *)
+let gen_hostile =
+  Gen.frequency
+    [
+      (4, gen_const);
+      ( 2,
+        Gen.map2
+          (fun n d -> Q.of_ints n d)
+          (Gen.int_range (-40) 40)
+          (Gen.oneofl [ 3; 7; 11 ]) );
+      ( 1,
+        Gen.map
+          (fun n -> Q.mul (Q.of_int n) (Q.of_string "9007199254740993"))
+          (Gen.int_range (-2) 2) );
+    ]
+
+let gen_kernel_atom =
+  let open Gen in
+  let* c1 = gen_hostile in
+  let* c2 = gen_hostile in
+  let* c3 = gen_hostile in
+  let* c = gen_hostile in
+  let* op = oneofl [ Linconstr.Le; Linconstr.Lt; Linconstr.Eq ] in
+  return (Linconstr.make (Linexpr.of_list c [ (c1, xx); (c2, yy); (c3, zz) ]) op)
+
+let gen_kernel_conj = Gen.list_size (Gen.int_range 1 7) gen_kernel_atom
+
+let print_conj conj =
+  conj |> List.map (Format.asprintf "%a" Linconstr.pp) |> String.concat " /\\ "
+
+(* the kernel's contract: a sure verdict is certified; Unknown is always
+   allowed, a wrong sure answer is fatal *)
+let prop_filter_sound =
+  Test.make ~name:"float filter never contradicts exact FM" ~count:(2 * count)
+    ~print:print_conj gen_kernel_conj (fun conj ->
+      match Flatrow.sat_conj conj with
+      | Flatrow.Unknown -> true
+      | Flatrow.Sat ->
+          Fourier_motzkin.satisfiable_conj_fm conj
+          || Test.fail_reportf "filter said Sat, exact FM says unsat"
+      | Flatrow.Unsat ->
+          (not (Fourier_motzkin.satisfiable_conj_fm conj))
+          || Test.fail_reportf "filter said Unsat, exact FM says sat")
+
+(* both exact decision procedures agree with each other on the same
+   hostile inputs (the simplex path also exercises the ratio-test
+   filter's exact fallback) *)
+let prop_exact_oracles_agree =
+  Test.make ~name:"FM and simplex decisions agree" ~count ~print:print_conj
+    gen_kernel_conj (fun conj ->
+      Bool.equal
+        (Fourier_motzkin.satisfiable_conj_fm conj)
+        (Fourier_motzkin.satisfiable_conj_simplex conj))
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -250,4 +310,5 @@ let () =
       qsuite "volume"
         [ prop_volume_agreement; prop_guarded_agreement; prop_sampler_within_eps ];
       qsuite "updates" [ prop_incremental_matches_recompute ];
+      qsuite "kernel" [ prop_filter_sound; prop_exact_oracles_agree ];
     ]

@@ -388,6 +388,36 @@ let test_simplex_warm_basis () =
     check "random warm = cold" true (cold = warm)
   done
 
+(* feasible_strict: same verdict as the witness-producing strict check on
+   random systems, and a repeated identical query warm-starts from the
+   cached basis (the [simplex.basis.reuse] counter ticks). *)
+let test_feasible_strict_warm () =
+  Simplex.clear_basis_cache ();
+  for _ = 1 to 150 do
+    let conj = rand_conj [ x; y; z ] (1 + Random.State.int rng 5) in
+    check "feasible_strict = strictly_feasible"
+      (Simplex.strictly_feasible conj <> None)
+      (Simplex.feasible_strict conj)
+  done;
+  let module T = Cqa_telemetry.Telemetry in
+  let reuse () =
+    match List.assoc_opt "simplex.basis.reuse" (T.snapshot ()).T.counters with
+    | Some v -> v
+    | None -> 0
+  in
+  let sys =
+    [ Linconstr.lt ex (Linexpr.const (q 3));
+      Linconstr.lt (Linexpr.neg ex) Linexpr.zero;
+      Linconstr.lt (Linexpr.sub ey ex) Linexpr.zero ]
+  in
+  T.enable ();
+  Fun.protect ~finally:T.disable @@ fun () ->
+  Simplex.clear_basis_cache ();
+  check "strict sys feasible" true (Simplex.feasible_strict sys);
+  let before = reuse () in
+  check "still feasible warm" true (Simplex.feasible_strict sys);
+  check "basis reuse ticked" true (reuse () > before)
+
 let test_simplex_vs_fm_random () =
   for _ = 1 to 400 do
     let nonstrict =
@@ -592,6 +622,92 @@ let test_semilinear_of_formula () =
             Linconstr.le (Linexpr.var dv2.(0)) (Linexpr.const Q.one) ]))
 
 (* ------------------------------------------------------------------ *)
+(* DNF coalescing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let box01 v = [ Linconstr.ge (Linexpr.var v) Linexpr.zero;
+                Linconstr.le (Linexpr.var v) (Linexpr.const Q.one) ]
+
+let test_coalesce_dnf () =
+  let split lop rop c =
+    let e = Linexpr.sub ex (Linexpr.const c) in
+    ( box01 x @ [ Linconstr.make e lop ],
+      box01 x @ [ Linconstr.make (Linexpr.neg e) rop ] )
+  in
+  (* [0,1] split at 1/2: the non-strict halves glue back to the box *)
+  let l, r = split Linconstr.Le Linconstr.Le (qq 1 2) in
+  let merged = Semilinear.coalesce_dnf [ l; r ] in
+  check_int "le/le merges" 1 (List.length merged);
+  check "merged is the box" true
+    (List.for_all
+       (fun pt ->
+         let env = env2 pt in
+         Bool.equal
+           (Linformula.dnf_holds merged env)
+           (Linformula.dnf_holds [ l; r ] env))
+       grid2);
+  (* one strict side still covers the boundary from the other piece *)
+  let l, r = split Linconstr.Le Linconstr.Lt (qq 1 2) in
+  check_int "le/lt merges" 1 (List.length (Semilinear.coalesce_dnf [ l; r ]));
+  (* both strict: the cut point itself would be lost — no merge *)
+  let l, r = split Linconstr.Lt Linconstr.Lt (qq 1 2) in
+  check_int "lt/lt refused" 2 (List.length (Semilinear.coalesce_dnf [ l; r ]));
+  (* quadrant tiling of the unit square: the x-adjacent halves merge in
+     the first pass, the resulting y-adjacent strips in the second — the
+     fixpoint loop, ticking db.update.coalesced once per merge *)
+  let module T = Cqa_telemetry.Telemetry in
+  let cube = box01 x @ box01 y in
+  let xle = Linconstr.le ex (Linexpr.const (qq 1 2)) in
+  let xge = Linconstr.ge ex (Linexpr.const (qq 1 2)) in
+  let yle = Linconstr.le ey (Linexpr.const (qq 1 2)) in
+  let yge = Linconstr.ge ey (Linexpr.const (qq 1 2)) in
+  let quadrants =
+    [ cube @ [ xle; yle ]; cube @ [ xge; yle ];
+      cube @ [ xle; yge ]; cube @ [ xge; yge ] ]
+  in
+  T.enable ();
+  Fun.protect ~finally:T.disable (fun () ->
+      let coalesced () =
+        match List.assoc_opt "db.update.coalesced" (T.snapshot ()).T.counters
+        with Some v -> v | None -> 0
+      in
+      let before = coalesced () in
+      check_int "quadrants glue to the square" 1
+        (List.length (Semilinear.coalesce_dnf quadrants));
+      check "coalesced counter ticked" true (coalesced () >= before + 3));
+  (* random splits: coalescing never changes the set pointwise *)
+  for _ = 1 to 60 do
+    let conj = rand_conj [ x; y ] (1 + Random.State.int rng 3) in
+    let e = rand_expr [ x; y ] in
+    let d =
+      [ conj @ [ Linconstr.make e Linconstr.Le ];
+        conj @ [ Linconstr.make (Linexpr.neg e) Linconstr.Le ] ]
+    in
+    let c = Semilinear.coalesce_dnf d in
+    List.iter
+      (fun pt ->
+        let env = env2 pt in
+        check "coalesce pointwise"
+          (Linformula.dnf_holds d env)
+          (Linformula.dnf_holds c env))
+      grid2
+  done
+
+let test_remove_region_coalesces () =
+  (* removing and re-inserting the same band must not grow the
+     representation: remove_region's coalescing keeps the tiling flat *)
+  let s = Semilinear.unit_cube 2 in
+  let band = Semilinear.box [| (qq 1 4, qq 1 2); (Q.zero, Q.one) |] in
+  let cur = ref s in
+  for _ = 1 to 5 do
+    cur := (Semilinear.remove_region !cur band).Semilinear.updated;
+    check "remove = diff" true (Semilinear.equal !cur (Semilinear.diff s band));
+    check "no blowup" true (Semilinear.disjunct_count !cur <= 4);
+    cur := (Semilinear.insert_region !cur band).Semilinear.updated;
+    check "reinsert restores" true (Semilinear.equal !cur s)
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Active-domain evaluation                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -748,6 +864,8 @@ let () =
       ( "simplex",
         [ Alcotest.test_case "known LPs" `Quick test_simplex_known;
           Alcotest.test_case "warm basis reuse" `Quick test_simplex_warm_basis;
+          Alcotest.test_case "feasible_strict warm" `Quick
+            test_feasible_strict_warm;
           Alcotest.test_case "vs FM random" `Quick test_simplex_vs_fm_random ] );
       ( "cell1",
         [ Alcotest.test_case "boolean algebra" `Quick test_cell1_boolean_algebra;
@@ -760,5 +878,8 @@ let () =
           Alcotest.test_case "project section" `Quick test_semilinear_project_section;
           Alcotest.test_case "enumerate finite" `Quick test_semilinear_enumerate_finite;
           Alcotest.test_case "bounding" `Quick test_semilinear_bounding;
-          Alcotest.test_case "of_formula" `Quick test_semilinear_of_formula ] );
+          Alcotest.test_case "of_formula" `Quick test_semilinear_of_formula;
+          Alcotest.test_case "coalesce dnf" `Quick test_coalesce_dnf;
+          Alcotest.test_case "remove coalesces" `Quick
+            test_remove_region_coalesces ] );
       ("active-eval", [ Alcotest.test_case "fo_act" `Quick test_active_eval ]) ]

@@ -103,8 +103,10 @@ let fixed_semilinear dim seed =
    schedule), the *.contention and *.evict shard counters of the striped
    memo tables, the plan.* counters (cache traffic, per-database
    execution state and wall-clock compile time: all functions of execution
-   history), and the serve.* counters (pure traffic tallies of whatever
-   clients sent). *)
+   history), the serve.* counters (pure traffic tallies of whatever
+   clients sent), and the arena.* counters (scratch-arena reuse/grow is
+   per-domain: how many workers first-touch an arena depends on the
+   steal schedule). *)
 let deterministic_counters snap =
   List.filter
     (fun (name, _) ->
@@ -119,7 +121,7 @@ let deterministic_counters snap =
       not
         (has_suffix ".hit" || has_suffix ".miss" || has_prefix "simplex."
         || has_prefix "fm." || has_prefix "pool." || has_prefix "plan."
-        || has_prefix "serve."
+        || has_prefix "serve." || has_prefix "arena."
         || has_suffix ".contention" || has_suffix ".evict"))
     snap.T.counters
 
